@@ -1,0 +1,74 @@
+// Command cuobjdump inspects the GPU code inside an ML shared library,
+// mirroring the subset of NVIDIA's cuobjdump the paper's kernel locator
+// relies on (§3.2): it lists the fatbin elements with their 1-based
+// indices, architectures, file ranges, and the kernels in each cubin.
+//
+// Usage:
+//
+//	cuobjdump <library.so>             # list elements
+//	cuobjdump -kernels <library.so>    # also list kernels per cubin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+)
+
+func main() {
+	kernels := flag.Bool("kernels", false, "list kernels inside each cubin")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: cuobjdump [-kernels] <library.so>")
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("cuobjdump: %v", err)
+	}
+	lib, err := elfx.Parse(path, data)
+	if err != nil {
+		log.Fatalf("cuobjdump: %v", err)
+	}
+	fb, has, err := lib.Fatbin()
+	if err != nil {
+		log.Fatalf("cuobjdump: %v", err)
+	}
+	if !has {
+		fmt.Printf("%s: no %s section (CPU-only library)\n", path, elfx.FatbinSection)
+		return
+	}
+	secRange, _ := lib.FatbinRange()
+	fmt.Printf("%s: %d region(s), %d element(s), %d bytes of GPU code at %v\n",
+		path, len(fb.Regions), fb.ElementCount(), lib.GPUCodeSize(), secRange)
+	for _, e := range fb.Elements() {
+		kind := "CUBIN"
+		if e.Kind == fatbin.KindPTX {
+			kind = "PTX"
+		}
+		fmt.Printf("  element %3d  %-5s  %-6s  file range [%#x, %#x)  payload %d bytes\n",
+			e.Index, kind, e.Arch,
+			secRange.Start+e.FileRange.Start, secRange.Start+e.FileRange.End,
+			len(e.Payload))
+		if !*kernels || e.Kind != fatbin.KindCubin {
+			continue
+		}
+		c, err := cubin.Parse(e.Payload)
+		if err != nil {
+			fmt.Printf("    (payload does not parse: %v)\n", err)
+			continue
+		}
+		for _, k := range c.Kernels {
+			role := "entry"
+			if k.DeviceOnly() {
+				role = "device-only"
+			}
+			fmt.Printf("    %-52s %-11s %5d bytes\n", k.Name, role, len(k.Code))
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Command mlbloat-gen generates a synthetic ML framework installation — a
+// directory of ELF shared libraries with planted CPU functions and GPU
+// fatbins plus an install.json manifest — for use with cmd/negativa-ml and
+// cmd/cuobjdump.
+//
+// Usage:
+//
+//	mlbloat-gen -framework PyTorch -tail 100 -out ./pytorch-install
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"negativaml/internal/mlframework"
+)
+
+func main() {
+	framework := flag.String("framework", mlframework.PyTorch, "framework to generate (PyTorch, TensorFlow, vLLM, Transformers)")
+	tail := flag.Int("tail", 100, "number of dependency-tail libraries")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("mlbloat-gen: -out is required")
+	}
+
+	in, err := mlframework.Generate(mlframework.Config{Framework: *framework, TailLibs: *tail})
+	if err != nil {
+		log.Fatalf("mlbloat-gen: %v", err)
+	}
+	if err := in.WriteTo(*out); err != nil {
+		log.Fatalf("mlbloat-gen: %v", err)
+	}
+	fmt.Printf("%s %s: %d libraries, %.1f MB -> %s\n",
+		in.Framework, in.Version, len(in.LibNames),
+		float64(in.TotalFileSize())/(1<<20), *out)
+}

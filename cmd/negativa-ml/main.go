@@ -1,0 +1,121 @@
+// Command negativa-ml debloats the shared libraries of a generated ML
+// framework installation against one workload, writing the compacted
+// libraries to an output directory — the CLI face of the paper's pipeline.
+//
+// Usage:
+//
+//	negativa-ml -install ./pytorch-install -model MobileNetV2 -train \
+//	            -batch 16 -epochs 3 -device T4 -out ./debloated
+//
+// The tool profiles the workload (kernel detector + CPU-function profiler),
+// locates used code in every library, compacts, verifies the debloated
+// install by re-running the workload, and prints a per-library report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/dataset"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+	"negativaml/internal/negativa"
+)
+
+func main() {
+	installDir := flag.String("install", "", "framework install directory (from mlbloat-gen)")
+	model := flag.String("model", "MobileNetV2", "model: MobileNetV2, Transformer, Llama2")
+	train := flag.Bool("train", false, "train instead of inference")
+	batch := flag.Int("batch", 1, "batch size")
+	epochs := flag.Int("epochs", 1, "training epochs")
+	device := flag.String("device", "T4", "GPU: T4, A100, H100")
+	ranks := flag.Int("gpus", 1, "number of GPUs (tensor parallel for LLMs)")
+	lazy := flag.Bool("lazy", false, "use lazy kernel loading")
+	steps := flag.Int("steps", 50, "max profiled steps (0 = full dataset)")
+	out := flag.String("out", "", "output directory for debloated libraries")
+	flag.Parse()
+	if *installDir == "" {
+		log.Fatal("negativa-ml: -install is required")
+	}
+
+	install, err := mlframework.ReadFrom(*installDir)
+	if err != nil {
+		log.Fatalf("negativa-ml: %v", err)
+	}
+	dev, err := gpuarch.ByName(*device)
+	if err != nil {
+		log.Fatalf("negativa-ml: %v", err)
+	}
+	devices := make([]gpuarch.Device, *ranks)
+	for i := range devices {
+		devices[i] = dev
+	}
+
+	var graph *models.Graph
+	var data dataset.Dataset
+	switch *model {
+	case "MobileNetV2":
+		graph, data = models.MobileNetV2(*train, *batch), dataset.CIFAR10
+	case "Transformer":
+		graph, data = models.Transformer(*train, *batch), dataset.Multi30k
+	case "Llama2":
+		graph = models.LLM(models.Llama2(install.Framework == mlframework.VLLM, *ranks))
+		data = dataset.ManualInput
+	default:
+		log.Fatalf("negativa-ml: unknown model %q", *model)
+	}
+
+	mode := cudasim.EagerLoading
+	if *lazy {
+		mode = cudasim.LazyLoading
+	}
+	w := mlruntime.Workload{
+		Name:           fmt.Sprintf("%s/%s/%s", install.Framework, graph.Mode(), *model),
+		Install:        install,
+		Graph:          graph,
+		Devices:        devices,
+		Mode:           mode,
+		Data:           data,
+		Epochs:         *epochs,
+		PerItemCompute: time.Millisecond,
+	}
+
+	start := time.Now()
+	res, err := negativa.Debloat(w, negativa.Options{MaxSteps: *steps})
+	if err != nil {
+		log.Fatalf("negativa-ml: %v", err)
+	}
+
+	agg := res.Aggregate()
+	fmt.Printf("workload: %s\n", w.Name)
+	fmt.Printf("libraries: %d  verified: %v  wall time: %v\n", agg.Libs, res.Verified, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("total size:  %8.0f KB  -> %8.0f KB  (-%.0f%%)\n",
+		float64(agg.FileEffective)/1024, float64(agg.FileEffectiveAfter)/1024, agg.FileReductionPct())
+	fmt.Printf("CPU code:    %8.0f KB  -> %8.0f KB  (-%.0f%%)   functions %d -> %d (-%.0f%%)\n",
+		float64(agg.CPUSize)/1024, float64(agg.CPUSizeAfter)/1024, agg.CPUReductionPct(),
+		agg.Funcs, agg.FuncsKept, agg.FuncReductionPct())
+	fmt.Printf("GPU code:    %8.0f KB  -> %8.0f KB  (-%.0f%%)   elements  %d -> %d (-%.0f%%)\n",
+		float64(agg.GPUSize)/1024, float64(agg.GPUSizeAfter)/1024, agg.GPUReductionPct(),
+		agg.Elems, agg.ElemsKept, agg.ElemReductionPct())
+	fmt.Printf("virtual end-to-end debloating time: %.0f s (detect %.0f s + analyze %.0f s)\n",
+		res.EndToEnd.Seconds(), res.DetectTime.Seconds(), res.AnalysisTime.Seconds())
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatalf("negativa-ml: %v", err)
+		}
+		for name, blob := range res.DebloatedLibs() {
+			if err := os.WriteFile(filepath.Join(*out, name), blob, 0o644); err != nil {
+				log.Fatalf("negativa-ml: write %s: %v", name, err)
+			}
+		}
+		fmt.Printf("debloated libraries written to %s\n", *out)
+	}
+}

@@ -1,0 +1,69 @@
+// PyTorch training: the paper's flagship workload (PyTorch / Train /
+// MobileNetV2 on CIFAR10, Table 1 row 1) end to end, including the
+// detection-overhead comparison of §4.6.
+//
+//	go run ./examples/pytorch-train
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"negativaml"
+)
+
+func main() {
+	install, err := negativaml.GenerateInstall(negativaml.PyTorch, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := negativaml.Workload{
+		Name:           "PyTorch/Train/MobileNetV2",
+		Install:        install,
+		Graph:          negativaml.MobileNetV2(true, 16),
+		Devices:        []negativaml.Device{negativaml.T4},
+		Mode:           negativaml.EagerLoading,
+		Data:           negativaml.CIFAR10,
+		Epochs:         3,
+		PerItemCompute: 1030 * time.Microsecond,
+	}
+
+	// Phase 1+2+3+4: the full pipeline over the full training run (three
+	// epochs over CIFAR10 — coverage would saturate in a handful of steps,
+	// but the end-to-end timing of Table 8 wants the real run).
+	res, err := negativaml.Debloat(w, negativaml.DebloatOptions{VerifySteps: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: verified=%v\n", w.Name, res.Verified)
+	fmt.Printf("virtual end-to-end debloating time: %.0f s (paper: 651 s)\n", res.EndToEnd.Seconds())
+
+	// What the detector saw in the core library.
+	core := res.Lib("libtorch_cuda.so")
+	fmt.Printf("\nlibtorch_cuda.so: %d kernels and %d CPU functions in use\n",
+		len(core.UsedKernels), len(core.UsedFuncs))
+	kernels := append([]string(nil), core.UsedKernels...)
+	sort.Strings(kernels)
+	for i, k := range kernels {
+		if i == 6 {
+			fmt.Printf("  ... and %d more\n", len(kernels)-6)
+			break
+		}
+		fmt.Printf("  %s\n", k)
+	}
+	fmt.Printf("reductions: file %.0f%%, CPU %.0f%%, funcs %.0f%%, GPU %.0f%%, elements %.0f%%\n",
+		core.FileReductionPct(), core.CPUReductionPct(), core.FuncReductionPct(),
+		core.GPUReductionPct(), core.ElemReductionPct())
+
+	// §4.6: profile-tool overhead on this workload.
+	base, err := negativaml.RunWorkload(w, negativaml.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := res.DetectTime
+	fmt.Printf("\ntracer overhead: original %.0f s, with kernel detector %.0f s (+%.0f%%; paper: +41%%)\n",
+		base.ExecTime.Seconds(), det.Seconds(),
+		100*float64(det-base.ExecTime)/float64(base.ExecTime))
+}

@@ -1,0 +1,67 @@
+// Quickstart: generate a small PyTorch install, debloat it against a
+// MobileNetV2 inference workload, and print what Negativa-ML removed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"negativaml"
+)
+
+func main() {
+	// A PyTorch installation with a 20-library dependency tail. Every
+	// library is a real ELF file with CPU functions in .text and GPU code
+	// in .nv_fatbin.
+	install, err := negativaml.GenerateInstall(negativaml.PyTorch, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s %s: %d shared libraries, %.1f MB\n",
+		install.Framework, install.Version, len(install.LibNames),
+		float64(install.TotalFileSize())/(1<<20))
+
+	// The workload: MobileNetV2 inference, batch 1, on a T4 (Table 1).
+	w := negativaml.Workload{
+		Name:           "PyTorch/Inference/MobileNetV2",
+		Install:        install,
+		Graph:          negativaml.MobileNetV2(false, 1),
+		Devices:        []negativaml.Device{negativaml.T4},
+		Mode:           negativaml.EagerLoading,
+		Data:           negativaml.CIFAR10,
+		PerItemCompute: 5 * time.Millisecond,
+	}
+
+	// Run it once, untouched, for the baseline metrics.
+	orig, err := negativaml.RunWorkload(w, negativaml.RunOptions{MaxSteps: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original run:  %6.1f s, peak CPU %6.0f KB, peak GPU %6.0f KB\n",
+		orig.ExecTime.Seconds(), float64(orig.PeakCPUBytes)/1024, float64(orig.PeakGPUBytes)/1024)
+
+	// Debloat: profile the workload, locate used kernels and functions,
+	// compact every library, verify.
+	res, err := negativaml.Debloat(w, negativaml.DebloatOptions{MaxSteps: 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := res.Aggregate()
+	fmt.Printf("debloated %d libraries (verified: %v):\n", agg.Libs, res.Verified)
+	fmt.Printf("  total size reduced %4.0f%%\n", agg.FileReductionPct())
+	fmt.Printf("  CPU code   reduced %4.0f%%  (%d of %d functions removed)\n",
+		agg.CPUReductionPct(), agg.Funcs-agg.FuncsKept, agg.Funcs)
+	fmt.Printf("  GPU code   reduced %4.0f%%  (%d of %d elements removed)\n",
+		agg.GPUReductionPct(), agg.Elems-agg.ElemsKept, agg.Elems)
+
+	// Re-run on the debloated libraries: same outputs, fewer resources.
+	deb := res.VerifyResult
+	fmt.Printf("debloated run: %6.1f s, peak CPU %6.0f KB, peak GPU %6.0f KB\n",
+		deb.ExecTime.Seconds(), float64(deb.PeakCPUBytes)/1024, float64(deb.PeakGPUBytes)/1024)
+	if deb.Digest == orig.Digest {
+		fmt.Println("outputs identical — debloating preserved correctness")
+	}
+}

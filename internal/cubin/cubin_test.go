@@ -1,0 +1,223 @@
+package cubin
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"negativaml/internal/gpuarch"
+)
+
+func sample() *Cubin {
+	c := New(gpuarch.SM75)
+	// matmul launches two device-only helpers; one helper launches the other.
+	c.AddKernel(Kernel{Name: "matmul_f32", Code: []byte{1, 2, 3, 4}, Flags: FlagEntry, Launches: []int{1, 2}})
+	c.AddKernel(Kernel{Name: "reduce_partial", Code: []byte{5, 6}, Flags: FlagDeviceOnly, Launches: []int{2}})
+	c.AddKernel(Kernel{Name: "reduce_final", Code: []byte{7}, Flags: FlagDeviceOnly})
+	c.AddKernel(Kernel{Name: "conv2d_k3", Code: []byte{8, 9, 10}, Flags: FlagEntry})
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sample()
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Parse(blob)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Arch != c.Arch {
+		t.Errorf("arch = %s, want %s", got.Arch, c.Arch)
+	}
+	if !reflect.DeepEqual(got.Kernels, c.Kernels) {
+		t.Errorf("kernels mismatch:\n got %+v\nwant %+v", got.Kernels, c.Kernels)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Cubin)
+	}{
+		{"empty name", func(c *Cubin) { c.Kernels[0].Name = "" }},
+		{"duplicate name", func(c *Cubin) { c.Kernels[1].Name = c.Kernels[0].Name }},
+		{"both flags", func(c *Cubin) { c.Kernels[0].Flags = FlagEntry | FlagDeviceOnly }},
+		{"no flags", func(c *Cubin) { c.Kernels[0].Flags = 0 }},
+		{"out of range edge", func(c *Cubin) { c.Kernels[0].Launches = []int{99} }},
+		{"negative edge", func(c *Cubin) { c.Kernels[0].Launches = []int{-1} }},
+		{"self launch", func(c *Cubin) { c.Kernels[0].Launches = []int{0} }},
+		{"bad arch", func(c *Cubin) { c.Arch = 3 }},
+	}
+	for _, tc := range cases {
+		c := sample()
+		tc.mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		}
+		if _, err := c.Marshal(); err == nil {
+			t.Errorf("%s: Marshal should fail", tc.name)
+		}
+	}
+}
+
+func TestCallGraphFrom(t *testing.T) {
+	c := sample()
+	got := c.CallGraphFrom(0)
+	want := []int{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CallGraphFrom(0) = %v, want %v", got, want)
+	}
+	if got := c.CallGraphFrom(3); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("CallGraphFrom(3) = %v, want [3]", got)
+	}
+	if c.CallGraphFrom(-1) != nil || c.CallGraphFrom(99) != nil {
+		t.Error("out-of-range root should return nil")
+	}
+}
+
+func TestCallGraphCycle(t *testing.T) {
+	c := New(gpuarch.SM80)
+	c.AddKernel(Kernel{Name: "a", Flags: FlagEntry, Launches: []int{1}})
+	c.AddKernel(Kernel{Name: "b", Flags: FlagDeviceOnly, Launches: []int{2}})
+	c.AddKernel(Kernel{Name: "c", Flags: FlagDeviceOnly, Launches: []int{1}}) // cycle b<->c
+	got := c.CallGraphFrom(0)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("cycle traversal = %v, want [0 1 2]", got)
+	}
+}
+
+func TestEntryKernelsAndFind(t *testing.T) {
+	c := sample()
+	entries := c.EntryKernels()
+	want := []string{"matmul_f32", "conv2d_k3"}
+	if !reflect.DeepEqual(entries, want) {
+		t.Errorf("EntryKernels = %v, want %v", entries, want)
+	}
+	if i := c.FindKernel("reduce_final"); i != 2 {
+		t.Errorf("FindKernel(reduce_final) = %d, want 2", i)
+	}
+	if i := c.FindKernel("nope"); i != -1 {
+		t.Errorf("FindKernel(nope) = %d, want -1", i)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c := sample()
+	blob, _ := c.Marshal()
+
+	if _, err := Parse(blob[:10]); err == nil {
+		t.Error("short blob should fail")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := Parse(bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	badVer := append([]byte(nil), blob...)
+	badVer[4] = 99
+	if _, err := Parse(badVer); err == nil {
+		t.Error("bad version should fail")
+	}
+	trunc := append([]byte(nil), blob...)
+	if _, err := Parse(trunc[:len(trunc)-3]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+func TestIsCubin(t *testing.T) {
+	blob, _ := sample().Marshal()
+	if !IsCubin(blob) {
+		t.Error("IsCubin(valid) = false")
+	}
+	if IsCubin(make([]byte, 64)) {
+		t.Error("IsCubin(zeros) = true")
+	}
+	if IsCubin(nil) {
+		t.Error("IsCubin(nil) = true")
+	}
+}
+
+func TestCodeSize(t *testing.T) {
+	c := sample()
+	if got := c.CodeSize(); got != 10 {
+		t.Errorf("CodeSize = %d, want 10", got)
+	}
+}
+
+// randomCubin builds a structurally valid random cubin for property testing.
+func randomCubin(r *rand.Rand) *Cubin {
+	arch := gpuarch.AllShipped[r.Intn(len(gpuarch.AllShipped))]
+	c := New(arch)
+	n := 1 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		k := Kernel{
+			Name: "k" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i%10)),
+			Code: make([]byte, r.Intn(64)),
+		}
+		r.Read(k.Code)
+		if r.Intn(2) == 0 {
+			k.Flags = FlagEntry
+		} else {
+			k.Flags = FlagDeviceOnly
+		}
+		// Edges only to other kernels.
+		for j := 0; j < n; j++ {
+			if j != i && r.Intn(8) == 0 {
+				k.Launches = append(k.Launches, j)
+			}
+		}
+		c.AddKernel(k)
+	}
+	return c
+}
+
+// Property: Marshal then Parse is the identity on valid cubins.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCubin(r)
+		blob, err := c.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Parse(blob)
+		if err != nil {
+			return false
+		}
+		b2, err := got.Marshal()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(blob, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every kernel reachable from an entry kernel is inside the cubin
+// (the same-cubin invariant the locator relies on).
+func TestQuickCallGraphClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCubin(r)
+		for i, k := range c.Kernels {
+			if !k.Entry() {
+				continue
+			}
+			for _, idx := range c.CallGraphFrom(i) {
+				if idx < 0 || idx >= len(c.Kernels) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

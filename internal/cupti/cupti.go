@@ -1,0 +1,147 @@
+// Package cupti provides a CUPTI-like callback interface over the simulated
+// CUDA driver.
+//
+// NVIDIA's CUPTI lets tools subscribe to driver API callback sites. The
+// paper's kernel detector (§3.1) is a CUPTI hook on cuModuleGetFunction:
+// that driver function receives the kernel name and is called once per
+// kernel regardless of how many times the kernel later launches, which makes
+// it the ideal once-per-kernel detection point. Profilers like NSys instead
+// record every kernel launch, which is why their overhead is much higher
+// (§4.6).
+//
+// Attaching any subscriber enables driver-wide instrumentation: every driver
+// API call pays a small instrumentation cost, and each delivered callback
+// pays the subscriber's per-record cost. Both costs are charged to the
+// simulated clock by the driver, so tracing overhead is an emergent,
+// measurable quantity.
+package cupti
+
+import "time"
+
+// Domain identifies a callback domain.
+type Domain int
+
+// Callback domains (only the driver API domain is used here).
+const (
+	DomainDriverAPI Domain = iota + 1
+)
+
+// CBID identifies a driver API callback site.
+type CBID int
+
+// Driver API callback sites.
+const (
+	CBIDModuleLoad CBID = iota + 1
+	CBIDModuleGetFunction
+	CBIDLaunchKernel
+	CBIDMemAlloc
+	CBIDMemFree
+)
+
+func (c CBID) String() string {
+	switch c {
+	case CBIDModuleLoad:
+		return "cuModuleLoad"
+	case CBIDModuleGetFunction:
+		return "cuModuleGetFunction"
+	case CBIDLaunchKernel:
+		return "cuLaunchKernel"
+	case CBIDMemAlloc:
+		return "cuMemAlloc"
+	case CBIDMemFree:
+		return "cuMemFree"
+	}
+	return "unknown"
+}
+
+// CallbackData is delivered to subscribers at each subscribed site.
+type CallbackData struct {
+	Domain Domain
+	CBID   CBID
+	// Module is the name of the shared library the module was loaded from.
+	Module string
+	// Kernel is the kernel name for CBIDModuleGetFunction / CBIDLaunchKernel.
+	Kernel string
+	// Bytes is the size for CBIDMemAlloc / CBIDMemFree / CBIDModuleLoad.
+	Bytes int64
+}
+
+// Callback is a subscriber's callback function.
+type Callback func(*CallbackData)
+
+// Subscriber is one attached tool (detector, tracer, …).
+type Subscriber struct {
+	// Name labels the subscriber in reports.
+	Name string
+	// PerRecordCost is the simulated time charged for each delivered
+	// callback (buffer write, string copy, …).
+	PerRecordCost time.Duration
+	// InstrumentationCost is the simulated time charged to *every* driver
+	// API call while this subscriber is attached, whether or not the call
+	// site is subscribed — modeling the interposition layer CUPTI injects.
+	InstrumentationCost time.Duration
+
+	callback Callback
+	sites    map[CBID]bool
+}
+
+// Registry dispatches driver events to subscribers. The zero value is ready
+// to use. Registry is not safe for concurrent use; the simulated driver is
+// single-threaded by design.
+type Registry struct {
+	subs []*Subscriber
+}
+
+// Subscribe attaches a subscriber with its callback. Call EnableCallback to
+// select sites.
+func (r *Registry) Subscribe(s *Subscriber, cb Callback) {
+	s.callback = cb
+	if s.sites == nil {
+		s.sites = make(map[CBID]bool)
+	}
+	r.subs = append(r.subs, s)
+}
+
+// Unsubscribe detaches a subscriber.
+func (r *Registry) Unsubscribe(s *Subscriber) {
+	for i, sub := range r.subs {
+		if sub == s {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// EnableCallback subscribes s to a callback site.
+func (s *Subscriber) EnableCallback(id CBID) {
+	if s.sites == nil {
+		s.sites = make(map[CBID]bool)
+	}
+	s.sites[id] = true
+}
+
+// Active reports whether any subscriber is attached.
+func (r *Registry) Active() bool { return len(r.subs) > 0 }
+
+// InstrumentationCost returns the total per-driver-call instrumentation cost
+// across attached subscribers.
+func (r *Registry) InstrumentationCost() time.Duration {
+	var d time.Duration
+	for _, s := range r.subs {
+		d += s.InstrumentationCost
+	}
+	return d
+}
+
+// Dispatch delivers data to every subscriber listening on its CBID and
+// returns the total per-record cost incurred.
+func (r *Registry) Dispatch(data *CallbackData) time.Duration {
+	var cost time.Duration
+	for _, s := range r.subs {
+		if s.sites[data.CBID] {
+			s.callback(data)
+			cost += s.PerRecordCost
+		}
+	}
+	return cost
+}

@@ -1,0 +1,82 @@
+package cupti
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDispatchOnlySubscribedSites(t *testing.T) {
+	var r Registry
+	var got []CBID
+	s := &Subscriber{Name: "t", PerRecordCost: 5 * time.Microsecond}
+	r.Subscribe(s, func(d *CallbackData) { got = append(got, d.CBID) })
+	s.EnableCallback(CBIDModuleGetFunction)
+
+	cost := r.Dispatch(&CallbackData{CBID: CBIDModuleGetFunction, Kernel: "k"})
+	if cost != 5*time.Microsecond {
+		t.Errorf("cost = %v, want 5µs", cost)
+	}
+	cost = r.Dispatch(&CallbackData{CBID: CBIDLaunchKernel, Kernel: "k"})
+	if cost != 0 {
+		t.Errorf("unsubscribed site cost = %v, want 0", cost)
+	}
+	if len(got) != 1 || got[0] != CBIDModuleGetFunction {
+		t.Errorf("delivered = %v", got)
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	var r Registry
+	n1, n2 := 0, 0
+	s1 := &Subscriber{Name: "a", PerRecordCost: time.Microsecond, InstrumentationCost: 2 * time.Microsecond}
+	s2 := &Subscriber{Name: "b", PerRecordCost: 3 * time.Microsecond, InstrumentationCost: 4 * time.Microsecond}
+	r.Subscribe(s1, func(*CallbackData) { n1++ })
+	r.Subscribe(s2, func(*CallbackData) { n2++ })
+	s1.EnableCallback(CBIDLaunchKernel)
+	s2.EnableCallback(CBIDLaunchKernel)
+
+	if !r.Active() {
+		t.Error("registry should be active")
+	}
+	if got := r.InstrumentationCost(); got != 6*time.Microsecond {
+		t.Errorf("instrumentation = %v, want 6µs", got)
+	}
+	cost := r.Dispatch(&CallbackData{CBID: CBIDLaunchKernel})
+	if cost != 4*time.Microsecond {
+		t.Errorf("record cost = %v, want 4µs", cost)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Errorf("deliveries = %d, %d", n1, n2)
+	}
+
+	r.Unsubscribe(s1)
+	r.Dispatch(&CallbackData{CBID: CBIDLaunchKernel})
+	if n1 != 1 || n2 != 2 {
+		t.Errorf("after unsubscribe: %d, %d", n1, n2)
+	}
+	r.Unsubscribe(s2)
+	if r.Active() {
+		t.Error("registry should be inactive")
+	}
+}
+
+func TestUnsubscribeUnknown(t *testing.T) {
+	var r Registry
+	r.Unsubscribe(&Subscriber{}) // must not panic
+}
+
+func TestCBIDString(t *testing.T) {
+	cases := map[CBID]string{
+		CBIDModuleLoad:        "cuModuleLoad",
+		CBIDModuleGetFunction: "cuModuleGetFunction",
+		CBIDLaunchKernel:      "cuLaunchKernel",
+		CBIDMemAlloc:          "cuMemAlloc",
+		CBIDMemFree:           "cuMemFree",
+		CBID(99):              "unknown",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", id, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package dataset provides synthetic stand-ins for the datasets of Table 1:
+// CIFAR10, Multi30k, WMT14, and the manual LLM prompts. The debloater never
+// looks at data content — only iteration counts and working-set sizes affect
+// the simulation — so each dataset is its cardinality plus a deterministic
+// item-digest function used for output verification.
+package dataset
+
+import "hash/fnv"
+
+// Dataset describes one dataset split layout.
+type Dataset struct {
+	Name       string
+	TrainItems int
+	TestItems  int
+	// ItemBytes is the host working-set per in-flight item (scaled units).
+	ItemBytes int64
+}
+
+// Catalog entries matching Table 1.
+var (
+	// CIFAR10: 50,000 train / 10,000 test images (Krizhevsky et al., 2009).
+	CIFAR10 = Dataset{Name: "CIFAR10", TrainItems: 50000, TestItems: 10000, ItemBytes: 4}
+	// Multi30k: ~29,000 train / 1,000 test sentence pairs.
+	Multi30k = Dataset{Name: "Multi30k", TrainItems: 29000, TestItems: 1000, ItemBytes: 2}
+	// WMT14: ~4.5M train sentence pairs; the paper trains one epoch.
+	WMT14 = Dataset{Name: "WMT14", TrainItems: 4500000, TestItems: 3000, ItemBytes: 2}
+	// ManualInput: the paper's LLM prompt; decoding generates 64 tokens.
+	ManualInput = Dataset{Name: "Manual Input", TrainItems: 0, TestItems: 64, ItemBytes: 1}
+)
+
+// Steps returns the number of optimizer/inference steps for the dataset
+// split, batch size, and epoch count (epochs apply to training only).
+func (d Dataset) Steps(train bool, batch, epochs int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	items := d.TestItems
+	if train {
+		items = d.TrainItems
+	}
+	steps := (items + batch - 1) / batch
+	if train {
+		if epochs < 1 {
+			epochs = 1
+		}
+		steps *= epochs
+	}
+	return steps
+}
+
+// ItemDigest returns a deterministic pseudo-content hash for item i, mixed
+// into workload output digests so a debloated run must reproduce the exact
+// per-item results of the original run.
+func (d Dataset) ItemDigest(i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(d.Name))
+	var buf [8]byte
+	for s := 0; s < 8; s++ {
+		buf[s] = byte(i >> (8 * s))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}

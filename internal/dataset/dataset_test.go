@@ -1,0 +1,49 @@
+package dataset
+
+import "testing"
+
+func TestSteps(t *testing.T) {
+	cases := []struct {
+		d      Dataset
+		train  bool
+		batch  int
+		epochs int
+		want   int
+	}{
+		{CIFAR10, true, 16, 3, 9375},   // 50000/16=3125 * 3
+		{CIFAR10, false, 1, 0, 10000},  // test set, batch 1
+		{Multi30k, true, 128, 3, 681},  // ceil(29000/128)=227 * 3
+		{Multi30k, false, 32, 0, 32},   // ceil(1000/32)
+		{WMT14, true, 128, 1, 35157},   // ceil(4.5M/128)
+		{ManualInput, false, 1, 0, 64}, // 64 decoded tokens
+		{CIFAR10, true, 0, 0, 50000},   // batch clamps to 1, epochs to 1
+	}
+	for _, c := range cases {
+		if got := c.d.Steps(c.train, c.batch, c.epochs); got != c.want {
+			t.Errorf("%s Steps(train=%v,b=%d,e=%d) = %d, want %d",
+				c.d.Name, c.train, c.batch, c.epochs, got, c.want)
+		}
+	}
+}
+
+func TestItemDigestDeterministicAndDistinct(t *testing.T) {
+	a := CIFAR10.ItemDigest(7)
+	b := CIFAR10.ItemDigest(7)
+	if a != b {
+		t.Error("digest must be deterministic")
+	}
+	if CIFAR10.ItemDigest(8) == a {
+		t.Error("different items should digest differently")
+	}
+	if Multi30k.ItemDigest(7) == a {
+		t.Error("different datasets should digest differently")
+	}
+}
+
+func TestCatalogSane(t *testing.T) {
+	for _, d := range []Dataset{CIFAR10, Multi30k, WMT14, ManualInput} {
+		if d.Name == "" || d.TestItems <= 0 || d.ItemBytes <= 0 {
+			t.Errorf("%+v: incomplete dataset", d)
+		}
+	}
+}

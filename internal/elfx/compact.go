@@ -1,0 +1,127 @@
+package elfx
+
+import "negativaml/internal/fatbin"
+
+// PageSize is the simulated memory page size used by the resident-size
+// model: a page whose bytes are all zero is assumed not to be resident
+// (backed by the shared zero page), which is how zero-compacted libraries
+// reduce memory use and load time without changing file offsets.
+const PageSize = 4096
+
+// ZeroRange zeroes the bytes of data covered by r, clamped to the buffer.
+func ZeroRange(data []byte, r fatbin.Range) {
+	start, end := r.Start, r.End
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	for i := start; i < end; i++ {
+		data[i] = 0
+	}
+}
+
+// ZeroOutside zeroes every byte of data within the outer range that is not
+// covered by any of the keep ranges. keep ranges outside outer are ignored.
+// This is the compaction primitive: retain used file ranges, remove the rest.
+func ZeroOutside(data []byte, outer fatbin.Range, keep []fatbin.Range) {
+	merged := MergeRanges(keep)
+	cursor := outer.Start
+	for _, k := range merged {
+		if k.End <= outer.Start || k.Start >= outer.End {
+			continue
+		}
+		s, e := k.Start, k.End
+		if s < outer.Start {
+			s = outer.Start
+		}
+		if e > outer.End {
+			e = outer.End
+		}
+		if s > cursor {
+			ZeroRange(data, fatbin.Range{Start: cursor, End: s})
+		}
+		if e > cursor {
+			cursor = e
+		}
+	}
+	if cursor < outer.End {
+		ZeroRange(data, fatbin.Range{Start: cursor, End: outer.End})
+	}
+}
+
+// MergeRanges sorts and coalesces overlapping or adjacent ranges.
+func MergeRanges(rs []fatbin.Range) []fatbin.Range {
+	if len(rs) == 0 {
+		return nil
+	}
+	sorted := make([]fatbin.Range, len(rs))
+	copy(sorted, rs)
+	for i := 1; i < len(sorted); i++ { // insertion sort; range lists are small
+		for j := i; j > 0 && sorted[j].Start < sorted[j-1].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		last := &out[len(out)-1]
+		if r.Start <= last.End {
+			if r.End > last.End {
+				last.End = r.End
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NonZeroBytes counts bytes of data that are not zero — the "effective size"
+// of a zero-compacted file (what sparse storage or page dedup would keep).
+func NonZeroBytes(data []byte) int64 {
+	var n int64
+	for _, b := range data {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NonZeroBytesIn counts non-zero bytes within the given range.
+func NonZeroBytesIn(data []byte, r fatbin.Range) int64 {
+	start, end := r.Start, r.End
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	var n int64
+	for i := start; i < end; i++ {
+		if data[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytes models the resident set of a mapped file: pages containing
+// at least one non-zero byte count fully; all-zero pages cost nothing.
+func ResidentBytes(data []byte) int64 {
+	var n int64
+	for off := 0; off < len(data); off += PageSize {
+		end := off + PageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := off; i < end; i++ {
+			if data[i] != 0 {
+				n += int64(end - off)
+				break
+			}
+		}
+	}
+	return n
+}

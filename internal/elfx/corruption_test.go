@@ -1,0 +1,82 @@
+package elfx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Parsers face compacted (partially zeroed) and potentially damaged files;
+// they must never panic — only return errors or degraded-but-consistent
+// results. These tests inject random corruption and assert that.
+
+func corpus(t *testing.T) [][]byte {
+	t.Helper()
+	var out [][]byte
+	b := NewBuilder("liba.so")
+	b.AddFunction("f1", 64)
+	b.AddFunction("f2", 128)
+	b.SetRodata(make([]byte, 256))
+	d1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, d1)
+
+	b2 := NewBuilder("libb.so")
+	for i := 0; i < 40; i++ {
+		b2.AddFunction("fn_"+string(rune('a'+i%26))+string(rune('0'+i/26)), 16+i)
+	}
+	d2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, d2)
+	return out
+}
+
+func TestParseNeverPanicsOnCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, base := range corpus(t) {
+		for trial := 0; trial < 500; trial++ {
+			data := append([]byte(nil), base...)
+			// Flip 1-8 random bytes.
+			for n := 0; n < 1+r.Intn(8); n++ {
+				data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("Parse panicked on corrupted input: %v", p)
+					}
+				}()
+				lib, err := Parse("x", data)
+				if err != nil {
+					return // rejecting corrupt input is fine
+				}
+				// If it parsed, accessors must stay in bounds.
+				for i := range lib.Funcs {
+					fn := &lib.Funcs[i]
+					if fn.Range.Start >= 0 && fn.Range.End <= int64(len(data)) {
+						lib.FunctionAlive(fn)
+					}
+				}
+				_, _ = lib.FatbinRange()
+			}()
+		}
+	}
+}
+
+func TestParseTruncationNeverPanics(t *testing.T) {
+	for _, base := range corpus(t) {
+		for cut := 0; cut < len(base); cut += 97 {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("Parse panicked on truncation at %d: %v", cut, p)
+					}
+				}()
+				_, _ = Parse("x", base[:cut])
+			}()
+		}
+	}
+}

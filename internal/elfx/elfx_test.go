@@ -1,0 +1,415 @@
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/gpuarch"
+)
+
+func sampleLib(t *testing.T) []byte {
+	t.Helper()
+	b := NewBuilder("libtest.so")
+	b.AddFunction("at_launch_matmul", 120)
+	b.AddFunction("at_init_context", 64)
+	b.AddFunction("cuModuleGetFunction", 48)
+
+	c := cubin.New(gpuarch.SM75)
+	c.AddKernel(cubin.Kernel{Name: "matmul_f32", Code: []byte{1, 2, 3}, Flags: cubin.FlagEntry})
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fatbin.FatBin{}
+	r := fb.AddRegion()
+	r.AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: blob})
+	fbBytes, err := fb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetFatbin(fbBytes)
+	b.SetRodata([]byte("read-only strings"))
+	b.SetData(make([]byte, 32))
+
+	out, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return out
+}
+
+// The standard library's debug/elf is the oracle: our writer must emit files
+// it accepts, with the sections and symbols we intended.
+func TestDebugElfOracle(t *testing.T) {
+	data := sampleLib(t)
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("debug/elf rejects our output: %v", err)
+	}
+	defer f.Close()
+
+	if f.Type != elf.ET_DYN {
+		t.Errorf("type = %v, want ET_DYN", f.Type)
+	}
+	if f.Machine != elf.EM_X86_64 {
+		t.Errorf("machine = %v, want EM_X86_64", f.Machine)
+	}
+	for _, want := range []string{".text", ".rodata", ".data", FatbinSection, ".symtab", ".dynsym"} {
+		if f.Section(want) == nil {
+			t.Errorf("missing section %s", want)
+		}
+	}
+	syms, err := f.Symbols()
+	if err != nil {
+		t.Fatalf("Symbols: %v", err)
+	}
+	found := map[string]bool{}
+	for _, s := range syms {
+		if elf.ST_TYPE(s.Info) == elf.STT_FUNC {
+			found[s.Name] = true
+		}
+	}
+	for _, want := range []string{"at_launch_matmul", "at_init_context", "cuModuleGetFunction"} {
+		if !found[want] {
+			t.Errorf("missing function symbol %q", want)
+		}
+	}
+	dsyms, err := f.DynamicSymbols()
+	if err != nil {
+		t.Fatalf("DynamicSymbols: %v", err)
+	}
+	if len(dsyms) != 1 {
+		t.Errorf("dynamic symbols = %d, want 1 (every 8th function exported)", len(dsyms))
+	}
+	// Fatbin section content must parse.
+	sec := f.Section(FatbinSection)
+	raw, err := sec.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := fatbin.Parse(raw)
+	if err != nil {
+		t.Fatalf("fatbin in ELF does not parse: %v", err)
+	}
+	if fb.ElementCount() != 1 {
+		t.Errorf("fatbin elements = %d, want 1", fb.ElementCount())
+	}
+}
+
+func TestOwnReaderAgreesWithOracle(t *testing.T) {
+	data := sampleLib(t)
+	lib, err := Parse("libtest.so", data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for _, s := range f.Sections {
+		if s.Name == "" {
+			continue
+		}
+		ours := lib.Section(s.Name)
+		if ours == nil {
+			t.Errorf("our reader missing section %s", s.Name)
+			continue
+		}
+		if ours.Range.Start != int64(s.Offset) || ours.Range.Len() != int64(s.Size) {
+			t.Errorf("section %s range mismatch: ours %v, oracle off=%d size=%d",
+				s.Name, ours.Range, s.Offset, s.Size)
+		}
+	}
+	syms, _ := f.Symbols()
+	oracleFuncs := 0
+	for _, s := range syms {
+		if elf.ST_TYPE(s.Info) == elf.STT_FUNC {
+			oracleFuncs++
+			ours := lib.FindFunction(s.Name)
+			if ours == nil {
+				t.Errorf("our reader missing function %s", s.Name)
+				continue
+			}
+			if ours.Range.Len() != int64(s.Size) {
+				t.Errorf("function %s size mismatch: %d vs %d", s.Name, ours.Range.Len(), s.Size)
+			}
+		}
+	}
+	if len(lib.Funcs) != oracleFuncs {
+		t.Errorf("function count %d, oracle %d", len(lib.Funcs), oracleFuncs)
+	}
+}
+
+func TestFunctionRangesContainCode(t *testing.T) {
+	data := sampleLib(t)
+	lib, _ := Parse("libtest.so", data)
+	for _, fn := range lib.Funcs {
+		if !lib.FunctionAlive(&fn) {
+			t.Errorf("freshly built function %s reads as dead", fn.Name)
+		}
+		seg := data[fn.Range.Start:fn.Range.End]
+		if NonZeroBytes(seg) == 0 {
+			t.Errorf("function %s has all-zero code", fn.Name)
+		}
+	}
+}
+
+func TestZeroRangeKillsFunction(t *testing.T) {
+	data := sampleLib(t)
+	lib, _ := Parse("libtest.so", data)
+	fn := lib.FindFunction("at_init_context")
+	if fn == nil {
+		t.Fatal("missing function")
+	}
+	ZeroRange(lib.Data, fn.Range)
+	if lib.FunctionAlive(fn) {
+		t.Error("zeroed function still alive")
+	}
+	// Others untouched.
+	other := lib.FindFunction("at_launch_matmul")
+	if !lib.FunctionAlive(other) {
+		t.Error("untouched function died")
+	}
+	// File still parses via oracle.
+	if _, err := elf.NewFile(bytes.NewReader(lib.Data)); err != nil {
+		t.Errorf("zeroing broke ELF structure: %v", err)
+	}
+}
+
+func TestZeroOutside(t *testing.T) {
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = 0xAA
+	}
+	outer := fatbin.Range{Start: 10, End: 90}
+	keep := []fatbin.Range{{Start: 20, End: 30}, {Start: 25, End: 40}, {Start: 60, End: 70}}
+	ZeroOutside(data, outer, keep)
+	for i := 0; i < 100; i++ {
+		in := (i >= 20 && i < 40) || (i >= 60 && i < 70) || i < 10 || i >= 90
+		if in && data[i] != 0xAA {
+			t.Fatalf("byte %d should be kept", i)
+		}
+		if !in && data[i] != 0 {
+			t.Fatalf("byte %d should be zeroed", i)
+		}
+	}
+}
+
+func TestZeroOutsideNoKeep(t *testing.T) {
+	data := bytes.Repeat([]byte{1}, 50)
+	ZeroOutside(data, fatbin.Range{Start: 5, End: 45}, nil)
+	if NonZeroBytes(data) != 10 {
+		t.Errorf("non-zero = %d, want 10", NonZeroBytes(data))
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	in := []fatbin.Range{
+		{Start: 40, End: 50}, {Start: 10, End: 20}, {Start: 15, End: 25},
+		{Start: 25, End: 30}, {Start: 60, End: 60},
+	}
+	out := MergeRanges(in)
+	want := []fatbin.Range{{Start: 10, End: 30}, {Start: 40, End: 50}, {Start: 60, End: 60}}
+	if len(out) != len(want) {
+		t.Fatalf("merged = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", out, want)
+		}
+	}
+	if MergeRanges(nil) != nil {
+		t.Error("MergeRanges(nil) should be nil")
+	}
+}
+
+func TestResidentBytes(t *testing.T) {
+	data := make([]byte, 3*PageSize)
+	if ResidentBytes(data) != 0 {
+		t.Error("all-zero file should have zero resident bytes")
+	}
+	data[PageSize+5] = 1
+	if got := ResidentBytes(data); got != PageSize {
+		t.Errorf("resident = %d, want one page", got)
+	}
+	data[0] = 1
+	data[2*PageSize] = 1
+	if got := ResidentBytes(data); got != 3*PageSize {
+		t.Errorf("resident = %d, want three pages", got)
+	}
+	// Partial last page counts its actual length.
+	tail := make([]byte, PageSize+10)
+	tail[PageSize+1] = 7
+	if got := ResidentBytes(tail); got != 10 {
+		t.Errorf("partial page resident = %d, want 10", got)
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	b := NewBuilder("")
+	if _, err := b.Build(); err == nil {
+		t.Error("empty soname should fail")
+	}
+	b2 := NewBuilder("lib.so")
+	b2.AddFunction("f", 10)
+	b2.AddFunction("f", 10)
+	if _, err := b2.Build(); err == nil {
+		t.Error("duplicate function should fail")
+	}
+	b3 := NewBuilder("lib.so")
+	b3.funcs = append(b3.funcs, FuncSpec{Name: "", Size: 10})
+	if _, err := b3.Build(); err == nil {
+		t.Error("empty function name should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("x", []byte{1, 2, 3}); err == nil {
+		t.Error("short file should fail")
+	}
+	data := sampleLib(t)
+	bad := append([]byte(nil), data...)
+	bad[0] = 0
+	if _, err := Parse("x", bad); err == nil {
+		t.Error("bad magic should fail")
+	}
+	bad32 := append([]byte(nil), data...)
+	bad32[4] = 1 // 32-bit class
+	if _, err := Parse("x", bad32); err == nil {
+		t.Error("32-bit should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	data := sampleLib(t)
+	lib, _ := Parse("libtest.so", data)
+	if lib.FileSize() != int64(len(data)) {
+		t.Error("FileSize mismatch")
+	}
+	if lib.TextSize() == 0 {
+		t.Error("TextSize should be non-zero")
+	}
+	if lib.GPUCodeSize() == 0 {
+		t.Error("GPUCodeSize should be non-zero")
+	}
+	fb, has, err := lib.Fatbin()
+	if err != nil || !has || fb.ElementCount() != 1 {
+		t.Errorf("Fatbin: %v %v", has, err)
+	}
+	r, ok := lib.FatbinRange()
+	if !ok || r.Len() == 0 {
+		t.Error("FatbinRange missing")
+	}
+}
+
+func TestLibraryWithoutFatbin(t *testing.T) {
+	b := NewBuilder("libcpu.so")
+	b.AddFunction("only_cpu", 32)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Parse("libcpu.so", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lib.FatbinRange(); ok {
+		t.Error("zero-size fatbin section should report absent")
+	}
+	fb, has, err := lib.Fatbin()
+	if err != nil || has || fb != nil {
+		t.Errorf("Fatbin on CPU-only lib: %v %v %v", fb, has, err)
+	}
+}
+
+// Property: any generated library round-trips through our reader and the
+// debug/elf oracle, and every function's symbol range matches planted size.
+func TestQuickBuildParse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBuilder("libq.so")
+		n := 1 + r.Intn(30)
+		sizes := make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			name := "fn_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			size := 16 + r.Intn(200)
+			b.AddFunction(name, size)
+			sizes[name] = size
+		}
+		data, err := b.Build()
+		if err != nil {
+			return false
+		}
+		lib, err := Parse("libq.so", data)
+		if err != nil {
+			return false
+		}
+		if len(lib.Funcs) != n {
+			return false
+		}
+		for _, fn := range lib.Funcs {
+			if fn.Range.Len() != int64(sizes[fn.Name]) {
+				return false
+			}
+			if !lib.FunctionAlive(&fn) {
+				return false
+			}
+		}
+		_, err = elf.NewFile(bytes.NewReader(data))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ZeroOutside never touches kept ranges and always clears the rest
+// of the outer range.
+func TestQuickZeroOutside(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := int64(200 + r.Intn(800))
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = 0xBB
+		}
+		outer := fatbin.Range{Start: int64(r.Intn(50)), End: size - int64(r.Intn(50))}
+		var keep []fatbin.Range
+		for i := 0; i < r.Intn(6); i++ {
+			s := outer.Start + int64(r.Intn(int(outer.Len())))
+			e := s + int64(r.Intn(int(outer.End-s))+1)
+			keep = append(keep, fatbin.Range{Start: s, End: e})
+		}
+		ZeroOutside(data, outer, keep)
+		merged := MergeRanges(keep)
+		inKeep := func(i int64) bool {
+			for _, k := range merged {
+				if k.Contains(i) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := int64(0); i < size; i++ {
+			inside := i >= outer.Start && i < outer.End
+			want := byte(0xBB)
+			if inside && !inKeep(i) {
+				want = 0
+			}
+			if data[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation 1 — whole-cubin retention vs exact-kernel removal (§3.2).
+// The paper retains whole cubins because GPU-launching kernels never pass
+// through cuModuleGetFunction; this ablation measures what exact-kernel
+// removal would save and shows that it breaks the workload.
+// ---------------------------------------------------------------------------
+
+// AblationData compares the two retention granularities.
+type AblationData struct {
+	Workload string
+	// WholeCubinKeptKB / ExactKeptKB are retained GPU bytes in the core
+	// library under each strategy.
+	WholeCubinKeptKB float64
+	ExactKeptKB      float64
+	// WholeCubinVerifies / ExactVerifies report whether the workload still
+	// runs after compaction.
+	WholeCubinVerifies bool
+	ExactVerifies      bool
+	// ExactFailure is the error the broken run produced.
+	ExactFailure string
+}
+
+// Ablation runs both retention strategies on the MobileNetV2 training
+// workload.
+func Ablation(s *Suite) (*AblationData, error) {
+	spec := Table1Specs()[0]
+	w, err := s.Workload(spec)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := negativa.DetectUsage(w, 5)
+	if err != nil {
+		return nil, err
+	}
+	archs := []gpuarch.SM{w.Devices[0].Arch}
+	d := &AblationData{Workload: spec.Name()}
+
+	// Whole-cubin (the real pipeline).
+	res, err := s.Debloat(spec)
+	if err != nil {
+		return nil, err
+	}
+	d.WholeCubinVerifies = res.Verified
+	core := res.Lib(CoreLib(spec.Framework))
+	d.WholeCubinKeptKB = float64(core.GPUSizeAfter) / 1024
+
+	// Exact-kernel (the ablated locator).
+	replaced := make(map[string][]byte)
+	var exactCoreKept int64
+	for _, name := range w.Install.LibNames {
+		lib := w.Install.Library(name)
+		cpuLoc := negativa.LocateCPU(lib, profile.UsedFuncs[name])
+		exact, err := negativa.LocateGPUExact(lib, profile.UsedKernels[name], archs)
+		if err != nil {
+			return nil, err
+		}
+		out, err := negativa.CompactExact(lib, cpuLoc, exact, archs)
+		if err != nil {
+			return nil, err
+		}
+		replaced[name] = out
+		if name == CoreLib(spec.Framework) {
+			for _, r := range exact.Keep {
+				exactCoreKept += r.Len()
+			}
+		}
+	}
+	d.ExactKeptKB = float64(exactCoreKept) / 1024
+	clone, err := w.Install.CloneWithLibs(replaced)
+	if err != nil {
+		return nil, err
+	}
+	w2 := w
+	w2.Install = clone
+	if _, err := mlruntime.Run(w2, mlruntime.Options{MaxSteps: 5}); err != nil {
+		d.ExactVerifies = false
+		d.ExactFailure = err.Error()
+	} else {
+		d.ExactVerifies = true
+	}
+	return d, nil
+}
+
+// RenderAblation prints the comparison.
+func RenderAblation(d *AblationData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: whole-cubin retention vs exact-kernel removal (%s)\n", d.Workload)
+	fmt.Fprintf(&b, "  whole-cubin (paper): keeps %7.1f KB of core-library GPU code, workload verifies: %v\n",
+		d.WholeCubinKeptKB, d.WholeCubinVerifies)
+	fmt.Fprintf(&b, "  exact-kernel:        keeps %7.1f KB,                          workload verifies: %v\n",
+		d.ExactKeptKB, d.ExactVerifies)
+	if d.ExactFailure != "" {
+		fmt.Fprintf(&b, "  exact-kernel failure: %s\n", d.ExactFailure)
+	}
+	fmt.Fprintf(&b, "  -> the extra %0.1f KB is the price of keeping GPU-launching kernels alive.\n",
+		d.WholeCubinKeptKB-d.ExactKeptKB)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2 — detection coverage saturation. The pipeline caps profiled
+// steps; this measures how fast the used-kernel set converges.
+// ---------------------------------------------------------------------------
+
+// CoveragePoint is the kernel count detected after N steps.
+type CoveragePoint struct {
+	Steps   int
+	Kernels int
+}
+
+// CoverageSaturation profiles the MobileNetV2 training workload with
+// growing step caps.
+func CoverageSaturation(s *Suite) ([]CoveragePoint, error) {
+	spec := Table1Specs()[0]
+	w, err := s.Workload(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out []CoveragePoint
+	for _, steps := range []int{1, 2, 4, 8, 32} {
+		p, err := negativa.DetectUsage(w, steps)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, ks := range p.UsedKernels {
+			n += len(ks)
+		}
+		out = append(out, CoveragePoint{Steps: steps, Kernels: n})
+	}
+	return out, nil
+}
+
+// RenderCoverage prints the saturation curve.
+func RenderCoverage(pts []CoveragePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detection coverage saturation (PyTorch/Train/MobileNetV2):\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %3d step(s): %3d kernels detected\n", p.Steps, p.Kernels)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Used bloat (§5) — functions executed only during initialization.
+// ---------------------------------------------------------------------------
+
+// UsedBloatRow summarizes one framework's used-bloat candidates.
+type UsedBloatRow struct {
+	Workload    string
+	InitOnly    int
+	SteadyState int
+	Fraction    float64
+}
+
+// UsedBloat analyzes the PyTorch and TensorFlow MobileNetV2 training
+// workloads — the comparison behind the paper's §5 hypothesis.
+func UsedBloat(s *Suite) ([]UsedBloatRow, error) {
+	var rows []UsedBloatRow
+	for _, idx := range []int{0, 2} { // PyTorch/Train, TensorFlow/Train
+		spec := Table1Specs()[idx]
+		w, err := s.Workload(spec)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := negativa.AnalyzeUsedBloat(w, 5)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, UsedBloatRow{
+			Workload:    spec.Name(),
+			InitOnly:    rep.InitOnlyCount(),
+			SteadyState: rep.SteadyStateCount(),
+			Fraction:    rep.InitOnlyFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderUsedBloat prints the comparison.
+func RenderUsedBloat(rows []UsedBloatRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Used bloat (§5): functions executed only at init, never by the step loop\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s init-only %5d  steady-state %4d  (%.0f%% of used functions are used-bloat candidates)\n",
+			r.Workload, r.InitOnly, r.SteadyState, 100*r.Fraction)
+	}
+	return b.String()
+}

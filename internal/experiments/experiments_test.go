@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"negativaml/internal/mlframework"
+	"negativaml/internal/negativa"
+)
+
+func TestTable1SpecsShape(t *testing.T) {
+	specs := Table1Specs()
+	if len(specs) != 10 {
+		t.Fatalf("specs = %d, want 10 (Table 1)", len(specs))
+	}
+	names := map[string]bool{}
+	fw := map[string]int{}
+	for _, s := range specs {
+		if names[s.Name()] {
+			t.Errorf("duplicate workload %s", s.Name())
+		}
+		names[s.Name()] = true
+		fw[s.Framework]++
+		if len(s.Devices) == 0 || s.PerItemCompute <= 0 {
+			t.Errorf("%s: incomplete spec", s.Name())
+		}
+		if s.Graph() == nil {
+			t.Errorf("%s: no graph", s.Name())
+		}
+	}
+	if fw[mlframework.PyTorch] != 4 || fw[mlframework.TensorFlow] != 4 ||
+		fw[mlframework.VLLM] != 1 || fw[mlframework.HFTransformers] != 1 {
+		t.Errorf("framework mix = %v", fw)
+	}
+}
+
+func TestH100Specs(t *testing.T) {
+	for _, mode := range []string{"eager", "lazy"} {
+		_ = mode
+	}
+	specs := H100Specs(0)
+	if len(specs) != 2 {
+		t.Fatalf("H100 specs = %d, want 2", len(specs))
+	}
+	for _, s := range specs {
+		if s.Devices[0].Name != "NVIDIA H100" {
+			t.Errorf("%s: wrong device %s", s.Name(), s.Devices[0].Name)
+		}
+	}
+}
+
+// cheapSpec is the cheapest Table 1 workload (single inference batch).
+func cheapSpec() Spec { return Table1Specs()[1] } // PyTorch/Inference/MobileNetV2
+
+func TestSuiteCachesResults(t *testing.T) {
+	s := NewSuite()
+	r1, err := s.Debloat(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Debloat(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("suite should cache pipeline results")
+	}
+	in1, _ := s.Install(mlframework.PyTorch, 98)
+	in2, _ := s.Install(mlframework.PyTorch, 98)
+	if in1 != in2 {
+		t.Error("suite should cache installs")
+	}
+}
+
+func TestRuntimeRowImproves(t *testing.T) {
+	s := NewSuite()
+	row, err := runtimeRow(s, cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CPURedPct <= 0 || row.GPURedPct <= 0 || row.ExecRedPct <= 0 {
+		t.Errorf("debloating must improve runtime: %+v", row)
+	}
+	if row.ExecSaved <= 0 {
+		t.Error("exec time saving must be positive")
+	}
+}
+
+func TestFigure6From(t *testing.T) {
+	res := &negativa.Result{
+		Libs: []*negativa.LibraryReport{
+			{Name: "a", FileEffective: 1000, FileEffectiveAfter: 100}, // saved 900
+			{Name: "b", FileEffective: 500, FileEffectiveAfter: 450},  // saved 50
+			{Name: "c", FileEffective: 300, FileEffectiveAfter: 250},  // saved 50
+		},
+	}
+	d := figure6From(res)
+	if d.Points[0].Label != "a" {
+		t.Errorf("pareto order wrong: %v", d.Points)
+	}
+	if d.Top8SharePct != 100 {
+		t.Errorf("top8 share = %v", d.Top8SharePct)
+	}
+	if want := 90.0; d.Top10PctSharePct != want {
+		t.Errorf("top10%% share = %v, want %v", d.Top10PctSharePct, want)
+	}
+}
+
+func TestFigure1Shares(t *testing.T) {
+	s := NewSuite()
+	rows, err := Figure1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The top library must be GPU-dominated (the paper's headline).
+	if rows[0].GPUPct < 50 {
+		t.Errorf("largest library should be GPU-dominated, got %.1f%%", rows[0].GPUPct)
+	}
+	for _, r := range rows {
+		sum := r.CPUPct + r.GPUPct + r.OtherPct
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("%s: shares sum to %.1f", r.Lib, sum)
+		}
+	}
+	if out := RenderFigure1(rows); !strings.Contains(out, "Figure 1") {
+		t.Error("render missing caption")
+	}
+}
+
+func TestCoreLib(t *testing.T) {
+	if CoreLib(mlframework.TensorFlow) != "libtensorflow_cc.so.2" {
+		t.Error("TF core lib wrong")
+	}
+	for _, fw := range []string{mlframework.PyTorch, mlframework.VLLM, mlframework.HFTransformers} {
+		if CoreLib(fw) != "libtorch_cuda.so" {
+			t.Errorf("%s core lib wrong", fw)
+		}
+	}
+}
+
+// The paper's qualitative claims, asserted on the cheapest workload.
+func TestPaperClaimsOnCheapWorkload(t *testing.T) {
+	s := NewSuite()
+	res, err := s.Debloat(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Aggregate()
+	if agg.GPUReductionPct() < 66 {
+		t.Errorf("GPU code reduction %.1f%% below the paper's floor (66%%)", agg.GPUReductionPct())
+	}
+	if agg.CPUReductionPct() < 46 {
+		t.Errorf("CPU code reduction %.1f%% below the paper's floor (46%%)", agg.CPUReductionPct())
+	}
+	if agg.ElemReductionPct() < 90 {
+		t.Errorf("element reduction %.1f%% too low", agg.ElemReductionPct())
+	}
+	if !res.Verified {
+		t.Error("workload must verify after debloating")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	s := NewSuite()
+	res, err := s.Debloat(cheapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := table2Row(cheapSpec(), res)
+	if out := RenderTable2([]Table2Row{row}); !strings.Contains(out, "MobileNetV2") {
+		t.Error("Table 2 render missing workload")
+	}
+	t8 := []Table8Row{{Spec: cheapSpec(), Libs: 111, EndToEnd: res.EndToEnd}}
+	if out := RenderTable8(t8); !strings.Contains(out, "Time/s") {
+		t.Error("Table 8 render missing header")
+	}
+	if out := RenderOverhead(&OverheadData{DetectorPct: 41, NSysPct: 126}); !strings.Contains(out, "41") {
+		t.Error("overhead render wrong")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"negativaml/internal/metrics"
+	"negativaml/internal/negativa"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 5 — violin distributions of per-library reductions.
+// ---------------------------------------------------------------------------
+
+// Fig5Data summarizes the four distributions of Figure 5 pooled across all
+// ten workloads (CPU-only libraries are excluded from GPU samples, as the
+// paper excludes libraries without GPU code).
+type Fig5Data struct {
+	CPUSizeRed metrics.Distribution
+	GPUSizeRed metrics.Distribution
+	FuncCntRed metrics.Distribution
+	ElemCntRed metrics.Distribution
+}
+
+// Figure5 computes the per-library reduction distributions.
+func Figure5(s *Suite) (*Fig5Data, error) {
+	var cpu, gpu, fn, el []float64
+	for _, spec := range Table1Specs() {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, lr := range res.Libs {
+			if lr.CPUSize > 0 {
+				cpu = append(cpu, lr.CPUReductionPct())
+			}
+			if lr.FuncCount > 0 {
+				fn = append(fn, lr.FuncReductionPct())
+			}
+			if lr.HasGPU() {
+				gpu = append(gpu, lr.GPUReductionPct())
+				el = append(el, lr.ElemReductionPct())
+			}
+		}
+	}
+	return &Fig5Data{
+		CPUSizeRed: metrics.Summarize(cpu),
+		GPUSizeRed: metrics.Summarize(gpu),
+		FuncCntRed: metrics.Summarize(fn),
+		ElemCntRed: metrics.Summarize(el),
+	}, nil
+}
+
+// RenderFigure5 prints the distribution summaries.
+func RenderFigure5(d *Fig5Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: per-library reduction distributions (percent)\n")
+	fmt.Fprintf(&b, "  CPU code size reduction:      %s\n", d.CPUSizeRed)
+	fmt.Fprintf(&b, "  GPU code size reduction:      %s\n", d.GPUSizeRed)
+	fmt.Fprintf(&b, "  CPU function count reduction: %s\n", d.FuncCntRed)
+	fmt.Fprintf(&b, "  GPU element count reduction:  %s\n", d.ElemCntRed)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — Pareto chart of file-size reduction per library for the
+// PyTorch / Train / MobileNetV2 workload.
+// ---------------------------------------------------------------------------
+
+// Fig6Data is the Pareto series plus the paper's headline shares.
+type Fig6Data struct {
+	Points []metrics.ParetoPoint
+	// Top8SharePct: the paper reports the top 8 of 113 libraries covering
+	// 90% of the reduction.
+	Top8SharePct float64
+	// Top10PctSharePct: share covered by the top 10% of libraries.
+	Top10PctSharePct float64
+}
+
+// Figure6 builds the Pareto data from the MobileNetV2 training workload.
+func Figure6(s *Suite) (*Fig6Data, error) {
+	spec := Table1Specs()[0] // PyTorch/Train/MobileNetV2
+	res, err := s.Debloat(spec)
+	if err != nil {
+		return nil, err
+	}
+	return figure6From(res), nil
+}
+
+func figure6From(res *negativa.Result) *Fig6Data {
+	var labels []string
+	var saved []float64
+	for _, lr := range res.Libs {
+		labels = append(labels, lr.Name)
+		saved = append(saved, float64(lr.FileSavedBytes()))
+	}
+	pts := metrics.Pareto(labels, saved)
+	top10 := len(pts) / 10
+	if top10 < 1 {
+		top10 = 1
+	}
+	return &Fig6Data{
+		Points:           pts,
+		Top8SharePct:     100 * metrics.TopShare(pts, 8),
+		Top10PctSharePct: 100 * metrics.TopShare(pts, top10),
+	}
+}
+
+// RenderFigure6 prints the top of the Pareto chart.
+func RenderFigure6(d *Fig6Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Pareto of file-size reduction (PyTorch/Train/MobileNetV2)\n")
+	n := len(d.Points)
+	if n > 12 {
+		n = 12
+	}
+	for i := 0; i < n; i++ {
+		p := d.Points[i]
+		fmt.Fprintf(&b, "  %2d %-28s %9.0f KB removed  cum %5.1f%%\n",
+			i+1, p.Label, p.Value/1024, p.CumPct)
+	}
+	fmt.Fprintf(&b, "  top 8 libraries cover %.1f%% of total reduction\n", d.Top8SharePct)
+	fmt.Fprintf(&b, "  top 10%% of libraries cover %.1f%% of total reduction\n", d.Top10PctSharePct)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — reasons for removed GPU elements.
+// ---------------------------------------------------------------------------
+
+// Fig7Row is one workload's removal-reason split.
+type Fig7Row struct {
+	Spec        Spec
+	ReasonIPct  float64 // arch mismatch
+	ReasonIIPct float64 // matched arch, no used kernel
+}
+
+// Figure7 computes the removal-reason split for every workload.
+func Figure7(s *Suite) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, spec := range Table1Specs() {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		var arch, unused int
+		for _, lr := range res.Libs {
+			arch += lr.RemovedArchMismatch
+			unused += lr.RemovedNoUsedKernel
+		}
+		total := arch + unused
+		if total == 0 {
+			continue
+		}
+		rows = append(rows, Fig7Row{
+			Spec:        spec,
+			ReasonIPct:  100 * float64(arch) / float64(total),
+			ReasonIIPct: 100 * float64(unused) / float64(total),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure7 prints the reason split per workload.
+func RenderFigure7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: reasons for removed GPU elements\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s Reason I %5.1f%%  Reason II %5.1f%%  |%s|\n",
+			r.Spec.Name(), r.ReasonIPct, r.ReasonIIPct, metrics.AsciiBar(r.ReasonIPct/100, 30))
+	}
+	return b.String()
+}

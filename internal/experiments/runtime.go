@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/dataset"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+	"negativaml/internal/negativa"
+)
+
+// ---------------------------------------------------------------------------
+// Table 5 / Table 7 — runtime performance with original vs debloated
+// libraries (top-8 libraries by absolute reduction replaced, as in §4.4).
+// ---------------------------------------------------------------------------
+
+// RuntimeRow compares one workload's original and debloated runs.
+type RuntimeRow struct {
+	Spec Spec
+
+	PeakCPUKB  float64
+	CPURedPct  float64
+	PeakGPUKB  float64
+	GPURedPct  float64
+	ExecTime   time.Duration
+	ExecRedPct float64
+	ExecSaved  time.Duration
+	CPUSavedKB float64
+	GPUSavedKB float64
+}
+
+// replaceTopLibs clones the install with the top-n libraries (by absolute
+// effective file-size reduction) swapped for their debloated images.
+func replaceTopLibs(w mlruntime.Workload, res *negativa.Result, n int) (mlruntime.Workload, error) {
+	libs := append([]*negativa.LibraryReport(nil), res.Libs...)
+	sort.Slice(libs, func(i, j int) bool { return libs[i].FileSavedBytes() > libs[j].FileSavedBytes() })
+	if n > len(libs) {
+		n = len(libs)
+	}
+	repl := make(map[string][]byte, n)
+	for _, lr := range libs[:n] {
+		repl[lr.Name] = lr.Debloated
+	}
+	clone, err := w.Install.CloneWithLibs(repl)
+	if err != nil {
+		return mlruntime.Workload{}, err
+	}
+	out := w
+	out.Install = clone
+	return out, nil
+}
+
+// runtimeRow measures original vs debloated (top-8 replaced) runs.
+func runtimeRow(s *Suite, spec Spec) (RuntimeRow, error) {
+	res, err := s.Debloat(spec)
+	if err != nil {
+		return RuntimeRow{}, err
+	}
+	w, err := s.Workload(spec)
+	if err != nil {
+		return RuntimeRow{}, err
+	}
+	opt := mlruntime.Options{MaxSteps: spec.InferSteps}
+	orig, err := mlruntime.Run(w, opt)
+	if err != nil {
+		return RuntimeRow{}, err
+	}
+	dw, err := replaceTopLibs(w, res, 8)
+	if err != nil {
+		return RuntimeRow{}, err
+	}
+	deb, err := mlruntime.Run(dw, opt)
+	if err != nil {
+		return RuntimeRow{}, err
+	}
+	if deb.Digest != orig.Digest {
+		return RuntimeRow{}, fmt.Errorf("experiments: %s: debloated run diverged", spec.Name())
+	}
+	return RuntimeRow{
+		Spec:       spec,
+		PeakCPUKB:  float64(orig.PeakCPUBytes) / 1024,
+		CPURedPct:  100 * float64(orig.PeakCPUBytes-deb.PeakCPUBytes) / float64(orig.PeakCPUBytes),
+		PeakGPUKB:  float64(orig.PeakGPUBytes) / 1024,
+		GPURedPct:  100 * float64(orig.PeakGPUBytes-deb.PeakGPUBytes) / float64(orig.PeakGPUBytes),
+		ExecTime:   orig.ExecTime,
+		ExecRedPct: 100 * float64(orig.ExecTime-deb.ExecTime) / float64(orig.ExecTime),
+		ExecSaved:  orig.ExecTime - deb.ExecTime,
+		CPUSavedKB: float64(orig.PeakCPUBytes-deb.PeakCPUBytes) / 1024,
+		GPUSavedKB: float64(orig.PeakGPUBytes-deb.PeakGPUBytes) / 1024,
+	}, nil
+}
+
+// Table5 measures runtime improvements for all ten Table 1 workloads.
+func Table5(s *Suite) ([]RuntimeRow, error) {
+	var rows []RuntimeRow
+	for _, spec := range Table1Specs() {
+		r, err := runtimeRow(s, spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Table5Averages returns the average absolute reductions across rows
+// (the paper's final Table 5 row).
+func Table5Averages(rows []RuntimeRow) (cpuKB, gpuKB float64, exec time.Duration) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	var c, g float64
+	var e time.Duration
+	for _, r := range rows {
+		c += r.CPUSavedKB
+		g += r.GPUSavedKB
+		e += r.ExecSaved
+	}
+	n := float64(len(rows))
+	return c / n, g / n, time.Duration(float64(e) / n)
+}
+
+// RenderRuntime prints a runtime-performance table (Table 5 or 7).
+func RenderRuntime(caption string, rows []RuntimeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (value (reduction%%))\n", caption)
+	fmt.Fprintf(&b, "%-40s %18s %18s %14s\n", "Workload", "PeakCPU/KB", "PeakGPU/KB", "ExecTime/s")
+	for _, r := range rows {
+		name := r.Spec.Name()
+		if r.Spec.Mode == cudasim.LazyLoading {
+			name += " (lazy)"
+		}
+		fmt.Fprintf(&b, "%-40s %10.0f (%4.1f) %10.0f (%4.1f) %8.1f (%4.1f)\n",
+			name, r.PeakCPUKB, r.CPURedPct, r.PeakGPUKB, r.GPURedPct,
+			r.ExecTime.Seconds(), r.ExecRedPct)
+	}
+	cpu, gpu, exec := Table5Averages(rows)
+	fmt.Fprintf(&b, "Average absolute reduction: CPU %.0f KB, GPU %.0f KB, time %.1f s\n",
+		cpu, gpu, exec.Seconds())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — size reductions on one H100, eager vs lazy.
+// ---------------------------------------------------------------------------
+
+// Table6Row is a Table 2-shaped row plus the loading mode.
+type Table6Row struct {
+	Table2Row
+	Mode cudasim.LoadMode
+}
+
+// Table6 debloats the H100 LLM workloads under both loading modes.
+func Table6(s *Suite) ([]Table6Row, error) {
+	var rows []Table6Row
+	for _, mode := range []cudasim.LoadMode{cudasim.EagerLoading, cudasim.LazyLoading} {
+		for _, spec := range H100Specs(mode) {
+			res, err := s.Debloat(spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table6Row{Table2Row: table2Row(spec, res), Mode: mode})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable6 prints Table 6.
+func RenderTable6(rows []Table6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: H100 size reductions, eager vs lazy (value (reduction%%))\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-5s #Lib %3d  total %8.0f KB (%2.0f)  CPU %7.0f KB (%2.0f)  funcs %6d (%2.0f)  GPU %8.0f KB (%2.0f)  elems %5d (%2.0f)\n",
+			r.Spec.Framework, r.Mode, r.Libs,
+			r.TotalKB, r.TotalRedPct, r.CPUKB, r.CPURedPct,
+			r.Funcs, r.FuncRedPct, r.GPUKB, r.GPURedPct, r.Elems, r.ElemRedPct)
+	}
+	return b.String()
+}
+
+// Table7 measures H100 runtime improvements under both loading modes.
+func Table7(s *Suite) ([]RuntimeRow, error) {
+	var rows []RuntimeRow
+	for _, mode := range []cudasim.LoadMode{cudasim.EagerLoading, cudasim.LazyLoading} {
+		for _, spec := range H100Specs(mode) {
+			r, err := runtimeRow(s, spec)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// §4.6 — kernel detector vs NSys overhead.
+// ---------------------------------------------------------------------------
+
+// OverheadData is the §4.6 comparison.
+type OverheadData struct {
+	Base, Detector, NSys time.Duration
+	DetectorPct, NSysPct float64
+}
+
+// Overhead measures tracer overheads on the PyTorch MobileNetV2 training
+// workload (the paper's §4.6 setup).
+func Overhead(s *Suite) (*OverheadData, error) {
+	spec := Table1Specs()[0]
+	w, err := s.Workload(spec)
+	if err != nil {
+		return nil, err
+	}
+	base, det, nsys, err := negativa.DetectionOverhead(w, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadData{
+		Base:        base,
+		Detector:    det,
+		NSys:        nsys,
+		DetectorPct: 100 * float64(det-base) / float64(base),
+		NSysPct:     100 * float64(nsys-base) / float64(base),
+	}, nil
+}
+
+// RenderOverhead prints the overhead comparison.
+func RenderOverhead(d *OverheadData) string {
+	return fmt.Sprintf("Detection overhead (PyTorch/Train/MobileNetV2):\n"+
+		"  original run:        %6.0f s\n"+
+		"  with kernel detector:%6.0f s (+%.0f%%)\n"+
+		"  with NSys tracing:   %6.0f s (+%.0f%%)\n",
+		d.Base.Seconds(), d.Detector.Seconds(), d.DetectorPct, d.NSys.Seconds(), d.NSysPct)
+}
+
+// ---------------------------------------------------------------------------
+// Table 10 — nine LLMs, distributed inference on 8xA100.
+// ---------------------------------------------------------------------------
+
+// Table10Row is one (framework, model) distributed-inference row.
+type Table10Row struct {
+	Framework string
+	Model     string
+	Row       Table2Row
+}
+
+// Table10 debloats the LLM zoo under 8-GPU tensor-parallel inference for
+// both LLM frameworks.
+func Table10(s *Suite) ([]Table10Row, error) {
+	a100x8 := make([]gpuarch.Device, 8)
+	for i := range a100x8 {
+		a100x8[i] = gpuarch.A100
+	}
+	var rows []Table10Row
+	for _, fw := range []string{mlframework.VLLM, mlframework.HFTransformers} {
+		tail := 122
+		if fw == mlframework.HFTransformers {
+			tail = 81
+		}
+		in, err := s.Install(fw, tail)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range models.LLMZoo(fw == mlframework.VLLM, 8) {
+			w := mlruntime.Workload{
+				Name:           fmt.Sprintf("%s/Inference/%s-8xA100", fw, cfg.Name),
+				Install:        in,
+				Graph:          models.LLM(cfg),
+				Devices:        a100x8,
+				Mode:           cudasim.EagerLoading,
+				Data:           dataset.ManualInput,
+				PerItemCompute: 150 * time.Millisecond,
+			}
+			res, err := negativa.Debloat(w, negativa.Options{MaxSteps: 8, VerifySteps: 8})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Verified {
+				return nil, fmt.Errorf("experiments: %s failed verification", w.Name)
+			}
+			spec := Spec{Framework: fw, Model: cfg.Name, Devices: a100x8, Data: dataset.ManualInput}
+			rows = append(rows, Table10Row{Framework: fw, Model: cfg.Name, Row: table2Row(spec, res)})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable10 prints Table 10.
+func RenderTable10(rows []Table10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 10: LLM zoo, distributed inference on 8xA100 (value (reduction%%))\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-26s #Lib %3d  total %8.0f KB (%2.0f)  CPU %7.0f (%2.0f)  funcs %6d (%2.0f)  GPU %8.0f (%2.0f)  elems %5d (%2.0f)\n",
+			r.Framework, r.Model, r.Row.Libs,
+			r.Row.TotalKB, r.Row.TotalRedPct, r.Row.CPUKB, r.Row.CPURedPct,
+			r.Row.Funcs, r.Row.FuncRedPct, r.Row.GPUKB, r.Row.GPURedPct,
+			r.Row.Elems, r.Row.ElemRedPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
+)
+
+// Suite caches generated installs and pipeline results so the experiments
+// that share workloads (Tables 2, 3, 4, 8 and Figures 5, 6, 7 all reuse the
+// ten Table 1 debloat runs) pay for each only once.
+type Suite struct {
+	installs map[string]*mlframework.Install
+	results  map[string]*negativa.Result
+	// VerifySteps caps verification re-runs (0 = full). The default keeps
+	// detection uncapped (faithful Table 8 timing) and verification cheap.
+	VerifySteps int
+}
+
+// NewSuite returns an empty suite with the default verification cap.
+func NewSuite() *Suite {
+	return &Suite{
+		installs:    make(map[string]*mlframework.Install),
+		results:     make(map[string]*negativa.Result),
+		VerifySteps: 40,
+	}
+}
+
+// Install returns the (cached) generated install for a framework and tail.
+func (s *Suite) Install(fw string, tail int) (*mlframework.Install, error) {
+	key := fmt.Sprintf("%s/%d", fw, tail)
+	if in, ok := s.installs[key]; ok {
+		return in, nil
+	}
+	in, err := mlframework.Generate(mlframework.Config{Framework: fw, TailLibs: tail})
+	if err != nil {
+		return nil, err
+	}
+	s.installs[key] = in
+	return in, nil
+}
+
+// Workload materializes a spec against the cached install.
+func (s *Suite) Workload(spec Spec) (mlruntime.Workload, error) {
+	in, err := s.Install(spec.Framework, spec.TailLibs)
+	if err != nil {
+		return mlruntime.Workload{}, err
+	}
+	return spec.workloadWith(in), nil
+}
+
+// Debloat runs (or recalls) the full pipeline for a spec. Detection runs
+// the full dataset for training workloads and the paper's single batch for
+// inference; verification is capped by VerifySteps.
+func (s *Suite) Debloat(spec Spec) (*negativa.Result, error) {
+	key := spec.Name() + "/" + spec.Mode.String() + spec.Devices[0].Name
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	w, err := s.Workload(spec)
+	if err != nil {
+		return nil, err
+	}
+	opt := negativa.Options{MaxSteps: spec.InferSteps, VerifySteps: s.VerifySteps}
+	if spec.InferSteps > 0 && spec.InferSteps < s.VerifySteps {
+		opt.VerifySteps = spec.InferSteps
+	}
+	r, err := negativa.Debloat(w, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Verified {
+		return nil, fmt.Errorf("experiments: %s failed verification", spec.Name())
+	}
+	s.results[key] = r
+	return r, nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"negativaml/internal/metrics"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/negativa"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1 — distribution of CPU vs GPU code in the top-4 largest PyTorch
+// shared libraries.
+// ---------------------------------------------------------------------------
+
+// Fig1Row is one bar of Figure 1.
+type Fig1Row struct {
+	Lib      string
+	FileSize int64
+	CPUPct   float64
+	GPUPct   float64
+	OtherPct float64
+}
+
+// Figure1 computes the CPU/GPU/other split of the top-4 largest libraries in
+// the PyTorch install.
+func Figure1(s *Suite) ([]Fig1Row, error) {
+	in, err := s.Install(mlframework.PyTorch, 100)
+	if err != nil {
+		return nil, err
+	}
+	type sized struct {
+		name string
+		size int64
+	}
+	var libs []sized
+	for name, lib := range in.Libs {
+		libs = append(libs, sized{name, lib.FileSize()})
+	}
+	sort.Slice(libs, func(i, j int) bool {
+		if libs[i].size != libs[j].size {
+			return libs[i].size > libs[j].size
+		}
+		return libs[i].name < libs[j].name
+	})
+	var rows []Fig1Row
+	for _, e := range libs[:4] {
+		lib := in.Library(e.name)
+		cpu := float64(lib.TextSize())
+		gpu := float64(lib.GPUCodeSize())
+		total := float64(lib.FileSize())
+		rows = append(rows, Fig1Row{
+			Lib:      e.name,
+			FileSize: lib.FileSize(),
+			CPUPct:   100 * cpu / total,
+			GPUPct:   100 * gpu / total,
+			OtherPct: 100 * (total - cpu - gpu) / total,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure1 prints the figure as a text bar chart.
+func RenderFigure1(rows []Fig1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: CPU vs GPU code in the top-4 largest PyTorch libraries\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8.0f KB  CPU %5.1f%%  GPU %5.1f%%  other %5.1f%%  |%s|\n",
+			r.Lib, float64(r.FileSize)/1024, r.CPUPct, r.GPUPct, r.OtherPct,
+			metrics.AsciiBar(r.GPUPct/100, 30))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — total file size, CPU code, GPU code and reductions, per workload.
+// ---------------------------------------------------------------------------
+
+// Table2Row is one row of Table 2.
+type Table2Row struct {
+	Spec Spec
+	Libs int
+
+	TotalKB     float64
+	TotalRedPct float64
+	CPUKB       float64
+	CPURedPct   float64
+	Funcs       int
+	FuncRedPct  float64
+	GPUKB       float64
+	GPURedPct   float64
+	Elems       int
+	ElemRedPct  float64
+}
+
+// Table2 debloats all ten workloads and aggregates per-workload reductions.
+func Table2(s *Suite) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, spec := range Table1Specs() {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, table2Row(spec, res))
+	}
+	return rows, nil
+}
+
+func table2Row(spec Spec, res *negativa.Result) Table2Row {
+	agg := res.Aggregate()
+	return Table2Row{
+		Spec:        spec,
+		Libs:        agg.Libs,
+		TotalKB:     float64(agg.FileEffective) / 1024,
+		TotalRedPct: agg.FileReductionPct(),
+		CPUKB:       float64(agg.CPUSize) / 1024,
+		CPURedPct:   agg.CPUReductionPct(),
+		Funcs:       agg.Funcs,
+		FuncRedPct:  agg.FuncReductionPct(),
+		GPUKB:       float64(agg.GPUSize) / 1024,
+		GPURedPct:   agg.GPUReductionPct(),
+		Elems:       agg.Elems,
+		ElemRedPct:  agg.ElemReductionPct(),
+	}
+}
+
+// RenderTable2 prints Table 2 in the paper's layout (value, reduction %).
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: per-workload totals and reductions (value (reduction%%))\n")
+	fmt.Fprintf(&b, "%-34s %5s %16s %16s %14s %16s %12s\n",
+		"Workload", "#Lib", "TotalSize/KB", "CPUCode/KB", "#Functions", "GPUCode/KB", "#Elements")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %5d %10.0f (%2.0f) %10.0f (%2.0f) %8d (%2.0f) %10.0f (%2.0f) %6d (%2.0f)\n",
+			r.Spec.Name(), r.Libs,
+			r.TotalKB, r.TotalRedPct,
+			r.CPUKB, r.CPURedPct,
+			r.Funcs, r.FuncRedPct,
+			r.GPUKB, r.GPURedPct,
+			r.Elems, r.ElemRedPct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — the core shared library of each workload.
+// ---------------------------------------------------------------------------
+
+// Table3Row mirrors Table 2's columns for the single core library.
+type Table3Row struct {
+	Spec Spec
+	Lib  string
+
+	FileKB     float64
+	FileRedPct float64
+	CPUKB      float64
+	CPURedPct  float64
+	Funcs      int
+	FuncRedPct float64
+	GPUKB      float64
+	GPURedPct  float64
+	Elems      int
+	ElemRedPct float64
+}
+
+// CoreLib returns the framework's core shared library name.
+func CoreLib(framework string) string {
+	if framework == mlframework.TensorFlow {
+		return "libtensorflow_cc.so.2"
+	}
+	return "libtorch_cuda.so"
+}
+
+// Table3 extracts the core-library row from each workload's debloat result.
+func Table3(s *Suite) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, spec := range Table1Specs() {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := CoreLib(spec.Framework)
+		lr := res.Lib(name)
+		if lr == nil {
+			return nil, fmt.Errorf("experiments: %s missing %s", spec.Name(), name)
+		}
+		rows = append(rows, Table3Row{
+			Spec: spec, Lib: name,
+			FileKB:     float64(lr.FileEffective) / 1024,
+			FileRedPct: lr.FileReductionPct(),
+			CPUKB:      float64(lr.CPUSize) / 1024,
+			CPURedPct:  lr.CPUReductionPct(),
+			Funcs:      lr.FuncCount,
+			FuncRedPct: lr.FuncReductionPct(),
+			GPUKB:      float64(lr.GPUSize) / 1024,
+			GPURedPct:  lr.GPUReductionPct(),
+			Elems:      lr.ElemCount,
+			ElemRedPct: lr.ElemReductionPct(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: core shared library per workload (value (reduction%%))\n")
+	fmt.Fprintf(&b, "%-34s %-24s %13s %13s %12s %13s %11s\n",
+		"Workload", "Lib", "File/KB", "CPU/KB", "#Funcs", "GPU/KB", "#Elems")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %-24s %7.0f (%2.0f) %7.0f (%2.0f) %6d (%2.0f) %7.0f (%2.0f) %5d (%2.0f)\n",
+			r.Spec.Name(), r.Lib,
+			r.FileKB, r.FileRedPct, r.CPUKB, r.CPURedPct,
+			r.Funcs, r.FuncRedPct, r.GPUKB, r.GPURedPct, r.Elems, r.ElemRedPct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 / Table 9 — Jaccard similarity of used functions and kernels in
+// the core library across workload pairs.
+// ---------------------------------------------------------------------------
+
+// JaccardCell pairs two workloads' similarities.
+type JaccardCell struct {
+	A, B      string
+	FuncSim   float64
+	KernelSim float64
+}
+
+// JaccardTable holds the pairwise matrix for one core library.
+type JaccardTable struct {
+	Lib       string
+	Workloads []string
+	Cells     []JaccardCell
+}
+
+// Table4 computes the Jaccard matrix for libtorch_cuda.so across the five
+// torch-stack workloads the paper compares (vLLM is excluded because it
+// bundles a different torch build).
+func Table4(s *Suite) (*JaccardTable, error) {
+	var specs []Spec
+	for _, spec := range Table1Specs() {
+		switch spec.Framework {
+		case mlframework.PyTorch, mlframework.HFTransformers:
+			specs = append(specs, spec)
+		}
+	}
+	return jaccardTable(s, specs, "libtorch_cuda.so")
+}
+
+// Table9 computes the matrix for tensorflow_cc.so across the four
+// TensorFlow workloads (the paper's appendix).
+func Table9(s *Suite) (*JaccardTable, error) {
+	var specs []Spec
+	for _, spec := range Table1Specs() {
+		if spec.Framework == mlframework.TensorFlow {
+			specs = append(specs, spec)
+		}
+	}
+	return jaccardTable(s, specs, "libtensorflow_cc.so.2")
+}
+
+func jaccardTable(s *Suite, specs []Spec, lib string) (*JaccardTable, error) {
+	t := &JaccardTable{Lib: lib}
+	type usage struct {
+		funcs, kernels []string
+	}
+	var uses []usage
+	for _, spec := range specs {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		lr := res.Lib(lib)
+		if lr == nil {
+			return nil, fmt.Errorf("experiments: %s missing %s", spec.Name(), lib)
+		}
+		t.Workloads = append(t.Workloads, spec.Name())
+		uses = append(uses, usage{funcs: lr.UsedFuncs, kernels: lr.UsedKernels})
+	}
+	for i := range uses {
+		for j := i + 1; j < len(uses); j++ {
+			t.Cells = append(t.Cells, JaccardCell{
+				A:         t.Workloads[i],
+				B:         t.Workloads[j],
+				FuncSim:   metrics.Jaccard(uses[i].funcs, uses[j].funcs),
+				KernelSim: metrics.Jaccard(uses[i].kernels, uses[j].kernels),
+			})
+		}
+	}
+	return t, nil
+}
+
+// RenderJaccard prints the pairwise matrix (functions upper triangle,
+// kernels lower, as in the paper).
+func RenderJaccard(t *JaccardTable, caption string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): functions / kernels\n", caption, t.Lib)
+	for _, c := range t.Cells {
+		fmt.Fprintf(&b, "%-34s vs %-34s  funcs %.2f  kernels %.2f\n", c.A, c.B, c.FuncSim, c.KernelSim)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 8 — end-to-end debloating time.
+// ---------------------------------------------------------------------------
+
+// Table8Row is one end-to-end timing row.
+type Table8Row struct {
+	Spec     Spec
+	Libs     int
+	EndToEnd time.Duration
+}
+
+// Table8 reports the end-to-end pipeline time per workload.
+func Table8(s *Suite) ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, spec := range Table1Specs() {
+		res, err := s.Debloat(spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table8Row{Spec: spec, Libs: len(res.Libs), EndToEnd: res.EndToEnd})
+	}
+	return rows, nil
+}
+
+// RenderTable8 prints Table 8.
+func RenderTable8(rows []Table8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 8: end-to-end debloating time\n")
+	fmt.Fprintf(&b, "%-34s %6s %10s\n", "Workload", "#Lib", "Time/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %6d %10.0f\n", r.Spec.Name(), r.Libs, r.EndToEnd.Seconds())
+	}
+	return b.String()
+}

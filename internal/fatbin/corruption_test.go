@@ -1,0 +1,73 @@
+package fatbin
+
+import (
+	"math/rand"
+	"testing"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/gpuarch"
+)
+
+// The fatbin and cubin parsers run on compacted (partially zeroed) and
+// possibly damaged sections; random corruption must produce errors, never
+// panics.
+func TestParseNeverPanicsOnCorruption(t *testing.T) {
+	base, err := sample(t).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1500; trial++ {
+		data := append([]byte(nil), base...)
+		for n := 0; n < 1+r.Intn(6); n++ {
+			data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("fatbin.Parse panicked: %v", p)
+				}
+			}()
+			fb, err := Parse(data)
+			if err != nil {
+				return
+			}
+			// Parsed results must survive extraction and cubin parsing.
+			for idx, payload := range ExtractCubins(fb) {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							t.Fatalf("cubin.Parse panicked on element %d: %v", idx, p)
+						}
+					}()
+					_, _ = cubin.Parse(payload)
+				}()
+			}
+		}()
+	}
+}
+
+func TestCubinParseNeverPanicsOnCorruption(t *testing.T) {
+	c := cubin.New(gpuarch.SM75)
+	c.AddKernel(cubin.Kernel{Name: "alpha", Code: []byte{1, 2, 3, 4}, Flags: cubin.FlagEntry, Launches: []int{1}})
+	c.AddKernel(cubin.Kernel{Name: "beta", Code: []byte{5, 6}, Flags: cubin.FlagDeviceOnly})
+	base, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), base...)
+		for n := 0; n < 1+r.Intn(4); n++ {
+			data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("cubin.Parse panicked: %v", p)
+				}
+			}()
+			_, _ = cubin.Parse(data)
+		}()
+	}
+}

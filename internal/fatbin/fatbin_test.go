@@ -1,0 +1,297 @@
+package fatbin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/gpuarch"
+)
+
+func cubinBlob(t *testing.T, arch gpuarch.SM, names ...string) []byte {
+	t.Helper()
+	c := cubin.New(arch)
+	for _, n := range names {
+		c.AddKernel(cubin.Kernel{Name: n, Code: []byte(n), Flags: cubin.FlagEntry})
+	}
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatalf("cubin Marshal: %v", err)
+	}
+	return blob
+}
+
+func sample(t *testing.T) *FatBin {
+	f := &FatBin{}
+	r1 := f.AddRegion()
+	r1.AddElement(Element{Kind: KindCubin, Arch: gpuarch.SM75, Payload: cubinBlob(t, gpuarch.SM75, "matmul")})
+	r1.AddElement(Element{Kind: KindCubin, Arch: gpuarch.SM80, Payload: cubinBlob(t, gpuarch.SM80, "matmul")})
+	r1.AddElement(Element{Kind: KindPTX, Arch: gpuarch.SM70, Payload: []byte(".ptx matmul")})
+	r2 := f.AddRegion()
+	r2.AddElement(Element{Kind: KindCubin, Arch: gpuarch.SM75, Payload: cubinBlob(t, gpuarch.SM75, "conv2d", "relu")})
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample(t)
+	blob, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Parse(blob)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(got.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(got.Regions))
+	}
+	if got.ElementCount() != 4 {
+		t.Fatalf("elements = %d, want 4", got.ElementCount())
+	}
+	els := got.Elements()
+	for i, e := range els {
+		if e.Index != i+1 {
+			t.Errorf("element %d has index %d, want %d (1-based dense)", i, e.Index, i+1)
+		}
+	}
+	if els[0].Arch != gpuarch.SM75 || els[1].Arch != gpuarch.SM80 {
+		t.Errorf("arch mismatch: %s, %s", els[0].Arch, els[1].Arch)
+	}
+	if els[2].Kind != KindPTX {
+		t.Errorf("element 3 kind = %d, want PTX", els[2].Kind)
+	}
+	// Payloads survive.
+	want := sample(t)
+	wantEls := want.Elements()
+	for i := range els {
+		if !bytes.Equal(els[i].Payload, wantEls[i].Payload) {
+			t.Errorf("element %d payload mismatch", i+1)
+		}
+	}
+}
+
+func TestFileRanges(t *testing.T) {
+	f := sample(t)
+	blob, _ := f.Marshal()
+	got, err := Parse(blob)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, e := range got.Elements() {
+		if e.FileRange.Len() <= 0 {
+			t.Errorf("element %d has empty file range", e.Index)
+		}
+		if !e.FileRange.Contains(e.PayloadRange.Start) {
+			t.Errorf("element %d payload range not inside file range", e.Index)
+		}
+		// Payload bytes at the recorded range must equal the payload.
+		start, end := e.PayloadRange.Start, e.PayloadRange.End
+		if !bytes.Equal(blob[start:end], e.Payload) {
+			t.Errorf("element %d: bytes at payload range differ from payload", e.Index)
+		}
+		// Cubins extracted from the range must parse.
+		if e.Kind == KindCubin {
+			if _, err := cubin.Parse(blob[start:end]); err != nil {
+				t.Errorf("element %d: cubin at range does not parse: %v", e.Index, err)
+			}
+		}
+	}
+	// Ranges must not overlap.
+	els := got.Elements()
+	for i := 0; i < len(els); i++ {
+		for j := i + 1; j < len(els); j++ {
+			if els[i].FileRange.Overlaps(els[j].FileRange) {
+				t.Errorf("elements %d and %d overlap", els[i].Index, els[j].Index)
+			}
+		}
+	}
+}
+
+func TestExtractCubins(t *testing.T) {
+	f := sample(t)
+	blob, _ := f.Marshal()
+	got, _ := Parse(blob)
+	cubins := ExtractCubins(got)
+	if len(cubins) != 3 {
+		t.Fatalf("extracted %d cubins, want 3 (PTX excluded)", len(cubins))
+	}
+	for _, idx := range []int{1, 2, 4} {
+		if _, ok := cubins[idx]; !ok {
+			t.Errorf("cubin index %d missing", idx)
+		}
+	}
+	if _, ok := cubins[3]; ok {
+		t.Error("PTX element should not be extracted as cubin")
+	}
+	c, err := cubin.Parse(cubins[4])
+	if err != nil {
+		t.Fatalf("parse extracted cubin: %v", err)
+	}
+	if c.FindKernel("conv2d") < 0 || c.FindKernel("relu") < 0 {
+		t.Error("extracted cubin 4 missing kernels")
+	}
+}
+
+func TestExtractSkipsZeroedPayloads(t *testing.T) {
+	f := sample(t)
+	blob, _ := f.Marshal()
+	parsed, _ := Parse(blob)
+	// Zero element 2's payload in place, as the compactor would.
+	e2 := parsed.Elements()[1]
+	for i := e2.PayloadRange.Start; i < e2.PayloadRange.End; i++ {
+		blob[i] = 0
+	}
+	re, err := Parse(blob)
+	if err != nil {
+		t.Fatalf("Parse after zeroing: %v", err)
+	}
+	cubins := ExtractCubins(re)
+	if _, ok := cubins[2]; ok {
+		t.Error("zeroed element 2 should be skipped")
+	}
+	if len(cubins) != 2 {
+		t.Errorf("extracted %d cubins, want 2", len(cubins))
+	}
+	// Indices of surviving elements are unchanged.
+	if _, ok := cubins[1]; !ok {
+		t.Error("element 1 should survive")
+	}
+	if _, ok := cubins[4]; !ok {
+		t.Error("element 4 should survive")
+	}
+}
+
+func TestParseSkipsZeroedTail(t *testing.T) {
+	f := sample(t)
+	blob, _ := f.Marshal()
+	padded := append(blob, make([]byte, 129)...)
+	got, err := Parse(padded)
+	if err != nil {
+		t.Fatalf("Parse with zero tail: %v", err)
+	}
+	if got.ElementCount() != 4 {
+		t.Errorf("elements = %d, want 4", got.ElementCount())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	f := sample(t)
+	blob, _ := f.Marshal()
+
+	bad := append([]byte(nil), blob...)
+	bad[0] = 0x99 // corrupt region magic with non-zero garbage
+	if _, err := Parse(bad); err == nil {
+		t.Error("corrupt region magic should fail")
+	}
+
+	short := blob[:regionHeaderSize-4]
+	if _, err := Parse(short); err == nil {
+		t.Error("truncated region header should fail")
+	}
+
+	// Region payload overrunning the section.
+	overrun := append([]byte(nil), blob...)
+	overrun = overrun[:len(overrun)-8]
+	if _, err := Parse(overrun); err == nil {
+		t.Error("overrunning region should fail")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	f := &FatBin{}
+	r := f.AddRegion()
+	r.AddElement(Element{Kind: 9, Arch: gpuarch.SM75})
+	if _, err := f.Marshal(); err == nil {
+		t.Error("invalid kind should fail")
+	}
+	f2 := &FatBin{}
+	r2 := f2.AddRegion()
+	r2.AddElement(Element{Kind: KindCubin, Arch: 3})
+	if _, err := f2.Marshal(); err == nil {
+		t.Error("invalid arch should fail")
+	}
+}
+
+func TestRangeHelpers(t *testing.T) {
+	r := Range{Start: 10, End: 20}
+	if r.Len() != 10 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(10) || r.Contains(20) || r.Contains(9) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !r.Overlaps(Range{Start: 19, End: 25}) {
+		t.Error("should overlap")
+	}
+	if r.Overlaps(Range{Start: 20, End: 25}) {
+		t.Error("adjacent ranges should not overlap")
+	}
+}
+
+func TestEmptyFatBin(t *testing.T) {
+	f := &FatBin{}
+	blob, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal empty: %v", err)
+	}
+	if len(blob) != 0 {
+		t.Errorf("empty fatbin should serialize to 0 bytes, got %d", len(blob))
+	}
+	got, err := Parse(nil)
+	if err != nil {
+		t.Fatalf("Parse nil: %v", err)
+	}
+	if got.ElementCount() != 0 {
+		t.Error("parse of empty should have no elements")
+	}
+}
+
+// Property: build→marshal→parse→marshal is the identity.
+func TestQuickRoundTrip(t *testing.T) {
+	archs := gpuarch.AllShipped
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fb := &FatBin{}
+		nRegions := 1 + r.Intn(4)
+		for i := 0; i < nRegions; i++ {
+			reg := fb.AddRegion()
+			for j := 0; j < r.Intn(6); j++ {
+				payload := make([]byte, 1+r.Intn(100))
+				r.Read(payload)
+				// Ensure first 4 bytes non-zero so it is not skipped as padding.
+				payload[0] |= 1
+				kind := KindCubin
+				if r.Intn(3) == 0 {
+					kind = KindPTX
+				}
+				reg.AddElement(Element{
+					Kind:    kind,
+					Arch:    archs[r.Intn(len(archs))],
+					Flags:   r.Uint32(),
+					Payload: payload,
+				})
+			}
+		}
+		b1, err := fb.Marshal()
+		if err != nil {
+			return false
+		}
+		p, err := Parse(b1)
+		if err != nil {
+			return false
+		}
+		if p.ElementCount() != fb.ElementCount() {
+			return false
+		}
+		b2, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package gpuarch
+
+import "testing"
+
+func TestSMString(t *testing.T) {
+	if got := SM75.String(); got != "sm_75" {
+		t.Errorf("SM75.String() = %q, want %q", got, "sm_75")
+	}
+	if got := SM90.String(); got != "sm_90" {
+		t.Errorf("SM90.String() = %q, want %q", got, "sm_90")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, a := range AllShipped {
+		if !a.Valid() {
+			t.Errorf("%s should be valid", a)
+		}
+	}
+	if SM(42).Valid() {
+		t.Error("SM(42) should not be valid")
+	}
+	if SM(0).Valid() {
+		t.Error("SM(0) should not be valid")
+	}
+}
+
+func TestAllShippedSortedUnique(t *testing.T) {
+	for i := 1; i < len(AllShipped); i++ {
+		if AllShipped[i-1] >= AllShipped[i] {
+			t.Fatalf("AllShipped not strictly increasing at %d: %v", i, AllShipped)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		arch SM
+	}{
+		{"T4", SM75}, {"t4", SM75},
+		{"A100", SM80}, {"a100", SM80},
+		{"H100", SM90}, {"h100", SM90},
+	}
+	for _, c := range cases {
+		d, err := ByName(c.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.in, err)
+		}
+		if d.Arch != c.arch {
+			t.Errorf("ByName(%q).Arch = %s, want %s", c.in, d.Arch, c.arch)
+		}
+	}
+	if _, err := ByName("K80"); err == nil {
+		t.Error("ByName(K80) should fail")
+	}
+}
+
+func TestDeviceCatalogArchValid(t *testing.T) {
+	for _, d := range []Device{T4, A100, H100} {
+		if !d.Arch.Valid() {
+			t.Errorf("%s has invalid arch %s", d.Name, d.Arch)
+		}
+		if d.MemBytes <= 0 {
+			t.Errorf("%s has non-positive memory", d.Name)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics provides the analysis primitives behind the paper's
+// figures and tables: Jaccard similarity (Table 4/9), Pareto accumulation
+// (Figure 6), and distribution summaries for the violin plots (Figure 5).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Jaccard computes |A ∩ B| / |A ∪ B| for two string sets given as slices
+// (duplicates are ignored). Two empty sets have similarity 0.
+func Jaccard(a, b []string) float64 {
+	as := make(map[string]bool, len(a))
+	for _, s := range a {
+		as[s] = true
+	}
+	bs := make(map[string]bool, len(b))
+	for _, s := range b {
+		bs[s] = true
+	}
+	inter := 0
+	for s := range as {
+		if bs[s] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Distribution summarizes a sample for violin-style reporting.
+type Distribution struct {
+	N                       int
+	Min, Max                float64
+	Mean                    float64
+	P10, P25, P50, P75, P90 float64
+}
+
+// Summarize computes a Distribution. An empty sample yields the zero value.
+func Summarize(sample []float64) Distribution {
+	if len(sample) == 0 {
+		return Distribution{}
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Distribution{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P10:  quantile(s, 0.10),
+		P25:  quantile(s, 0.25),
+		P50:  quantile(s, 0.50),
+		P75:  quantile(s, 0.75),
+		P90:  quantile(s, 0.90),
+	}
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a compact one-line summary.
+func (d Distribution) String() string {
+	return fmt.Sprintf("n=%d min=%.1f p25=%.1f median=%.1f p75=%.1f max=%.1f mean=%.1f",
+		d.N, d.Min, d.P25, d.P50, d.P75, d.Max, d.Mean)
+}
+
+// ParetoPoint is one bar of a Pareto chart.
+type ParetoPoint struct {
+	Label  string
+	Value  float64
+	CumPct float64
+}
+
+// Pareto sorts (label, value) pairs descending and computes cumulative
+// percentages of the total.
+func Pareto(labels []string, values []float64) []ParetoPoint {
+	n := len(labels)
+	if len(values) < n {
+		n = len(values)
+	}
+	pts := make([]ParetoPoint, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		pts[i] = ParetoPoint{Label: labels[i], Value: values[i]}
+		total += values[i]
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Value > pts[j].Value })
+	var cum float64
+	for i := range pts {
+		cum += pts[i].Value
+		if total > 0 {
+			pts[i].CumPct = 100 * cum / total
+		}
+	}
+	return pts
+}
+
+// TopShare returns the fraction of the total contributed by the top k
+// points of a Pareto series (e.g. "the top 10% of libraries account for 90%
+// of the reduction").
+func TopShare(pts []ParetoPoint, k int) float64 {
+	if len(pts) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	return pts[k-1].CumPct / 100
+}
+
+// AsciiBar renders a proportional bar for terminal tables.
+func AsciiBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("█", n) + strings.Repeat("·", width-n)
+}

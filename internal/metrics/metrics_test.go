@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"x", "y"}, []string{"x", "y"}, 1},
+		{[]string{"x"}, []string{"y"}, 0},
+		{[]string{"x", "y", "z"}, []string{"y", "z", "w"}, 0.5},
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 0},
+		{[]string{"x", "x", "y"}, []string{"x", "y"}, 1}, // duplicates ignored
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	// Symmetry and range.
+	f := func(a, b []string) bool {
+		x := Jaccard(a, b)
+		y := Jaccard(b, a)
+		return x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Self-similarity is 1 for non-empty sets.
+	g := func(a []string) bool {
+		if len(a) == 0 {
+			return Jaccard(a, a) == 0
+		}
+		return Jaccard(a, a) == 1
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize([]float64{1, 2, 3, 4, 5})
+	if d.N != 5 || d.Min != 1 || d.Max != 5 || d.Mean != 3 || d.P50 != 3 {
+		t.Errorf("Summarize = %+v", d)
+	}
+	if d.P25 != 2 || d.P75 != 4 {
+		t.Errorf("quartiles = %v, %v", d.P25, d.P75)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty sample should be zero value")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("single sample = %+v", one)
+	}
+	if d.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestPareto(t *testing.T) {
+	pts := Pareto([]string{"a", "b", "c", "d"}, []float64{10, 40, 30, 20})
+	if pts[0].Label != "b" || pts[1].Label != "c" || pts[3].Label != "a" {
+		t.Errorf("order = %v", pts)
+	}
+	if math.Abs(pts[0].CumPct-40) > 1e-9 || math.Abs(pts[3].CumPct-100) > 1e-9 {
+		t.Errorf("cumulative = %v", pts)
+	}
+	if got := TopShare(pts, 2); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("TopShare(2) = %v, want 0.7", got)
+	}
+	if TopShare(pts, 0) != 0 || TopShare(nil, 3) != 0 {
+		t.Error("degenerate TopShare")
+	}
+	if got := TopShare(pts, 99); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TopShare(all) = %v", got)
+	}
+}
+
+func TestParetoMismatchedLengths(t *testing.T) {
+	pts := Pareto([]string{"a", "b", "c"}, []float64{1, 2})
+	if len(pts) != 2 {
+		t.Errorf("len = %d, want 2", len(pts))
+	}
+}
+
+func TestAsciiBar(t *testing.T) {
+	if got := AsciiBar(0.5, 10); len([]rune(got)) != 10 {
+		t.Errorf("bar width = %d", len([]rune(got)))
+	}
+	if AsciiBar(-1, 4) != "····" {
+		t.Error("negative clamps to empty bar")
+	}
+	if AsciiBar(2, 4) != "████" {
+		t.Error("overflow clamps to full bar")
+	}
+}

@@ -1,0 +1,133 @@
+// Package mlframework generates the synthetic ML framework installations
+// the experiments debloat: PyTorch, TensorFlow, vLLM, and Hugging Face
+// Transformers, each as a set of ELF shared libraries with planted CPU
+// functions and GPU kernels.
+//
+// The generator is deterministic (content is derived from name hashes, not
+// RNG state) and plants three kinds of inventory per library:
+//
+//   - CPU functions: init functions the framework calls at import time,
+//     per-family dispatch functions called when an operator runs, and bloat
+//     functions nothing calls.
+//   - GPU kernels: for every architecture the library ships, an "engine"
+//     cubin per kernel family holding all shape variants any supported
+//     workload could use (plus device-only child kernels), and bloat cubins
+//     holding kernels nothing launches. Libraries with Hopper/Ampere-tuned
+//     code ship finer-grained per-variant cubins for those architectures,
+//     reproducing the paper's lower element-count reductions on H100 and
+//     8xA100 (Tables 6 and 10).
+//   - Filler .rodata, standing in for the non-code content of real
+//     libraries.
+//
+// Sizes follow DESIGN.md §4: 1 paper-MB = 1 simulated-KB, function counts
+// scaled by 1/100, element counts by roughly 1/10.
+package mlframework
+
+import (
+	"hash/fnv"
+
+	"negativaml/internal/gpuarch"
+)
+
+// LibFunc names one CPU function inside one shared library.
+type LibFunc struct {
+	Lib  string
+	Func string
+}
+
+// Blueprint describes one shared library to generate.
+type Blueprint struct {
+	// Name is the soname (e.g. "libtorch_cuda.so").
+	Name string
+	// Seed namespaces the deterministic content. Blueprints shared between
+	// installs (the torch/CUDA vendor stack) set a stack-level seed so the
+	// same library is byte-identical wherever it appears; when empty the
+	// framework name is used.
+	Seed string
+	// Main marks the framework's core library; it receives wrapper dispatch
+	// functions for every kernel family in the install.
+	Main bool
+	// Funcs is the total CPU function count.
+	Funcs int
+	// InitFrac is the fraction of functions the framework calls at init.
+	InitFrac float64
+	// AvgFuncSize is the mean code size of bloat functions in bytes.
+	AvgFuncSize int
+	// UsedFuncSizeFactor scales init/dispatch functions relative to bloat
+	// functions (used code tends to be the big, central routines).
+	UsedFuncSizeFactor float64
+	// Families are the kernel families whose device code lives here.
+	Families []string
+	// BloatFamilies are kernel families nothing in the install ever uses
+	// (whole unused features: FFT, sparse, RNG, ...).
+	BloatFamilies []string
+	// SetupFuncsPerFamily is the count of host dispatch functions per
+	// hosted family.
+	SetupFuncsPerFamily int
+	// Archs are the SM architectures the fatbin ships elements for.
+	Archs []gpuarch.SM
+	// OldArchScale scales kernel code size for architectures below SM75
+	// (legacy targets ship trimmed kernels).
+	OldArchScale float64
+	// ArchScales optionally overrides the per-architecture code-size scale;
+	// unlisted architectures fall back to OldArchScale (below SM75) or 1.
+	// Real fatbins concentrate bytes in the primary deployment target and
+	// ship trimmed code for the rest, which is why the paper's retained
+	// GPU-byte share (~25%) exceeds the matched-element share (~2%).
+	ArchScales map[gpuarch.SM]float64
+	// EngineBase is the device-side support code (device-only kernels)
+	// embedded in every family engine cubin; it rides along when any kernel
+	// of the family is used.
+	EngineBase int
+	// FineGrainedArchs lists architectures whose kernels are shipped as
+	// per-variant cubins instead of one engine cubin per family.
+	FineGrainedArchs []gpuarch.SM
+	// UsedKernelSize is the mean code size of universe (reachable) kernels.
+	UsedKernelSize int
+	// BloatFamilyEngineScale scales engine size for BloatFamilies.
+	BloatFamilyEngineScale float64
+	// BloatCubinsPerArch is the number of pure-bloat cubins per architecture.
+	BloatCubinsPerArch int
+	// BloatKernelsPerCubin is the kernel count per bloat cubin.
+	BloatKernelsPerCubin int
+	// BloatKernelSize is the mean code size of bloat kernels.
+	BloatKernelSize int
+	// OtherBytes is .rodata filler (non-code file content).
+	OtherBytes int
+}
+
+// HasGPU reports whether the blueprint ships device code.
+func (b *Blueprint) HasGPU() bool {
+	return len(b.Archs) > 0 && (len(b.Families) > 0 || len(b.BloatFamilies) > 0 || b.BloatCubinsPerArch > 0)
+}
+
+// det derives a deterministic 64-bit value from string parts; it replaces
+// RNG state so identical blueprints always yield identical bytes.
+func det(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// detRange maps a hash into [min, max].
+func detRange(h uint64, min, max int) int {
+	if max <= min {
+		return min
+	}
+	return min + int(h%uint64(max-min+1))
+}
+
+// jitter returns size +/- 25% deterministically.
+func jitter(size int, h uint64) int {
+	if size <= 0 {
+		return 0
+	}
+	span := size / 2
+	if span == 0 {
+		return size
+	}
+	return size - span/2 + int(h%uint64(span+1))
+}

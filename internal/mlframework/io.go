@@ -1,0 +1,91 @@
+package mlframework
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"negativaml/internal/elfx"
+)
+
+// manifestName is the metadata file written next to the libraries.
+const manifestName = "install.json"
+
+// manifest is the serializable install metadata (everything except library
+// bytes, which live in the .so files themselves).
+type manifest struct {
+	Framework       string               `json:"framework"`
+	Version         string               `json:"version"`
+	LibNames        []string             `json:"lib_names"`
+	InitCalls       []LibFunc            `json:"init_calls"`
+	FamilyCalls     map[string][]LibFunc `json:"family_calls"`
+	FamilyLib       map[string]string    `json:"family_lib"`
+	BaseHeapCPU     int64                `json:"base_heap_cpu"`
+	GPUPoolFraction float64              `json:"gpu_pool_fraction"`
+}
+
+// WriteTo materializes the install on disk: one file per shared library
+// plus install.json with the runtime metadata. The directory is created if
+// needed.
+func (in *Install) WriteTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("mlframework: %w", err)
+	}
+	for _, name := range in.LibNames {
+		lib := in.Libs[name]
+		if err := os.WriteFile(filepath.Join(dir, name), lib.Data, 0o644); err != nil {
+			return fmt.Errorf("mlframework: write %s: %w", name, err)
+		}
+	}
+	m := manifest{
+		Framework:       in.Framework,
+		Version:         in.Version,
+		LibNames:        in.LibNames,
+		InitCalls:       in.InitCalls,
+		FamilyCalls:     in.FamilyCalls,
+		FamilyLib:       in.FamilyLib,
+		BaseHeapCPU:     in.BaseHeapCPU,
+		GPUPoolFraction: in.GPUPoolFraction,
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mlframework: marshal manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644)
+}
+
+// ReadFrom loads an install previously written with WriteTo.
+func ReadFrom(dir string) (*Install, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("mlframework: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("mlframework: parse manifest: %w", err)
+	}
+	in := &Install{
+		Framework:       m.Framework,
+		Version:         m.Version,
+		LibNames:        m.LibNames,
+		Libs:            make(map[string]*elfx.Library, len(m.LibNames)),
+		InitCalls:       m.InitCalls,
+		FamilyCalls:     m.FamilyCalls,
+		FamilyLib:       m.FamilyLib,
+		BaseHeapCPU:     m.BaseHeapCPU,
+		GPUPoolFraction: m.GPUPoolFraction,
+	}
+	for _, name := range m.LibNames {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("mlframework: %w", err)
+		}
+		lib, err := elfx.Parse(name, data)
+		if err != nil {
+			return nil, fmt.Errorf("mlframework: %s: %w", name, err)
+		}
+		in.Libs[name] = lib
+	}
+	return in, nil
+}

@@ -1,0 +1,62 @@
+package mlframework
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := gen(t, PyTorch, 3)
+	if err := in.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Framework != in.Framework || got.Version != in.Version {
+		t.Error("metadata lost")
+	}
+	if !reflect.DeepEqual(got.LibNames, in.LibNames) {
+		t.Error("lib order lost")
+	}
+	if !reflect.DeepEqual(got.FamilyLib, in.FamilyLib) {
+		t.Error("family routing lost")
+	}
+	if got.GPUPoolFraction != in.GPUPoolFraction || got.BaseHeapCPU != in.BaseHeapCPU {
+		t.Error("resource metadata lost")
+	}
+	if len(got.InitCalls) != len(in.InitCalls) {
+		t.Error("init calls lost")
+	}
+	for name, lib := range in.Libs {
+		if !bytes.Equal(got.Libs[name].Data, lib.Data) {
+			t.Errorf("%s bytes differ after round trip", name)
+		}
+	}
+	// The written .so files are real ELF files.
+	fi, err := os.Stat(filepath.Join(dir, "libtorch_cuda.so"))
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("library file missing: %v", err)
+	}
+}
+
+func TestReadFromErrors(t *testing.T) {
+	if _, err := ReadFrom(t.TempDir()); err == nil {
+		t.Error("missing manifest should fail")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, manifestName), []byte("{bad"), 0o644)
+	if _, err := ReadFrom(dir); err == nil {
+		t.Error("corrupt manifest should fail")
+	}
+	// Manifest referencing a missing library file.
+	os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"lib_names":["libx.so"]}`), 0o644)
+	if _, err := ReadFrom(dir); err == nil {
+		t.Error("missing library should fail")
+	}
+}

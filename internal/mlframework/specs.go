@@ -1,0 +1,298 @@
+package mlframework
+
+import (
+	"fmt"
+
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/models"
+)
+
+// Framework identifiers matching Table 1.
+const (
+	PyTorch        = "PyTorch"
+	TensorFlow     = "TensorFlow"
+	VLLM           = "vLLM"
+	HFTransformers = "Transformers"
+)
+
+// Config selects a framework installation to generate.
+type Config struct {
+	// Framework is one of PyTorch, TensorFlow, VLLM, HFTransformers.
+	Framework string
+	// TailLibs sets the size of the dependency long tail; Table 2 reports
+	// per-workload library counts (113 for PyTorch/MobileNetV2, 398 for
+	// TensorFlow/Transformer, ...), so experiments size the tail per
+	// workload.
+	TailLibs int
+}
+
+// torchArchs is the seven-architecture fat binary the paper observed in a
+// PyTorch library (§4.3: "elements for 6 different GPU architectures" plus
+// the native one).
+var torchArchs = []gpuarch.SM{
+	gpuarch.SM50, gpuarch.SM60, gpuarch.SM70, gpuarch.SM75,
+	gpuarch.SM80, gpuarch.SM86, gpuarch.SM90,
+}
+
+// tfArchs: TensorFlow builds ship fewer legacy targets, which yields its
+// lower Reason-I share in Figure 7 (80.2% vs PyTorch's 87.8%).
+var tfArchs = []gpuarch.SM{
+	gpuarch.SM70, gpuarch.SM75, gpuarch.SM80, gpuarch.SM86, gpuarch.SM90,
+}
+
+// fineTuned marks the architectures for which LLM-centric libraries ship
+// per-variant cubins (Ampere/Hopper-specialized kernels).
+var fineTuned = []gpuarch.SM{gpuarch.SM80, gpuarch.SM90}
+
+// primaryT4Scales concentrates fatbin bytes in the primary deployment
+// targets: real fatbins ship full code for the main architectures and
+// trimmed code elsewhere, which is why the paper's retained GPU-byte share
+// far exceeds the retained element share.
+var primaryT4Scales = map[gpuarch.SM]float64{
+	gpuarch.SM50: 0.03, gpuarch.SM60: 0.04, gpuarch.SM70: 0.06,
+	gpuarch.SM75: 1.0, gpuarch.SM80: 0.55, gpuarch.SM86: 0.12, gpuarch.SM90: 0.65,
+}
+
+// torchUniverseGraphs returns every workload graph the torch-based stack
+// (PyTorch itself, vLLM, HF Transformers) ships kernels for. Using the full
+// set for all three keeps libtorch_cuda.so byte-identical across installs,
+// as on a real system where they share the same wheel.
+func torchUniverseGraphs() []*models.Graph {
+	graphs := []*models.Graph{
+		models.MobileNetV2(true, 16), models.MobileNetV2(false, 1),
+		models.Transformer(true, 128), models.Transformer(false, 32),
+		models.LLM(models.Llama2(false, 1)), models.LLM(models.Llama2(true, 1)),
+		models.LLM(models.Llama2(false, 8)), models.LLM(models.Llama2(true, 8)),
+	}
+	for _, cfg := range models.LLMZoo(true, 8) {
+		graphs = append(graphs, models.LLM(cfg))
+	}
+	for _, cfg := range models.LLMZoo(false, 8) {
+		graphs = append(graphs, models.LLM(cfg))
+	}
+	return graphs
+}
+
+func tfUniverseGraphs() []*models.Graph {
+	return []*models.Graph{
+		models.MobileNetV2(true, 16), models.MobileNetV2(false, 1),
+		models.Transformer(true, 128), models.Transformer(false, 32),
+	}
+}
+
+// torchStack returns the shared torch/CUDA library blueprints. vllmVariant
+// grows libtorch_cuda.so slightly (the paper notes vLLM bundles a different
+// torch build: 861 MB vs 841 MB).
+func torchStack(vllmVariant bool) []Blueprint {
+	torchCudaFuncs := 780
+	torchSeed := "torch-2.3.1"
+	if vllmVariant {
+		torchCudaFuncs = 800
+		torchSeed = "torch-2.4.0"
+	}
+	const cudaSeed = "cuda-stack-12"
+	return []Blueprint{
+		{
+			Name: "libtorch_cuda.so", Main: true, Seed: torchSeed,
+			Funcs: torchCudaFuncs, InitFrac: 0.08, AvgFuncSize: 48, UsedFuncSizeFactor: 1.3,
+			SetupFuncsPerFamily: 2,
+			Families: []string{
+				"relu6", "residual_add", "softmax", "ce_loss",
+				"sgd", "adam", "layernorm", "gelu", "embedding",
+				"rmsnorm", "rope", "silu", "sampling", "kvcache", "attention",
+			},
+			BloatFamilies: []string{
+				"upsample", "grid_sample", "ctc_loss", "rnn_lstm", "rnn_gru",
+				"distributions", "linalg_svd", "linalg_qr", "sparse_coo", "segment_reduce",
+				"histogram", "sorting", "unique", "scan", "topk_legacy", "pooling3d",
+			},
+			Archs: torchArchs, ArchScales: primaryT4Scales, FineGrainedArchs: fineTuned,
+			UsedKernelSize: 700, EngineBase: 9000, BloatFamilyEngineScale: 0.18,
+			BloatCubinsPerArch: 10, BloatKernelsPerCubin: 2, BloatKernelSize: 280,
+			OtherBytes: 40 << 10,
+		},
+		{
+			Name: "libtorch_cpu.so", Seed: torchSeed,
+			Funcs: 2500, InitFrac: 0.07, AvgFuncSize: 78, UsedFuncSizeFactor: 7,
+			OtherBytes: 120 << 10,
+		},
+		{
+			Name: "libtorch_python.so", Seed: torchSeed,
+			Funcs: 800, InitFrac: 0.08, AvgFuncSize: 60, UsedFuncSizeFactor: 6,
+			OtherBytes: 30 << 10,
+		},
+		{
+			Name: "libc10_cuda.so", Seed: torchSeed,
+			Funcs: 180, InitFrac: 0.22, AvgFuncSize: 52, UsedFuncSizeFactor: 1.6,
+			OtherBytes: 6 << 10,
+		},
+		{
+			Name: "libcudnn_cnn_infer.so.8", Seed: cudaSeed,
+			Funcs: 350, InitFrac: 0.04, AvgFuncSize: 160, UsedFuncSizeFactor: 1.3,
+			Families:      []string{"conv2d", "dwconv"},
+			BloatFamilies: []string{"conv2d_nhwc_legacy", "conv_winograd_lg", "conv_fft_tile"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 2300, EngineBase: 18000, BloatFamilyEngineScale: 0.3,
+			BloatCubinsPerArch: 6, BloatKernelsPerCubin: 3, BloatKernelSize: 600,
+			OtherBytes: 16 << 10,
+		},
+		{
+			Name: "libcudnn_ops_infer.so.8", Seed: cudaSeed,
+			Funcs: 280, InitFrac: 0.05, AvgFuncSize: 120,
+			Families:      []string{"batchnorm", "pool"},
+			BloatFamilies: []string{"pooling_nd", "activation_nd", "tensor_transform", "reduce_nd", "norm_nd"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 1100, EngineBase: 9000, BloatFamilyEngineScale: 0.3,
+			BloatCubinsPerArch: 7, BloatKernelsPerCubin: 3, BloatKernelSize: 550,
+			OtherBytes: 12 << 10,
+		},
+		{
+			Name: "libcudnn_cnn_train.so.8", Seed: cudaSeed,
+			Funcs: 300, InitFrac: 0.03, AvgFuncSize: 130,
+			Families:      []string{"conv2d_bwd", "dwconv_bwd"},
+			BloatFamilies: []string{"conv3d_train", "conv_bwd_filter_nd", "conv_bwd_data_nd", "fused_conv_bias"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 1400, EngineBase: 14000, BloatFamilyEngineScale: 0.3,
+			BloatCubinsPerArch: 7, BloatKernelsPerCubin: 3, BloatKernelSize: 650,
+			OtherBytes: 12 << 10,
+		},
+		{
+			Name: "libcublasLt.so.12", Seed: cudaSeed,
+			Funcs: 260, InitFrac: 0.06, AvgFuncSize: 110, UsedFuncSizeFactor: 1.3,
+			Families:      []string{"gemm"},
+			BloatFamilies: []string{"gemm_int8_imma", "gemm_planar_complex"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales, FineGrainedArchs: fineTuned,
+			UsedKernelSize: 900, EngineBase: 8000, BloatFamilyEngineScale: 0.35,
+			BloatCubinsPerArch: 8, BloatKernelsPerCubin: 3, BloatKernelSize: 600,
+			OtherBytes: 10 << 10,
+		},
+		{
+			Name: "libcublas.so.12", Seed: cudaSeed,
+			Funcs: 320, InitFrac: 0.05, AvgFuncSize: 100,
+			Families:      []string{"gemm_batched"},
+			BloatFamilies: []string{"gemm_legacy", "trsm", "syrk", "gemv_batched"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 800, EngineBase: 7000, BloatFamilyEngineScale: 0.35,
+			BloatCubinsPerArch: 7, BloatKernelsPerCubin: 3, BloatKernelSize: 550,
+			OtherBytes: 10 << 10,
+		},
+		{
+			Name: "libcusparse.so.12", Seed: cudaSeed,
+			Funcs: 200, InitFrac: 0.02, AvgFuncSize: 90,
+			BloatFamilies: []string{"spmm_csr", "spmv_coo", "csr2csc", "sparse_gemm"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 800, EngineBase: 4000, BloatFamilyEngineScale: 0.5,
+			BloatCubinsPerArch: 5, BloatKernelsPerCubin: 3, BloatKernelSize: 500,
+			OtherBytes: 6 << 10,
+		},
+		{
+			Name: "libcufft.so.11", Seed: cudaSeed,
+			Funcs: 150, InitFrac: 0.02, AvgFuncSize: 80,
+			BloatFamilies: []string{"fft1d", "fft2d", "fft3d"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 700, EngineBase: 3500, BloatFamilyEngineScale: 0.5,
+			BloatCubinsPerArch: 4, BloatKernelsPerCubin: 3, BloatKernelSize: 450,
+			OtherBytes: 5 << 10,
+		},
+		{
+			Name: "libcurand.so.10", Seed: cudaSeed,
+			Funcs: 90, InitFrac: 0.03, AvgFuncSize: 70,
+			Families:      []string{"dropout"},
+			BloatFamilies: []string{"philox", "mtgp32"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 500, EngineBase: 2500, BloatFamilyEngineScale: 0.5,
+			BloatCubinsPerArch: 3, BloatKernelsPerCubin: 3, BloatKernelSize: 400,
+			OtherBytes: 4 << 10,
+		},
+		{
+			Name: "libnccl.so.2", Seed: cudaSeed,
+			Funcs: 220, InitFrac: 0.07, AvgFuncSize: 90,
+			Families:      []string{"allreduce", "allgather"},
+			BloatFamilies: []string{"reduce_scatter", "broadcast", "alltoall"},
+			Archs:         torchArchs, ArchScales: primaryT4Scales, FineGrainedArchs: fineTuned,
+			UsedKernelSize: 450, EngineBase: 2500, BloatFamilyEngineScale: 0.5,
+			BloatCubinsPerArch: 4, BloatKernelsPerCubin: 3, BloatKernelSize: 350,
+			OtherBytes: 5 << 10,
+		},
+	}
+}
+
+func tfStack() []Blueprint {
+	bps := []Blueprint{
+		{
+			Name: "libtensorflow_cc.so.2", Main: true,
+			Funcs: 6700, InitFrac: 0.46, AvgFuncSize: 34, UsedFuncSizeFactor: 1.1,
+			Families: []string{
+				"relu6", "residual_add", "softmax", "ce_loss",
+				"sgd", "adam", "layernorm", "gelu", "embedding", "attention",
+			},
+			BloatFamilies: []string{
+				"tf_data_ops", "summary_ops", "string_ops", "lookup_ops", "ragged_ops",
+				"boosted_trees", "sdca", "ctc_ops", "audio_ops", "image_ops",
+				"sparse_ops_tf", "bucketize", "quantize_ops", "map_stage",
+			},
+			Archs: tfArchs, ArchScales: primaryT4Scales,
+			UsedKernelSize: 620, EngineBase: 5200, BloatFamilyEngineScale: 0.3,
+			BloatCubinsPerArch: 9, BloatKernelsPerCubin: 2, BloatKernelSize: 340,
+			OtherBytes: 100 << 10,
+		},
+		{
+			Name:  "libtensorflow_framework.so.2",
+			Funcs: 1500, InitFrac: 0.38, AvgFuncSize: 42, UsedFuncSizeFactor: 1.2,
+			OtherBytes: 60 << 10,
+		},
+	}
+	// TensorFlow links the same CUDA vendor libraries; reuse the torch-stack
+	// definitions except the torch-specific ones.
+	for _, bp := range torchStack(false) {
+		switch bp.Name {
+		case "libtorch_cuda.so", "libtorch_cpu.so", "libtorch_python.so", "libc10_cuda.so", "libnccl.so.2":
+			continue
+		}
+		// Vendor libs in the TF install host no families TF's main lib
+		// already hosts; conv2d/dwconv/gemm routing stays with cuDNN/cuBLAS.
+		bps = append(bps, bp)
+	}
+	return bps
+}
+
+func vllmExtras() []Blueprint {
+	return []Blueprint{
+		{
+			Name:  "libvllm_flash_attn.so",
+			Funcs: 120, InitFrac: 0.10, AvgFuncSize: 95, UsedFuncSizeFactor: 1.4,
+			Families:         []string{"paged_attention"},
+			BloatFamilies:    []string{"flash_attn_varlen", "flash_attn_train"},
+			Archs:            []gpuarch.SM{gpuarch.SM75, gpuarch.SM80, gpuarch.SM86, gpuarch.SM90},
+			FineGrainedArchs: fineTuned,
+			UsedKernelSize:   1800, BloatFamilyEngineScale: 0.6,
+			BloatCubinsPerArch: 3, BloatKernelsPerCubin: 2, BloatKernelSize: 900,
+			OtherBytes: 6 << 10,
+		},
+		{
+			Name:  "libvllm_C.so",
+			Funcs: 160, InitFrac: 0.18, AvgFuncSize: 70, UsedFuncSizeFactor: 1.4,
+			OtherBytes: 8 << 10,
+		},
+	}
+}
+
+// Generate builds a framework installation.
+func Generate(cfg Config) (*Install, error) {
+	switch cfg.Framework {
+	case PyTorch:
+		return generate(PyTorch, "2.3.1", torchStack(false), torchUniverseGraphs(),
+			8, cfg.TailLibs, 350<<10, 0)
+	case TensorFlow:
+		return generate(TensorFlow, "2.16.2", tfStack(), tfUniverseGraphs(),
+			1, cfg.TailLibs, 2600<<10, 0.88)
+	case VLLM:
+		bps := append(torchStack(true), vllmExtras()...)
+		return generate(VLLM, "0.6.3", bps, torchUniverseGraphs(),
+			8, cfg.TailLibs, 2500<<10, 0.92)
+	case HFTransformers:
+		return generate(HFTransformers, "4.42.3", torchStack(false), torchUniverseGraphs(),
+			8, cfg.TailLibs, 600<<10, 0)
+	}
+	return nil, fmt.Errorf("mlframework: unknown framework %q", cfg.Framework)
+}

@@ -1,0 +1,84 @@
+package models
+
+import "fmt"
+
+// LLMConfig parameterizes a decoder-only LLM inference graph.
+type LLMConfig struct {
+	// Name is the model name as reported in the paper's tables.
+	Name string
+	// ParamsB is the parameter count in billions.
+	ParamsB float64
+	// Layers is the number of decoder layers.
+	Layers int
+	// HiddenBucket buckets the hidden size ("h4k", "h8k", "h12k") — kernels
+	// are specialized per bucket, so zoo models with similar hidden sizes
+	// share kernels (Table 10 reports near-identical reductions across
+	// models).
+	HiddenBucket string
+	// PagedKV enables vLLM-style paged attention kernels and the
+	// preallocated KV-cache pool.
+	PagedKV bool
+	// Ranks is the tensor-parallel degree (1 for single GPU).
+	Ranks int
+}
+
+// Llama2 is the Llama-2-7b-chat-hf configuration of Table 1.
+func Llama2(pagedKV bool, ranks int) LLMConfig {
+	return LLMConfig{
+		Name:         "Llama2",
+		ParamsB:      7,
+		Layers:       32,
+		HiddenBucket: "h4k",
+		PagedKV:      pagedKV,
+		Ranks:        ranks,
+	}
+}
+
+// LLM builds an inference graph for a decoder-only LLM. One step decodes one
+// token for the whole batch: per layer attention + MLP kernels, with
+// collective-communication ops when tensor-parallel.
+//
+// LLM ops are ArchTuned: on Ampere/Hopper devices the frameworks use
+// architecture-specialized kernels and autotune over several candidates —
+// the mechanism behind the paper's finding that H100 and distributed runs
+// retain more GPU elements than T4 runs (Tables 6 and 10).
+func LLM(cfg LLMConfig) *Graph {
+	attnFamily := "attention"
+	attnVariant := "decode_" + cfg.HiddenBucket
+	if cfg.PagedKV {
+		attnFamily = "paged_attention"
+		attnVariant = "v2_" + cfg.HiddenBucket
+	}
+	weights := scaled(cfg.ParamsB * 2 * 1000) // fp16 parameters, GB -> paper-MB
+	perRank := cfg.Ranks > 1
+
+	g := &Graph{
+		Model:                  cfg.Name,
+		Train:                  false,
+		Batch:                  1,
+		WeightBytes:            weights,
+		ActivationBytesPerItem: scaled(40),
+		HeapCPU:                scaled(1500), // tokenizer, scheduler, sampler state
+	}
+	l := cfg.Layers
+	g.Ops = []Op{
+		{Family: "embedding", Variant: "vocab32k_llm", Phase: Forward, Count: 1, Weight: 0.3},
+		{Family: "rmsnorm", Variant: cfg.HiddenBucket, Phase: Forward, Count: 2 * l, Weight: 1},
+		{Family: attnFamily, Variant: attnVariant, Phase: Forward, Count: l, Weight: 9, ArchTuned: true, Autotune: 4},
+		{Family: "rope", Variant: cfg.HiddenBucket, Phase: Forward, Count: l, Weight: 0.8},
+		{Family: "kvcache", Variant: "append_" + cfg.HiddenBucket, Phase: Forward, Count: l, Weight: 0.6},
+		{Family: "gemm_batched", Variant: "kv_" + cfg.HiddenBucket, Phase: Forward, Count: l, Weight: 2},
+		{Family: "gemm", Variant: "llm_qkv_" + cfg.HiddenBucket, Phase: Forward, Count: 2 * l, Weight: 8, ArchTuned: true, Autotune: 3},
+		{Family: "gemm", Variant: "llm_mlp_" + cfg.HiddenBucket, Phase: Forward, Count: 2 * l, Weight: 9, ArchTuned: true, Autotune: 3},
+		{Family: "silu", Variant: "elt", Phase: Forward, Count: l, Weight: 0.6},
+		{Family: "residual_add", Variant: "elt", Phase: Forward, Count: 2 * l, Weight: 0.5},
+		{Family: "sampling", Variant: "topp", Phase: Forward, Count: 1, Weight: 0.4},
+	}
+	if perRank {
+		g.Ops = append(g.Ops,
+			Op{Family: "allreduce", Variant: fmt.Sprintf("ring_tp%d", cfg.Ranks), Phase: Comm, Count: 2 * l, Weight: 2, PerRank: true},
+			Op{Family: "allgather", Variant: fmt.Sprintf("tp%d", cfg.Ranks), Phase: Comm, Count: 2, Weight: 0.4, PerRank: true},
+		)
+	}
+	return g
+}

@@ -1,0 +1,19 @@
+package models
+
+// LLMZoo returns the top-9 Open LLM Leaderboard models the paper deploys on
+// 8xA100 with distributed inference (Table 10). Hidden-size buckets overlap
+// heavily across models, which is why the paper measures near-identical
+// reductions for all of them.
+func LLMZoo(pagedKV bool, ranks int) []LLMConfig {
+	return []LLMConfig{
+		{Name: "c4ai_command_r_plus", ParamsB: 104, Layers: 64, HiddenBucket: "h12k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "internlm2_5_7b_chat", ParamsB: 7.7, Layers: 32, HiddenBucket: "h4k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "llama_3_70b_instruct", ParamsB: 70, Layers: 80, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "mixtral_8x22b_instruct", ParamsB: 141, Layers: 56, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "phi_3_medium_4k_instruct", ParamsB: 14, Layers: 40, HiddenBucket: "h6k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "qwen_72b_instruct", ParamsB: 72, Layers: 80, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "qwen15_110b_chat", ParamsB: 110, Layers: 80, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "yi_15_34b", ParamsB: 34, Layers: 60, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+		{Name: "zephyr_orpo_141b_a35b", ParamsB: 141, Layers: 56, HiddenBucket: "h8k", PagedKV: pagedKV, Ranks: ranks},
+	}
+}

@@ -1,0 +1,43 @@
+package models
+
+// MobileNetV2 builds the small computer-vision model of Table 1
+// (4.3M parameters, CIFAR10). Training runs forward, backward, and SGD
+// phases; inference runs the forward pass only.
+func MobileNetV2(train bool, batch int) *Graph {
+	b := BatchBucket(batch)
+	g := &Graph{
+		Model:                  "MobileNetV2",
+		Train:                  train,
+		Batch:                  batch,
+		WeightBytes:            scaled(17),  // 4.3M params * 4B
+		ActivationBytesPerItem: scaled(50),  // inverted-residual feature maps
+		OptimizerStateFactor:   1,           // SGD with momentum
+		HeapCPU:                scaled(250), // dataloader + python runtime state
+	}
+
+	fwd := []Op{
+		{Family: "conv2d", Variant: "stem_" + b, Phase: Forward, Count: 1, Weight: 2},
+		{Family: "conv2d", Variant: "pw_" + b, Phase: Forward, Count: 17, Weight: 6},
+		{Family: "dwconv", Variant: "k3_" + b, Phase: Forward, Count: 17, Weight: 5},
+		{Family: "batchnorm", Variant: "c_all", Phase: Forward, Count: 35, Weight: 2},
+		{Family: "relu6", Variant: "elt", Phase: Forward, Count: 35, Weight: 1},
+		{Family: "residual_add", Variant: "elt", Phase: Forward, Count: 10, Weight: 0.5},
+		{Family: "pool", Variant: "avg_global", Phase: Forward, Count: 1, Weight: 0.3},
+		{Family: "gemm", Variant: "fc1280_" + b, Phase: Forward, Count: 1, Weight: 1.2},
+		{Family: "softmax", Variant: "c10", Phase: Forward, Count: 1, Weight: 0.2},
+	}
+	g.Ops = append(g.Ops, fwd...)
+
+	if train {
+		g.Ops = append(g.Ops,
+			Op{Family: "ce_loss", Variant: "c10", Phase: Forward, Count: 1, Weight: 0.2},
+			Op{Family: "conv2d_bwd", Variant: "pw_" + b, Phase: Backward, Count: 18, Weight: 9},
+			Op{Family: "dwconv_bwd", Variant: "k3_" + b, Phase: Backward, Count: 17, Weight: 7},
+			Op{Family: "batchnorm", Variant: "c_all", Phase: Backward, Count: 35, Weight: 2.5},
+			Op{Family: "relu6", Variant: "elt", Phase: Backward, Count: 35, Weight: 1},
+			Op{Family: "gemm", Variant: "fc1280_" + b, Phase: Backward, Count: 2, Weight: 1.5},
+			Op{Family: "sgd", Variant: "momentum", Phase: Optimizer, Count: 4, Weight: 1},
+		)
+	}
+	return g
+}

@@ -1,0 +1,256 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"negativaml/internal/gpuarch"
+)
+
+func TestKernelName(t *testing.T) {
+	if got := KernelName("conv2d", "pw_bs", Forward); got != "conv2d_pw_bs_fwd" {
+		t.Errorf("KernelName = %q", got)
+	}
+	if got := KernelName("sgd", "momentum", Optimizer); got != "sgd_momentum_opt" {
+		t.Errorf("KernelName = %q", got)
+	}
+}
+
+func TestBatchBucket(t *testing.T) {
+	for b, want := range map[int]string{1: "bs", 16: "bs", 32: "bs", 33: "bl", 128: "bl"} {
+		if got := BatchBucket(b); got != want {
+			t.Errorf("BatchBucket(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestMobileNetTrainVsInference(t *testing.T) {
+	train := MobileNetV2(true, 16)
+	inf := MobileNetV2(false, 1)
+	if !train.Train || inf.Train {
+		t.Fatal("Train flags wrong")
+	}
+	if len(train.Ops) <= len(inf.Ops) {
+		t.Error("training graph must add backward/optimizer ops")
+	}
+	// Batch 16 and batch 1 fall in the same bucket: forward kernels shared.
+	trainK := kernelSet(train, gpuarch.SM75, 1)
+	infK := kernelSet(inf, gpuarch.SM75, 1)
+	shared := 0
+	for k := range infK {
+		if trainK[k] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("train/inference should share forward kernels (same batch bucket)")
+	}
+	if len(trainK) <= len(infK) {
+		t.Error("training should use strictly more kernels")
+	}
+}
+
+func TestTransformerBatchBucketsDiffer(t *testing.T) {
+	train := Transformer(true, 128) // large bucket
+	inf := Transformer(false, 32)   // small bucket
+	trainK := kernelSet(train, gpuarch.SM75, 1)
+	infK := kernelSet(inf, gpuarch.SM75, 1)
+	sharedBucketed := 0
+	for k := range infK {
+		if trainK[k] && strings.Contains(k, "_bl_") {
+			sharedBucketed++
+		}
+	}
+	if sharedBucketed != 0 {
+		t.Error("batch-128 and batch-32 should not share bucketed kernels")
+	}
+}
+
+func kernelSet(g *Graph, arch gpuarch.SM, ranks int) map[string]bool {
+	set := make(map[string]bool)
+	for _, k := range UsedKernels(g, arch, ranks) {
+		set[k] = true
+	}
+	return set
+}
+
+func TestLLMArchTuning(t *testing.T) {
+	cfg := Llama2(true, 1)
+	g := LLM(cfg)
+	t4 := UsedKernels(g, gpuarch.SM75, 1)
+	h100 := UsedKernels(g, gpuarch.SM90, 1)
+	if len(h100) <= len(t4) {
+		t.Errorf("H100 should use more kernels (autotune + arch-tuned): %d vs %d", len(h100), len(t4))
+	}
+	foundSM90, foundCand := false, false
+	for _, k := range h100 {
+		if strings.Contains(k, "_sm90") {
+			foundSM90 = true
+		}
+		if strings.Contains(k, "_cand") {
+			foundCand = true
+		}
+	}
+	if !foundSM90 || !foundCand {
+		t.Errorf("H100 kernels should include arch-tuned and autotune candidates: %v %v", foundSM90, foundCand)
+	}
+}
+
+func TestLLMDistributedCommKernels(t *testing.T) {
+	g := LLM(Llama2(true, 8))
+	k1 := UsedKernels(g, gpuarch.SM80, 1)
+	k8 := UsedKernels(g, gpuarch.SM80, 8)
+	if len(k8) <= len(k1) {
+		t.Errorf("8-rank run should use more kernels: %d vs %d", len(k8), len(k1))
+	}
+	found := 0
+	for _, k := range k8 {
+		if strings.HasPrefix(k, "allreduce_") && strings.Contains(k, "_r7") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("rank-7 allreduce kernel missing")
+	}
+	// Single-GPU llama has no comm ops at all.
+	single := LLM(Llama2(true, 1))
+	for _, f := range single.Families() {
+		if f == "allreduce" || f == "allgather" {
+			t.Error("single-GPU graph should not have comm families")
+		}
+	}
+}
+
+func TestPagedVsPlainAttention(t *testing.T) {
+	vllm := LLM(Llama2(true, 1))
+	hf := LLM(Llama2(false, 1))
+	hasFam := func(g *Graph, fam string) bool {
+		for _, f := range g.Families() {
+			if f == fam {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasFam(vllm, "paged_attention") || hasFam(vllm, "attention") {
+		t.Error("vLLM config should use paged_attention only")
+	}
+	if hasFam(hf, "paged_attention") || !hasFam(hf, "attention") {
+		t.Error("HF config should use plain attention only")
+	}
+}
+
+func TestUniverseKernelsCoversUsage(t *testing.T) {
+	graphs := []*Graph{
+		MobileNetV2(true, 16), MobileNetV2(false, 1),
+		Transformer(true, 128), Transformer(false, 32),
+	}
+	uni := UniverseKernels(graphs, gpuarch.SM75, 1)
+	all := make(map[string]bool)
+	for _, names := range uni {
+		for _, n := range names {
+			all[n] = true
+		}
+	}
+	for _, g := range graphs {
+		for _, k := range UsedKernels(g, gpuarch.SM75, 1) {
+			if !all[k] {
+				t.Errorf("universe missing kernel %q used by %s/%s", k, g.Model, g.Mode())
+			}
+		}
+	}
+}
+
+func TestUniverseCoversRanksAndAutotune(t *testing.T) {
+	g := LLM(Llama2(true, 8))
+	uni := UniverseKernels([]*Graph{g}, gpuarch.SM80, 8)
+	all := make(map[string]bool)
+	for _, names := range uni {
+		for _, n := range names {
+			all[n] = true
+		}
+	}
+	for _, k := range UsedKernels(g, gpuarch.SM80, 8) {
+		if !all[k] {
+			t.Errorf("universe missing %q", k)
+		}
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := MobileNetV2(true, 16)
+	if g.TotalWeight() <= 0 {
+		t.Error("TotalWeight must be positive")
+	}
+	if g.LaunchesPerStep() <= 0 {
+		t.Error("LaunchesPerStep must be positive")
+	}
+	if g.Mode() != "Train" {
+		t.Errorf("Mode = %q", g.Mode())
+	}
+	if MobileNetV2(false, 1).Mode() != "Inference" {
+		t.Error("inference Mode wrong")
+	}
+	fams := g.Families()
+	if len(fams) < 5 {
+		t.Errorf("families = %v", fams)
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if seen[f] {
+			t.Errorf("duplicate family %q", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestLLMZoo(t *testing.T) {
+	zoo := LLMZoo(true, 8)
+	if len(zoo) != 9 {
+		t.Fatalf("zoo size = %d, want 9", len(zoo))
+	}
+	for _, cfg := range zoo {
+		g := LLM(cfg)
+		if g.WeightBytes <= 0 || len(g.Ops) == 0 {
+			t.Errorf("%s: invalid graph", cfg.Name)
+		}
+		if !cfg.PagedKV || cfg.Ranks != 8 {
+			t.Errorf("%s: config not propagated", cfg.Name)
+		}
+	}
+	// Models sharing a hidden bucket share attention kernels.
+	a := UsedKernels(LLM(zoo[2]), gpuarch.SM80, 8) // llama3 h8k
+	b := UsedKernels(LLM(zoo[5]), gpuarch.SM80, 8) // qwen72 h8k
+	if len(a) != len(b) {
+		t.Errorf("same-bucket zoo models should use same kernel count: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestPerRankKernelNames(t *testing.T) {
+	op := Op{Family: "allreduce", Variant: "ring_tp8", Phase: Comm, PerRank: true}
+	k0 := op.KernelFor(gpuarch.SM80, 0)
+	k7 := op.KernelFor(gpuarch.SM80, 7)
+	if k0 == k7 {
+		t.Error("per-rank kernels must differ by rank")
+	}
+	if !strings.HasSuffix(k0, "_r0") || !strings.HasSuffix(k7, "_r7") {
+		t.Errorf("rank suffixes wrong: %q %q", k0, k7)
+	}
+}
+
+func TestAutotuneBelowSM80Empty(t *testing.T) {
+	op := Op{Family: "gemm", Variant: "llm_qkv_h4k", Phase: Forward, ArchTuned: true, Autotune: 4}
+	if got := op.AutotuneKernels(gpuarch.SM75, 0); got != nil {
+		t.Errorf("no autotune below SM80, got %v", got)
+	}
+	if got := op.AutotuneKernels(gpuarch.SM90, 0); len(got) != 4 {
+		t.Errorf("autotune on SM90 = %d candidates, want 4", len(got))
+	}
+	// Arch-tuned base name on SM90.
+	if k := op.KernelFor(gpuarch.SM90, 0); !strings.Contains(k, "_sm90") {
+		t.Errorf("SM90 kernel %q should be arch-suffixed", k)
+	}
+	if k := op.KernelFor(gpuarch.SM75, 0); strings.Contains(k, "_sm") {
+		t.Errorf("SM75 kernel %q should not be arch-suffixed", k)
+	}
+}

@@ -1,0 +1,192 @@
+// Package models defines the ML workloads the paper evaluates as framework-
+// agnostic operator graphs: MobileNetV2 (small CV model), a Transformer
+// (medium NLP model), Llama2 (large LLM), and the nine-model LLM zoo from
+// the Hugging Face Open LLM Leaderboard (Table 1, §4.5).
+//
+// A model is a Graph of Ops executed once per training/inference step. Each
+// Op belongs to a kernel *family* (conv2d, matmul, attention, …) and a shape
+// *variant*; the (family, variant, phase) triple determines the GPU kernel
+// name through KernelName. The synthetic framework generator enumerates the
+// same names when planting kernels into shared libraries, so whichever
+// kernels a workload touches at run time are guaranteed to exist — and
+// everything else in the libraries is bloat the debloater should find.
+package models
+
+import (
+	"fmt"
+	"time"
+
+	"negativaml/internal/gpuarch"
+)
+
+// Phase distinguishes the step phases an op can run in.
+type Phase int
+
+// Op phases.
+const (
+	Forward Phase = iota
+	Backward
+	Optimizer
+	Comm
+)
+
+// Suffix returns the kernel-name suffix for the phase.
+func (p Phase) Suffix() string {
+	switch p {
+	case Backward:
+		return "bwd"
+	case Optimizer:
+		return "opt"
+	case Comm:
+		return "comm"
+	}
+	return "fwd"
+}
+
+// KernelName derives the canonical kernel name for a (family, variant,
+// phase) triple. Kernel names are shape-specialized, which is why different
+// workloads share few kernels even when they share operator families
+// (paper Table 4: kernel Jaccard similarity is low while CPU-function
+// similarity is high).
+func KernelName(family, variant string, phase Phase) string {
+	return family + "_" + variant + "_" + phase.Suffix()
+}
+
+// BatchBucket maps a batch size to the shape bucket compilers specialize
+// for. Batches up to 32 share "small-batch" kernels; larger batches use the
+// large-batch specializations. This reproduces the paper's observation that
+// MobileNetV2 training (batch 16) and inference (batch 1) share far more
+// kernels than Transformer training (batch 128) does with its inference
+// (batch 32).
+func BatchBucket(batch int) string {
+	if batch <= 32 {
+		return "bs"
+	}
+	return "bl"
+}
+
+// Op is one operator execution per step.
+type Op struct {
+	// Family is the kernel family (conv2d, matmul, attention, …).
+	Family string
+	// Variant is the shape bucket within the family.
+	Variant string
+	// Phase is the step phase the op runs in.
+	Phase Phase
+	// Count is how many times the op's kernel launches per step.
+	Count int
+	// Weight is the op's share of the per-item compute cost; the executor
+	// normalizes weights across the graph.
+	Weight float64
+	// PerRank marks collective-communication ops whose kernel is
+	// rank-specialized under distributed inference.
+	PerRank bool
+	// ArchTuned marks ops that use architecture-specialized kernels on
+	// SM80+ devices (Ampere/Hopper-tuned attention and GEMM paths).
+	ArchTuned bool
+	// Autotune is the number of candidate kernels the framework probes via
+	// cuModuleGetFunction on SM80+ before picking one (cuBLAS/Inductor-style
+	// autotuning). Candidates are resolved once but mostly never launched.
+	Autotune int
+}
+
+// Kernel returns the base kernel name for the op.
+func (o *Op) Kernel() string { return KernelName(o.Family, o.Variant, o.Phase) }
+
+// KernelFor returns the kernel the op launches on the given architecture
+// and rank. Rank is ignored unless the op is PerRank.
+func (o *Op) KernelFor(arch gpuarch.SM, rank int) string {
+	name := o.Kernel()
+	if o.ArchTuned && arch >= gpuarch.SM80 {
+		name = fmt.Sprintf("%s_sm%d", name, uint32(arch))
+	}
+	if o.PerRank {
+		name = fmt.Sprintf("%s_r%d", name, rank)
+	}
+	return name
+}
+
+// AutotuneKernels returns the candidate kernels probed on the given
+// architecture (empty below SM80 or when the op does not autotune).
+func (o *Op) AutotuneKernels(arch gpuarch.SM, rank int) []string {
+	if o.Autotune <= 0 || arch < gpuarch.SM80 {
+		return nil
+	}
+	base := o.KernelFor(arch, rank)
+	out := make([]string, 0, o.Autotune)
+	for i := 0; i < o.Autotune; i++ {
+		out = append(out, fmt.Sprintf("%s_cand%d", base, i))
+	}
+	return out
+}
+
+// Graph is a model workload: the ops executed each step plus its resource
+// profile. Sizes use the repository scale (1 paper-MB = 1 simulated-KB).
+type Graph struct {
+	// Model is the model name ("MobileNetV2", "Transformer", "Llama2", …).
+	Model string
+	// Train is true for training graphs (forward+backward+optimizer).
+	Train bool
+	// Batch is the per-step batch size.
+	Batch int
+	// Ops are the operator executions of one step.
+	Ops []Op
+	// WeightBytes is the parameter size.
+	WeightBytes int64
+	// ActivationBytesPerItem is the per-batch-item activation working set.
+	ActivationBytesPerItem int64
+	// OptimizerStateFactor multiplies WeightBytes for optimizer state when
+	// training (1 for SGD with momentum, 2 for Adam).
+	OptimizerStateFactor float64
+	// HeapCPU is the host-side working set of the model + runtime.
+	HeapCPU int64
+}
+
+// Families returns the distinct op families in graph order.
+func (g *Graph) Families() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range g.Ops {
+		f := g.Ops[i].Family
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TotalWeight sums op weights for compute normalization.
+func (g *Graph) TotalWeight() float64 {
+	var w float64
+	for i := range g.Ops {
+		w += g.Ops[i].Weight
+	}
+	return w
+}
+
+// LaunchesPerStep returns the host-side kernel launches of one step.
+func (g *Graph) LaunchesPerStep() int {
+	n := 0
+	for i := range g.Ops {
+		n += g.Ops[i].Count
+	}
+	return n
+}
+
+// Mode returns "Train" or "Inference" — the paper's Operation column.
+func (g *Graph) Mode() string {
+	if g.Train {
+		return "Train"
+	}
+	return "Inference"
+}
+
+// scaled converts paper megabytes to simulated bytes (1 MB -> 1 KB).
+func scaled(mb float64) int64 { return int64(mb * 1024) }
+
+// ComputeScale is used by the executor: per-item virtual compute time for
+// one unit of op weight.
+type ComputeScale struct {
+	PerItem time.Duration
+}

@@ -1,0 +1,47 @@
+package models
+
+// Transformer builds the medium NLP model of Table 1 (65M parameters, the
+// original encoder-decoder architecture, machine translation).
+func Transformer(train bool, batch int) *Graph {
+	b := BatchBucket(batch)
+	g := &Graph{
+		Model:                  "Transformer",
+		Train:                  train,
+		Batch:                  batch,
+		WeightBytes:            scaled(260), // 65M params * 4B
+		ActivationBytesPerItem: scaled(20),  // seq x d_model activations (short eval sequences)
+		OptimizerStateFactor:   2,           // Adam (m + v)
+		HeapCPU:                scaled(400), // tokenizer, vocab, batching buffers
+	}
+	if train {
+		// Training batches run full-length sequences.
+		g.ActivationBytesPerItem = scaled(66)
+	}
+
+	fwd := []Op{
+		{Family: "embedding", Variant: "vocab32k", Phase: Forward, Count: 2, Weight: 0.8},
+		{Family: "attention", Variant: "mha_d512_" + b, Phase: Forward, Count: 18, Weight: 8},
+		{Family: "gemm_batched", Variant: "attn_d512_" + b, Phase: Forward, Count: 36, Weight: 3},
+		{Family: "gemm", Variant: "qkv_d512_" + b, Phase: Forward, Count: 36, Weight: 7},
+		{Family: "gemm", Variant: "ffn_d2048_" + b, Phase: Forward, Count: 24, Weight: 6},
+		{Family: "layernorm", Variant: "d512", Phase: Forward, Count: 24, Weight: 1.2},
+		{Family: "softmax", Variant: "attn_" + b, Phase: Forward, Count: 18, Weight: 1},
+		{Family: "gelu", Variant: "elt", Phase: Forward, Count: 12, Weight: 0.8},
+		{Family: "residual_add", Variant: "elt", Phase: Forward, Count: 24, Weight: 0.5},
+		{Family: "dropout", Variant: "elt", Phase: Forward, Count: 12, Weight: 0.4},
+	}
+	g.Ops = append(g.Ops, fwd...)
+
+	if train {
+		g.Ops = append(g.Ops,
+			Op{Family: "ce_loss", Variant: "vocab32k", Phase: Forward, Count: 1, Weight: 0.5},
+			Op{Family: "attention", Variant: "mha_d512_" + b, Phase: Backward, Count: 18, Weight: 11},
+			Op{Family: "gemm", Variant: "qkv_d512_" + b, Phase: Backward, Count: 36, Weight: 9},
+			Op{Family: "gemm", Variant: "ffn_d2048_" + b, Phase: Backward, Count: 24, Weight: 8},
+			Op{Family: "layernorm", Variant: "d512", Phase: Backward, Count: 24, Weight: 1.5},
+			Op{Family: "embedding", Variant: "vocab32k", Phase: Backward, Count: 2, Weight: 0.8},
+			Op{Family: "adam", Variant: "fused", Phase: Optimizer, Count: 6, Weight: 1.5},
+		)
+	}
+	return g
+}

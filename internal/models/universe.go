@@ -1,0 +1,79 @@
+package models
+
+import (
+	"sort"
+
+	"negativaml/internal/gpuarch"
+)
+
+// UniverseKernels enumerates every kernel name the given workload graphs
+// could resolve on one architecture, per family, including rank-specialized
+// collective kernels up to maxRanks and autotune candidates. The framework
+// generator plants exactly these names (plus bloat) into its libraries, so
+// workloads always find their kernels while the rest is measurable bloat.
+func UniverseKernels(graphs []*Graph, arch gpuarch.SM, maxRanks int) map[string][]string {
+	if maxRanks < 1 {
+		maxRanks = 1
+	}
+	sets := make(map[string]map[string]bool)
+	add := func(family, name string) {
+		if sets[family] == nil {
+			sets[family] = make(map[string]bool)
+		}
+		sets[family][name] = true
+	}
+	for _, g := range graphs {
+		for i := range g.Ops {
+			op := &g.Ops[i]
+			ranks := 1
+			if op.PerRank {
+				ranks = maxRanks
+			}
+			for r := 0; r < ranks; r++ {
+				add(op.Family, op.KernelFor(arch, r))
+				for _, cand := range op.AutotuneKernels(arch, r) {
+					add(op.Family, cand)
+				}
+			}
+		}
+	}
+	out := make(map[string][]string, len(sets))
+	for family, set := range sets {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out[family] = names
+	}
+	return out
+}
+
+// UsedKernels returns the kernels one workload resolves on one device setup
+// (ground truth for generator calibration tests; the debloater itself never
+// sees this — it must rediscover usage by profiling).
+func UsedKernels(g *Graph, arch gpuarch.SM, ranks int) []string {
+	set := make(map[string]bool)
+	if ranks < 1 {
+		ranks = 1
+	}
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		n := 1
+		if op.PerRank {
+			n = ranks
+		}
+		for r := 0; r < n; r++ {
+			set[op.KernelFor(arch, r)] = true
+			for _, cand := range op.AutotuneKernels(arch, r) {
+				set[cand] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,191 @@
+package negativa
+
+import (
+	"testing"
+
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+)
+
+// The locator's central design choice: retaining whole cubins keeps the
+// GPU-launching kernels the detector cannot see. The ablated exact-kernel
+// locator removes them — and the workload must trap.
+func TestAblationExactKernelRemovalBreaksWorkload(t *testing.T) {
+	w := mobilenetTrain(t)
+	profile, err := DetectUsage(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := []gpuarch.SM{gpuarch.SM75}
+
+	replaced := make(map[string][]byte)
+	removedSomething := false
+	for _, name := range w.Install.LibNames {
+		lib := w.Install.Library(name)
+		cpuLoc := LocateCPU(lib, profile.UsedFuncs[name])
+		exact, err := LocateGPUExact(lib, profile.UsedKernels[name], archs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if exact.KeptKernels < exact.TotalKernels && exact.KeptKernels > 0 {
+			removedSomething = true
+		}
+		out, err := CompactExact(lib, cpuLoc, exact, archs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		replaced[name] = out
+	}
+	if !removedSomething {
+		t.Fatal("ablation removed nothing — test is vacuous")
+	}
+	clone, err := w.Install.CloneWithLibs(replaced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := w
+	w2.Install = clone
+	if _, err := mlruntime.Run(w2, mlruntime.Options{MaxSteps: 3}); err == nil {
+		t.Fatal("exact-kernel debloating should break the workload (device-side children removed)")
+	}
+
+	// Sanity: the real pipeline on the same profile verifies fine — this is
+	// exactly the reliability gap the paper's design closes.
+	res, err := Debloat(w, Options{MaxSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("whole-cubin retention must keep the workload runnable")
+	}
+}
+
+// The ablated locator keeps strictly fewer bytes — it is "better" on the
+// size metric and wrong on correctness, which is the trade-off the paper's
+// approximate location deliberately makes.
+func TestAblationKeepsFewerBytes(t *testing.T) {
+	w := mobilenetTrain(t)
+	profile, err := DetectUsage(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := w.Install.Library("libtorch_cuda.so")
+	archs := []gpuarch.SM{gpuarch.SM75}
+
+	whole, err := LocateGPU(lib, profile.UsedKernels[lib.Name], archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := LocateGPUExact(lib, profile.UsedKernels[lib.Name], archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactBytes int64
+	for _, r := range exact.Keep {
+		exactBytes += r.Len()
+	}
+	if exactBytes >= whole.KeptBytes {
+		t.Errorf("exact locator should keep fewer bytes: %d vs %d", exactBytes, whole.KeptBytes)
+	}
+	if exact.KeptKernels == 0 || exact.KeptKernels >= exact.TotalKernels {
+		t.Errorf("implausible kernel split: %d/%d", exact.KeptKernels, exact.TotalKernels)
+	}
+}
+
+func TestUsedBloatAnalysis(t *testing.T) {
+	w := mobilenetTrain(t)
+	rep, err := AnalyzeUsedBloat(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitOnlyCount() == 0 {
+		t.Fatal("init-only functions expected (framework init calls)")
+	}
+	if rep.SteadyStateCount() == 0 {
+		t.Fatal("steady-state functions expected (op dispatch)")
+	}
+	// Init-only and steady-state must be disjoint per library.
+	for lib, initFns := range rep.InitOnly {
+		steady := map[string]bool{}
+		for _, f := range rep.SteadyState[lib] {
+			steady[f] = true
+		}
+		for _, f := range initFns {
+			if steady[f] {
+				t.Errorf("%s: %s in both classes", lib, f)
+			}
+		}
+	}
+	if f := rep.InitOnlyFraction(); f <= 0 || f >= 1 {
+		t.Errorf("init-only fraction = %v", f)
+	}
+}
+
+// The paper's §5 hypothesis: TensorFlow carries far more used bloat than
+// PyTorch — its init executes a large share of functions that the steady
+// state never touches.
+func TestUsedBloatTensorFlowVsPyTorch(t *testing.T) {
+	tfInstall, err := mlframework.Generate(mlframework.Config{Framework: mlframework.TensorFlow, TailLibs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfW := mlruntime.Workload{
+		Name:           "TensorFlow/Train/MobileNetV2",
+		Install:        tfInstall,
+		Graph:          models.MobileNetV2(true, 16),
+		Devices:        []gpuarch.Device{gpuarch.T4},
+		Data:           mobilenetTrain(t).Data,
+		Epochs:         3,
+		PerItemCompute: mobilenetTrain(t).PerItemCompute,
+	}
+	tfRep, err := AnalyzeUsedBloat(tfW, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptRep, err := AnalyzeUsedBloat(mobilenetTrain(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tfRep.InitOnlyCount() <= 3*ptRep.InitOnlyCount() {
+		t.Errorf("TF used-bloat candidates (%d) should dwarf PyTorch's (%d)",
+			tfRep.InitOnlyCount(), ptRep.InitOnlyCount())
+	}
+}
+
+// Debloating is idempotent: running the pipeline on an already-debloated
+// install removes nothing further and still verifies.
+func TestDebloatIdempotent(t *testing.T) {
+	w := mobilenetTrain(t)
+	first, err := Debloat(w, Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := w.Install.CloneWithLibs(first.DebloatedLibs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := w
+	w2.Install = clone
+	second, err := Debloat(w2, Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Verified {
+		t.Fatal("second pass must verify")
+	}
+	a1, a2 := first.Aggregate(), second.Aggregate()
+	if a2.FileEffective != a1.FileEffectiveAfter {
+		t.Errorf("second pass input (%d) should equal first pass output (%d)",
+			a2.FileEffective, a1.FileEffectiveAfter)
+	}
+	if a2.FileEffectiveAfter != a2.FileEffective {
+		t.Errorf("second pass removed %d bytes; debloating must be idempotent",
+			a2.FileEffective-a2.FileEffectiveAfter)
+	}
+	if a2.FuncsKept != a1.FuncsKept || a2.ElemsKept != a1.ElemsKept {
+		t.Errorf("kept sets changed: funcs %d->%d elems %d->%d",
+			a1.FuncsKept, a2.FuncsKept, a1.ElemsKept, a2.ElemsKept)
+	}
+}

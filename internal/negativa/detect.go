@@ -1,0 +1,114 @@
+// Package negativa implements Negativa-ML, the paper's debloating tool for
+// ML shared libraries (§3). The pipeline has three phases plus verification:
+//
+//   - Detection: run the target workload once with the CUPTI kernel detector
+//     (a hook on cuModuleGetFunction that records each CPU-launching
+//     kernel's name exactly once) and a CPU-function profiler.
+//   - Location: map used kernels to the cubins containing them, cubins to
+//     fatbin elements, and elements to file ranges; retain an element only
+//     if its compute-capability matches the device architecture and it
+//     contains a used CPU-launching kernel (GPU-launching kernels ride
+//     along because they share the cubin). Map used CPU functions to their
+//     .text file ranges through the symbol table.
+//   - Compaction: zero every unretained file range, preserving ELF and
+//     fatbin structure so addresses stay valid.
+//   - Verification: re-run the workload on the debloated libraries and
+//     compare output digests.
+package negativa
+
+import (
+	"sort"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/trace"
+)
+
+// Profile is the detection phase's output: what one workload actually used.
+type Profile struct {
+	// Workload is the profiled workload's name.
+	Workload string
+	// UsedKernels maps library name to the sorted CPU-launching kernel
+	// names the detector recorded.
+	UsedKernels map[string][]string
+	// UsedFuncs maps library name to the sorted CPU functions the profiler
+	// observed.
+	UsedFuncs map[string][]string
+	// RunResult is the profiled run's result (its Digest is the reference
+	// output for verification; its ExecTime includes detector overhead).
+	RunResult *mlruntime.Result
+}
+
+// DetectUsage runs the workload once with the kernel detector and the CPU
+// profiler attached and returns its usage profile. maxSteps caps the run
+// (0 = full dataset); kernel and function coverage saturates within the
+// first steps because ML workloads iterate the same graph.
+func DetectUsage(w mlruntime.Workload, maxSteps int) (*Profile, error) {
+	var kd *trace.KernelDetector
+	usedFuncs := make(map[string]map[string]bool)
+
+	res, err := mlruntime.Run(w, mlruntime.Options{
+		MaxSteps: maxSteps,
+		DriverSetup: func(d *cudasim.Driver) {
+			kd = trace.AttachDetector(d)
+		},
+		FuncHook: func(lib, fn string) {
+			set := usedFuncs[lib]
+			if set == nil {
+				set = make(map[string]bool)
+				usedFuncs[lib] = set
+			}
+			set[fn] = true
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Profile{
+		Workload:    w.Name,
+		UsedKernels: kd.AllUsed(),
+		UsedFuncs:   make(map[string][]string, len(usedFuncs)),
+		RunResult:   res,
+	}
+	for lib, set := range usedFuncs {
+		names := make([]string, 0, len(set))
+		for n := range set {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		p.UsedFuncs[lib] = names
+	}
+	return p, nil
+}
+
+// DetectionOverhead measures the §4.6 comparison on one workload: the
+// virtual run time bare, with the kernel detector, and with the NSys-like
+// full tracer.
+func DetectionOverhead(w mlruntime.Workload, maxSteps int) (base, detector, nsys time.Duration, err error) {
+	r, err := mlruntime.Run(w, mlruntime.Options{MaxSteps: maxSteps})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	base = r.ExecTime
+
+	r, err = mlruntime.Run(w, mlruntime.Options{
+		MaxSteps:    maxSteps,
+		DriverSetup: func(d *cudasim.Driver) { trace.AttachDetector(d) },
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	detector = r.ExecTime
+
+	r, err = mlruntime.Run(w, mlruntime.Options{
+		MaxSteps:    maxSteps,
+		DriverSetup: func(d *cudasim.Driver) { trace.AttachNSys(d) },
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nsys = r.ExecTime
+	return base, detector, nsys, nil
+}

@@ -1,0 +1,374 @@
+package negativa
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/cudasim"
+	"negativaml/internal/dataset"
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+)
+
+var installCache = map[string]*mlframework.Install{}
+
+func install(t *testing.T, fw string, tail int) *mlframework.Install {
+	t.Helper()
+	key := fw
+	if in, ok := installCache[key]; ok {
+		return in
+	}
+	in, err := mlframework.Generate(mlframework.Config{Framework: fw, TailLibs: tail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	installCache[key] = in
+	return in
+}
+
+func mobilenetTrain(t *testing.T) mlruntime.Workload {
+	return mlruntime.Workload{
+		Name:           "PyTorch/Train/MobileNetV2",
+		Install:        install(t, mlframework.PyTorch, 15),
+		Graph:          models.MobileNetV2(true, 16),
+		Devices:        []gpuarch.Device{gpuarch.T4},
+		Mode:           cudasim.EagerLoading,
+		Data:           dataset.CIFAR10,
+		Epochs:         3,
+		PerItemCompute: 200 * time.Microsecond,
+	}
+}
+
+func TestDetectUsage(t *testing.T) {
+	p, err := DetectUsage(mobilenetTrain(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.UsedKernels["libtorch_cuda.so"]) == 0 {
+		t.Error("no kernels detected in libtorch_cuda.so")
+	}
+	if len(p.UsedKernels["libcudnn_cnn_infer.so.8"]) == 0 {
+		t.Error("no conv kernels detected in cuDNN")
+	}
+	if len(p.UsedFuncs["libtorch_cuda.so"]) == 0 {
+		t.Error("no CPU functions detected")
+	}
+	// Detected kernels must be entry (CPU-launching) kernels only.
+	for lib, ks := range p.UsedKernels {
+		for _, k := range ks {
+			if strings.Contains(k, "_dev") {
+				t.Errorf("%s: device-only kernel %q must be invisible to the detector", lib, k)
+			}
+		}
+	}
+	if p.RunResult == nil || p.RunResult.Digest == 0 {
+		t.Error("profile must carry the run result")
+	}
+}
+
+func TestLocateGPUCriteria(t *testing.T) {
+	in := install(t, mlframework.PyTorch, 0)
+	lib := in.Library("libtorch_cuda.so")
+	used := []string{models.KernelName("softmax", "c10", models.Forward)}
+	loc, err := LocateGPU(lib, used, []gpuarch.SM{gpuarch.SM75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kept() == 0 {
+		t.Fatal("softmax cubin should be retained")
+	}
+	kept75, keptOther := 0, 0
+	for _, d := range loc.Decisions {
+		switch d.Reason {
+		case Kept:
+			if d.Arch == gpuarch.SM75 {
+				kept75++
+			} else {
+				keptOther++
+			}
+		case ReasonArchMismatch:
+			if d.Arch == gpuarch.SM75 {
+				t.Error("matching arch cannot be removed for arch mismatch")
+			}
+		}
+	}
+	if keptOther != 0 {
+		t.Errorf("%d non-sm75 elements retained", keptOther)
+	}
+	if kept75 != 1 {
+		t.Errorf("exactly the softmax engine should be kept, got %d", kept75)
+	}
+	// Reason partition covers all decisions.
+	if loc.Kept()+loc.RemovedBy(ReasonArchMismatch)+loc.RemovedBy(ReasonNoUsedKernel) != len(loc.Decisions) {
+		t.Error("reasons must partition the element set")
+	}
+}
+
+func TestLocateGPUNoKernelsUsed(t *testing.T) {
+	in := install(t, mlframework.PyTorch, 0)
+	lib := in.Library("libcusparse.so.12")
+	loc, err := LocateGPU(lib, nil, []gpuarch.SM{gpuarch.SM75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kept() != 0 {
+		t.Errorf("nothing used -> nothing kept, got %d", loc.Kept())
+	}
+	if loc.RemovedBy(ReasonArchMismatch) == 0 || loc.RemovedBy(ReasonNoUsedKernel) == 0 {
+		t.Error("both removal reasons should appear")
+	}
+}
+
+func TestLocateCPU(t *testing.T) {
+	in := install(t, mlframework.PyTorch, 0)
+	lib := in.Library("libtorch_cuda.so")
+	used := []string{lib.Funcs[1].Name, lib.Funcs[3].Name}
+	loc := LocateCPU(lib, used)
+	if loc.KeptFuncs != 2 {
+		t.Errorf("kept = %d, want 2", loc.KeptFuncs)
+	}
+	if loc.TotalFuncs != len(lib.Funcs) {
+		t.Error("total mismatch")
+	}
+	if loc.KeptBytes <= 0 || loc.KeptBytes >= loc.TotalBytes {
+		t.Errorf("kept bytes %d of %d implausible", loc.KeptBytes, loc.TotalBytes)
+	}
+}
+
+func TestCompactPreservesKeptKillsRest(t *testing.T) {
+	in := install(t, mlframework.PyTorch, 0)
+	lib := in.Library("libtorch_cuda.so")
+	usedFuncs := []string{lib.Funcs[0].Name}
+	usedKernels := []string{models.KernelName("softmax", "c10", models.Forward)}
+	cpuLoc := LocateCPU(lib, usedFuncs)
+	gpuLoc, err := LocateGPU(lib, usedKernels, []gpuarch.SM{gpuarch.SM75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Compact(lib, cpuLoc, gpuLoc)
+	if len(out) != len(lib.Data) {
+		t.Fatal("compaction must not change file size")
+	}
+	dl, err := elfx.Parse(lib.Name, out)
+	if err != nil {
+		t.Fatalf("debloated library no longer parses: %v", err)
+	}
+	// Kept function alive, others dead.
+	if !dl.FunctionAlive(dl.FindFunction(usedFuncs[0])) {
+		t.Error("kept function died")
+	}
+	dead := 0
+	for i := range dl.Funcs {
+		if !dl.FunctionAlive(&dl.Funcs[i]) {
+			dead++
+		}
+	}
+	if dead != len(dl.Funcs)-1 {
+		t.Errorf("dead functions = %d, want %d", dead, len(dl.Funcs)-1)
+	}
+	// Fatbin still parses; kept element intact; removed payloads zeroed.
+	fb, _, err := dl.Fatbin()
+	if err != nil {
+		t.Fatalf("debloated fatbin no longer parses: %v", err)
+	}
+	cubins := fatbin.ExtractCubins(fb)
+	if len(cubins) != 1 {
+		t.Fatalf("surviving cubins = %d, want 1", len(cubins))
+	}
+	for _, blob := range cubins {
+		c, err := cubin.Parse(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.FindKernel(usedKernels[0]) < 0 {
+			t.Error("kept cubin must contain the used kernel")
+		}
+		// The cubin's device-only children ride along (same-cubin invariant).
+		devOnly := 0
+		for _, k := range c.Kernels {
+			if k.DeviceOnly() {
+				devOnly++
+			}
+		}
+		if devOnly == 0 {
+			t.Error("device-only (GPU-launching) kernels must be retained with their cubin")
+		}
+	}
+	// Structure headers preserved byte-for-byte: region/element headers.
+	origFB, _, _ := lib.Fatbin()
+	if origFB.ElementCount() != fb.ElementCount() {
+		t.Errorf("element count changed: %d -> %d", origFB.ElementCount(), fb.ElementCount())
+	}
+}
+
+func TestDebloatEndToEnd(t *testing.T) {
+	w := mobilenetTrain(t)
+	res, err := Debloat(w, Options{MaxSteps: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("debloated workload must verify")
+	}
+	agg := res.Aggregate()
+	if agg.Libs != len(w.Install.LibNames) {
+		t.Errorf("libs = %d, want %d", agg.Libs, len(w.Install.LibNames))
+	}
+	// The paper's headline claims, as inequalities on our measurements.
+	if agg.CPUReductionPct() < 40 {
+		t.Errorf("CPU reduction %.1f%% too low", agg.CPUReductionPct())
+	}
+	if agg.GPUReductionPct() < 60 {
+		t.Errorf("GPU reduction %.1f%% too low", agg.GPUReductionPct())
+	}
+	if agg.FuncReductionPct() < 80 {
+		t.Errorf("function reduction %.1f%% too low", agg.FuncReductionPct())
+	}
+	if agg.ElemReductionPct() < 90 {
+		t.Errorf("element reduction %.1f%% too low", agg.ElemReductionPct())
+	}
+	if agg.FileReductionPct() < 30 {
+		t.Errorf("file reduction %.1f%% too low", agg.FileReductionPct())
+	}
+	// GPU code more bloated than CPU code.
+	if agg.GPUReductionPct() <= agg.CPUReductionPct()-10 {
+		t.Errorf("GPU reduction (%.1f%%) should rival or exceed CPU (%.1f%%)",
+			agg.GPUReductionPct(), agg.CPUReductionPct())
+	}
+	if res.EndToEnd <= res.DetectTime {
+		t.Error("end-to-end must include analysis time")
+	}
+	// Reason I dominates removals (Figure 7).
+	var archMis, noUsed int
+	for _, lr := range res.Libs {
+		archMis += lr.RemovedArchMismatch
+		noUsed += lr.RemovedNoUsedKernel
+	}
+	if archMis == 0 || noUsed == 0 {
+		t.Fatal("both removal reasons should appear")
+	}
+	frac := float64(archMis) / float64(archMis+noUsed)
+	if frac < 0.7 || frac > 0.97 {
+		t.Errorf("Reason I share = %.2f, want ~0.8-0.9", frac)
+	}
+}
+
+func TestDebloatedRunImprovesRuntime(t *testing.T) {
+	w := mobilenetTrain(t)
+	w.Graph = models.MobileNetV2(false, 1) // inference: load-dominated
+	res, err := Debloat(w, Options{MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := mlruntime.Run(w, mlruntime.Options{MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deb := res.VerifyResult
+	if deb.PeakCPUBytes >= orig.PeakCPUBytes {
+		t.Errorf("peak CPU should drop: %d -> %d", orig.PeakCPUBytes, deb.PeakCPUBytes)
+	}
+	if deb.PeakGPUBytes >= orig.PeakGPUBytes {
+		t.Errorf("peak GPU should drop: %d -> %d", orig.PeakGPUBytes, deb.PeakGPUBytes)
+	}
+	if deb.ExecTime >= orig.ExecTime {
+		t.Errorf("exec time should drop: %v -> %v", orig.ExecTime, deb.ExecTime)
+	}
+}
+
+func TestDebloatSkipVerify(t *testing.T) {
+	res, err := Debloat(mobilenetTrain(t), Options{MaxSteps: 5, SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified || res.VerifyResult != nil {
+		t.Error("verification should be skipped")
+	}
+	if res.Lib("libtorch_cuda.so") == nil {
+		t.Error("Lib lookup failed")
+	}
+	if res.Lib("nope") != nil {
+		t.Error("unknown lib should be nil")
+	}
+}
+
+func TestDetectionOverheadOrdering(t *testing.T) {
+	base, det, nsys, err := DetectionOverhead(mobilenetTrain(t), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base < det && det < nsys) {
+		t.Errorf("overhead ordering violated: base=%v detector=%v nsys=%v", base, det, nsys)
+	}
+}
+
+func TestPTXElementsRemoved(t *testing.T) {
+	// Hand-build a library with a PTX element to cover the PTX path.
+	b := elfx.NewBuilder("libptx.so")
+	b.AddFunction("f", 32)
+	c := cubin.New(gpuarch.SM75)
+	c.AddKernel(cubin.Kernel{Name: "k_fwd", Code: []byte{1, 2, 3}, Flags: cubin.FlagEntry})
+	blob, _ := c.Marshal()
+	fb := &fatbin.FatBin{}
+	r := fb.AddRegion()
+	r.AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: blob})
+	r.AddElement(fatbin.Element{Kind: fatbin.KindPTX, Arch: gpuarch.SM75, Payload: []byte(".ptx k")})
+	fbB, _ := fb.Marshal()
+	b.SetFatbin(fbB)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, _ := elfx.Parse("libptx.so", data)
+	loc, err := LocateGPU(lib, []string{"k_fwd"}, []gpuarch.SM{gpuarch.SM75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kept() != 1 {
+		t.Errorf("kept = %d, want 1 (cubin only)", loc.Kept())
+	}
+	if loc.RemovedBy(ReasonNoUsedKernel) != 1 {
+		t.Error("PTX element should be removed as Reason II")
+	}
+}
+
+func TestReportPercentages(t *testing.T) {
+	lr := &LibraryReport{
+		FileEffective: 1000, FileEffectiveAfter: 400,
+		CPUSize: 100, CPUSizeAfter: 30,
+		FuncCount: 10, FuncKept: 1,
+		GPUSize: 800, GPUSizeAfter: 200,
+		ElemCount: 50, ElemKept: 2,
+	}
+	if got := lr.FileReductionPct(); got != 60 {
+		t.Errorf("file reduction = %v", got)
+	}
+	if got := lr.CPUReductionPct(); got != 70 {
+		t.Errorf("cpu reduction = %v", got)
+	}
+	if got := lr.FuncReductionPct(); got != 90 {
+		t.Errorf("func reduction = %v", got)
+	}
+	if got := lr.GPUReductionPct(); got != 75 {
+		t.Errorf("gpu reduction = %v", got)
+	}
+	if got := lr.ElemReductionPct(); got != 96 {
+		t.Errorf("elem reduction = %v", got)
+	}
+	if lr.FileSavedBytes() != 600 {
+		t.Error("saved bytes wrong")
+	}
+	if !lr.HasGPU() {
+		t.Error("HasGPU wrong")
+	}
+	empty := &LibraryReport{}
+	if empty.FileReductionPct() != 0 || empty.HasGPU() {
+		t.Error("zero-value report should be inert")
+	}
+}

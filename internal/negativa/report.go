@@ -1,0 +1,80 @@
+package negativa
+
+// LibraryReport captures the before/after state of one shared library.
+// "Effective" sizes count non-zero bytes — the storage a zero-compacted
+// file actually occupies (DESIGN.md: the compactor zeroes ranges in place
+// to preserve addresses; sparse storage reclaims the zeroed blocks).
+type LibraryReport struct {
+	Name string
+
+	// FileSize is the original file size in bytes.
+	FileSize int64
+	// FileEffective / FileEffectiveAfter are non-zero byte counts before
+	// and after compaction.
+	FileEffective      int64
+	FileEffectiveAfter int64
+
+	// CPUSize is the .text section size; CPUSizeAfter its effective size
+	// after compaction.
+	CPUSize      int64
+	CPUSizeAfter int64
+	// FuncCount / FuncKept count symbol-table functions.
+	FuncCount int
+	FuncKept  int
+
+	// GPUSize is the .nv_fatbin section size; GPUSizeAfter its effective
+	// size after compaction.
+	GPUSize      int64
+	GPUSizeAfter int64
+	// ElemCount / ElemKept count fatbin elements.
+	ElemCount int
+	ElemKept  int
+	// RemovedArchMismatch / RemovedNoUsedKernel split removed elements by
+	// reason (Figure 7).
+	RemovedArchMismatch int
+	RemovedNoUsedKernel int
+
+	// UsedFuncs / UsedKernels are what the profile attributed to this
+	// library (inputs to the Table 4 Jaccard analysis).
+	UsedFuncs   []string
+	UsedKernels []string
+
+	// Debloated is the compacted library image.
+	Debloated []byte
+}
+
+func pct(before, after int64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return 100 * float64(before-after) / float64(before)
+}
+
+// FileReductionPct is the effective file-size reduction percentage.
+func (r *LibraryReport) FileReductionPct() float64 {
+	return pct(r.FileEffective, r.FileEffectiveAfter)
+}
+
+// FileSavedBytes is the absolute effective file-size saving.
+func (r *LibraryReport) FileSavedBytes() int64 {
+	return r.FileEffective - r.FileEffectiveAfter
+}
+
+// CPUReductionPct is the CPU-code size reduction percentage.
+func (r *LibraryReport) CPUReductionPct() float64 { return pct(r.CPUSize, r.CPUSizeAfter) }
+
+// FuncReductionPct is the function-count reduction percentage.
+func (r *LibraryReport) FuncReductionPct() float64 {
+	return pct(int64(r.FuncCount), int64(r.FuncKept))
+}
+
+// GPUReductionPct is the GPU-code size reduction percentage.
+func (r *LibraryReport) GPUReductionPct() float64 { return pct(r.GPUSize, r.GPUSizeAfter) }
+
+// ElemReductionPct is the element-count reduction percentage.
+func (r *LibraryReport) ElemReductionPct() float64 {
+	return pct(int64(r.ElemCount), int64(r.ElemKept))
+}
+
+// HasGPU reports whether the library carries GPU code.
+func (r *LibraryReport) HasGPU() bool { return r.GPUSize > 0 }

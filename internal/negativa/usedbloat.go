@@ -1,0 +1,100 @@
+package negativa
+
+import (
+	"sort"
+
+	"negativaml/internal/mlruntime"
+)
+
+// This file implements the paper's §5 "used bloat" discussion as a working
+// analysis: code that *is* executed but does not contribute to the steady-
+// state computation — e.g. an optimizer initializing a context through
+// thousands of one-shot calls. Such code is invisible to usage-based
+// debloaters (it is used!), which the paper identifies as the reason
+// TensorFlow's CPU code reduces so much less than PyTorch's. The analyzer
+// splits the used-function set by run phase: functions called only during
+// framework initialization are used-bloat *candidates*; functions that the
+// step loop touches are steady-state.
+
+// UsedBloatReport classifies one workload's used CPU functions.
+type UsedBloatReport struct {
+	Workload string
+	// InitOnly maps library -> functions called during initialization and
+	// never again (used-bloat candidates).
+	InitOnly map[string][]string
+	// SteadyState maps library -> functions the step loop executes.
+	SteadyState map[string][]string
+}
+
+// InitOnlyCount returns the total number of used-bloat candidates.
+func (r *UsedBloatReport) InitOnlyCount() int {
+	n := 0
+	for _, fs := range r.InitOnly {
+		n += len(fs)
+	}
+	return n
+}
+
+// SteadyStateCount returns the total number of steady-state functions.
+func (r *UsedBloatReport) SteadyStateCount() int {
+	n := 0
+	for _, fs := range r.SteadyState {
+		n += len(fs)
+	}
+	return n
+}
+
+// InitOnlyFraction returns the used-bloat candidate share of all used
+// functions (the paper predicts this is much larger for TensorFlow).
+func (r *UsedBloatReport) InitOnlyFraction() float64 {
+	total := r.InitOnlyCount() + r.SteadyStateCount()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.InitOnlyCount()) / float64(total)
+}
+
+// AnalyzeUsedBloat runs the workload once with a phase-aware function
+// profiler and classifies every used function as init-only or steady-state.
+func AnalyzeUsedBloat(w mlruntime.Workload, maxSteps int) (*UsedBloatReport, error) {
+	type key struct{ lib, fn string }
+	phase := "init"
+	initSeen := make(map[key]bool)
+	stepSeen := make(map[key]bool)
+
+	_, err := mlruntime.Run(w, mlruntime.Options{
+		MaxSteps:  maxSteps,
+		PhaseHook: func(p string) { phase = p },
+		FuncHook: func(lib, fn string) {
+			k := key{lib, fn}
+			if phase == "init" {
+				initSeen[k] = true
+			} else {
+				stepSeen[k] = true
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &UsedBloatReport{
+		Workload:    w.Name,
+		InitOnly:    make(map[string][]string),
+		SteadyState: make(map[string][]string),
+	}
+	for k := range initSeen {
+		if !stepSeen[k] {
+			rep.InitOnly[k.lib] = append(rep.InitOnly[k.lib], k.fn)
+		}
+	}
+	for k := range stepSeen {
+		rep.SteadyState[k.lib] = append(rep.SteadyState[k.lib], k.fn)
+	}
+	for _, m := range []map[string][]string{rep.InitOnly, rep.SteadyState} {
+		for _, fs := range m {
+			sort.Strings(fs)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,127 @@
+// Package trace provides the two tracing tools compared in the paper:
+// the lightweight kernel detector hook (Negativa-ML's detection phase,
+// §3.1) and an NSys-like full tracer baseline (§4.6).
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/cupti"
+)
+
+// KernelDetector records the names of CPU-launching kernels by hooking
+// cuModuleGetFunction. Because that driver function runs once per kernel no
+// matter how many times the kernel is launched, the detector's record cost
+// is paid once per kernel, not once per launch.
+type KernelDetector struct {
+	sub  *cupti.Subscriber
+	used map[string]map[string]bool // library -> kernel set
+}
+
+// DetectorCosts returns the cost profile of the detector's CUPTI
+// subscription: moderate interposition cost on every driver call (CUPTI
+// instruments the driver API as a whole) plus a small per-record cost.
+func DetectorCosts() (instrumentation, perRecord time.Duration) {
+	return 36 * time.Microsecond, 8 * time.Microsecond
+}
+
+// AttachDetector subscribes a new kernel detector to the driver.
+func AttachDetector(d *cudasim.Driver) *KernelDetector {
+	instr, rec := DetectorCosts()
+	kd := &KernelDetector{
+		sub: &cupti.Subscriber{
+			Name:                "negativa-ml-kernel-detector",
+			InstrumentationCost: instr,
+			PerRecordCost:       rec,
+		},
+		used: make(map[string]map[string]bool),
+	}
+	kd.sub.EnableCallback(cupti.CBIDModuleGetFunction)
+	d.Hooks.Subscribe(kd.sub, func(data *cupti.CallbackData) {
+		set := kd.used[data.Module]
+		if set == nil {
+			set = make(map[string]bool)
+			kd.used[data.Module] = set
+		}
+		set[data.Kernel] = true
+	})
+	return kd
+}
+
+// Detach removes the detector's hook from the driver.
+func (kd *KernelDetector) Detach(d *cudasim.Driver) { d.Hooks.Unsubscribe(kd.sub) }
+
+// UsedKernels returns the sorted kernel names recorded for a library.
+func (kd *KernelDetector) UsedKernels(library string) []string {
+	return sortedKeys(kd.used[library])
+}
+
+// Libraries returns the sorted names of libraries that launched kernels.
+func (kd *KernelDetector) Libraries() []string {
+	return sortedKeys2(kd.used)
+}
+
+// AllUsed returns a copy of the full library -> kernels mapping.
+func (kd *KernelDetector) AllUsed() map[string][]string {
+	out := make(map[string][]string, len(kd.used))
+	for lib, set := range kd.used {
+		out[lib] = sortedKeys(set)
+	}
+	return out
+}
+
+// NSysTracer models a full profiling tracer: it records every kernel launch
+// (and module load) with a comparatively heavy per-record cost, matching the
+// `nsys profile --trace=cuda` setup in the paper's appendix.
+type NSysTracer struct {
+	sub     *cupti.Subscriber
+	Records int64
+}
+
+// NSysCosts returns the cost profile of the full tracer.
+func NSysCosts() (instrumentation, perRecord time.Duration) {
+	return 40 * time.Microsecond, 72 * time.Microsecond
+}
+
+// AttachNSys subscribes an NSys-like tracer to the driver.
+func AttachNSys(d *cudasim.Driver) *NSysTracer {
+	instr, rec := NSysCosts()
+	tr := &NSysTracer{
+		sub: &cupti.Subscriber{
+			Name:                "nsys",
+			InstrumentationCost: instr,
+			PerRecordCost:       rec,
+		},
+	}
+	tr.sub.EnableCallback(cupti.CBIDLaunchKernel)
+	tr.sub.EnableCallback(cupti.CBIDModuleLoad)
+	tr.sub.EnableCallback(cupti.CBIDMemAlloc)
+	tr.sub.EnableCallback(cupti.CBIDMemFree)
+	d.Hooks.Subscribe(tr.sub, func(data *cupti.CallbackData) {
+		tr.Records++
+	})
+	return tr
+}
+
+// Detach removes the tracer's hook from the driver.
+func (tr *NSysTracer) Detach(d *cudasim.Driver) { d.Hooks.Unsubscribe(tr.sub) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

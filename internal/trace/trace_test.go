@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/cudasim"
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/gpuarch"
+)
+
+func buildLib(t *testing.T, name string, kernels ...string) *elfx.Library {
+	t.Helper()
+	b := elfx.NewBuilder(name)
+	b.AddFunction("host", 32)
+	fb := &fatbin.FatBin{}
+	reg := fb.AddRegion()
+	for _, k := range kernels {
+		c := cubin.New(gpuarch.SM75)
+		c.AddKernel(cubin.Kernel{Name: k, Code: bytes.Repeat([]byte{0x90}, 64), Flags: cubin.FlagEntry})
+		blob, err := c.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: blob})
+	}
+	fbb, err := fb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetFatbin(fbb)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := elfx.Parse(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func runWorkload(d *cudasim.Driver, m *cudasim.Module, launches map[string]int, t *testing.T) {
+	t.Helper()
+	for name, n := range launches {
+		fn, err := m.GetFunction(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := d.Launch(fn); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDetectorRecordsUsedKernelsOnce(t *testing.T) {
+	lib := buildLib(t, "libtorch_cuda.so", "matmul", "conv", "relu")
+	d := cudasim.NewDefault()
+	ctx := d.NewContext(gpuarch.T4, cudasim.EagerLoading)
+	kd := AttachDetector(d)
+	m, err := ctx.LoadModule(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload(d, m, map[string]int{"matmul": 100, "conv": 3}, t)
+
+	got := kd.UsedKernels("libtorch_cuda.so")
+	want := []string{"conv", "matmul"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("used = %v, want %v", got, want)
+	}
+	if libs := kd.Libraries(); len(libs) != 1 || libs[0] != "libtorch_cuda.so" {
+		t.Errorf("libraries = %v", libs)
+	}
+	all := kd.AllUsed()
+	if !reflect.DeepEqual(all["libtorch_cuda.so"], want) {
+		t.Errorf("AllUsed = %v", all)
+	}
+	// relu never launched → not recorded.
+	for _, k := range got {
+		if k == "relu" {
+			t.Error("relu should not be recorded")
+		}
+	}
+}
+
+func TestDetectorOverheadBelowNSys(t *testing.T) {
+	run := func(attach func(*cudasim.Driver) func()) int64 {
+		lib := buildLib(t, "lib.so", "matmul", "conv")
+		d := cudasim.NewDefault()
+		ctx := d.NewContext(gpuarch.T4, cudasim.EagerLoading)
+		detach := attach(d)
+		m, _ := ctx.LoadModule(lib)
+		runWorkload(d, m, map[string]int{"matmul": 2000, "conv": 2000}, t)
+		detach()
+		return int64(d.Clock.Now())
+	}
+
+	base := run(func(d *cudasim.Driver) func() { return func() {} })
+	det := run(func(d *cudasim.Driver) func() {
+		kd := AttachDetector(d)
+		return func() { kd.Detach(d) }
+	})
+	nsys := run(func(d *cudasim.Driver) func() {
+		tr := AttachNSys(d)
+		return func() { tr.Detach(d) }
+	})
+
+	if det <= base {
+		t.Error("detector should add overhead")
+	}
+	if nsys <= det {
+		t.Errorf("NSys overhead (%d) must exceed detector overhead (%d)", nsys-base, det-base)
+	}
+	// The gap should be substantial: NSys pays per launch, detector per kernel.
+	if float64(nsys-base) < 2*float64(det-base) {
+		t.Errorf("NSys overhead %d should be at least 2x detector overhead %d", nsys-base, det-base)
+	}
+}
+
+func TestNSysRecordsEveryLaunch(t *testing.T) {
+	lib := buildLib(t, "lib.so", "matmul")
+	d := cudasim.NewDefault()
+	ctx := d.NewContext(gpuarch.T4, cudasim.EagerLoading)
+	tr := AttachNSys(d)
+	m, _ := ctx.LoadModule(lib)
+	runWorkload(d, m, map[string]int{"matmul": 50}, t)
+	// 50 launches + 1 module load.
+	if tr.Records != 51 {
+		t.Errorf("records = %d, want 51", tr.Records)
+	}
+}
+
+func TestDetachStopsRecording(t *testing.T) {
+	lib := buildLib(t, "lib.so", "matmul", "conv")
+	d := cudasim.NewDefault()
+	ctx := d.NewContext(gpuarch.T4, cudasim.EagerLoading)
+	kd := AttachDetector(d)
+	m, _ := ctx.LoadModule(lib)
+	runWorkload(d, m, map[string]int{"matmul": 1}, t)
+	kd.Detach(d)
+	runWorkload(d, m, map[string]int{"conv": 1}, t)
+	got := kd.UsedKernels("lib.so")
+	if !reflect.DeepEqual(got, []string{"matmul"}) {
+		t.Errorf("after detach, used = %v, want [matmul]", got)
+	}
+}
+
+func TestDetectorEmptyLibrary(t *testing.T) {
+	kd := &KernelDetector{used: map[string]map[string]bool{}}
+	if ks := kd.UsedKernels("none"); len(ks) != 0 {
+		t.Errorf("unknown library should have no kernels, got %v", ks)
+	}
+}

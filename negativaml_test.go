@@ -1,0 +1,81 @@
+package negativaml
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade must support the full quickstart flow from the package docs.
+func TestFacadeQuickstart(t *testing.T) {
+	install, err := GenerateInstall(PyTorch, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		Name:           "PyTorch/Inference/MobileNetV2",
+		Install:        install,
+		Graph:          MobileNetV2(false, 1),
+		Devices:        []Device{T4},
+		Mode:           EagerLoading,
+		Data:           CIFAR10,
+		PerItemCompute: 50 * time.Millisecond,
+	}
+	run, err := RunWorkload(w, RunOptions{MaxSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Digest == 0 || run.ExecTime <= 0 {
+		t.Fatalf("empty run result: %+v", run)
+	}
+
+	profile, err := DetectUsage(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile.UsedKernels) == 0 {
+		t.Fatal("no kernels detected")
+	}
+
+	res, err := Debloat(w, DebloatOptions{MaxSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("debloated workload failed verification")
+	}
+	agg := res.Aggregate()
+	if agg.GPUReductionPct() <= 0 || agg.CPUReductionPct() <= 0 {
+		t.Errorf("no reduction measured: %+v", agg)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if g := Transformer(true, 128); !g.Train || g.Batch != 128 {
+		t.Error("Transformer facade broken")
+	}
+	if g := Llama2(true, 8); g.Model != "Llama2" {
+		t.Error("Llama2 facade broken")
+	}
+	for _, d := range []Device{T4, A100, H100} {
+		if d.MemBytes <= 0 {
+			t.Errorf("%s: bad device", d.Name)
+		}
+	}
+	for _, ds := range []Dataset{CIFAR10, Multi30k, WMT14, ManualInput} {
+		if ds.Name == "" {
+			t.Error("bad dataset")
+		}
+	}
+}
+
+func TestFacadeFrameworks(t *testing.T) {
+	for _, fw := range []string{PyTorch, TensorFlow, VLLM, HFTransformers} {
+		in, err := GenerateInstall(fw, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", fw, err)
+		}
+		if len(in.LibNames) == 0 {
+			t.Errorf("%s: empty install", fw)
+		}
+	}
+}
