@@ -10,11 +10,25 @@ package negativaml
 // cmd/experiments; EXPERIMENTS.md records paper-vs-measured per cell.
 
 import (
+	"flag"
 	"sync"
 	"testing"
+	"time"
 
+	"negativaml/internal/dserve"
 	"negativaml/internal/experiments"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
 )
+
+// benchJSON enables the machine-readable benchmark mode:
+//
+//	go test -run TestBenchServeJSON -bench.json BENCH_serve.json
+//
+// writes key end-to-end timings (serve batch wall times cold/warm,
+// serial vs parallel, and the virtual Table 8 headline) so future PRs
+// have a perf trajectory.
+var benchJSON = flag.String("bench.json", "", "write end-to-end serve timings to this JSON file")
 
 // The suite caches installs and pipeline results across benchmarks, exactly
 // as the paper reuses one profiled run per workload across its tables.
@@ -262,4 +276,77 @@ func BenchmarkUsedBloat(b *testing.B) {
 		b.ReportMetric(float64(rows[1].InitOnly), "tf-init-only-funcs")
 		b.ReportMetric(100*rows[1].Fraction, "tf-usedbloat-%")
 	}
+}
+
+// TestBenchServeJSON emits the batch-serve perf trajectory when -bench.json
+// is set (skipped otherwise): wall times for a cold 4-workload batch at 1
+// worker and at full width, a warm repeat (registry + cache absorbing all
+// work), and the batch's virtual end-to-end debloating time.
+func TestBenchServeJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("-bench.json not set")
+	}
+
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []dserve.WorkloadSpec{
+		{Model: "MobileNetV2", Batch: 1},
+		{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+		{Model: "Transformer", Batch: 32, Device: "A100"},
+		{Model: "Transformer", Train: true, Batch: 128, Epochs: 1},
+	}
+	workloads := func() []mlruntime.Workload {
+		ws := make([]mlruntime.Workload, len(specs))
+		for i, sp := range specs {
+			w, err := sp.Workload(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws[i] = w
+		}
+		return ws
+	}
+
+	batch := func(workers int, svc *dserve.Service) (*dserve.BatchResult, time.Duration) {
+		if svc == nil {
+			svc = dserve.NewService(dserve.Config{Workers: workers, MaxSteps: 4})
+			defer svc.Close()
+		}
+		start := time.Now()
+		res, err := svc.DebloatBatch(in, workloads(), dserve.BatchOptions{MaxSteps: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllVerified() {
+			t.Fatal("batch must verify")
+		}
+		return res, time.Since(start)
+	}
+
+	_, serialWall := batch(1, nil)
+	svc := dserve.NewService(dserve.Config{MaxSteps: 4})
+	defer svc.Close()
+	cold, coldWall := batch(0, svc)
+	warm, warmWall := batch(0, svc)
+	if warm.CacheHits == 0 || warm.ProfileReuses != len(specs) {
+		t.Fatalf("warm batch should be fully reused: hits=%d reuses=%d", warm.CacheHits, warm.ProfileReuses)
+	}
+
+	entries := []experiments.BenchEntry{
+		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/warm/parallel-wall", Value: warmWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/virtual-end-to-end", Value: cold.EndToEnd().Seconds(), Unit: "s"},
+		{Name: "serve/batch4/virtual-detect", Value: cold.DetectTime.Seconds(), Unit: "s"},
+		{Name: "serve/batch4/virtual-analysis", Value: cold.AnalysisTime.Seconds(), Unit: "s"},
+		{Name: "serve/batch4/warm/cache-hits", Value: float64(warm.CacheHits), Unit: "count"},
+		{Name: "serve/batch4/libs", Value: float64(len(cold.Libs)), Unit: "count"},
+	}
+	if err := experiments.WriteBenchJSON(*benchJSON, entries); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d entries to %s (cold serial %v, cold parallel %v, warm %v)",
+		len(entries), *benchJSON, serialWall.Round(time.Millisecond), coldWall.Round(time.Millisecond), warmWall.Round(time.Millisecond))
 }

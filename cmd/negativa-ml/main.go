@@ -10,6 +10,8 @@
 // The tool profiles the workload (kernel detector + CPU-function profiler),
 // locates used code in every library, compacts, verifies the debloated
 // install by re-running the workload, and prints a per-library report.
+// Per-library locate/compact runs on the batch service's bounded worker
+// pool; -jobs N sets the worker count (default: all CPUs).
 package main
 
 import (
@@ -18,15 +20,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
-	"negativaml/internal/cudasim"
-	"negativaml/internal/dataset"
-	"negativaml/internal/gpuarch"
+	"negativaml/internal/dserve"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
-	"negativaml/internal/models"
-	"negativaml/internal/negativa"
 )
 
 func main() {
@@ -39,6 +38,7 @@ func main() {
 	ranks := flag.Int("gpus", 1, "number of GPUs (tensor parallel for LLMs)")
 	lazy := flag.Bool("lazy", false, "use lazy kernel loading")
 	steps := flag.Int("steps", 50, "max profiled steps (0 = full dataset)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent locate/compact and verification workers")
 	out := flag.String("out", "", "output directory for debloated libraries")
 	flag.Parse()
 	if *installDir == "" {
@@ -49,53 +49,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("negativa-ml: %v", err)
 	}
-	dev, err := gpuarch.ByName(*device)
+
+	// Model/dataset/device materialization is the batch service's
+	// (one implementation shared with cmd/negativa-served job specs).
+	spec := dserve.WorkloadSpec{
+		Model:  *model,
+		Train:  *train,
+		Batch:  *batch,
+		Epochs: *epochs,
+		Device: *device,
+		GPUs:   *ranks,
+		Lazy:   *lazy,
+	}
+	w, err := spec.Workload(install)
 	if err != nil {
 		log.Fatalf("negativa-ml: %v", err)
 	}
-	devices := make([]gpuarch.Device, *ranks)
-	for i := range devices {
-		devices[i] = dev
-	}
+	w.Name = fmt.Sprintf("%s/%s/%s", install.Framework, w.Graph.Mode(), *model)
 
-	var graph *models.Graph
-	var data dataset.Dataset
-	switch *model {
-	case "MobileNetV2":
-		graph, data = models.MobileNetV2(*train, *batch), dataset.CIFAR10
-	case "Transformer":
-		graph, data = models.Transformer(*train, *batch), dataset.Multi30k
-	case "Llama2":
-		graph = models.LLM(models.Llama2(install.Framework == mlframework.VLLM, *ranks))
-		data = dataset.ManualInput
-	default:
-		log.Fatalf("negativa-ml: unknown model %q", *model)
+	// Route through the batch service's bounded worker-pool executor:
+	// locate/compact fan out across -jobs goroutines per library.
+	maxSteps := *steps
+	if maxSteps == 0 {
+		maxSteps = -1 // BatchOptions: negative = full dataset
 	}
-
-	mode := cudasim.EagerLoading
-	if *lazy {
-		mode = cudasim.LazyLoading
-	}
-	w := mlruntime.Workload{
-		Name:           fmt.Sprintf("%s/%s/%s", install.Framework, graph.Mode(), *model),
-		Install:        install,
-		Graph:          graph,
-		Devices:        devices,
-		Mode:           mode,
-		Data:           data,
-		Epochs:         *epochs,
-		PerItemCompute: time.Millisecond,
-	}
+	svc := dserve.NewService(dserve.Config{Workers: *jobs})
+	defer svc.Close()
 
 	start := time.Now()
-	res, err := negativa.Debloat(w, negativa.Options{MaxSteps: *steps})
+	res, err := svc.DebloatBatch(install, []mlruntime.Workload{w}, dserve.BatchOptions{MaxSteps: maxSteps})
 	if err != nil {
 		log.Fatalf("negativa-ml: %v", err)
 	}
 
 	agg := res.Aggregate()
 	fmt.Printf("workload: %s\n", w.Name)
-	fmt.Printf("libraries: %d  verified: %v  wall time: %v\n", agg.Libs, res.Verified, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("libraries: %d  verified: %v  jobs: %d  wall time: %v\n", agg.Libs, res.AllVerified(), svc.Workers(), time.Since(start).Round(time.Millisecond))
 	fmt.Printf("total size:  %8.0f KB  -> %8.0f KB  (-%.0f%%)\n",
 		float64(agg.FileEffective)/1024, float64(agg.FileEffectiveAfter)/1024, agg.FileReductionPct())
 	fmt.Printf("CPU code:    %8.0f KB  -> %8.0f KB  (-%.0f%%)   functions %d -> %d (-%.0f%%)\n",
@@ -105,7 +94,7 @@ func main() {
 		float64(agg.GPUSize)/1024, float64(agg.GPUSizeAfter)/1024, agg.GPUReductionPct(),
 		agg.Elems, agg.ElemsKept, agg.ElemReductionPct())
 	fmt.Printf("virtual end-to-end debloating time: %.0f s (detect %.0f s + analyze %.0f s)\n",
-		res.EndToEnd.Seconds(), res.DetectTime.Seconds(), res.AnalysisTime.Seconds())
+		res.EndToEnd().Seconds(), res.DetectTime.Seconds(), res.AnalysisTime.Seconds())
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -1,0 +1,87 @@
+// Command negativa-served runs the batch-debloat service: an HTTP/JSON
+// front end over internal/dserve that union-debloats one framework install
+// against many workloads per job, reuses detection profiles across jobs,
+// and caches per-library locate/compact results content-addressed.
+//
+// Usage:
+//
+//	negativa-served -addr :8080 -workers 8 -cache-entries 4096 -steps 4
+//
+// Endpoints:
+//
+//	POST /v1/jobs                   submit a batch job
+//	GET  /v1/jobs                   list jobs
+//	GET  /v1/jobs/{id}              job status
+//	GET  /v1/jobs/{id}/report       full report of a completed job
+//	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
+//	GET  /v1/metrics                counters, cache stats, timings
+//
+// Example job body:
+//
+//	{
+//	  "framework": "pytorch", "tail_libs": 20, "max_steps": 4,
+//	  "workloads": [
+//	    {"model": "MobileNetV2", "batch": 1},
+//	    {"model": "MobileNetV2", "train": true, "batch": 16},
+//	    {"model": "Transformer", "batch": 32, "device": "A100"},
+//	    {"model": "Transformer", "train": true, "batch": 128}
+//	  ]
+//	}
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// requests, and waits for running jobs before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"negativaml/internal/dserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent tasks across all jobs")
+	cacheEntries := flag.Int("cache-entries", 4096, "content-addressed result cache bound")
+	steps := flag.Int("steps", 4, "default detection/verification step cap for jobs")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	svc := dserve.NewService(dserve.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		MaxSteps:     *steps,
+	})
+	srv := &http.Server{Addr: *addr, Handler: dserve.NewHandler(svc)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("negativa-served: listening on %s (%d workers, %d cache entries)", *addr, svc.Workers(), *cacheEntries)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("negativa-served: %v", err)
+	case s := <-sig:
+		log.Printf("negativa-served: %v: draining for up to %v", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("negativa-served: shutdown: %v", err)
+	}
+	svc.Close() // wait for running jobs
+	log.Printf("negativa-served: done (%d jobs completed)", svc.Counters.Get("jobs.completed"))
+}

@@ -1,0 +1,134 @@
+// Example batch-serve drives the batch-debloat service over its real HTTP
+// API: it starts negativa-served's handler on a loopback listener, submits
+// a four-workload batch over one PyTorch install, polls to completion,
+// prints the union-debloat report, then resubmits the same job to show the
+// profile registry and content-addressed cache absorbing all the work.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"negativaml/internal/dserve"
+)
+
+func main() {
+	svc := dserve.NewService(dserve.Config{Workers: 8, MaxSteps: 4})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, dserve.NewHandler(svc))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("batch-debloat service on %s\n\n", base)
+
+	req := dserve.JobRequest{
+		Framework: "pytorch",
+		TailLibs:  20,
+		Workloads: []dserve.WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+			{Model: "Transformer", Batch: 32, Device: "A100"},
+			{Model: "Transformer", Train: true, Batch: 128, Epochs: 1},
+		},
+		MaxSteps: 4,
+	}
+
+	run := func(label string) {
+		id := submit(base, req)
+		st := poll(base, id)
+		if st.State != "done" {
+			log.Fatalf("%s: job %s: %s (%s)", label, id, st.State, st.Error)
+		}
+		var rep map[string]any
+		getJSON(base+"/v1/jobs/"+id+"/report", &rep)
+		totals := rep["totals"].(map[string]any)
+		fmt.Printf("%s: job %s\n", label, id)
+		fmt.Printf("  union: %v\n", rep["union_workload"])
+		fmt.Printf("  libraries: %.0f  file reduction: %.0f%%  cache hits/misses: %.0f/%.0f  profile reuses: %.0f\n",
+			totals["libs"], totals["file_red_pct"], rep["cache_hits"], rep["cache_misses"], rep["profile_reuses"])
+		fmt.Printf("  virtual end-to-end: %.0f s  wall: %.0f ms\n",
+			rep["end_to_end_virtual_ms"].(float64)/1000, rep["wall_ms"])
+		for _, w := range rep["workloads"].([]any) {
+			wm := w.(map[string]any)
+			fmt.Printf("    %-42v verified=%v reused=%v\n", wm["name"], wm["verified"], wm["profile_reused"])
+		}
+		fmt.Println()
+	}
+
+	run("cold batch")
+	run("repeat batch")
+
+	var m map[string]any
+	getJSON(base+"/v1/metrics", &m)
+	out, _ := json.MarshalIndent(m["counters"], "", "  ")
+	fmt.Printf("service counters:\n%s\n", out)
+}
+
+func submit(base string, req dserve.JobRequest) string {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit rejected: %s: %s", resp.Status, raw)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		log.Fatal(err)
+	}
+	return st.ID
+}
+
+type status struct {
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func poll(base, id string) status {
+	for {
+		var st status
+		getJSON(base+"/v1/jobs/"+id, &st)
+		if st.State == "done" || st.State == "failed" {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module negativaml
+
+go 1.22

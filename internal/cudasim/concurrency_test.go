@@ -1,0 +1,111 @@
+package cudasim
+
+// Goroutine-safety contract the batch service (internal/dserve) relies on:
+// a Driver and its Contexts/Modules are confined to one goroutine (each
+// workload run constructs its own driver), while *elfx.Library values are
+// immutable after parsing and may be shared read-only by any number of
+// concurrently running drivers. These tests exercise that contract under
+// the race detector (go test -race ./internal/cudasim/...).
+
+import (
+	"sync"
+	"testing"
+
+	"negativaml/internal/gpuarch"
+)
+
+// TestConcurrentDriversSharedLibrary runs many independent drivers against
+// one shared parsed library — the exact sharing pattern of a batch job,
+// where every member workload's detection and verification runs load
+// modules from the same install concurrently.
+func TestConcurrentDriversSharedLibrary(t *testing.T) {
+	lib := buildLib(t, "libshared.so", gpuarch.SM75, gpuarch.SM80, gpuarch.SM90)
+
+	const goroutines = 16
+	type outcome struct {
+		loadedBytes int64
+		launches    int64
+	}
+	results := make([]outcome, goroutines)
+	errs := make([]error, goroutines)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := NewDefault()
+			mode := EagerLoading
+			if g%2 == 1 {
+				mode = LazyLoading
+			}
+			ctx := d.NewContext(gpuarch.T4, mode)
+			m, err := ctx.LoadModule(lib)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := 0; i < 8; i++ {
+				fn, err := m.GetFunction("matmul")
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if err := d.Launch(fn); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+			results[g] = outcome{loadedBytes: m.LoadedGPUBytes(), launches: d.KernelLaunch}
+		}(g)
+	}
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g, r := range results {
+		if r.launches != 8 {
+			t.Errorf("goroutine %d: launches = %d, want 8", g, r.launches)
+		}
+		// Eager loads both sm_75 cubins (350 bytes); lazy only matmul's (150).
+		want := int64(350)
+		if g%2 == 1 {
+			want = 150
+		}
+		if r.loadedBytes != want {
+			t.Errorf("goroutine %d: loaded GPU bytes = %d, want %d", g, r.loadedBytes, want)
+		}
+	}
+}
+
+// TestConcurrentModuleLoadsSameContextSerialized documents the other half of
+// the contract: operations on one driver must not be issued from multiple
+// goroutines without external serialization. The batch service never does
+// this — it is listed here as the boundary of the guarantee, with the
+// supported pattern (driver per goroutine) asserted above.
+func TestConcurrentModuleLoadsSameContextSerialized(t *testing.T) {
+	lib := buildLib(t, "libserial.so", gpuarch.SM75)
+	d := NewDefault()
+	ctx := d.NewContext(gpuarch.T4, EagerLoading)
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			if _, err := ctx.LoadModule(lib); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(ctx.Modules()); got != 4 {
+		t.Errorf("modules = %d, want 4", got)
+	}
+}

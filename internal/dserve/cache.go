@@ -1,0 +1,161 @@
+package dserve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+
+	"negativaml/internal/elfx"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/metrics"
+	"negativaml/internal/negativa"
+)
+
+// libDigests memoizes each library's content hash per *elfx.Library —
+// libraries are immutable after parsing (the package's concurrency
+// contract), so warm batches need not re-hash full library bytes on every
+// CacheKey computation.
+var libDigests = newBoundedMemo(4096)
+
+func libDigest(lib *elfx.Library) [sha256.Size]byte {
+	return libDigests.get(lib, func() any { return sha256.Sum256(lib.Data) }).([sha256.Size]byte)
+}
+
+// CacheKey derives the content address of one locate+compact computation:
+// SHA-256 over the library's content digest, the used CPU-function and
+// kernel sets, and the target architectures (canonicalized by sorting).
+// The library name is deliberately excluded — identical libraries shared
+// across installs (the dependency tail) hit the cache no matter which
+// install or job they arrive through; hits re-label the report with the
+// requesting library's name.
+func CacheKey(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) string {
+	h := sha256.New()
+	d := libDigest(lib)
+	h.Write(d[:])
+	sep := []byte{0}
+	writeList := func(tag byte, items []string) {
+		h.Write([]byte{0xff, tag})
+		for _, s := range items {
+			h.Write([]byte(s))
+			h.Write(sep)
+		}
+	}
+	// Used-symbol sets arrive sorted from DetectUsage/MergeProfiles; sorting
+	// is their canonical form, so the hash is order-independent by contract.
+	writeList(1, usedFuncs)
+	writeList(2, usedKernels)
+	// Architectures only influence fatbin element retention; for CPU-only
+	// libraries (the dependency tail) the result is arch-independent, so
+	// excluding archs lets heterogeneous-device batches share tail entries.
+	if _, hasFB := lib.FatbinRange(); hasFB {
+		sorted := append([]gpuarch.SM(nil), archs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		h.Write([]byte{0xff, 3})
+		var b [4]byte
+		for _, a := range sorted {
+			binary.LittleEndian.PutUint32(b[:], uint32(a))
+			h.Write(b[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ResultCache is the content-addressed locate+compact cache with LRU
+// eviction. Stored values are immutable: hits hand out the shared report
+// and compacted image, which callers must treat as read-only. Concurrent
+// misses on the same key may compute the result twice; both Puts store
+// identical content, so the race is benign.
+type ResultCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*list.Element
+	lru      list.List // front = most recently used
+	hits     int64
+	misses   int64
+	evicted  int64
+	counters *metrics.CounterSet
+}
+
+type cacheEntry struct {
+	key string
+	ld  *negativa.LibDebloat
+}
+
+// NewResultCache returns a cache bounded to max entries (max < 1 is treated
+// as 1). counters, when non-nil, mirrors cache.hits / cache.misses /
+// cache.evictions for the service metrics endpoint.
+func NewResultCache(max int, counters *metrics.CounterSet) *ResultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &ResultCache{
+		max:      max,
+		entries:  map[string]*list.Element{},
+		counters: counters,
+	}
+}
+
+func (c *ResultCache) count(name string, p *int64) {
+	*p++
+	if c.counters != nil {
+		c.counters.Add(name, 1)
+	}
+}
+
+// Get returns the cached result for the key, refreshing its recency.
+func (c *ResultCache) Get(key string) (*negativa.LibDebloat, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.count("cache.misses", &c.misses)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.count("cache.hits", &c.hits)
+	return el.Value.(*cacheEntry).ld, true
+}
+
+// Put stores a result, evicting least-recently-used entries beyond the
+// bound. Re-putting an existing key refreshes its recency.
+func (c *ResultCache) Put(key string, ld *negativa.LibDebloat) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).ld = ld
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, ld: ld})
+	for len(c.entries) > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.count("cache.evictions", &c.evicted)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of cache effectiveness.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Evictions: c.evicted}
+}

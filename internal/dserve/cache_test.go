@@ -1,0 +1,160 @@
+package dserve
+
+import (
+	"bytes"
+	"testing"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/metrics"
+	"negativaml/internal/negativa"
+)
+
+// smallLib builds a tiny CPU-only library for cache tests.
+func smallLib(t *testing.T, name string, funcs ...string) *elfx.Library {
+	t.Helper()
+	b := elfx.NewBuilder(name)
+	for _, f := range funcs {
+		b.AddFunction(f, 32)
+	}
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := elfx.Parse(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// gpuLib builds a tiny library carrying one cubin, for arch-sensitivity
+// tests.
+func gpuLib(t *testing.T, name string) *elfx.Library {
+	t.Helper()
+	b := elfx.NewBuilder(name)
+	b.AddFunction("host", 32)
+	c := cubin.New(gpuarch.SM75)
+	c.AddKernel(cubin.Kernel{Name: "k", Code: bytes.Repeat([]byte{0x90}, 64), Flags: cubin.FlagEntry})
+	blob, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fatbin.FatBin{}
+	fb.AddRegion().AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: blob})
+	fbBytes, err := fb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetFatbin(fbBytes)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := elfx.Parse(name, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestCacheKeyContentAddressing(t *testing.T) {
+	libA := smallLib(t, "liba.so", "f1", "f2")
+	sameBytes := smallLib(t, "liba.so", "f1", "f2")
+	renamed, err := elfx.Parse("libother.so", libA.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k1 := CacheKey(libA, []string{"f1"}, nil, []gpuarch.SM{gpuarch.SM75})
+	if k2 := CacheKey(sameBytes, []string{"f1"}, nil, []gpuarch.SM{gpuarch.SM75}); k2 != k1 {
+		t.Error("identical bytes + symbols must produce identical keys")
+	}
+	// The key addresses content, not the library name — tail libraries
+	// shared across installs hit regardless of which install asks.
+	if k3 := CacheKey(renamed, []string{"f1"}, nil, []gpuarch.SM{gpuarch.SM75}); k3 != k1 {
+		t.Error("library name must not affect the key")
+	}
+	if k4 := CacheKey(libA, []string{"f2"}, nil, []gpuarch.SM{gpuarch.SM75}); k4 == k1 {
+		t.Error("different used-function sets must produce different keys")
+	}
+	if k5 := CacheKey(libA, []string{"f1"}, []string{"k"}, []gpuarch.SM{gpuarch.SM75}); k5 == k1 {
+		t.Error("used kernels must be part of the key")
+	}
+	// CPU-only libraries are arch-independent: heterogeneous-device batches
+	// share their cache entries.
+	if k6 := CacheKey(libA, []string{"f1"}, nil, []gpuarch.SM{gpuarch.SM80}); k6 != k1 {
+		t.Error("architectures must not affect CPU-only library keys")
+	}
+
+	// GPU-carrying libraries are arch-sensitive, with canonicalized order.
+	g := gpuLib(t, "libgpu.so")
+	g1 := CacheKey(g, nil, []string{"k"}, []gpuarch.SM{gpuarch.SM75})
+	if g2 := CacheKey(g, nil, []string{"k"}, []gpuarch.SM{gpuarch.SM80}); g2 == g1 {
+		t.Error("architectures must be part of GPU-library keys")
+	}
+	g3 := CacheKey(g, nil, []string{"k"}, []gpuarch.SM{gpuarch.SM80, gpuarch.SM75})
+	g4 := CacheKey(g, nil, []string{"k"}, []gpuarch.SM{gpuarch.SM75, gpuarch.SM80})
+	if g3 != g4 {
+		t.Error("architecture order must not affect the key")
+	}
+	// Symbols must not smear across list boundaries.
+	k9 := CacheKey(libA, []string{"f1", "f2"}, nil, nil)
+	k10 := CacheKey(libA, []string{"f1"}, []string{"f2"}, nil)
+	if k9 == k10 {
+		t.Error("function and kernel lists must be domain-separated")
+	}
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	c := NewResultCache(2, counters)
+
+	mk := func(name string) *negativa.LibDebloat {
+		return &negativa.LibDebloat{Report: &negativa.LibraryReport{Name: name}}
+	}
+
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put("k1", mk("a"))
+	c.Put("k2", mk("b"))
+	if ld, ok := c.Get("k1"); !ok || ld.Report.Name != "a" {
+		t.Fatal("k1 must hit after Put")
+	}
+
+	// k1 was just used, so inserting k3 evicts k2 (LRU).
+	c.Put("k3", mk("c"))
+	if _, ok := c.Get("k2"); ok {
+		t.Error("k2 should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("k1"); !ok {
+		t.Error("k1 should have survived eviction")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("k3 should be present")
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries and 1 eviction", st)
+	}
+	// hits: k1, k1, k3 = 3; misses: k1(initial), k2(after evict) = 2.
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", st.Hits, st.Misses)
+	}
+	if counters.Get("cache.hits") != st.Hits || counters.Get("cache.misses") != st.Misses || counters.Get("cache.evictions") != st.Evictions {
+		t.Errorf("counter mirror out of sync: %v vs %+v", counters.Snapshot(), st)
+	}
+
+	// Re-putting an existing key must not grow or evict.
+	c.Put("k3", mk("c2"))
+	if c.Len() != 2 {
+		t.Errorf("len = %d after re-put, want 2", c.Len())
+	}
+	if ld, _ := c.Get("k3"); ld.Report.Name != "c2" {
+		t.Error("re-put must replace the value")
+	}
+}

@@ -1,0 +1,50 @@
+// Package dserve is the concurrent batch-debloat service: it scales the
+// single-workload detect→locate→compact→verify pipeline of
+// internal/negativa to the fleet setting, where one framework install must
+// be debloated against many workloads at once and identical work must never
+// be repeated.
+//
+// # Architecture
+//
+// Three reuse layers sit between a submitted job and the pipeline stages:
+//
+//   - Profile registry (Registry): detection profiles are stored keyed by
+//     (install fingerprint, workload identity). A workload profiled once is
+//     never profiled again on the same install, across jobs. The registry
+//     also computes union profiles over workload sets via
+//     negativa.MergeProfiles — per library, the union of used kernels and
+//     CPU functions — so one compacted install safely serves N workloads.
+//
+//   - Content-addressed result cache (ResultCache): each per-library
+//     locate+compact result is cached under SHA-256(library bytes,
+//     used-symbol sets, target architectures) with LRU eviction. Identical
+//     libraries shared across installs — the dependency tail, which
+//     dominates library counts — are analyzed once no matter how many
+//     installs or jobs reference them.
+//
+//   - Bounded worker pool (Pool): one service-wide counting semaphore caps
+//     concurrently executing tasks. Jobs run on their own goroutines;
+//     within a job, per-workload detection runs, per-library locate/compact
+//     tasks, and per-workload verification runs all fan out through the
+//     pool, so concurrent jobs share capacity fairly. Pool.Map is never
+//     nested, which keeps the semaphore deadlock-free.
+//
+// A batch (Service.DebloatBatch) proceeds in phases: detect every member
+// workload (registry-backed, parallel), merge into a union profile, locate
+// and compact every library against the union (cache-backed, parallel),
+// then verify — the union-debloated install must reproduce every member
+// workload's reference digest. Because the union retains every kernel and
+// function any member uses, verification holds for all members by
+// construction; the service still re-runs each one, exactly as the paper's
+// tool re-runs its workload.
+//
+// Concurrency contract: *elfx.Library and *mlframework.Install values are
+// immutable after parsing/generation and shared read-only across
+// goroutines; each workload run constructs its own cudasim.Driver. Cached
+// LibDebloat values (including compacted images) are immutable once stored
+// and handed out shared — callers must not mutate them.
+//
+// The HTTP front end (NewHandler, served by cmd/negativa-served) exposes
+// job submission, status, full reports, debloated-library download, and a
+// metrics snapshot backed by internal/metrics counters and timings.
+package dserve

@@ -1,0 +1,202 @@
+package dserve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"negativaml/internal/mlruntime"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job tracks one submitted batch through the service. Accessors return
+// snapshots; the Result pointer is immutable once the job is done.
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	State     string
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	Result *BatchResult
+}
+
+// ErrBusy is returned by Submit when the service already holds its maximum
+// number of in-flight (queued or running) jobs; the HTTP layer maps it to
+// 503 so clients back off instead of growing the job table unboundedly.
+var ErrBusy = errors.New("dserve: too many in-flight jobs, retry later")
+
+// Submit validates the request, queues a job, and runs it asynchronously on
+// a service goroutine. The returned snapshot reflects the queued state;
+// poll Job(id) for progress. Returns ErrBusy when MaxInFlight jobs are
+// already queued or running — the one retention surface MaxJobs pruning
+// cannot touch (it only evicts terminal jobs).
+func (s *Service) Submit(req JobRequest) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("dserve: service is shut down")
+	}
+	inflight := 0
+	for _, j := range s.jobs {
+		if j.State == JobQueued || j.State == JobRunning {
+			inflight++
+		}
+	}
+	if inflight >= s.cfg.MaxInFlight {
+		s.mu.Unlock()
+		s.Counters.Add("jobs.rejected_busy", 1)
+		return nil, ErrBusy
+	}
+	s.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%04d", s.seq),
+		Req:       req,
+		State:     JobQueued,
+		Submitted: time.Now(),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.wg.Add(1)
+	snap := *job
+	s.mu.Unlock()
+
+	s.Counters.Add("jobs.submitted", 1)
+	go s.run(job)
+	return &snap, nil
+}
+
+func (s *Service) run(job *Job) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	job.State = JobRunning
+	job.Started = time.Now()
+	s.mu.Unlock()
+
+	res, err := s.runBatch(job.Req)
+
+	s.mu.Lock()
+	job.Finished = time.Now()
+	if err != nil {
+		job.State = JobFailed
+		job.Err = err.Error()
+	} else {
+		job.State = JobDone
+		job.Result = res
+	}
+	wall := job.Finished.Sub(job.Started)
+	s.pruneJobsLocked()
+	s.mu.Unlock()
+
+	if err != nil {
+		s.Counters.Add("jobs.failed", 1)
+	} else {
+		s.Counters.Add("jobs.completed", 1)
+	}
+	s.Timings.Observe("job.wall", wall)
+}
+
+// pruneJobsLocked evicts the oldest terminal jobs beyond MaxJobs — each
+// completed job pins its compacted library images, so retention must be
+// bounded. Queued and running jobs are never evicted. Callers hold s.mu.
+func (s *Service) pruneJobsLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		st := s.jobs[id].State
+		if st == JobDone || st == JobFailed {
+			terminal++
+		}
+	}
+	if terminal <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id].State
+		if terminal > s.cfg.MaxJobs && (st == JobDone || st == JobFailed) {
+			delete(s.jobs, id)
+			terminal--
+			s.Counters.Add("jobs.evicted", 1)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// runBatch materializes the request (shared install, member workloads) and
+// executes the batch.
+func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
+	fw, err := ResolveFramework(req.Framework)
+	if err != nil {
+		return nil, err
+	}
+	in, err := s.install(fw, req.TailLibs)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]mlruntime.Workload, len(req.Workloads))
+	for i, sp := range req.Workloads {
+		if ws[i], err = sp.Workload(in); err != nil {
+			return nil, fmt.Errorf("dserve: workload %d: %w", i, err)
+		}
+	}
+	return s.DebloatBatch(in, ws, BatchOptions{MaxSteps: req.MaxSteps, SkipVerify: req.SkipVerify})
+}
+
+// Job returns a snapshot of the job, or nil when unknown.
+func (s *Service) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	snap := *job
+	return &snap
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		snap := *s.jobs[id]
+		out = append(out, &snap)
+	}
+	return out
+}
+
+// WaitJob blocks until the job reaches a terminal state or the timeout
+// elapses, returning the final snapshot. Used by tests and the example
+// client; HTTP clients poll instead.
+func (s *Service) WaitJob(id string, timeout time.Duration) (*Job, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		job := s.Job(id)
+		if job == nil {
+			return nil, fmt.Errorf("dserve: unknown job %q", id)
+		}
+		if job.State == JobDone || job.State == JobFailed {
+			return job, nil
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("dserve: job %s still %s after %v", id, job.State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,35 @@
+package dserve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// boundedMemo is a pointer-keyed memo for values derived from immutable
+// inputs (install fingerprints, library content digests). It is wiped once
+// it holds max entries: the keys pin their objects against garbage
+// collection, so the memo must not grow unbounded. Concurrent computes for
+// the same key may run twice; both store the same value, so the race is
+// benign.
+type boundedMemo struct {
+	m   sync.Map
+	n   atomic.Int64
+	max int64
+}
+
+func newBoundedMemo(max int64) *boundedMemo { return &boundedMemo{max: max} }
+
+// get returns the memoized value for key, computing and storing it on
+// first sight.
+func (b *boundedMemo) get(key any, compute func() any) any {
+	if v, ok := b.m.Load(key); ok {
+		return v
+	}
+	v := compute()
+	if b.n.Add(1) > b.max {
+		b.m.Range(func(k, _ any) bool { b.m.Delete(k); return true })
+		b.n.Store(0)
+	}
+	b.m.Store(key, v)
+	return v
+}

@@ -1,0 +1,111 @@
+package dserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"negativaml/internal/mlframework"
+	"negativaml/internal/negativa"
+)
+
+// InstallFingerprint hashes an install's identity: framework, library names
+// in load order, and every library's bytes. Two installs with identical
+// content fingerprint identically, so profiles detected on one serve the
+// other.
+func InstallFingerprint(in *mlframework.Install) string {
+	h := sha256.New()
+	sep := []byte{0}
+	io.WriteString(h, in.Framework)
+	h.Write(sep)
+	for _, name := range in.LibNames {
+		io.WriteString(h, name)
+		h.Write(sep)
+		if lib := in.Library(name); lib != nil {
+			h.Write(lib.Data)
+		}
+		h.Write(sep)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ProfileKey identifies a stored detection profile: the install it was
+// detected on and the workload configuration that produced it.
+type ProfileKey struct {
+	// Install is the install fingerprint (InstallFingerprint).
+	Install string
+	// Workload is the workload identity (WorkloadIdentity) — everything
+	// that shapes what detection observes.
+	Workload string
+}
+
+// Registry stores detection profiles for reuse across jobs and computes
+// union profiles over workload sets. Stored profiles are immutable and
+// shared; callers must not mutate them. The registry is bounded: beyond
+// max entries the oldest profiles are evicted (workload identities are
+// client-controlled, so unbounded growth would let a sweeping client OOM a
+// long-running service).
+type Registry struct {
+	mu       sync.RWMutex
+	max      int
+	profiles map[ProfileKey]*negativa.Profile
+	order    []ProfileKey
+}
+
+// DefaultRegistryEntries bounds NewRegistry's profile retention.
+const DefaultRegistryEntries = 1024
+
+// NewRegistry returns an empty profile registry bounded to
+// DefaultRegistryEntries profiles.
+func NewRegistry() *Registry {
+	return &Registry{max: DefaultRegistryEntries, profiles: map[ProfileKey]*negativa.Profile{}}
+}
+
+// Put stores a profile under the key, evicting the oldest entries beyond
+// the bound.
+func (r *Registry) Put(key ProfileKey, p *negativa.Profile) {
+	r.mu.Lock()
+	if _, exists := r.profiles[key]; !exists {
+		r.order = append(r.order, key)
+	}
+	r.profiles[key] = p
+	for len(r.profiles) > r.max {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.profiles, oldest)
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the stored profile for the key.
+func (r *Registry) Get(key ProfileKey) (*negativa.Profile, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.profiles[key]
+	return p, ok
+}
+
+// Len returns the number of stored profiles.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.profiles)
+}
+
+// Union merges the stored profiles of the given workload identities on one
+// install into a union profile. Every member must have been detected first;
+// a missing member is an error, never silently dropped — dropping one would
+// under-retain and break that workload on the debloated install.
+func (r *Registry) Union(install string, workloads []string) (*negativa.Profile, error) {
+	ps := make([]*negativa.Profile, 0, len(workloads))
+	for _, wid := range workloads {
+		p, ok := r.Get(ProfileKey{Install: install, Workload: wid})
+		if !ok {
+			return nil, fmt.Errorf("dserve: no profile for workload %q on install %.12s…", wid, install)
+		}
+		ps = append(ps, p)
+	}
+	return negativa.MergeProfiles(ps...), nil
+}

@@ -1,0 +1,165 @@
+package dserve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
+)
+
+// Shared small install for the package's pipeline-level tests; generated
+// once (Install values are immutable and safe to share).
+var (
+	tiOnce sync.Once
+	tiInst *mlframework.Install
+	tiErr  error
+)
+
+func testInstall(t *testing.T) *mlframework.Install {
+	t.Helper()
+	tiOnce.Do(func() {
+		tiInst, tiErr = mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 6})
+	})
+	if tiErr != nil {
+		t.Fatal(tiErr)
+	}
+	return tiInst
+}
+
+// testWorkloads builds the canonical 4-member batch over one install: CV
+// and NLP models, training and inference, T4 and A100 devices.
+func testWorkloads(t *testing.T, in *mlframework.Install) []mlruntime.Workload {
+	t.Helper()
+	// Batch sizes match the kernel universe the synthetic installs ship
+	// (the Table 1 configurations).
+	specs := []WorkloadSpec{
+		{Model: "MobileNetV2", Batch: 1},
+		{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+		{Model: "Transformer", Batch: 32, Device: "A100"},
+		{Model: "Transformer", Train: true, Batch: 128, Epochs: 1},
+	}
+	ws := make([]mlruntime.Workload, len(specs))
+	for i, sp := range specs {
+		w, err := sp.Workload(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+func TestInstallFingerprint(t *testing.T) {
+	in := testInstall(t)
+	fp1 := InstallFingerprint(in)
+	fp2 := InstallFingerprint(in)
+	if fp1 != fp2 || len(fp1) != 64 {
+		t.Fatalf("fingerprint unstable or malformed: %q vs %q", fp1, fp2)
+	}
+	other, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if InstallFingerprint(other) == fp1 {
+		t.Error("different installs must fingerprint differently")
+	}
+}
+
+func TestRegistryPutGetUnion(t *testing.T) {
+	r := NewRegistry()
+	a := &negativa.Profile{Workload: "a", UsedKernels: map[string][]string{"l": {"k1"}}, UsedFuncs: map[string][]string{"l": {"f1"}}}
+	b := &negativa.Profile{Workload: "b", UsedKernels: map[string][]string{"l": {"k2"}}, UsedFuncs: map[string][]string{"l": {"f2"}}}
+	r.Put(ProfileKey{"fp", "a"}, a)
+	r.Put(ProfileKey{"fp", "b"}, b)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	if got, ok := r.Get(ProfileKey{"fp", "a"}); !ok || got != a {
+		t.Fatal("Get must return the stored profile")
+	}
+	if _, ok := r.Get(ProfileKey{"other", "a"}); ok {
+		t.Fatal("profiles are scoped to their install fingerprint")
+	}
+
+	u, err := r.Union("fp", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Covers(a) || !u.Covers(b) {
+		t.Error("union must cover every member")
+	}
+
+	// A missing member is an error, never silently dropped.
+	if _, err := r.Union("fp", []string{"a", "missing"}); err == nil {
+		t.Error("union with an undetected member must fail")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error should name the missing member: %v", err)
+	}
+}
+
+// TestUnionDebloatServesEveryMember is the union-semantics core: an install
+// debloated against the union of N workload profiles must reproduce each
+// member workload's original output digest.
+func TestUnionDebloatServesEveryMember(t *testing.T) {
+	in := testInstall(t)
+	ws := testWorkloads(t, in)
+	const steps = 2
+
+	reg := NewRegistry()
+	fp := InstallFingerprint(in)
+	ids := make([]string, len(ws))
+	digests := make([]uint64, len(ws))
+	for i, w := range ws {
+		p, err := negativa.DetectUsage(w, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = WorkloadIdentity(w, steps)
+		digests[i] = p.RunResult.Digest
+		reg.Put(ProfileKey{Install: fp, Workload: ids[i]}, p)
+	}
+
+	union, err := reg.Union(fp, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		p, _ := reg.Get(ProfileKey{Install: fp, Workload: ids[i]})
+		if !union.Covers(p) {
+			t.Fatalf("union does not cover member %s", ws[i].Name)
+		}
+	}
+
+	// Debloat against the union with the union of device archs.
+	var allDevs []gpuarch.Device
+	for _, w := range ws {
+		allDevs = append(allDevs, w.Devices...)
+	}
+	archs := negativa.DeviceArchs(allDevs)
+	debloated := map[string][]byte{}
+	for _, name := range in.LibNames {
+		ld, err := negativa.LocateAndCompactLib(in.Library(name), union.UsedFuncs[name], union.UsedKernels[name], archs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		debloated[name] = ld.Report.Debloated
+	}
+	clone, err := in.CloneWithLibs(debloated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		w.Install = clone
+		vr, err := mlruntime.Run(w, mlruntime.Options{MaxSteps: steps})
+		if err != nil {
+			t.Fatalf("member %s failed on union-debloated install: %v", w.Name, err)
+		}
+		if vr.Digest != digests[i] {
+			t.Errorf("member %s digest = %x, want %x", w.Name, vr.Digest, digests[i])
+		}
+	}
+}

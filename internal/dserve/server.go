@@ -1,0 +1,281 @@
+package dserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"negativaml/internal/negativa"
+)
+
+// NewHandler returns the service's HTTP/JSON API, served by
+// cmd/negativa-served:
+//
+//	POST /v1/jobs                   submit a batch job (JobRequest body)
+//	GET  /v1/jobs                   list job statuses
+//	GET  /v1/jobs/{id}              one job's status
+//	GET  /v1/jobs/{id}/report       full report of a completed job
+//	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
+//	GET  /v1/metrics                counters, cache stats, timing summaries
+func NewHandler(s *Service) http.Handler {
+	return newMux(s)
+}
+
+// maxRequestBytes bounds job-submission bodies; a maximal legitimate
+// request (MaxJobWorkloads fully-specified workloads) is a few KB.
+const maxRequestBytes = 1 << 20
+
+func newMux(s *Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Cap the body before decoding: size limits in Validate cannot
+		// protect against a request that OOMs the decoder itself.
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			code := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, code, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		job, err := s.Submit(req)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrBusy) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, statusOf(job))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]jobStatus, len(jobs))
+		for i, j := range jobs {
+			out[i] = statusOf(j)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job := s.Job(r.PathValue("id"))
+		if job == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, statusOf(job))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		job := s.Job(r.PathValue("id"))
+		if job == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		if job.Result == nil {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no report yet", job.ID, job.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, reportOf(job))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/libs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		job := s.Job(r.PathValue("id"))
+		if job == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		if job.Result == nil {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no libraries yet", job.ID, job.State))
+			return
+		}
+		name := r.PathValue("name")
+		lr := job.Result.Lib(name)
+		if lr == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no library %q", job.ID, name))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+		w.WriteHeader(http.StatusOK)
+		w.Write(lr.Debloated)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"counters": s.Counters.Snapshot(),
+			"cache":    s.Cache.Stats(),
+			"registry": map[string]int{"profiles": s.Registry.Len()},
+			"timings":  s.Timings.Snapshot(),
+			"workers":  s.Workers(),
+		})
+	})
+	return mux
+}
+
+// jobStatus is the compact job view returned by submit/list/status.
+type jobStatus struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Framework string    `json:"framework"`
+	Workloads int       `json:"workloads"`
+
+	// Summary fields, present once the job is done. Verified is vacuously
+	// true when VerifySkipped — check both.
+	Verified      *bool `json:"verified,omitempty"`
+	VerifySkipped bool  `json:"verify_skipped,omitempty"`
+	CacheHits     *int  `json:"cache_hits,omitempty"`
+	CacheMisses   *int  `json:"cache_misses,omitempty"`
+}
+
+func statusOf(j *Job) jobStatus {
+	st := jobStatus{
+		ID:        j.ID,
+		State:     j.State,
+		Error:     j.Err,
+		Submitted: j.Submitted,
+		Framework: j.Req.Framework,
+		Workloads: len(j.Req.Workloads),
+	}
+	if j.Result != nil {
+		v := j.Result.AllVerified()
+		st.Verified = &v
+		st.VerifySkipped = j.Result.VerifySkipped
+		st.CacheHits = &j.Result.CacheHits
+		st.CacheMisses = &j.Result.CacheMisses
+	}
+	return st
+}
+
+// jobReport is the full JSON report of a completed job. Library images are
+// not inlined — fetch them via /v1/jobs/{id}/libs/{name}.
+type jobReport struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	InstallFP string `json:"install_fingerprint"`
+	Union     string `json:"union_workload"`
+
+	Workloads []workloadReport `json:"workloads"`
+	Libs      []libReport      `json:"libs"`
+
+	Totals totalsReport `json:"totals"`
+
+	DetectMS      float64 `json:"detect_virtual_ms"`
+	AnalysisMS    float64 `json:"analysis_virtual_ms"`
+	EndToEndMS    float64 `json:"end_to_end_virtual_ms"`
+	WallMS        float64 `json:"wall_ms"`
+	CacheHits     int     `json:"cache_hits"`
+	CacheMisses   int     `json:"cache_misses"`
+	ProfileReuses int     `json:"profile_reuses"`
+	VerifySkipped bool    `json:"verify_skipped,omitempty"`
+}
+
+type workloadReport struct {
+	Name          string  `json:"name"`
+	RefDigest     string  `json:"ref_digest"`
+	Verified      bool    `json:"verified"`
+	ProfileReused bool    `json:"profile_reused"`
+	DetectMS      float64 `json:"detect_virtual_ms"`
+}
+
+type libReport struct {
+	Name          string  `json:"name"`
+	FileKB        float64 `json:"file_kb"`
+	FileAfterKB   float64 `json:"file_after_kb"`
+	FileRedPct    float64 `json:"file_red_pct"`
+	CPURedPct     float64 `json:"cpu_red_pct"`
+	GPURedPct     float64 `json:"gpu_red_pct"`
+	FuncsKept     int     `json:"funcs_kept"`
+	FuncsTotal    int     `json:"funcs_total"`
+	ElemsKept     int     `json:"elems_kept"`
+	ElemsTotal    int     `json:"elems_total"`
+	RemovedArch   int     `json:"removed_arch_mismatch"`
+	RemovedUnused int     `json:"removed_no_used_kernel"`
+}
+
+type totalsReport struct {
+	Libs        int     `json:"libs"`
+	FileKB      float64 `json:"file_kb"`
+	FileAfterKB float64 `json:"file_after_kb"`
+	FileRedPct  float64 `json:"file_red_pct"`
+	CPURedPct   float64 `json:"cpu_red_pct"`
+	GPURedPct   float64 `json:"gpu_red_pct"`
+	FuncRedPct  float64 `json:"func_red_pct"`
+	ElemRedPct  float64 `json:"elem_red_pct"`
+}
+
+func reportOf(j *Job) jobReport {
+	res := j.Result
+	rep := jobReport{
+		ID:            j.ID,
+		State:         j.State,
+		InstallFP:     res.InstallFP,
+		Union:         res.Union.Workload,
+		DetectMS:      ms(res.DetectTime),
+		AnalysisMS:    ms(res.AnalysisTime),
+		EndToEndMS:    ms(res.EndToEnd()),
+		WallMS:        ms(res.WallTime),
+		CacheHits:     res.CacheHits,
+		CacheMisses:   res.CacheMisses,
+		ProfileReuses: res.ProfileReuses,
+		VerifySkipped: res.VerifySkipped,
+	}
+	for _, o := range res.Workloads {
+		rep.Workloads = append(rep.Workloads, workloadReport{
+			Name:          o.Name,
+			RefDigest:     fmt.Sprintf("%016x", o.RefDigest),
+			Verified:      o.Verified,
+			ProfileReused: o.ProfileReused,
+			DetectMS:      ms(o.DetectTime),
+		})
+	}
+	for _, lr := range res.Libs {
+		rep.Libs = append(rep.Libs, libReport{
+			Name:          lr.Name,
+			FileKB:        kb(lr.FileEffective),
+			FileAfterKB:   kb(lr.FileEffectiveAfter),
+			FileRedPct:    lr.FileReductionPct(),
+			CPURedPct:     lr.CPUReductionPct(),
+			GPURedPct:     lr.GPUReductionPct(),
+			FuncsKept:     lr.FuncKept,
+			FuncsTotal:    lr.FuncCount,
+			ElemsKept:     lr.ElemKept,
+			ElemsTotal:    lr.ElemCount,
+			RemovedArch:   lr.RemovedArchMismatch,
+			RemovedUnused: lr.RemovedNoUsedKernel,
+		})
+	}
+	rep.Totals = totalsOf(res.Aggregate())
+	return rep
+}
+
+func totalsOf(t negativa.Totals) totalsReport {
+	return totalsReport{
+		Libs:        t.Libs,
+		FileKB:      kb(t.FileEffective),
+		FileAfterKB: kb(t.FileEffectiveAfter),
+		FileRedPct:  t.FileReductionPct(),
+		CPURedPct:   t.CPUReductionPct(),
+		GPURedPct:   t.GPUReductionPct(),
+		FuncRedPct:  t.FuncReductionPct(),
+		ElemRedPct:  t.ElemReductionPct(),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func kb(n int64) float64 { return float64(n) / 1024 }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

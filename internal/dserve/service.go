@@ -1,0 +1,435 @@
+package dserve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/metrics"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrently executing tasks across all jobs
+	// (default runtime.NumCPU()).
+	Workers int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 4096).
+	CacheEntries int
+	// MaxSteps is the default detection/verification step cap applied when
+	// a batch does not set one (default 4). Usage coverage saturates within
+	// the first steps, so small caps keep service latency low.
+	MaxSteps int
+	// MaxJobs bounds retained terminal (done/failed) jobs — each completed
+	// job holds its compacted library images (default 256). Running and
+	// queued jobs are never evicted.
+	MaxJobs int
+	// MaxInstalls bounds the server-side generated-install cache
+	// (default 16).
+	MaxInstalls int
+	// MaxInFlight bounds queued+running jobs; Submit returns ErrBusy
+	// beyond it (default 64).
+	MaxInFlight int
+}
+
+// Service is the batch-debloat service core: the profile registry, the
+// content-addressed result cache, the bounded worker pool, and the job
+// table behind the HTTP front end.
+type Service struct {
+	cfg Config
+
+	Registry *Registry
+	Cache    *ResultCache
+	Counters *metrics.CounterSet
+	Timings  *metrics.TimingSet
+	pool     *Pool
+
+	mu           sync.Mutex
+	jobs         map[string]*Job
+	order        []string
+	seq          int
+	installs     map[string]*installSlot
+	installOrder []string
+	closed       bool
+	wg           sync.WaitGroup
+
+	// fingerprints memoizes InstallFingerprint per immutable *Install.
+	fingerprints *boundedMemo
+}
+
+type installSlot struct {
+	once sync.Once
+	in   *mlframework.Install
+	err  error
+}
+
+// NewService builds a service from the config, applying defaults.
+func NewService(cfg Config) *Service {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.CacheEntries < 1 {
+		cfg.CacheEntries = 4096
+	}
+	if cfg.MaxSteps < 1 {
+		cfg.MaxSteps = 4
+	}
+	if cfg.MaxJobs < 1 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.MaxInstalls < 1 {
+		cfg.MaxInstalls = 16
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 64
+	}
+	counters := metrics.NewCounterSet()
+	return &Service{
+		cfg:          cfg,
+		Registry:     NewRegistry(),
+		Cache:        NewResultCache(cfg.CacheEntries, counters),
+		Counters:     counters,
+		Timings:      metrics.NewTimingSet(),
+		pool:         NewPool(cfg.Workers),
+		jobs:         map[string]*Job{},
+		installs:     map[string]*installSlot{},
+		fingerprints: newBoundedMemo(64),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (s *Service) Workers() int { return s.pool.Workers() }
+
+// Close drains the service: no new submissions are accepted and Close
+// returns once every running job has finished.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// WorkloadIdentity canonically identifies a workload configuration for
+// profile reuse. Everything that shapes what detection observes — graph,
+// devices, load mode, dataset, epochs, per-item compute, and the step cap
+// (the reference digest depends on it) — is part of the identity.
+func WorkloadIdentity(w mlruntime.Workload, maxSteps int) string {
+	devs := make([]string, len(w.Devices))
+	for i, d := range w.Devices {
+		devs[i] = d.Arch.String()
+	}
+	var model string
+	var ops, batch int
+	var train bool
+	if w.Graph != nil {
+		model, ops, batch, train = w.Graph.Model, len(w.Graph.Ops), w.Graph.Batch, w.Graph.Train
+	}
+	return fmt.Sprintf("%s|model=%s|ops=%d|batch=%d|train=%v|epochs=%d|data=%s|mode=%s|devs=%s|pic=%s|steps=%d",
+		w.Name, model, ops, batch, train, w.Epochs, w.Data.Name, w.Mode, strings.Join(devs, ","), w.PerItemCompute, maxSteps)
+}
+
+// BatchOptions configure one multi-workload debloat batch.
+type BatchOptions struct {
+	// MaxSteps caps detection and verification runs: 0 applies the service
+	// default, a negative value runs the full dataset uncapped.
+	MaxSteps int
+	// SkipVerify skips the per-member verification re-runs.
+	SkipVerify bool
+}
+
+// WorkloadOutcome is one member workload's slice of a batch result.
+type WorkloadOutcome struct {
+	Name     string
+	Identity string
+	// RefDigest is the workload's reference output digest from its profiled
+	// run; Verified reports whether the union-debloated install reproduced
+	// it.
+	RefDigest uint64
+	Verified  bool
+	// DetectTime is the profiled run's virtual time. ProfileReused marks
+	// profiles served from the registry (no run executed in this batch).
+	DetectTime    time.Duration
+	ProfileReused bool
+}
+
+// BatchResult is the output of one union-debloat batch: one set of
+// compacted libraries serving every member workload.
+type BatchResult struct {
+	// InstallFP is the install fingerprint the batch ran against.
+	InstallFP string
+	// Union is the merged profile the libraries were debloated against.
+	Union *negativa.Profile
+	// Workloads holds per-member outcomes in submission order.
+	Workloads []WorkloadOutcome
+	// Libs holds one report per library in install load order.
+	Libs []*negativa.LibraryReport
+
+	// DetectTime sums the virtual profiled-run times of freshly detected
+	// members (registry hits cost nothing); AnalysisTime sums virtual
+	// locate+compact time of cache misses (hits cost nothing). Their sum is
+	// the batch's virtual end-to-end debloating cost.
+	DetectTime   time.Duration
+	AnalysisTime time.Duration
+	// CacheHits / CacheMisses count this batch's per-library cache
+	// outcomes; ProfileReuses counts members served from the registry.
+	CacheHits     int
+	CacheMisses   int
+	ProfileReuses int
+	// VerifySkipped records that the batch ran with SkipVerify: no member
+	// Verified flag carries information.
+	VerifySkipped bool
+	// WallTime is the real elapsed time of the batch.
+	WallTime time.Duration
+}
+
+// EndToEnd is the batch's virtual debloating time (the paper's Table 8
+// metric, extended to batches).
+func (r *BatchResult) EndToEnd() time.Duration { return r.DetectTime + r.AnalysisTime }
+
+// DebloatedLibs returns the compacted images keyed by library name.
+func (r *BatchResult) DebloatedLibs() map[string][]byte {
+	out := make(map[string][]byte, len(r.Libs))
+	for _, lr := range r.Libs {
+		out[lr.Name] = lr.Debloated
+	}
+	return out
+}
+
+// Lib returns the report for the named library, or nil.
+func (r *BatchResult) Lib(name string) *negativa.LibraryReport {
+	for _, lr := range r.Libs {
+		if lr.Name == name {
+			return lr
+		}
+	}
+	return nil
+}
+
+// Aggregate sums the per-library reports (one Table 2 row for the union).
+func (r *BatchResult) Aggregate() negativa.Totals {
+	return (&negativa.Result{Libs: r.Libs}).Aggregate()
+}
+
+// AllVerified reports whether every member workload reproduced its
+// reference digest (vacuously true when verification was skipped).
+func (r *BatchResult) AllVerified() bool {
+	if r.VerifySkipped {
+		return true
+	}
+	for i := range r.Workloads {
+		if !r.Workloads[i].Verified {
+			return false
+		}
+	}
+	return true
+}
+
+// DebloatBatch union-debloats one install against a workload set: detect
+// every member (registry-backed), merge profiles, locate+compact every
+// library once against the union (cache-backed), and verify the debloated
+// install against every member's reference digest. Every workload must
+// reference in as its install.
+func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Workload, opt BatchOptions) (*BatchResult, error) {
+	start := time.Now()
+	if in == nil {
+		return nil, errors.New("dserve: nil install")
+	}
+	if len(workloads) == 0 {
+		return nil, errors.New("dserve: batch has no workloads")
+	}
+	for i := range workloads {
+		if workloads[i].Install != in {
+			return nil, fmt.Errorf("dserve: workload %q does not reference the batch install", workloads[i].Name)
+		}
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = s.cfg.MaxSteps
+	} else if maxSteps < 0 {
+		maxSteps = 0 // uncapped: run the full dataset
+	}
+	fp := s.fingerprint(in)
+
+	// ---- Detection (parallel, registry-backed) ----
+	outcomes := make([]WorkloadOutcome, len(workloads))
+	profiles := make([]*negativa.Profile, len(workloads))
+	err := s.pool.Map(len(workloads), func(i int) error {
+		w := workloads[i]
+		id := WorkloadIdentity(w, maxSteps)
+		key := ProfileKey{Install: fp, Workload: id}
+		if p, ok := s.Registry.Get(key); ok {
+			s.Counters.Add("registry.hits", 1)
+			profiles[i] = p
+			outcomes[i] = WorkloadOutcome{
+				Name: w.Name, Identity: id,
+				RefDigest: p.RunResult.Digest, DetectTime: p.RunResult.ExecTime,
+				ProfileReused: true,
+			}
+			return nil
+		}
+		p, err := negativa.DetectUsage(w, maxSteps)
+		if err != nil {
+			return fmt.Errorf("dserve: detect %s: %w", w.Name, err)
+		}
+		s.Registry.Put(key, p)
+		s.Counters.Add("registry.misses", 1)
+		profiles[i] = p
+		outcomes[i] = WorkloadOutcome{
+			Name: w.Name, Identity: id,
+			RefDigest: p.RunResult.Digest, DetectTime: p.RunResult.ExecTime,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Union via the registry (the normal path); under extreme registry
+	// churn a member just stored could already be evicted, in which case
+	// the profiles held by this batch merge directly.
+	ids := make([]string, len(outcomes))
+	for i := range outcomes {
+		ids[i] = outcomes[i].Identity
+	}
+	union, err := s.Registry.Union(fp, ids)
+	if err != nil {
+		union = negativa.MergeProfiles(profiles...)
+	}
+	// Safety invariant of union debloating: the union must cover every
+	// member, or the compacted install would break that member.
+	for i, p := range profiles {
+		if !union.Covers(p) {
+			return nil, fmt.Errorf("dserve: union profile does not cover %s", outcomes[i].Name)
+		}
+	}
+
+	// Architectures: the union of every member's device set, so elements
+	// needed by any member survive Reason-I removal.
+	var devs []gpuarch.Device
+	for i := range workloads {
+		devs = append(devs, workloads[i].Devices...)
+	}
+	archs := negativa.DeviceArchs(devs)
+
+	// ---- Location + compaction per library (parallel, cache-backed) ----
+	names := in.LibNames
+	libs := make([]*negativa.LibraryReport, len(names))
+	analyses := make([]time.Duration, len(names))
+	hits := make([]bool, len(names))
+	err = s.pool.Map(len(names), func(i int) error {
+		name := names[i]
+		lib := in.Library(name)
+		key := CacheKey(lib, union.UsedFuncs[name], union.UsedKernels[name], archs)
+		if ld, ok := s.Cache.Get(key); ok {
+			// The cached report may have been computed under a different
+			// library name (identical bytes elsewhere); re-label a shallow
+			// copy, sharing the immutable compacted image.
+			rep := *ld.Report
+			rep.Name = name
+			libs[i] = &rep
+			hits[i] = true
+			return nil
+		}
+		ld, err := negativa.LocateAndCompactLib(lib, union.UsedFuncs[name], union.UsedKernels[name], archs)
+		if err != nil {
+			return fmt.Errorf("dserve: locate %s: %w", name, err)
+		}
+		s.Cache.Put(key, ld)
+		libs[i] = ld.Report
+		analyses[i] = ld.Analysis
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, Libs: libs}
+	for i := range libs {
+		if hits[i] {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+			res.AnalysisTime += analyses[i]
+		}
+	}
+	for i := range outcomes {
+		if outcomes[i].ProfileReused {
+			res.ProfileReuses++
+		} else {
+			res.DetectTime += outcomes[i].DetectTime
+		}
+	}
+
+	// ---- Verification: the union-debloated install must reproduce every
+	// member workload's reference digest. ----
+	res.VerifySkipped = opt.SkipVerify
+	if !opt.SkipVerify {
+		clone, err := in.CloneWithLibs(res.DebloatedLibs())
+		if err != nil {
+			return nil, fmt.Errorf("dserve: clone install: %w", err)
+		}
+		err = s.pool.Map(len(workloads), func(i int) error {
+			vw := workloads[i]
+			vw.Install = clone
+			vr, err := mlruntime.Run(vw, mlruntime.Options{MaxSteps: maxSteps})
+			if err != nil {
+				return fmt.Errorf("dserve: verify %s: %w", vw.Name, err)
+			}
+			res.Workloads[i].Verified = vr.Digest == res.Workloads[i].RefDigest
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.WallTime = time.Since(start)
+	s.Counters.Add("batches.completed", 1)
+	s.Timings.Observe("batch.wall", res.WallTime)
+	return res, nil
+}
+
+// install returns the generated install for (framework, tailLibs),
+// generating it at most once and sharing it across jobs — the fleet setting
+// where many workloads target one shared install. The cache is bounded to
+// MaxInstalls entries, evicted oldest-first; a job holding an evicted
+// install keeps using it (installs are immutable), only the cache entry
+// goes.
+func (s *Service) install(framework string, tailLibs int) (*mlframework.Install, error) {
+	key := fmt.Sprintf("%s/%d", framework, tailLibs)
+	s.mu.Lock()
+	slot := s.installs[key]
+	if slot == nil {
+		slot = &installSlot{}
+		s.installs[key] = slot
+		s.installOrder = append(s.installOrder, key)
+		for len(s.installOrder) > s.cfg.MaxInstalls {
+			oldest := s.installOrder[0]
+			s.installOrder = s.installOrder[1:]
+			delete(s.installs, oldest)
+			s.Counters.Add("installs.evicted", 1)
+		}
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() {
+		slot.in, slot.err = mlframework.Generate(mlframework.Config{Framework: framework, TailLibs: tailLibs})
+		if slot.err == nil {
+			s.Counters.Add("installs.generated", 1)
+		}
+	})
+	return slot.in, slot.err
+}
+
+// fingerprint memoizes InstallFingerprint per install pointer — installs
+// are immutable (the package's concurrency contract), so hashing the
+// library bytes once per install is enough; warm batches skip the rehash.
+func (s *Service) fingerprint(in *mlframework.Install) string {
+	return s.fingerprints.get(in, func() any { return InstallFingerprint(in) }).(string)
+}

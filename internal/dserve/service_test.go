@@ -1,0 +1,218 @@
+package dserve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"negativaml/internal/mlruntime"
+)
+
+func TestDebloatBatchUnionVerifiesAndCaches(t *testing.T) {
+	in := testInstall(t)
+	ws := testWorkloads(t, in)
+	svc := NewService(Config{Workers: 4, MaxSteps: 2})
+	defer svc.Close()
+
+	res, err := svc.DebloatBatch(in, ws, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 4 || len(res.Libs) != len(in.LibNames) {
+		t.Fatalf("result shape: %d workloads, %d libs", len(res.Workloads), len(res.Libs))
+	}
+	for _, o := range res.Workloads {
+		if !o.Verified {
+			t.Errorf("workload %s not verified against the union-debloated install", o.Name)
+		}
+		if o.ProfileReused {
+			t.Errorf("workload %s claims profile reuse on a cold registry", o.Name)
+		}
+	}
+	if res.CacheHits != 0 || res.CacheMisses != len(in.LibNames) {
+		t.Errorf("cold batch cache hits/misses = %d/%d, want 0/%d", res.CacheHits, res.CacheMisses, len(in.LibNames))
+	}
+	if res.DetectTime <= 0 || res.AnalysisTime <= 0 || res.EndToEnd() != res.DetectTime+res.AnalysisTime {
+		t.Errorf("timing accounting: detect=%v analysis=%v e2e=%v", res.DetectTime, res.AnalysisTime, res.EndToEnd())
+	}
+	agg := res.Aggregate()
+	if agg.FileReductionPct() <= 0 {
+		t.Error("union debloat should still remove bloat")
+	}
+	// The union keeps at least as much as any single member's debloat.
+	for _, lr := range res.Libs {
+		if lr.FuncKept > lr.FuncCount || lr.ElemKept > lr.ElemCount {
+			t.Errorf("%s: kept more than exists", lr.Name)
+		}
+	}
+
+	// Repeated batch: every profile and every library result is reused.
+	res2, err := svc.DebloatBatch(in, ws, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ProfileReuses != 4 {
+		t.Errorf("profile reuses = %d, want 4", res2.ProfileReuses)
+	}
+	if res2.CacheHits < 1 {
+		t.Error("repeated batch must report at least one cache hit")
+	}
+	if res2.CacheHits != len(in.LibNames) || res2.CacheMisses != 0 {
+		t.Errorf("warm batch cache hits/misses = %d/%d, want %d/0", res2.CacheHits, res2.CacheMisses, len(in.LibNames))
+	}
+	if res2.DetectTime != 0 || res2.AnalysisTime != 0 {
+		t.Errorf("warm batch virtual cost = %v+%v, want 0 (everything reused)", res2.DetectTime, res2.AnalysisTime)
+	}
+	if !res2.AllVerified() {
+		t.Error("warm batch must still verify every member")
+	}
+	if svc.Counters.Get("registry.hits") != 4 || svc.Counters.Get("cache.hits") < int64(len(in.LibNames)) {
+		t.Errorf("service counters: %v", svc.Counters.Snapshot())
+	}
+
+	// A subset batch rides the same cache when its union matches nothing —
+	// different union symbols ⇒ misses for GPU-hosting libs, but identical
+	// tail libs (same bytes, same — empty — used sets) still hit.
+	res3, err := svc.DebloatBatch(in, ws[:1], BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.CacheHits == 0 {
+		t.Error("subset batch should hit cached tail-library results")
+	}
+}
+
+func TestDebloatBatchSkipVerify(t *testing.T) {
+	in := testInstall(t)
+	ws := testWorkloads(t, in)
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+
+	res, err := svc.DebloatBatch(in, ws[:1], BatchOptions{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VerifySkipped {
+		t.Error("result must record that verification was skipped")
+	}
+	if !res.AllVerified() {
+		t.Error("AllVerified is vacuously true when verification was skipped")
+	}
+}
+
+func TestJobRetentionBounded(t *testing.T) {
+	svc := NewService(Config{Workers: 2, MaxSteps: 2, MaxJobs: 2})
+	defer svc.Close()
+
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  2,
+		Workloads: []WorkloadSpec{{Model: "MobileNetV2"}},
+		MaxSteps:  2,
+	}
+	var last string
+	for i := 0; i < 4; i++ {
+		job, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.WaitJob(job.ID, 60*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		last = job.ID
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2 (MaxJobs)", len(jobs))
+	}
+	if jobs[len(jobs)-1].ID != last {
+		t.Errorf("newest job %s must survive pruning, got %v", last, jobs)
+	}
+	if svc.Counters.Get("jobs.evicted") != 2 {
+		t.Errorf("jobs.evicted = %d, want 2", svc.Counters.Get("jobs.evicted"))
+	}
+	if svc.Job(last) == nil {
+		t.Error("latest job must still be fetchable")
+	}
+}
+
+func TestDebloatBatchValidation(t *testing.T) {
+	in := testInstall(t)
+	ws := testWorkloads(t, in)
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+
+	if _, err := svc.DebloatBatch(in, nil, BatchOptions{}); err == nil {
+		t.Error("empty batch must fail")
+	}
+	if _, err := svc.DebloatBatch(nil, ws, BatchOptions{}); err == nil {
+		t.Error("nil install must fail")
+	}
+
+	// A workload referencing a different install must be rejected — mixing
+	// installs in one batch would debloat against the wrong bytes.
+	foreign, err := svc.install("PyTorch", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append([]mlruntime.Workload(nil), ws...)
+	mixed[1].Install = foreign
+	if _, err := svc.DebloatBatch(in, mixed, BatchOptions{}); err == nil || !strings.Contains(err.Error(), "does not reference") {
+		t.Errorf("mixed-install batch: %v", err)
+	}
+}
+
+func TestSubmitJobLifecycle(t *testing.T) {
+	svc := NewService(Config{Workers: 4, MaxSteps: 2})
+	defer svc.Close()
+
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  4,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2"},
+			{Model: "Transformer", Train: true, Batch: 128},
+		},
+		MaxSteps: 2,
+	}
+	job, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.WaitJob(job.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone {
+		t.Fatalf("job state = %s (%s)", done.State, done.Err)
+	}
+	if !done.Result.AllVerified() {
+		t.Error("job result must verify")
+	}
+	if got := svc.Counters.Get("jobs.completed"); got != 1 {
+		t.Errorf("jobs.completed = %d", got)
+	}
+	if list := svc.Jobs(); len(list) != 1 || list[0].ID != job.ID {
+		t.Errorf("job listing = %v", list)
+	}
+
+	// Bad submissions are rejected synchronously.
+	if _, err := svc.Submit(JobRequest{Framework: "caffe", Workloads: req.Workloads}); err == nil {
+		t.Error("unknown framework must be rejected")
+	}
+	if _, err := svc.Submit(JobRequest{Framework: "pytorch"}); err == nil {
+		t.Error("empty workload list must be rejected")
+	}
+	if _, err := svc.Submit(JobRequest{Framework: "pytorch", Workloads: []WorkloadSpec{{Model: "ResNet"}}}); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+	if _, err := svc.Submit(JobRequest{Framework: "pytorch", Workloads: []WorkloadSpec{{Model: "MobileNetV2", Device: "TPU"}}}); err == nil {
+		t.Error("unknown device must be rejected")
+	}
+
+	// After Close, submissions are refused.
+	svc.Close()
+	if _, err := svc.Submit(req); err == nil || !strings.Contains(err.Error(), "shut down") {
+		t.Errorf("submit after close: %v", err)
+	}
+}

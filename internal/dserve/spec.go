@@ -1,0 +1,178 @@
+package dserve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/dataset"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+)
+
+// JobRequest describes a submitted batch: the install to generate (or reuse
+// server-side) and the member workloads to union-debloat against it.
+type JobRequest struct {
+	// Framework is pytorch, tensorflow, vllm, or transformers
+	// (case-insensitive).
+	Framework string `json:"framework"`
+	// TailLibs sizes the install's dependency tail.
+	TailLibs int `json:"tail_libs"`
+	// Workloads are the batch members (at least one).
+	Workloads []WorkloadSpec `json:"workloads"`
+	// MaxSteps caps detection/verification runs (0 = service default).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// SkipVerify skips the per-member verification re-runs.
+	SkipVerify bool `json:"skip_verify,omitempty"`
+}
+
+// WorkloadSpec describes one member workload of a job request. Zero values
+// take defaults: batch 1, one T4, eager loading, 1 ms per-item compute.
+type WorkloadSpec struct {
+	// Name labels the workload; defaulted from the other fields.
+	Name string `json:"name,omitempty"`
+	// Model is MobileNetV2, Transformer, or Llama2.
+	Model string `json:"model"`
+	Train bool   `json:"train,omitempty"`
+	Batch int    `json:"batch,omitempty"`
+	// Epochs applies to training workloads.
+	Epochs int `json:"epochs,omitempty"`
+	// Device is T4, A100, or H100; GPUs is the tensor-parallel rank count.
+	Device string `json:"device,omitempty"`
+	GPUs   int    `json:"gpus,omitempty"`
+	// Lazy selects lazy kernel loading.
+	Lazy bool `json:"lazy,omitempty"`
+	// PerItemComputeUS is the calibrated per-item compute time in
+	// microseconds (default 1000).
+	PerItemComputeUS int64 `json:"per_item_compute_us,omitempty"`
+}
+
+// ResolveFramework maps a request spelling to the mlframework identifier.
+func ResolveFramework(name string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "pytorch":
+		return mlframework.PyTorch, nil
+	case "tensorflow":
+		return mlframework.TensorFlow, nil
+	case "vllm":
+		return mlframework.VLLM, nil
+	case "transformers", "hftransformers":
+		return mlframework.HFTransformers, nil
+	}
+	return "", fmt.Errorf("dserve: unknown framework %q (want pytorch, tensorflow, vllm, or transformers)", name)
+}
+
+// Request-size bounds: tail_libs and the member count are
+// client-controlled and directly size generated installs and fan-out, so
+// both are capped.
+const (
+	MaxTailLibs     = 2048
+	MaxJobWorkloads = 64
+)
+
+// Validate checks the request without generating anything.
+func (r *JobRequest) Validate() error {
+	if _, err := ResolveFramework(r.Framework); err != nil {
+		return err
+	}
+	if r.TailLibs < 0 {
+		return fmt.Errorf("dserve: negative tail_libs %d", r.TailLibs)
+	}
+	if r.TailLibs > MaxTailLibs {
+		return fmt.Errorf("dserve: tail_libs %d exceeds the limit %d", r.TailLibs, MaxTailLibs)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("dserve: job has no workloads")
+	}
+	if len(r.Workloads) > MaxJobWorkloads {
+		return fmt.Errorf("dserve: %d workloads exceeds the limit %d", len(r.Workloads), MaxJobWorkloads)
+	}
+	for i := range r.Workloads {
+		if err := r.Workloads[i].validate(); err != nil {
+			return fmt.Errorf("dserve: workload %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (sp *WorkloadSpec) validate() error {
+	switch sp.Model {
+	case "MobileNetV2", "Transformer", "Llama2":
+	default:
+		return fmt.Errorf("unknown model %q (want MobileNetV2, Transformer, or Llama2)", sp.Model)
+	}
+	if sp.Device != "" {
+		if _, err := gpuarch.ByName(sp.Device); err != nil {
+			return err
+		}
+	}
+	if sp.Batch < 0 || sp.GPUs < 0 || sp.Epochs < 0 || sp.PerItemComputeUS < 0 {
+		return fmt.Errorf("negative batch/gpus/epochs/per_item_compute_us")
+	}
+	return nil
+}
+
+// Workload materializes the spec against an install.
+func (sp WorkloadSpec) Workload(in *mlframework.Install) (mlruntime.Workload, error) {
+	if err := sp.validate(); err != nil {
+		return mlruntime.Workload{}, err
+	}
+	batch := sp.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	ranks := sp.GPUs
+	if ranks < 1 {
+		ranks = 1
+	}
+	devName := sp.Device
+	if devName == "" {
+		devName = "T4"
+	}
+	dev, err := gpuarch.ByName(devName)
+	if err != nil {
+		return mlruntime.Workload{}, err
+	}
+	devices := make([]gpuarch.Device, ranks)
+	for i := range devices {
+		devices[i] = dev
+	}
+
+	var graph *models.Graph
+	var data dataset.Dataset
+	switch sp.Model {
+	case "MobileNetV2":
+		graph, data = models.MobileNetV2(sp.Train, batch), dataset.CIFAR10
+	case "Transformer":
+		graph, data = models.Transformer(sp.Train, batch), dataset.Multi30k
+	case "Llama2":
+		graph = models.LLM(models.Llama2(in.Framework == mlframework.VLLM, ranks))
+		data = dataset.ManualInput
+	}
+
+	mode := cudasim.EagerLoading
+	if sp.Lazy {
+		mode = cudasim.LazyLoading
+	}
+	perItem := time.Duration(sp.PerItemComputeUS) * time.Microsecond
+	if perItem == 0 {
+		perItem = time.Millisecond
+	}
+	name := sp.Name
+	if name == "" {
+		name = fmt.Sprintf("%s/%s/%s/b%d/%s", in.Framework, graph.Mode(), sp.Model, batch, devName)
+	}
+	return mlruntime.Workload{
+		Name:           name,
+		Install:        in,
+		Graph:          graph,
+		Devices:        devices,
+		Mode:           mode,
+		Data:           data,
+		Epochs:         sp.Epochs,
+		PerItemCompute: perItem,
+	}, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// BenchEntry is one machine-readable benchmark datum: a named scalar with
+// its unit. Entries are deliberately schema-light so future PRs can add
+// series without migrations.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// BenchDoc is the on-disk shape of a benchmark JSON file.
+type BenchDoc struct {
+	Entries []BenchEntry `json:"entries"`
+}
+
+// WriteBenchJSON writes entries to path as indented JSON — the perf
+// trajectory file (e.g. BENCH_serve.json) consumed by future PRs and CI.
+func WriteBenchJSON(path string, entries []BenchEntry) error {
+	out, err := json.MarshalIndent(BenchDoc{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

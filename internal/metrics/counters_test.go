@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("hits", 1)
+				c.Add("misses", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+	snap := c.Snapshot()
+	if snap["misses"] != 16000 {
+		t.Errorf("misses = %d, want 16000", snap["misses"])
+	}
+	if got := c.Get("never"); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestTimingSetSummary(t *testing.T) {
+	ts := NewTimingSet()
+	for i := 1; i <= 4; i++ {
+		ts.Observe("job", time.Duration(i)*10*time.Millisecond)
+	}
+	d := ts.Summary("job")
+	if d.N != 4 {
+		t.Fatalf("n = %d, want 4", d.N)
+	}
+	if d.Min != 10 || d.Max != 40 || d.Mean != 25 {
+		t.Errorf("min/max/mean = %v/%v/%v, want 10/40/25 ms", d.Min, d.Max, d.Mean)
+	}
+	if got := ts.Summary("absent"); got.N != 0 {
+		t.Errorf("absent series n = %d, want 0", got.N)
+	}
+	snap := ts.Snapshot()
+	if len(snap) != 1 || snap["job"].N != 4 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}

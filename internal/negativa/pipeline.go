@@ -72,22 +72,86 @@ func (r *Result) Lib(name string) *LibraryReport {
 	return nil
 }
 
-// Debloat runs the full Negativa-ML pipeline on a workload: profile the run,
-// locate used code in every shared library, compact, and verify.
-func Debloat(w mlruntime.Workload, opt Options) (*Result, error) {
-	profile, err := DetectUsage(w, opt.MaxSteps)
-	if err != nil {
-		return nil, fmt.Errorf("negativa: detection: %w", err)
-	}
-
+// DeviceArchs returns the distinct GPU architectures of a device set in
+// first-seen order — the architecture filter the locator applies (Reason I
+// removal, §3.2).
+func DeviceArchs(devices []gpuarch.Device) []gpuarch.SM {
 	archSet := map[gpuarch.SM]bool{}
 	var archs []gpuarch.SM
-	for _, dev := range w.Devices {
+	for _, dev := range devices {
 		if !archSet[dev.Arch] {
 			archSet[dev.Arch] = true
 			archs = append(archs, dev.Arch)
 		}
 	}
+	return archs
+}
+
+// LibDebloat is the locate+compact output for a single library: the report
+// (including the compacted image) and the virtual analysis time the two
+// stages cost. It is the unit of work the batch service parallelizes and
+// caches content-addressed — the result depends only on the library bytes,
+// the used-symbol sets, and the target architectures.
+type LibDebloat struct {
+	Report   *LibraryReport
+	Analysis time.Duration
+}
+
+// LocateAndCompactLib runs the location and compaction stages on one
+// library: used CPU functions map to .text file ranges through the symbol
+// table, used kernels decide fatbin element retention for the given
+// architectures, and every unretained range is zeroed. The function only
+// reads the library, so concurrent calls on a shared *elfx.Library are safe.
+func LocateAndCompactLib(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) (*LibDebloat, error) {
+	cpuLoc := LocateCPU(lib, usedFuncs)
+	gpuLoc, err := LocateGPU(lib, usedKernels, archs)
+	if err != nil {
+		return nil, err
+	}
+	debloated := Compact(lib, cpuLoc, gpuLoc)
+
+	lr := &LibraryReport{
+		Name:                lib.Name,
+		FileSize:            lib.FileSize(),
+		FileEffective:       elfx.NonZeroBytes(lib.Data),
+		FileEffectiveAfter:  elfx.NonZeroBytes(debloated),
+		CPUSize:             cpuLoc.TotalBytes,
+		FuncCount:           cpuLoc.TotalFuncs,
+		FuncKept:            cpuLoc.KeptFuncs,
+		ElemCount:           len(gpuLoc.Decisions),
+		ElemKept:            gpuLoc.Kept(),
+		RemovedArchMismatch: gpuLoc.RemovedBy(ReasonArchMismatch),
+		RemovedNoUsedKernel: gpuLoc.RemovedBy(ReasonNoUsedKernel),
+		UsedFuncs:           usedFuncs,
+		UsedKernels:         usedKernels,
+		Debloated:           debloated,
+	}
+	if text := lib.Section(".text"); text != nil {
+		lr.CPUSizeAfter = elfx.NonZeroBytesIn(debloated, text.Range)
+	}
+	if fbRange, ok := lib.FatbinRange(); ok {
+		// Compare effective (non-zero) bytes on both sides.
+		lr.GPUSize = elfx.NonZeroBytesIn(lib.Data, fbRange)
+		lr.GPUSizeAfter = elfx.NonZeroBytesIn(debloated, fbRange)
+	}
+
+	analysis := time.Duration(cpuLoc.TotalFuncs)*locatePerFunc +
+		time.Duration(len(gpuLoc.Decisions))*locatePerElement +
+		time.Duration(lib.FileSize()/1024)*compactPerKB
+	return &LibDebloat{Report: lr, Analysis: analysis}, nil
+}
+
+// Debloat runs the full Negativa-ML pipeline on a workload: profile the run,
+// locate used code in every shared library, compact, and verify. Libraries
+// are processed serially; the batch service (internal/dserve) runs the same
+// per-library stage through a bounded worker pool and a content-addressed
+// cache.
+func Debloat(w mlruntime.Workload, opt Options) (*Result, error) {
+	profile, err := DetectUsage(w, opt.MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("negativa: detection: %w", err)
+	}
+	archs := DeviceArchs(w.Devices)
 
 	res := &Result{
 		Workload:   w.Name,
@@ -98,42 +162,12 @@ func Debloat(w mlruntime.Workload, opt Options) (*Result, error) {
 	var analysis time.Duration
 	for _, name := range w.Install.LibNames {
 		lib := w.Install.Library(name)
-		cpuLoc := LocateCPU(lib, profile.UsedFuncs[name])
-		gpuLoc, err := LocateGPU(lib, profile.UsedKernels[name], archs)
+		ld, err := LocateAndCompactLib(lib, profile.UsedFuncs[name], profile.UsedKernels[name], archs)
 		if err != nil {
 			return nil, fmt.Errorf("negativa: locate %s: %w", name, err)
 		}
-		debloated := Compact(lib, cpuLoc, gpuLoc)
-
-		lr := &LibraryReport{
-			Name:                name,
-			FileSize:            lib.FileSize(),
-			FileEffective:       elfx.NonZeroBytes(lib.Data),
-			FileEffectiveAfter:  elfx.NonZeroBytes(debloated),
-			CPUSize:             cpuLoc.TotalBytes,
-			FuncCount:           cpuLoc.TotalFuncs,
-			FuncKept:            cpuLoc.KeptFuncs,
-			ElemCount:           len(gpuLoc.Decisions),
-			ElemKept:            gpuLoc.Kept(),
-			RemovedArchMismatch: gpuLoc.RemovedBy(ReasonArchMismatch),
-			RemovedNoUsedKernel: gpuLoc.RemovedBy(ReasonNoUsedKernel),
-			UsedFuncs:           profile.UsedFuncs[name],
-			UsedKernels:         profile.UsedKernels[name],
-			Debloated:           debloated,
-		}
-		if text := lib.Section(".text"); text != nil {
-			lr.CPUSizeAfter = elfx.NonZeroBytesIn(debloated, text.Range)
-		}
-		if fbRange, ok := lib.FatbinRange(); ok {
-			// Compare effective (non-zero) bytes on both sides.
-			lr.GPUSize = elfx.NonZeroBytesIn(lib.Data, fbRange)
-			lr.GPUSizeAfter = elfx.NonZeroBytesIn(debloated, fbRange)
-		}
-		res.Libs = append(res.Libs, lr)
-
-		analysis += time.Duration(cpuLoc.TotalFuncs) * locatePerFunc
-		analysis += time.Duration(len(gpuLoc.Decisions)) * locatePerElement
-		analysis += time.Duration(lib.FileSize()/1024) * compactPerKB
+		res.Libs = append(res.Libs, ld.Report)
+		analysis += ld.Analysis
 	}
 	res.AnalysisTime = analysis
 	res.EndToEnd = res.DetectTime + res.AnalysisTime

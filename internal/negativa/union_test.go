@@ -1,0 +1,91 @@
+package negativa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func profileOf(name string, kernels, funcs map[string][]string) *Profile {
+	return &Profile{Workload: name, UsedKernels: kernels, UsedFuncs: funcs}
+}
+
+func TestMergeProfilesDisjoint(t *testing.T) {
+	a := profileOf("a",
+		map[string][]string{"libx.so": {"k1", "k2"}},
+		map[string][]string{"libx.so": {"f1"}})
+	b := profileOf("b",
+		map[string][]string{"liby.so": {"k3"}},
+		map[string][]string{"liby.so": {"f2", "f3"}})
+
+	u := MergeProfiles(a, b)
+	if u.Workload != "a+b" {
+		t.Errorf("union workload = %q, want a+b", u.Workload)
+	}
+	if u.RunResult != nil {
+		t.Error("union RunResult must be nil")
+	}
+	wantK := map[string][]string{"libx.so": {"k1", "k2"}, "liby.so": {"k3"}}
+	if !reflect.DeepEqual(u.UsedKernels, wantK) {
+		t.Errorf("union kernels = %v, want %v", u.UsedKernels, wantK)
+	}
+	wantF := map[string][]string{"libx.so": {"f1"}, "liby.so": {"f2", "f3"}}
+	if !reflect.DeepEqual(u.UsedFuncs, wantF) {
+		t.Errorf("union funcs = %v, want %v", u.UsedFuncs, wantF)
+	}
+}
+
+func TestMergeProfilesOverlapping(t *testing.T) {
+	a := profileOf("a",
+		map[string][]string{"libx.so": {"k2", "k1"}},
+		map[string][]string{"libx.so": {"f1", "f2"}})
+	b := profileOf("b",
+		map[string][]string{"libx.so": {"k2", "k3"}},
+		map[string][]string{"libx.so": {"f2"}})
+
+	u := MergeProfiles(a, b)
+	wantK := map[string][]string{"libx.so": {"k1", "k2", "k3"}}
+	if !reflect.DeepEqual(u.UsedKernels, wantK) {
+		t.Errorf("union kernels = %v, want %v (sorted, deduped)", u.UsedKernels, wantK)
+	}
+	wantF := map[string][]string{"libx.so": {"f1", "f2"}}
+	if !reflect.DeepEqual(u.UsedFuncs, wantF) {
+		t.Errorf("union funcs = %v, want %v", u.UsedFuncs, wantF)
+	}
+	if !u.Covers(a) || !u.Covers(b) {
+		t.Error("union must cover every member")
+	}
+}
+
+func TestMergeProfilesSuperset(t *testing.T) {
+	small := profileOf("small",
+		map[string][]string{"libx.so": {"k1"}},
+		map[string][]string{"libx.so": {"f1"}})
+	big := profileOf("big",
+		map[string][]string{"libx.so": {"k1", "k2", "k3"}, "liby.so": {"k9"}},
+		map[string][]string{"libx.so": {"f1", "f2"}})
+
+	u := MergeProfiles(small, big)
+	if !reflect.DeepEqual(u.UsedKernels, big.UsedKernels) {
+		t.Errorf("union of subset+superset kernels = %v, want the superset %v", u.UsedKernels, big.UsedKernels)
+	}
+	if !reflect.DeepEqual(u.UsedFuncs, big.UsedFuncs) {
+		t.Errorf("union of subset+superset funcs = %v, want the superset %v", u.UsedFuncs, big.UsedFuncs)
+	}
+	if !big.Covers(small) {
+		t.Error("superset must cover subset")
+	}
+	if small.Covers(big) {
+		t.Error("subset must not cover superset")
+	}
+}
+
+func TestMergeProfilesSkipsNil(t *testing.T) {
+	a := profileOf("a", map[string][]string{"libx.so": {"k1"}}, nil)
+	u := MergeProfiles(nil, a, nil)
+	if u.Workload != "a" {
+		t.Errorf("workload = %q, want a", u.Workload)
+	}
+	if len(u.UsedKernels["libx.so"]) != 1 {
+		t.Errorf("kernels = %v", u.UsedKernels)
+	}
+}
