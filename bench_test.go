@@ -11,6 +11,7 @@ package negativaml
 
 import (
 	"flag"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -309,27 +310,35 @@ func TestBenchServeJSON(t *testing.T) {
 		return ws
 	}
 
-	batch := func(workers int, svc *dserve.Service) (*dserve.BatchResult, time.Duration) {
+	// batch runs one 4-workload batch and reports wall time plus heap bytes
+	// allocated during the batch (TotalAlloc delta across a quiesced heap) —
+	// the metric that exposes per-batch full-image copies.
+	batch := func(workers int, svc *dserve.Service) (*dserve.BatchResult, time.Duration, int64) {
 		if svc == nil {
 			svc = dserve.NewService(dserve.Config{Workers: workers, MaxSteps: 4})
 			defer svc.Close()
 		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		res, err := svc.DebloatBatch(in, workloads(), dserve.BatchOptions{MaxSteps: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
 		if !res.AllVerified() {
 			t.Fatal("batch must verify")
 		}
-		return res, time.Since(start)
+		return res, wall, int64(m1.TotalAlloc - m0.TotalAlloc)
 	}
 
-	_, serialWall := batch(1, nil)
+	_, serialWall, _ := batch(1, nil)
 	svc := dserve.NewService(dserve.Config{MaxSteps: 4})
 	defer svc.Close()
-	cold, coldWall := batch(0, svc)
-	warm, warmWall := batch(0, svc)
+	cold, coldWall, coldAlloc := batch(0, svc)
+	warm, warmWall, warmAlloc := batch(0, svc)
 	if warm.CacheHits == 0 || warm.ProfileReuses != len(specs) {
 		t.Fatalf("warm batch should be fully reused: hits=%d reuses=%d", warm.CacheHits, warm.ProfileReuses)
 	}
@@ -338,15 +347,18 @@ func TestBenchServeJSON(t *testing.T) {
 		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/warm/parallel-wall", Value: warmWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/cold/alloc-bytes", Value: float64(coldAlloc), Unit: "bytes"},
+		{Name: "serve/batch4/warm/alloc-bytes", Value: float64(warmAlloc), Unit: "bytes"},
 		{Name: "serve/batch4/virtual-end-to-end", Value: cold.EndToEnd().Seconds(), Unit: "s"},
 		{Name: "serve/batch4/virtual-detect", Value: cold.DetectTime.Seconds(), Unit: "s"},
 		{Name: "serve/batch4/virtual-analysis", Value: cold.AnalysisTime.Seconds(), Unit: "s"},
 		{Name: "serve/batch4/warm/cache-hits", Value: float64(warm.CacheHits), Unit: "count"},
+		{Name: "serve/batch4/cache-bytes", Value: float64(svc.Cache.Bytes()), Unit: "bytes"},
 		{Name: "serve/batch4/libs", Value: float64(len(cold.Libs)), Unit: "count"},
 	}
 	if err := experiments.WriteBenchJSON(*benchJSON, entries); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %d entries to %s (cold serial %v, cold parallel %v, warm %v)",
-		len(entries), *benchJSON, serialWall.Round(time.Millisecond), coldWall.Round(time.Millisecond), warmWall.Round(time.Millisecond))
+	t.Logf("wrote %d entries to %s (cold serial %v, cold parallel %v, warm %v, warm alloc %d B)",
+		len(entries), *benchJSON, serialWall.Round(time.Millisecond), coldWall.Round(time.Millisecond), warmWall.Round(time.Millisecond), warmAlloc)
 }

@@ -100,9 +100,19 @@ func main() {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			log.Fatalf("negativa-ml: %v", err)
 		}
-		for name, blob := range res.DebloatedLibs() {
-			if err := os.WriteFile(filepath.Join(*out, name), blob, 0o644); err != nil {
-				log.Fatalf("negativa-ml: write %s: %v", name, err)
+		// Stream each sparse image straight to disk — no full in-memory
+		// materialization of the debloated install.
+		for _, lr := range res.Libs {
+			f, err := os.OpenFile(filepath.Join(*out, lr.Name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				log.Fatalf("negativa-ml: write %s: %v", lr.Name, err)
+			}
+			_, werr := lr.Sparse.WriteTo(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Fatalf("negativa-ml: write %s: %v", lr.Name, werr)
 			}
 		}
 		fmt.Printf("debloated libraries written to %s\n", *out)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	negativa-served -addr :8080 -workers 8 -cache-entries 4096 -steps 4
+//	negativa-served -addr :8080 -workers 8 -cache-mb 64 -steps 4
 //
 // Endpoints:
 //
@@ -50,21 +50,21 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent tasks across all jobs")
-	cacheEntries := flag.Int("cache-entries", 4096, "content-addressed result cache bound")
+	cacheMB := flag.Int64("cache-mb", 64, "content-addressed result cache bound (retained MiB; entries are sparse range sets, not library copies)")
 	steps := flag.Int("steps", 4, "default detection/verification step cap for jobs")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	flag.Parse()
 
 	svc := dserve.NewService(dserve.Config{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		MaxSteps:     *steps,
+		Workers:    *workers,
+		CacheBytes: *cacheMB << 20,
+		MaxSteps:   *steps,
 	})
 	srv := &http.Server{Addr: *addr, Handler: dserve.NewHandler(svc)}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("negativa-served: listening on %s (%d workers, %d cache entries)", *addr, svc.Workers(), *cacheEntries)
+		log.Printf("negativa-served: listening on %s (%d workers, %d MiB result cache)", *addr, svc.Workers(), *cacheMB)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -305,15 +305,7 @@ func (m *Module) GetFunction(name string) (*Function, error) {
 // codeAlive reports whether kernel code is present (empty code is treated
 // as alive; only fully zeroed code counts as removed).
 func codeAlive(code []byte) bool {
-	if len(code) == 0 {
-		return true
-	}
-	for _, b := range code {
-		if b != 0 {
-			return true
-		}
-	}
-	return false
+	return len(code) == 0 || fatbin.AnyNonZero(code)
 }
 
 // HasKernel reports whether the module exposes the kernel for this device

@@ -14,26 +14,18 @@ import (
 	"negativaml/internal/negativa"
 )
 
-// libDigests memoizes each library's content hash per *elfx.Library —
-// libraries are immutable after parsing (the package's concurrency
-// contract), so warm batches need not re-hash full library bytes on every
-// CacheKey computation.
-var libDigests = newBoundedMemo(4096)
-
-func libDigest(lib *elfx.Library) [sha256.Size]byte {
-	return libDigests.get(lib, func() any { return sha256.Sum256(lib.Data) }).([sha256.Size]byte)
-}
-
 // CacheKey derives the content address of one locate+compact computation:
 // SHA-256 over the library's content digest, the used CPU-function and
 // kernel sets, and the target architectures (canonicalized by sorting).
+// The library digest comes from the parse-once analysis index
+// (elfx.Library.ContentDigest), so warm batches hash no library bytes.
 // The library name is deliberately excluded — identical libraries shared
 // across installs (the dependency tail) hit the cache no matter which
 // install or job they arrive through; hits re-label the report with the
 // requesting library's name.
 func CacheKey(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) string {
 	h := sha256.New()
-	d := libDigest(lib)
+	d := lib.ContentDigest()
 	h.Write(d[:])
 	sep := []byte{0}
 	writeList := func(tag byte, items []string) {
@@ -66,21 +58,32 @@ func CacheKey(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarc
 // CacheStats is a point-in-time view of cache effectiveness.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
 
 // ResultCache is the content-addressed locate+compact cache with LRU
-// eviction. Stored values are immutable: hits hand out the shared report
-// and compacted image, which callers must treat as read-only. Concurrent
+// eviction bounded by retained bytes, not entry count: entries are sparse
+// (a range set plus the report), so their real heap cost varies by orders
+// of magnitude and a byte bound is the honest knob. A sparse entry keeps
+// its original library image alive, so the cache also charges each
+// distinct referenced image once (refcounted across entries) — the bound
+// covers everything the cache alone can pin after the owning install is
+// evicted. Stored values are immutable: hits hand out the shared report
+// and sparse image, which callers must treat as read-only. Concurrent
 // misses on the same key may compute the result twice; both Puts store
 // identical content, so the race is benign.
 type ResultCache struct {
 	mu       sync.Mutex
-	max      int
+	maxBytes int64
+	bytes    int64
 	entries  map[string]*list.Element
 	lru      list.List // front = most recently used
+	// libRefs counts entries referencing each distinct library image;
+	// the image's bytes are charged while the count is non-zero.
+	libRefs  map[[sha256.Size]byte]int
 	hits     int64
 	misses   int64
 	evicted  int64
@@ -88,20 +91,36 @@ type ResultCache struct {
 }
 
 type cacheEntry struct {
-	key string
-	ld  *negativa.LibDebloat
+	key  string
+	ld   *negativa.LibDebloat
+	size int64
+	// libDigest / libSize identify the original image the sparse report
+	// references (hasLib false for reports without one, e.g. in tests).
+	libDigest [sha256.Size]byte
+	libSize   int64
+	hasLib    bool
 }
 
-// NewResultCache returns a cache bounded to max entries (max < 1 is treated
-// as 1). counters, when non-nil, mirrors cache.hits / cache.misses /
-// cache.evictions for the service metrics endpoint.
-func NewResultCache(max int, counters *metrics.CounterSet) *ResultCache {
-	if max < 1 {
-		max = 1
+// entrySize charges an entry with the bytes its sparse report itself pins
+// (key string + report + range set); the referenced library image is
+// charged separately, once per distinct image, via libRefs.
+func entrySize(key string, ld *negativa.LibDebloat) int64 {
+	return int64(len(key)) + 64 + ld.Report.RetainedBytes()
+}
+
+// NewResultCache returns a cache bounded to maxBytes of retained entries
+// (values < 1 are treated as 1 byte, i.e. effectively a single-entry
+// scratch). counters, when non-nil, mirrors cache.hits / cache.misses /
+// cache.evictions, and tracks cache.bytes as a gauge, for the service
+// metrics endpoint.
+func NewResultCache(maxBytes int64, counters *metrics.CounterSet) *ResultCache {
+	if maxBytes < 1 {
+		maxBytes = 1
 	}
 	return &ResultCache{
-		max:      max,
+		maxBytes: maxBytes,
 		entries:  map[string]*list.Element{},
+		libRefs:  map[[sha256.Size]byte]int{},
 		counters: counters,
 	}
 }
@@ -110,6 +129,14 @@ func (c *ResultCache) count(name string, p *int64) {
 	*p++
 	if c.counters != nil {
 		c.counters.Add(name, 1)
+	}
+}
+
+// addBytes adjusts the retained-byte gauge.
+func (c *ResultCache) addBytes(delta int64) {
+	c.bytes += delta
+	if c.counters != nil {
+		c.counters.Add("cache.bytes", delta)
 	}
 }
 
@@ -127,23 +154,71 @@ func (c *ResultCache) Get(key string) (*negativa.LibDebloat, bool) {
 	return el.Value.(*cacheEntry).ld, true
 }
 
-// Put stores a result, evicting least-recently-used entries beyond the
-// bound. Re-putting an existing key refreshes its recency.
+// retainLib charges the entry's referenced library image on its first
+// reference; releaseLib refunds it on the last.
+func (c *ResultCache) retainLib(ent *cacheEntry) {
+	if !ent.hasLib {
+		return
+	}
+	c.libRefs[ent.libDigest]++
+	if c.libRefs[ent.libDigest] == 1 {
+		c.addBytes(ent.libSize)
+	}
+}
+
+func (c *ResultCache) releaseLib(ent *cacheEntry) {
+	if !ent.hasLib {
+		return
+	}
+	c.libRefs[ent.libDigest]--
+	if c.libRefs[ent.libDigest] == 0 {
+		delete(c.libRefs, ent.libDigest)
+		c.addBytes(-ent.libSize)
+	}
+}
+
+// evictOver drops least-recently-used entries until the retained bytes fit
+// the bound; the most recent entry is never evicted, so one oversized
+// result still caches.
+func (c *ResultCache) evictOver() {
+	for c.bytes > c.maxBytes && len(c.entries) > 1 {
+		oldest := c.lru.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.addBytes(-ent.size)
+		c.releaseLib(ent)
+		c.count("cache.evictions", &c.evicted)
+	}
+}
+
+// Put stores a result, evicting least-recently-used entries until the
+// retained bytes fit the bound. Re-putting an existing key refreshes its
+// recency (and re-checks the bound if the size changed).
 func (c *ResultCache) Put(key string, ld *negativa.LibDebloat) {
+	ent := &cacheEntry{key: key, ld: ld, size: entrySize(key, ld)}
+	if sp := ld.Report.Sparse; sp != nil {
+		lib := sp.Lib()
+		ent.libDigest = lib.ContentDigest()
+		ent.libSize = lib.FileSize()
+		ent.hasLib = true
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).ld = ld
+		old := el.Value.(*cacheEntry)
+		c.addBytes(ent.size - old.size)
+		c.retainLib(ent)
+		c.releaseLib(old)
+		el.Value = ent
 		c.lru.MoveToFront(el)
+		c.evictOver()
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, ld: ld})
-	for len(c.entries) > c.max {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.count("cache.evictions", &c.evicted)
-	}
+	c.entries[key] = c.lru.PushFront(ent)
+	c.addBytes(ent.size)
+	c.retainLib(ent)
+	c.evictOver()
 }
 
 // Len returns the number of cached entries.
@@ -153,9 +228,16 @@ func (c *ResultCache) Len() int {
 	return len(c.entries)
 }
 
+// Bytes returns the retained bytes currently charged to the cache.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Stats returns a snapshot of cache effectiveness.
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Evictions: c.evicted}
+	return CacheStats{Entries: len(c.entries), Bytes: c.bytes, Hits: c.hits, Misses: c.misses, Evictions: c.evicted}
 }

@@ -110,17 +110,22 @@ func TestCacheKeyContentAddressing(t *testing.T) {
 
 func TestCacheHitMissEviction(t *testing.T) {
 	counters := metrics.NewCounterSet()
-	c := NewResultCache(2, counters)
-
 	mk := func(name string) *negativa.LibDebloat {
 		return &negativa.LibDebloat{Report: &negativa.LibraryReport{Name: name}}
 	}
+	// Byte-bounded: room for two typical entries plus slack, so the third
+	// insert forces an LRU eviction.
+	unit := entrySize("k1", mk("a"))
+	c := NewResultCache(2*unit+unit/2, counters)
 
 	if _, ok := c.Get("k1"); ok {
 		t.Fatal("empty cache must miss")
 	}
 	c.Put("k1", mk("a"))
 	c.Put("k2", mk("b"))
+	if got := c.Bytes(); got != 2*unit {
+		t.Fatalf("retained bytes = %d, want %d", got, 2*unit)
+	}
 	if ld, ok := c.Get("k1"); !ok || ld.Report.Name != "a" {
 		t.Fatal("k1 must hit after Put")
 	}
@@ -141,12 +146,18 @@ func TestCacheHitMissEviction(t *testing.T) {
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Errorf("stats = %+v, want 2 entries and 1 eviction", st)
 	}
+	if st.Bytes != c.Bytes() || st.Bytes <= 0 {
+		t.Errorf("stats bytes = %d, live = %d", st.Bytes, c.Bytes())
+	}
 	// hits: k1, k1, k3 = 3; misses: k1(initial), k2(after evict) = 2.
 	if st.Hits != 3 || st.Misses != 2 {
 		t.Errorf("hits/misses = %d/%d, want 3/2", st.Hits, st.Misses)
 	}
 	if counters.Get("cache.hits") != st.Hits || counters.Get("cache.misses") != st.Misses || counters.Get("cache.evictions") != st.Evictions {
 		t.Errorf("counter mirror out of sync: %v vs %+v", counters.Snapshot(), st)
+	}
+	if counters.Get("cache.bytes") != st.Bytes {
+		t.Errorf("cache.bytes gauge = %d, want %d", counters.Get("cache.bytes"), st.Bytes)
 	}
 
 	// Re-putting an existing key must not grow or evict.
@@ -156,5 +167,80 @@ func TestCacheHitMissEviction(t *testing.T) {
 	}
 	if ld, _ := c.Get("k3"); ld.Report.Name != "c2" {
 		t.Error("re-put must replace the value")
+	}
+}
+
+func TestCacheChargesReferencedImagesOnce(t *testing.T) {
+	lib := smallLib(t, "liba.so", "f1", "f2")
+	mk := func(funcs ...string) *negativa.LibDebloat {
+		ld, err := negativa.LocateAndCompactLib(lib, funcs, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ld
+	}
+	c := NewResultCache(1<<20, nil)
+	c.Put("k1", mk("f1"))
+	withOne := c.Bytes()
+	if withOne <= lib.FileSize() {
+		t.Fatalf("bytes = %d must include the referenced image (%d)", withOne, lib.FileSize())
+	}
+	// A second entry over the same image must not charge the image again.
+	c.Put("k2", mk("f2"))
+	if grew := c.Bytes() - withOne; grew >= lib.FileSize() {
+		t.Fatalf("second entry grew bytes by %d — image charged twice", grew)
+	}
+	// Shrinking the bound below the image evicts down to one entry but the
+	// survivor still pins (and charges) the image.
+	small := NewResultCache(lib.FileSize()/2, nil)
+	small.Put("k1", mk("f1"))
+	small.Put("k2", mk("f2"))
+	if small.Len() != 1 {
+		t.Fatalf("len = %d, want 1 under a bound smaller than the image", small.Len())
+	}
+	if small.Bytes() <= lib.FileSize() {
+		t.Fatalf("bytes = %d must still charge the surviving entry's image", small.Bytes())
+	}
+}
+
+func TestCacheRePutRechecksBound(t *testing.T) {
+	mk := func(name string, kernels int) *negativa.LibDebloat {
+		lr := &negativa.LibraryReport{Name: name}
+		for i := 0; i < kernels; i++ {
+			lr.UsedKernels = append(lr.UsedKernels, "kernel_with_a_long_name")
+		}
+		return &negativa.LibDebloat{Report: lr}
+	}
+	unit := entrySize("k1", mk("a", 0))
+	c := NewResultCache(3*unit, nil)
+	c.Put("k1", mk("a", 0))
+	c.Put("k2", mk("b", 0))
+	// Re-putting k2 with a much larger payload must evict k1, not leave
+	// the cache over its bound.
+	c.Put("k2", mk("b", 200))
+	if c.Bytes() > 3*unit+entrySize("k2", mk("b", 200)) {
+		t.Fatalf("bytes = %d way over bound after re-put", c.Bytes())
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted by the oversized re-put")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("re-put entry must survive")
+	}
+}
+
+func TestCacheOversizedEntryStillCaches(t *testing.T) {
+	c := NewResultCache(1, nil) // 1 byte: every entry is oversized
+	ld := &negativa.LibDebloat{Report: &negativa.LibraryReport{Name: "big"}}
+	c.Put("k", ld)
+	if got, ok := c.Get("k"); !ok || got != ld {
+		t.Fatal("the newest entry must never be evicted by its own Put")
+	}
+	c.Put("k2", ld)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (previous oversized entry evicted)", c.Len())
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Fatal("k2 must be present")
 	}
 }

@@ -146,7 +146,7 @@ func TestUnionDebloatServesEveryMember(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		debloated[name] = ld.Report.Debloated
+		debloated[name] = ld.Report.Debloated()
 	}
 	clone, err := in.CloneWithLibs(debloated)
 	if err != nil {

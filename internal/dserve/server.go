@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"negativaml/internal/negativa"
@@ -98,10 +99,14 @@ func newMux(s *Service) *http.ServeMux {
 			httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no library %q", job.ID, name))
 			return
 		}
+		// Stream the sparse image: retained ranges come straight from the
+		// original bytes, zeroed ranges from a shared scratch buffer — the
+		// handler never materializes a full library copy.
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+		w.Header().Set("Content-Length", strconv.FormatInt(lr.Sparse.Len(), 10))
 		w.WriteHeader(http.StatusOK)
-		w.Write(lr.Debloated)
+		lr.Sparse.WriteTo(w)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
@@ -187,6 +192,8 @@ type libReport struct {
 	FileKB        float64 `json:"file_kb"`
 	FileAfterKB   float64 `json:"file_after_kb"`
 	FileRedPct    float64 `json:"file_red_pct"`
+	ResidentKB    float64 `json:"resident_kb"`
+	ResidentAfKB  float64 `json:"resident_after_kb"`
 	CPURedPct     float64 `json:"cpu_red_pct"`
 	GPURedPct     float64 `json:"gpu_red_pct"`
 	FuncsKept     int     `json:"funcs_kept"`
@@ -239,6 +246,8 @@ func reportOf(j *Job) jobReport {
 			FileKB:        kb(lr.FileEffective),
 			FileAfterKB:   kb(lr.FileEffectiveAfter),
 			FileRedPct:    lr.FileReductionPct(),
+			ResidentKB:    kb(lr.ResidentBytes),
+			ResidentAfKB:  kb(lr.ResidentBytesAfter),
 			CPURedPct:     lr.CPUReductionPct(),
 			GPURedPct:     lr.GPUReductionPct(),
 			FuncsKept:     lr.FuncKept,

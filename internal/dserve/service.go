@@ -20,9 +20,12 @@ type Config struct {
 	// Workers bounds concurrently executing tasks across all jobs
 	// (default runtime.NumCPU()).
 	Workers int
-	// CacheEntries bounds the content-addressed result cache
-	// (default 4096).
-	CacheEntries int
+	// CacheBytes bounds the content-addressed result cache by retained
+	// bytes (default 64 MiB). Entries are sparse — a zeroed-range set plus
+	// the report — and each distinct original library image they reference
+	// is charged once, so the bound covers everything the cache alone can
+	// keep alive.
+	CacheBytes int64
 	// MaxSteps is the default detection/verification step cap applied when
 	// a batch does not set one (default 4). Usage coverage saturates within
 	// the first steps, so small caps keep service latency low.
@@ -75,8 +78,8 @@ func NewService(cfg Config) *Service {
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.NumCPU()
 	}
-	if cfg.CacheEntries < 1 {
-		cfg.CacheEntries = 4096
+	if cfg.CacheBytes < 1 {
+		cfg.CacheBytes = 64 << 20
 	}
 	if cfg.MaxSteps < 1 {
 		cfg.MaxSteps = 4
@@ -94,7 +97,7 @@ func NewService(cfg Config) *Service {
 	return &Service{
 		cfg:          cfg,
 		Registry:     NewRegistry(),
-		Cache:        NewResultCache(cfg.CacheEntries, counters),
+		Cache:        NewResultCache(cfg.CacheBytes, counters),
 		Counters:     counters,
 		Timings:      metrics.NewTimingSet(),
 		pool:         NewPool(cfg.Workers),
@@ -170,6 +173,9 @@ type BatchResult struct {
 	Workloads []WorkloadOutcome
 	// Libs holds one report per library in install load order.
 	Libs []*negativa.LibraryReport
+	// byName indexes Libs by name, built once when the batch assembles its
+	// reports (Lib falls back to a scan for hand-built results).
+	byName map[string]*negativa.LibraryReport
 
 	// DetectTime sums the virtual profiled-run times of freshly detected
 	// members (registry hits cost nothing); AnalysisTime sums virtual
@@ -193,17 +199,22 @@ type BatchResult struct {
 // metric, extended to batches).
 func (r *BatchResult) EndToEnd() time.Duration { return r.DetectTime + r.AnalysisTime }
 
-// DebloatedLibs returns the compacted images keyed by library name.
+// DebloatedLibs materializes the compacted images keyed by library name.
+// Images are built lazily at call time; batch results and cache entries
+// only hold sparse range sets.
 func (r *BatchResult) DebloatedLibs() map[string][]byte {
 	out := make(map[string][]byte, len(r.Libs))
 	for _, lr := range r.Libs {
-		out[lr.Name] = lr.Debloated
+		out[lr.Name] = lr.Debloated()
 	}
 	return out
 }
 
 // Lib returns the report for the named library, or nil.
 func (r *BatchResult) Lib(name string) *negativa.LibraryReport {
+	if r.byName != nil {
+		return r.byName[name]
+	}
 	for _, lr := range r.Libs {
 		if lr.Name == name {
 			return lr
@@ -351,6 +362,10 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	}
 
 	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, Libs: libs}
+	res.byName = make(map[string]*negativa.LibraryReport, len(libs))
+	for _, lr := range libs {
+		res.byName[lr.Name] = lr
+	}
 	for i := range libs {
 		if hits[i] {
 			res.CacheHits++

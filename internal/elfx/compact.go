@@ -1,12 +1,20 @@
 package elfx
 
-import "negativaml/internal/fatbin"
+import (
+	"bytes"
+
+	"negativaml/internal/fatbin"
+)
 
 // PageSize is the simulated memory page size used by the resident-size
 // model: a page whose bytes are all zero is assumed not to be resident
 // (backed by the shared zero page), which is how zero-compacted libraries
 // reduce memory use and load time without changing file offsets.
 const PageSize = 4096
+
+// zeroSep is the single-byte needle passed to bytes.Count, whose
+// one-byte path is the runtime's vectorized counter.
+var zeroSep = []byte{0}
 
 // ZeroRange zeroes the bytes of data covered by r, clamped to the buffer.
 func ZeroRange(data []byte, r fatbin.Range) {
@@ -17,18 +25,28 @@ func ZeroRange(data []byte, r fatbin.Range) {
 	if end > int64(len(data)) {
 		end = int64(len(data))
 	}
-	for i := start; i < end; i++ {
-		data[i] = 0
+	if start >= end {
+		return
 	}
+	clear(data[start:end]) // compiles to runtime memclr
 }
 
 // ZeroOutside zeroes every byte of data within the outer range that is not
 // covered by any of the keep ranges. keep ranges outside outer are ignored.
 // This is the compaction primitive: retain used file ranges, remove the rest.
 func ZeroOutside(data []byte, outer fatbin.Range, keep []fatbin.Range) {
-	merged := MergeRanges(keep)
+	for _, r := range ComplementWithin(outer, keep) {
+		ZeroRange(data, r)
+	}
+}
+
+// ComplementWithin returns the sub-ranges of outer not covered by any keep
+// range — the zeroing plan ZeroOutside executes, as data. Sparse compaction
+// stores this plan instead of applying it.
+func ComplementWithin(outer fatbin.Range, keep []fatbin.Range) []fatbin.Range {
+	var out []fatbin.Range
 	cursor := outer.Start
-	for _, k := range merged {
+	for _, k := range MergeRanges(keep) {
 		if k.End <= outer.Start || k.Start >= outer.End {
 			continue
 		}
@@ -40,15 +58,16 @@ func ZeroOutside(data []byte, outer fatbin.Range, keep []fatbin.Range) {
 			e = outer.End
 		}
 		if s > cursor {
-			ZeroRange(data, fatbin.Range{Start: cursor, End: s})
+			out = append(out, fatbin.Range{Start: cursor, End: s})
 		}
 		if e > cursor {
 			cursor = e
 		}
 	}
 	if cursor < outer.End {
-		ZeroRange(data, fatbin.Range{Start: cursor, End: outer.End})
+		out = append(out, fatbin.Range{Start: cursor, End: outer.End})
 	}
+	return out
 }
 
 // MergeRanges sorts and coalesces overlapping or adjacent ranges.
@@ -80,13 +99,7 @@ func MergeRanges(rs []fatbin.Range) []fatbin.Range {
 // NonZeroBytes counts bytes of data that are not zero — the "effective size"
 // of a zero-compacted file (what sparse storage or page dedup would keep).
 func NonZeroBytes(data []byte) int64 {
-	var n int64
-	for _, b := range data {
-		if b != 0 {
-			n++
-		}
-	}
-	return n
+	return int64(len(data) - bytes.Count(data, zeroSep))
 }
 
 // NonZeroBytesIn counts non-zero bytes within the given range.
@@ -98,13 +111,10 @@ func NonZeroBytesIn(data []byte, r fatbin.Range) int64 {
 	if end > int64(len(data)) {
 		end = int64(len(data))
 	}
-	var n int64
-	for i := start; i < end; i++ {
-		if data[i] != 0 {
-			n++
-		}
+	if start >= end {
+		return 0
 	}
-	return n
+	return NonZeroBytes(data[start:end])
 }
 
 // ResidentBytes models the resident set of a mapped file: pages containing
@@ -116,11 +126,8 @@ func ResidentBytes(data []byte) int64 {
 		if end > len(data) {
 			end = len(data)
 		}
-		for i := off; i < end; i++ {
-			if data[i] != 0 {
-				n += int64(end - off)
-				break
-			}
+		if fatbin.AnyNonZero(data[off:end]) {
+			n += int64(end - off)
 		}
 	}
 	return n

@@ -1,0 +1,158 @@
+package elfx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"negativaml/internal/fatbin"
+)
+
+// Reference byte-at-a-time implementations the word-wise versions replaced,
+// kept here so the microbenchmarks document the before/after and the tests
+// can assert equivalence on arbitrary inputs.
+
+func zeroRangeNaive(data []byte, r fatbin.Range) {
+	start, end := r.Start, r.End
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	for i := start; i < end; i++ {
+		data[i] = 0
+	}
+}
+
+func nonZeroBytesNaive(data []byte) int64 {
+	var n int64
+	for _, b := range data {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func residentBytesNaive(data []byte) int64 {
+	var n int64
+	for off := 0; off < len(data); off += PageSize {
+		end := off + PageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		for i := off; i < end; i++ {
+			if data[i] != 0 {
+				n += int64(end - off)
+				break
+			}
+		}
+	}
+	return n
+}
+
+// benchBuf is a representative compacted image: half live bytes, half
+// zeroed ranges, with some all-zero pages.
+func benchBuf(n int) []byte {
+	r := rand.New(rand.NewSource(1))
+	buf := make([]byte, n)
+	r.Read(buf)
+	for off := 0; off+2*PageSize <= n; off += 4 * PageSize {
+		clear(buf[off : off+2*PageSize])
+	}
+	return buf
+}
+
+func TestWordWiseMatchesNaive(t *testing.T) {
+	buf := benchBuf(3*PageSize + 123)
+	if got, want := NonZeroBytes(buf), nonZeroBytesNaive(buf); got != want {
+		t.Fatalf("NonZeroBytes = %d, want %d", got, want)
+	}
+	if got, want := ResidentBytes(buf), residentBytesNaive(buf); got != want {
+		t.Fatalf("ResidentBytes = %d, want %d", got, want)
+	}
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		rg := fatbin.Range{Start: int64(r.Intn(len(buf)+10) - 5), End: int64(r.Intn(len(buf)+10) - 5)}
+		if got, want := NonZeroBytesIn(buf, rg), nonZeroBytesInNaive(buf, rg); got != want {
+			t.Fatalf("NonZeroBytesIn(%v) = %d, want %d", rg, got, want)
+		}
+		a := append([]byte(nil), buf...)
+		b := append([]byte(nil), buf...)
+		ZeroRange(a, rg)
+		zeroRangeNaive(b, rg)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("ZeroRange(%v) diverged from naive", rg)
+		}
+	}
+}
+
+func nonZeroBytesInNaive(data []byte, r fatbin.Range) int64 {
+	start, end := r.Start, r.End
+	if start < 0 {
+		start = 0
+	}
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	var n int64
+	for i := start; i < end; i++ {
+		if data[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+const benchSize = 1 << 20
+
+func BenchmarkZeroRange(b *testing.B) {
+	buf := benchBuf(benchSize)
+	r := fatbin.Range{Start: 7, End: benchSize - 7}
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		ZeroRange(buf, r)
+	}
+}
+
+func BenchmarkZeroRangeNaive(b *testing.B) {
+	buf := benchBuf(benchSize)
+	r := fatbin.Range{Start: 7, End: benchSize - 7}
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		zeroRangeNaive(buf, r)
+	}
+}
+
+func BenchmarkNonZeroBytes(b *testing.B) {
+	buf := benchBuf(benchSize)
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		NonZeroBytes(buf)
+	}
+}
+
+func BenchmarkNonZeroBytesNaive(b *testing.B) {
+	buf := benchBuf(benchSize)
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		nonZeroBytesNaive(buf)
+	}
+}
+
+func BenchmarkResidentBytes(b *testing.B) {
+	buf := benchBuf(benchSize)
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		ResidentBytes(buf)
+	}
+}
+
+func BenchmarkResidentBytesNaive(b *testing.B) {
+	buf := benchBuf(benchSize)
+	b.SetBytes(benchSize)
+	for i := 0; i < b.N; i++ {
+		residentBytesNaive(buf)
+	}
+}

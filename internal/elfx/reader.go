@@ -3,6 +3,7 @@ package elfx
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"negativaml/internal/fatbin"
 )
@@ -23,12 +24,16 @@ type Function struct {
 	Range fatbin.Range
 }
 
-// Library is a parsed ELF shared library held in memory.
+// Library is a parsed ELF shared library held in memory. Data is immutable
+// after Parse — the analysis index and every downstream memo rely on it.
 type Library struct {
 	Name     string
 	Data     []byte
 	Sections []Section
 	Funcs    []Function
+
+	// idx caches the lazily built analysis index (see Index).
+	idx atomic.Pointer[LibIndex]
 }
 
 // Parse decodes an ELF64 shared library built by this package (and any
@@ -233,10 +238,5 @@ func (l *Library) FunctionAlive(f *Function) bool {
 	if f.Range.Start < 0 || f.Range.End > int64(len(l.Data)) {
 		return false
 	}
-	for _, b := range l.Data[f.Range.Start:f.Range.End] {
-		if b != 0 {
-			return true
-		}
-	}
-	return false
+	return fatbin.AnyNonZero(l.Data[f.Range.Start:f.Range.End])
 }

@@ -45,7 +45,7 @@ func replaceTopLibs(w mlruntime.Workload, res *negativa.Result, n int) (mlruntim
 	}
 	repl := make(map[string][]byte, n)
 	for _, lr := range libs[:n] {
-		repl[lr.Name] = lr.Debloated
+		repl[lr.Name] = lr.Debloated()
 	}
 	clone, err := w.Install.CloneWithLibs(repl)
 	if err != nil {

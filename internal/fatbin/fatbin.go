@@ -293,7 +293,7 @@ func ExtractCubins(f *FatBin) map[int][]byte {
 		if e.Kind != KindCubin {
 			continue
 		}
-		if allZero(e.Payload) {
+		if !AnyNonZero(e.Payload) {
 			continue
 		}
 		out[e.Index] = e.Payload
@@ -301,11 +301,22 @@ func ExtractCubins(f *FatBin) map[int][]byte {
 	return out
 }
 
-func allZero(b []byte) bool {
+// AnyNonZero reports whether b contains a non-zero byte. It reads 8 bytes
+// per step (early-exiting at the first live word) instead of byte-at-a-time,
+// so probing live payloads stays O(1)-ish and scanning zeroed ones is
+// word-wise. It lives here — the lowest layer owning byte ranges — so elfx
+// and cudasim share one implementation.
+func AnyNonZero(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return true
+		}
+		b = b[8:]
+	}
 	for _, v := range b {
 		if v != 0 {
-			return false
+			return true
 		}
 	}
-	return true
+	return false
 }

@@ -6,10 +6,12 @@ import (
 	"time"
 )
 
-// CounterSet is a named set of monotonic counters safe for concurrent use.
-// The batch-debloat service (internal/dserve) publishes cache
-// hits/misses/evictions, profile-registry reuse, and job counts through one
-// shared set, which the HTTP metrics endpoint snapshots.
+// CounterSet is a named set of counters safe for concurrent use. Most
+// series are monotonic (hits, misses, evictions, job counts); a series may
+// instead be documented as a gauge whose deltas go both ways (cache.bytes,
+// the result cache's retained-byte level). The batch-debloat service
+// (internal/dserve) publishes through one shared set, which the HTTP
+// metrics endpoint snapshots.
 type CounterSet struct {
 	mu sync.RWMutex
 	v  map[string]int64

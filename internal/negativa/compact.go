@@ -2,27 +2,28 @@ package negativa
 
 import (
 	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
 )
 
-// Compact produces the debloated library bytes: unused .text function
-// ranges and the payloads of removed fatbin elements are zeroed in place.
-// ELF headers, section tables, symbol tables, fatbin region/element headers,
-// and every retained range are byte-identical to the original, so file
-// offsets and memory addresses stay valid (§3.2, Compaction; the mechanism
-// is Negativa's, reused by Negativa-ML).
-func Compact(lib *elfx.Library, cpu *CPULocation, gpu *GPULocation) []byte {
-	out := make([]byte, len(lib.Data))
-	copy(out, lib.Data)
-
+// Compact derives the debloated library as a SparseImage: unused .text
+// function ranges and the payloads of removed fatbin elements form the
+// zeroed-range set; no library bytes are copied or scanned. ELF headers,
+// section tables, symbol tables, fatbin region/element headers, and every
+// retained range stay byte-identical to the original, so file offsets and
+// memory addresses stay valid (§3.2, Compaction; the mechanism is
+// Negativa's, reused by Negativa-ML). Materialize() reproduces the eager
+// compactor's output byte for byte.
+func Compact(lib *elfx.Library, cpu *CPULocation, gpu *GPULocation) *SparseImage {
+	var zeroed []fatbin.Range
 	if text := lib.Section(".text"); text != nil && cpu != nil {
-		elfx.ZeroOutside(out, text.Range, cpu.Keep)
+		zeroed = append(zeroed, elfx.ComplementWithin(text.Range, cpu.Keep)...)
 	}
 	if gpu != nil {
 		for _, d := range gpu.Decisions {
 			if d.Reason != Kept {
-				elfx.ZeroRange(out, d.PayloadRange)
+				zeroed = append(zeroed, d.PayloadRange)
 			}
 		}
 	}
-	return out
+	return NewSparseImage(lib, zeroed)
 }

@@ -2,8 +2,8 @@ package negativa
 
 import (
 	"fmt"
+	"slices"
 
-	"negativaml/internal/cubin"
 	"negativaml/internal/elfx"
 	"negativaml/internal/fatbin"
 	"negativaml/internal/gpuarch"
@@ -81,9 +81,10 @@ func (g *GPULocation) RemovedBy(r RemovalReason) int {
 	return n
 }
 
-// LocateGPU runs the kernel locator on one library (§3.2): extract the
-// cubins (cuobjdump-style, 1-based element indices), find which contain
-// used CPU-launching kernels, and decide element retention. archs is the
+// LocateGPU runs the kernel locator on one library (§3.2) against its
+// parse-once analysis index: used entry-kernel names resolve to element
+// positions through the index's reverse map, and element retention is a set
+// lookup — no fatbin or cubin bytes are re-parsed per call. archs is the
 // set of device architectures the workload ran on (more than one under
 // heterogeneous setups; typically a single entry).
 //
@@ -92,37 +93,33 @@ func (g *GPULocation) RemovedBy(r RemovalReason) int {
 // compiled into the same cubin, retaining the element retains every
 // GPU-launching kernel in the call graph rooted at each used kernel.
 func LocateGPU(lib *elfx.Library, usedKernels []string, archs []gpuarch.SM) (*GPULocation, error) {
-	fb, has, err := lib.Fatbin()
-	if err != nil {
-		return nil, err
-	}
+	idx := lib.Index()
 	loc := &GPULocation{}
-	if !has {
+	if !idx.HasFatbin {
 		return loc, nil
 	}
-	secRange, _ := lib.FatbinRange()
-	used := make(map[string]bool, len(usedKernels))
+	if idx.FatbinErr != nil {
+		return nil, idx.FatbinErr
+	}
+	usedElems := make(map[int32]bool, len(usedKernels))
 	for _, k := range usedKernels {
-		used[k] = true
+		for _, pos := range idx.ElementsWithEntry(k) {
+			usedElems[pos] = true
+		}
 	}
 	archSet := make(map[gpuarch.SM]bool, len(archs))
 	for _, a := range archs {
 		archSet[a] = true
 	}
 
-	for _, e := range fb.Elements() {
+	for pos := range idx.Elements {
+		e := &idx.Elements[pos]
 		dec := ElementDecision{
-			Index: e.Index,
-			Arch:  e.Arch,
-			Kind:  e.Kind,
-			FileRange: fatbin.Range{
-				Start: secRange.Start + e.FileRange.Start,
-				End:   secRange.Start + e.FileRange.End,
-			},
-			PayloadRange: fatbin.Range{
-				Start: secRange.Start + e.PayloadRange.Start,
-				End:   secRange.Start + e.PayloadRange.End,
-			},
+			Index:        e.Index,
+			Arch:         e.Arch,
+			Kind:         e.Kind,
+			FileRange:    e.FileRange,
+			PayloadRange: e.PayloadRange,
 		}
 		loc.TotalBytes += e.PayloadRange.Len()
 		switch {
@@ -132,22 +129,17 @@ func LocateGPU(lib *elfx.Library, usedKernels []string, archs []gpuarch.SM) (*GP
 			// PTX and other kinds carry no resolvable kernels; the driver
 			// loads the native cubin instead.
 			dec.Reason = ReasonNoUsedKernel
-		case !cubin.IsCubin(e.Payload):
+		case !e.IsCubinBlob:
 			// Already zeroed by a previous compaction pass (re-debloating a
 			// debloated library is a no-op for such elements).
 			dec.Reason = ReasonNoUsedKernel
+		case e.ParseErr != nil:
+			return nil, fmt.Errorf("negativa: %s element %d: %w", lib.Name, e.Index, e.ParseErr)
 		default:
-			cb, err := cubin.Parse(e.Payload)
-			if err != nil {
-				return nil, fmt.Errorf("negativa: %s element %d: %w", lib.Name, e.Index, err)
-			}
-			dec.Kernels = len(cb.Kernels)
+			dec.Kernels = e.Kernels
 			dec.Reason = ReasonNoUsedKernel
-			for _, k := range cb.Kernels {
-				if k.Entry() && used[k.Name] {
-					dec.Reason = Kept
-					break
-				}
+			if usedElems[int32(pos)] {
+				dec.Reason = Kept
 			}
 		}
 		if dec.Reason == Kept {
@@ -170,24 +162,31 @@ type CPULocation struct {
 	TotalBytes int64
 }
 
-// LocateCPU maps used CPU function names to their .text file ranges via the
-// symbol table (Negativa's location phase for host code).
+// LocateCPU maps used CPU function names to their .text file ranges through
+// the analysis index's name map (Negativa's location phase for host code):
+// O(used) lookups instead of an O(symbol-table) sweep per call. Keep ranges
+// come out in symbol-table order, matching the sweeping implementation.
 func LocateCPU(lib *elfx.Library, usedFuncs []string) *CPULocation {
-	used := make(map[string]bool, len(usedFuncs))
-	for _, f := range usedFuncs {
-		used[f] = true
-	}
+	idx := lib.Index()
 	loc := &CPULocation{TotalFuncs: len(lib.Funcs)}
 	if s := lib.Section(".text"); s != nil {
 		loc.TotalBytes = s.Range.Len()
 	}
-	for i := range lib.Funcs {
-		fn := &lib.Funcs[i]
-		if used[fn.Name] {
-			loc.Keep = append(loc.Keep, fn.Range)
-			loc.KeptFuncs++
-			loc.KeptBytes += fn.Range.Len()
+	var keepIdx []int32
+	seen := make(map[string]bool, len(usedFuncs))
+	for _, name := range usedFuncs {
+		if seen[name] {
+			continue
 		}
+		seen[name] = true
+		keepIdx = append(keepIdx, idx.FuncsNamed(name)...)
+	}
+	slices.Sort(keepIdx)
+	for _, fi := range keepIdx {
+		fn := &lib.Funcs[fi]
+		loc.Keep = append(loc.Keep, fn.Range)
+		loc.KeptFuncs++
+		loc.KeptBytes += fn.Range.Len()
 	}
 	return loc
 }

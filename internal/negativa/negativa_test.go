@@ -151,7 +151,7 @@ func TestCompactPreservesKeptKillsRest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Compact(lib, cpuLoc, gpuLoc)
+	out := Compact(lib, cpuLoc, gpuLoc).Materialize()
 	if len(out) != len(lib.Data) {
 		t.Fatal("compaction must not change file size")
 	}

@@ -40,6 +40,11 @@ type Result struct {
 	// Libs holds one report per shared library, in install load order.
 	Libs []*LibraryReport
 
+	// byName indexes Libs by library name; built once at pipeline end by
+	// IndexLibs so verification's per-library lookups are O(1) rather than
+	// rebuilt-per-call linear scans.
+	byName map[string]*LibraryReport
+
 	// DetectTime is the profiled run's virtual time (includes detector
 	// overhead), AnalysisTime the locate+compact virtual time; EndToEnd is
 	// their sum — the paper's Table 8 metric.
@@ -53,17 +58,32 @@ type Result struct {
 	VerifyResult *mlruntime.Result
 }
 
-// DebloatedLibs returns the compacted images keyed by library name.
+// DebloatedLibs materializes the compacted images keyed by library name.
+// Images are built lazily at call time — holding a Result costs O(ranges),
+// not O(install-size).
 func (r *Result) DebloatedLibs() map[string][]byte {
 	out := make(map[string][]byte, len(r.Libs))
 	for _, lr := range r.Libs {
-		out[lr.Name] = lr.Debloated
+		out[lr.Name] = lr.Debloated()
 	}
 	return out
 }
 
+// IndexLibs (re)builds the by-name report index. The pipeline calls it once
+// after assembling Libs; callers constructing a Result by hand may call it
+// or rely on Lib's linear fallback.
+func (r *Result) IndexLibs() {
+	r.byName = make(map[string]*LibraryReport, len(r.Libs))
+	for _, lr := range r.Libs {
+		r.byName[lr.Name] = lr
+	}
+}
+
 // Lib returns the report for the named library, or nil.
 func (r *Result) Lib(name string) *LibraryReport {
+	if r.byName != nil {
+		return r.byName[name]
+	}
 	for _, lr := range r.Libs {
 		if lr.Name == name {
 			return lr
@@ -100,21 +120,25 @@ type LibDebloat struct {
 // LocateAndCompactLib runs the location and compaction stages on one
 // library: used CPU functions map to .text file ranges through the symbol
 // table, used kernels decide fatbin element retention for the given
-// architectures, and every unretained range is zeroed. The function only
-// reads the library, so concurrent calls on a shared *elfx.Library are safe.
+// architectures, and every unretained range joins the sparse image's
+// zeroed set. Every report size is computed analytically from the range
+// set and the library's zero-byte prefix sum — no post-compaction buffer
+// is allocated or rescanned. The function only reads the library, so
+// concurrent calls on a shared *elfx.Library are safe.
 func LocateAndCompactLib(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) (*LibDebloat, error) {
 	cpuLoc := LocateCPU(lib, usedFuncs)
 	gpuLoc, err := LocateGPU(lib, usedKernels, archs)
 	if err != nil {
 		return nil, err
 	}
-	debloated := Compact(lib, cpuLoc, gpuLoc)
+	sparse := Compact(lib, cpuLoc, gpuLoc)
 
+	idx := lib.Index()
 	lr := &LibraryReport{
 		Name:                lib.Name,
 		FileSize:            lib.FileSize(),
-		FileEffective:       elfx.NonZeroBytes(lib.Data),
-		FileEffectiveAfter:  elfx.NonZeroBytes(debloated),
+		FileEffective:       idx.NonZeroBytes(),
+		FileEffectiveAfter:  sparse.NonZeroBytes(),
 		CPUSize:             cpuLoc.TotalBytes,
 		FuncCount:           cpuLoc.TotalFuncs,
 		FuncKept:            cpuLoc.KeptFuncs,
@@ -122,17 +146,19 @@ func LocateAndCompactLib(lib *elfx.Library, usedFuncs, usedKernels []string, arc
 		ElemKept:            gpuLoc.Kept(),
 		RemovedArchMismatch: gpuLoc.RemovedBy(ReasonArchMismatch),
 		RemovedNoUsedKernel: gpuLoc.RemovedBy(ReasonNoUsedKernel),
+		ResidentBytes:       idx.ResidentBytes(),
+		ResidentBytesAfter:  sparse.ResidentBytes(),
 		UsedFuncs:           usedFuncs,
 		UsedKernels:         usedKernels,
-		Debloated:           debloated,
+		Sparse:              sparse,
 	}
 	if text := lib.Section(".text"); text != nil {
-		lr.CPUSizeAfter = elfx.NonZeroBytesIn(debloated, text.Range)
+		lr.CPUSizeAfter = sparse.NonZeroBytesIn(text.Range)
 	}
 	if fbRange, ok := lib.FatbinRange(); ok {
 		// Compare effective (non-zero) bytes on both sides.
-		lr.GPUSize = elfx.NonZeroBytesIn(lib.Data, fbRange)
-		lr.GPUSizeAfter = elfx.NonZeroBytesIn(debloated, fbRange)
+		lr.GPUSize = idx.NonZeroBytesIn(fbRange)
+		lr.GPUSizeAfter = sparse.NonZeroBytesIn(fbRange)
 	}
 
 	analysis := time.Duration(cpuLoc.TotalFuncs)*locatePerFunc +
@@ -169,6 +195,7 @@ func Debloat(w mlruntime.Workload, opt Options) (*Result, error) {
 		res.Libs = append(res.Libs, ld.Report)
 		analysis += ld.Analysis
 	}
+	res.IndexLibs()
 	res.AnalysisTime = analysis
 	res.EndToEnd = res.DetectTime + res.AnalysisTime
 

@@ -34,13 +34,41 @@ type LibraryReport struct {
 	RemovedArchMismatch int
 	RemovedNoUsedKernel int
 
+	// ResidentBytes / ResidentBytesAfter apply the page-granular
+	// resident-size model (elfx.PageSize) before and after compaction —
+	// computed analytically from the range set, never by scanning.
+	ResidentBytes      int64
+	ResidentBytesAfter int64
+
 	// UsedFuncs / UsedKernels are what the profile attributed to this
 	// library (inputs to the Table 4 Jaccard analysis).
 	UsedFuncs   []string
 	UsedKernels []string
 
-	// Debloated is the compacted library image.
-	Debloated []byte
+	// Sparse is the compacted library as a zero-copy sparse image.
+	Sparse *SparseImage
+}
+
+// Debloated materializes the compacted library image. Each call builds a
+// fresh copy; callers that only need sizes should use the analytic report
+// fields, and streaming callers should use Sparse.WriteTo.
+func (r *LibraryReport) Debloated() []byte { return r.Sparse.Materialize() }
+
+// RetainedBytes models the heap a cached report pins: the sparse range set
+// plus the used-symbol lists (the shared original image is not charged).
+func (r *LibraryReport) RetainedBytes() int64 {
+	n := int64(256) // struct + slice headers
+	if r.Sparse != nil {
+		n += r.Sparse.RetainedBytes()
+	}
+	n += int64(len(r.Name))
+	for _, s := range r.UsedFuncs {
+		n += 16 + int64(len(s))
+	}
+	for _, s := range r.UsedKernels {
+		n += 16 + int64(len(s))
+	}
+	return n
 }
 
 func pct(before, after int64) float64 {

@@ -1,0 +1,182 @@
+package negativa
+
+import (
+	"io"
+
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+)
+
+// SparseImage is a compacted library held as a reference to the original
+// bytes plus the merged set of zeroed ranges, instead of a mutated copy.
+// All size accounting (effective bytes, per-section effective bytes, the
+// resident-size model) is computed analytically from the range set and the
+// library's zero-byte prefix sum, and the byte-identical eager image is
+// produced only on demand by Materialize or streamed by WriteTo.
+//
+// A SparseImage is immutable and safe for concurrent use; its memory cost
+// is O(ranges), so caches can retain thousands of entries without pinning
+// full library copies.
+type SparseImage struct {
+	lib *elfx.Library
+	// zeroed is the merged, sorted, clamped set of ranges compaction
+	// removes. Invariant: ranges are disjoint, non-empty, within
+	// [0, len(lib.Data)).
+	zeroed []fatbin.Range
+}
+
+// NewSparseImage builds a sparse image over lib with the given ranges
+// zeroed (merged and clamped to the file).
+func NewSparseImage(lib *elfx.Library, zeroed []fatbin.Range) *SparseImage {
+	size := int64(len(lib.Data))
+	clamped := make([]fatbin.Range, 0, len(zeroed))
+	for _, r := range zeroed {
+		if r.Start < 0 {
+			r.Start = 0
+		}
+		if r.End > size {
+			r.End = size
+		}
+		if r.Start < r.End {
+			clamped = append(clamped, r)
+		}
+	}
+	return &SparseImage{lib: lib, zeroed: elfx.MergeRanges(clamped)}
+}
+
+// Lib returns the original library the image references.
+func (s *SparseImage) Lib() *elfx.Library { return s.lib }
+
+// Len returns the image size in bytes (identical to the original file —
+// compaction never changes offsets).
+func (s *SparseImage) Len() int64 { return int64(len(s.lib.Data)) }
+
+// ZeroedRanges returns the merged zeroed-range set. Read-only.
+func (s *SparseImage) ZeroedRanges() []fatbin.Range { return s.zeroed }
+
+// Materialize produces the eager compacted image: a copy of the original
+// with every zeroed range cleared — byte-identical to what the in-place
+// compactor used to return.
+func (s *SparseImage) Materialize() []byte {
+	out := make([]byte, len(s.lib.Data))
+	copy(out, s.lib.Data)
+	for _, r := range s.zeroed {
+		clear(out[r.Start:r.End])
+	}
+	return out
+}
+
+// zeroChunk is the shared scratch written for zeroed ranges by WriteTo.
+var zeroChunk [32 * 1024]byte
+
+// WriteTo streams the compacted image without materializing it: original
+// bytes for retained ranges, zeros for removed ones. It implements
+// io.WriterTo, so HTTP handlers can serve debloated libraries with O(1)
+// extra memory.
+func (s *SparseImage) WriteTo(w io.Writer) (int64, error) {
+	data := s.lib.Data
+	var written int64
+	cursor := int64(0)
+	emit := func(b []byte) error {
+		n, err := w.Write(b)
+		written += int64(n)
+		return err
+	}
+	for _, r := range s.zeroed {
+		if r.Start > cursor {
+			if err := emit(data[cursor:r.Start]); err != nil {
+				return written, err
+			}
+		}
+		for off := r.Start; off < r.End; off += int64(len(zeroChunk)) {
+			n := r.End - off
+			if n > int64(len(zeroChunk)) {
+				n = int64(len(zeroChunk))
+			}
+			if err := emit(zeroChunk[:n]); err != nil {
+				return written, err
+			}
+		}
+		cursor = r.End
+	}
+	if cursor < int64(len(data)) {
+		if err := emit(data[cursor:]); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// removedNonZeroIn returns the non-zero original bytes that compaction
+// removes within r — the delta between the original's and the compacted
+// image's effective size over r.
+func (s *SparseImage) removedNonZeroIn(r fatbin.Range) int64 {
+	idx := s.lib.Index()
+	var n int64
+	for _, z := range s.zeroed {
+		if z.End <= r.Start {
+			continue
+		}
+		if z.Start >= r.End {
+			break
+		}
+		sec := fatbin.Range{Start: max(z.Start, r.Start), End: min(z.End, r.End)}
+		n += idx.NonZeroBytesIn(sec)
+	}
+	return n
+}
+
+// NonZeroBytes returns the compacted image's effective (non-zero) size,
+// computed analytically: original effective size minus live bytes covered
+// by zeroed ranges. Equals elfx.NonZeroBytes(s.Materialize()).
+func (s *SparseImage) NonZeroBytes() int64 {
+	idx := s.lib.Index()
+	return idx.NonZeroBytes() - s.removedNonZeroIn(fatbin.Range{Start: 0, End: s.Len()})
+}
+
+// NonZeroBytesIn returns the compacted image's effective size within r.
+// Equals elfx.NonZeroBytesIn(s.Materialize(), r).
+func (s *SparseImage) NonZeroBytesIn(r fatbin.Range) int64 {
+	idx := s.lib.Index()
+	return idx.NonZeroBytesIn(r) - s.removedNonZeroIn(r)
+}
+
+// ResidentBytes computes the resident-size model of the compacted image
+// analytically: a page counts fully unless every byte in it is zero in the
+// original or covered by a zeroed range. Equals
+// elfx.ResidentBytes(s.Materialize()).
+func (s *SparseImage) ResidentBytes() int64 {
+	size := s.Len()
+	idx := s.lib.Index()
+	var n int64
+	ri := 0
+	for off := int64(0); off < size; off += elfx.PageSize {
+		end := off + elfx.PageSize
+		if end > size {
+			end = size
+		}
+		live := idx.NonZeroBytesIn(fatbin.Range{Start: off, End: end})
+		// Advance to the first range that could overlap this page, then
+		// subtract removed live bytes; ranges are sorted so the cursor
+		// only moves forward across pages.
+		for ri < len(s.zeroed) && s.zeroed[ri].End <= off {
+			ri++
+		}
+		for i := ri; i < len(s.zeroed) && s.zeroed[i].Start < end && live > 0; i++ {
+			z := s.zeroed[i]
+			live -= idx.NonZeroBytesIn(fatbin.Range{Start: max(z.Start, off), End: min(z.End, end)})
+		}
+		if live > 0 {
+			n += end - off
+		}
+	}
+	return n
+}
+
+// RetainedBytes models the heap the sparse representation itself pins
+// beyond the shared original image: the range set plus fixed overhead.
+// Byte-bounded caches charge entries with it.
+func (s *SparseImage) RetainedBytes() int64 {
+	return 48 + 16*int64(len(s.zeroed))
+}
+

@@ -1,0 +1,247 @@
+package negativa
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+)
+
+// eagerCompact is the pre-sparse compactor (copy, then zero in place) kept
+// as the reference the SparseImage must reproduce byte for byte.
+func eagerCompact(lib *elfx.Library, cpu *CPULocation, gpu *GPULocation) []byte {
+	out := make([]byte, len(lib.Data))
+	copy(out, lib.Data)
+	if text := lib.Section(".text"); text != nil && cpu != nil {
+		elfx.ZeroOutside(out, text.Range, cpu.Keep)
+	}
+	if gpu != nil {
+		for _, d := range gpu.Decisions {
+			if d.Reason != Kept {
+				elfx.ZeroRange(out, d.PayloadRange)
+			}
+		}
+	}
+	return out
+}
+
+// usedSubsets derives deterministic used-function and used-kernel subsets
+// for a library: every third symbol-table function, and every second entry
+// kernel of every parseable cubin.
+func usedSubsets(lib *elfx.Library) (funcs, kernels []string, archs []gpuarch.SM) {
+	for i := range lib.Funcs {
+		if i%3 == 0 {
+			funcs = append(funcs, lib.Funcs[i].Name)
+		}
+	}
+	archSeen := map[gpuarch.SM]bool{}
+	fb, has, err := lib.Fatbin()
+	if err != nil || !has {
+		return funcs, nil, nil
+	}
+	for _, e := range fb.Elements() {
+		if !archSeen[e.Arch] && len(archSeen) < 2 {
+			archSeen[e.Arch] = true
+			archs = append(archs, e.Arch)
+		}
+		if e.Kind != fatbin.KindCubin || !cubin.IsCubin(e.Payload) {
+			continue
+		}
+		cb, err := cubin.Parse(e.Payload)
+		if err != nil {
+			continue
+		}
+		entries := cb.EntryKernels()
+		for i := 0; i < len(entries); i += 2 {
+			kernels = append(kernels, entries[i])
+		}
+	}
+	sort.Strings(funcs)
+	sort.Strings(kernels)
+	return funcs, kernels, archs
+}
+
+// checkEquivalence asserts the sparse image matches the eager reference and
+// that every analytic quantity equals its scanned counterpart.
+func checkEquivalence(t *testing.T, label string, lib *elfx.Library, funcs, kernels []string, archs []gpuarch.SM) {
+	t.Helper()
+	cpuLoc := LocateCPU(lib, funcs)
+	gpuLoc, err := LocateGPU(lib, kernels, archs)
+	if err != nil {
+		t.Fatalf("%s: LocateGPU: %v", label, err)
+	}
+	sparse := Compact(lib, cpuLoc, gpuLoc)
+	eager := eagerCompact(lib, cpuLoc, gpuLoc)
+
+	got := sparse.Materialize()
+	if !bytes.Equal(got, eager) {
+		t.Fatalf("%s: Materialize() diverges from eager compaction", label)
+	}
+	var streamed bytes.Buffer
+	if _, err := sparse.WriteTo(&streamed); err != nil {
+		t.Fatalf("%s: WriteTo: %v", label, err)
+	}
+	if !bytes.Equal(streamed.Bytes(), eager) {
+		t.Fatalf("%s: WriteTo stream diverges from eager compaction", label)
+	}
+
+	if got, want := sparse.NonZeroBytes(), elfx.NonZeroBytes(eager); got != want {
+		t.Fatalf("%s: analytic NonZeroBytes = %d, scanned %d", label, got, want)
+	}
+	if got, want := sparse.ResidentBytes(), elfx.ResidentBytes(eager); got != want {
+		t.Fatalf("%s: analytic ResidentBytes = %d, scanned %d", label, got, want)
+	}
+	if text := lib.Section(".text"); text != nil {
+		if got, want := sparse.NonZeroBytesIn(text.Range), elfx.NonZeroBytesIn(eager, text.Range); got != want {
+			t.Fatalf("%s: analytic .text effective = %d, scanned %d", label, got, want)
+		}
+	}
+	if fbRange, ok := lib.FatbinRange(); ok {
+		if got, want := sparse.NonZeroBytesIn(fbRange), elfx.NonZeroBytesIn(eager, fbRange); got != want {
+			t.Fatalf("%s: analytic fatbin effective = %d, scanned %d", label, got, want)
+		}
+	}
+
+	// The report assembled from the same locations must carry the analytic
+	// values, equal to scanning the eager output.
+	ld, err := LocateAndCompactLib(lib, funcs, kernels, archs)
+	if err != nil {
+		t.Fatalf("%s: LocateAndCompactLib: %v", label, err)
+	}
+	lr := ld.Report
+	if lr.FileEffectiveAfter != elfx.NonZeroBytes(eager) {
+		t.Fatalf("%s: FileEffectiveAfter = %d, scanned %d", label, lr.FileEffectiveAfter, elfx.NonZeroBytes(eager))
+	}
+	if lr.ResidentBytesAfter != elfx.ResidentBytes(eager) {
+		t.Fatalf("%s: ResidentBytesAfter = %d, scanned %d", label, lr.ResidentBytesAfter, elfx.ResidentBytes(eager))
+	}
+	if lr.ResidentBytes != elfx.ResidentBytes(lib.Data) {
+		t.Fatalf("%s: ResidentBytes = %d, scanned %d", label, lr.ResidentBytes, elfx.ResidentBytes(lib.Data))
+	}
+	if !bytes.Equal(lr.Debloated(), eager) {
+		t.Fatalf("%s: report.Debloated() diverges from eager compaction", label)
+	}
+}
+
+// TestSparseMatchesEagerAcrossFrameworks is the property-style equivalence
+// sweep: for every library of every generated framework install, sparse
+// materialization must be byte-identical to eager compaction and the
+// analytic accounting equal to scanned values.
+func TestSparseMatchesEagerAcrossFrameworks(t *testing.T) {
+	frameworks := []string{
+		mlframework.PyTorch, mlframework.TensorFlow,
+		mlframework.VLLM, mlframework.HFTransformers,
+	}
+	for _, fw := range frameworks {
+		in, err := mlframework.Generate(mlframework.Config{Framework: fw, TailLibs: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", fw, err)
+		}
+		for _, name := range in.LibNames {
+			lib := in.Library(name)
+			funcs, kernels, archs := usedSubsets(lib)
+			checkEquivalence(t, fw+"/"+name, lib, funcs, kernels, archs)
+			// Empty used sets (nothing retained) and nil locations.
+			checkEquivalence(t, fw+"/"+name+"/empty", lib, nil, nil, archs)
+		}
+	}
+}
+
+// TestSparseMatchesEagerOnRedebloat re-debloats an already compacted
+// library: zeroed elements fail the cubin magic probe and must be handled
+// identically by the index-backed locator and the sparse compactor.
+func TestSparseMatchesEagerOnRedebloat(t *testing.T) {
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range in.LibNames {
+		lib := in.Library(name)
+		funcs, kernels, archs := usedSubsets(lib)
+		ld, err := LocateAndCompactLib(lib, funcs, kernels, archs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		once, err := elfx.Parse(name, ld.Report.Debloated())
+		if err != nil {
+			t.Fatalf("%s: compacted library no longer parses: %v", name, err)
+		}
+		checkEquivalence(t, name+"/re-debloat", once, funcs, kernels, archs)
+	}
+}
+
+// TestSparseMatchesEagerOnCorruption mirrors the elfx corruption fixtures:
+// randomly flipped bytes must either fail both pipelines identically or
+// produce equivalent sparse/eager output.
+func TestSparseMatchesEagerOnCorruption(t *testing.T) {
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := in.Library(in.LibNames[0])
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		data := append([]byte(nil), base.Data...)
+		for n := 0; n < 1+r.Intn(8); n++ {
+			data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+		}
+		lib, err := elfx.Parse(base.Name, data)
+		if err != nil {
+			continue // rejected corruption cannot reach compaction
+		}
+		funcs, kernels, archs := usedSubsets(lib)
+		cpuLoc := LocateCPU(lib, funcs)
+		gpuLoc, gpuErr := LocateGPU(lib, kernels, archs)
+		if gpuErr != nil {
+			continue // the locator rejected the fatbin; nothing to compare
+		}
+		if !bytes.Equal(Compact(lib, cpuLoc, gpuLoc).Materialize(), eagerCompact(lib, cpuLoc, gpuLoc)) {
+			t.Fatalf("trial %d: sparse and eager compaction diverge on corrupted input", trial)
+		}
+	}
+}
+
+// TestZeroedElementFixture plants a hand-zeroed element (the
+// corruption-test family of fixtures) and checks the locator's decision and
+// the analytic accounting around it.
+func TestZeroedElementFixture(t *testing.T) {
+	cb := cubin.New(gpuarch.SM75)
+	cb.AddKernel(cubin.Kernel{Name: "k_live", Code: bytes.Repeat([]byte{7}, 40), Flags: cubin.FlagEntry})
+	blob, err := cb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &fatbin.FatBin{}
+	reg := fb.AddRegion()
+	reg.AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: blob})
+	reg.AddElement(fatbin.Element{Kind: fatbin.KindCubin, Arch: gpuarch.SM75, Payload: make([]byte, len(blob))}) // zeroed payload
+	sec, err := fb.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := elfx.NewBuilder("libz.so")
+	b.AddFunction("f", 64)
+	b.SetFatbin(sec)
+	data, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := elfx.Parse("libz.so", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuLoc, err := LocateGPU(lib, []string{"k_live"}, []gpuarch.SM{gpuarch.SM75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpuLoc.Decisions) != 2 || gpuLoc.Decisions[0].Reason != Kept || gpuLoc.Decisions[1].Reason != ReasonNoUsedKernel {
+		t.Fatalf("decisions = %+v, want kept + no-used-kernel", gpuLoc.Decisions)
+	}
+	checkEquivalence(t, "zeroed-element", lib, []string{"f"}, []string{"k_live"}, []gpuarch.SM{gpuarch.SM75})
+}
