@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/dserve"
 	"negativaml/internal/experiments"
 	"negativaml/internal/mlframework"
@@ -26,9 +27,9 @@ import (
 //
 //	go test -run TestBenchServeJSON -bench.json BENCH_serve.json
 //
-// writes key end-to-end timings (serve batch wall times cold/warm,
-// serial vs parallel, and the virtual Table 8 headline) so future PRs
-// have a perf trajectory.
+// writes key end-to-end timings (serve batch wall times cold / warm /
+// warm-from-disk after a restart, serial vs parallel, and the virtual
+// Table 8 headline) so future PRs have a perf trajectory.
 var benchJSON = flag.String("bench.json", "", "write end-to-end serve timings to this JSON file")
 
 // The suite caches installs and pipeline results across benchmarks, exactly
@@ -343,12 +344,45 @@ func TestBenchServeJSON(t *testing.T) {
 		t.Fatalf("warm batch should be fully reused: hits=%d reuses=%d", warm.CacheHits, warm.ProfileReuses)
 	}
 
+	// Warm-from-disk: populate a data dir with one service, then boot a
+	// fresh one against it — the restart path. Its memory tiers start
+	// empty, so everything comes from the content-addressed store: no
+	// detection, no locate/compact.
+	dir := t.TempDir()
+	store1, err := castore.Open(dir, castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcDisk1 := dserve.NewService(dserve.Config{MaxSteps: 4, Store: store1})
+	batch(0, svcDisk1)
+	svcDisk1.Close()
+	store1.Close()
+	store2, err := castore.Open(dir, castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	svcDisk2 := dserve.NewService(dserve.Config{MaxSteps: 4, Store: store2})
+	defer svcDisk2.Close()
+	warmDisk, warmDiskWall, warmDiskAlloc := batch(0, svcDisk2)
+	if warmDisk.CacheMisses != 0 || warmDisk.ProfileReuses != len(specs) {
+		t.Fatalf("warm-disk batch should be fully restored: misses=%d reuses=%d", warmDisk.CacheMisses, warmDisk.ProfileReuses)
+	}
+	if n := svcDisk2.Counters.Get("analysis.computed"); n != 0 {
+		t.Fatalf("warm-disk batch ran locate/compact %d times", n)
+	}
+	diskStats := store2.Stats()
+
 	entries := []experiments.BenchEntry{
 		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/warm/parallel-wall", Value: warmWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/warm_disk/parallel-wall", Value: warmDiskWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/alloc-bytes", Value: float64(coldAlloc), Unit: "bytes"},
 		{Name: "serve/batch4/warm/alloc-bytes", Value: float64(warmAlloc), Unit: "bytes"},
+		{Name: "serve/batch4/warm_disk/alloc-bytes", Value: float64(warmDiskAlloc), Unit: "bytes"},
+		{Name: "serve/batch4/warm_disk/store-hits", Value: float64(diskStats.Hits), Unit: "count"},
+		{Name: "serve/batch4/warm_disk/store-bytes", Value: float64(diskStats.Bytes), Unit: "bytes"},
 		{Name: "serve/batch4/virtual-end-to-end", Value: cold.EndToEnd().Seconds(), Unit: "s"},
 		{Name: "serve/batch4/virtual-detect", Value: cold.DetectTime.Seconds(), Unit: "s"},
 		{Name: "serve/batch4/virtual-analysis", Value: cold.AnalysisTime.Seconds(), Unit: "s"},

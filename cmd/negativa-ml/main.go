@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/dserve"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
@@ -40,6 +41,8 @@ func main() {
 	steps := flag.Int("steps", 50, "max profiled steps (0 = full dataset)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent locate/compact and verification workers")
 	out := flag.String("out", "", "output directory for debloated libraries")
+	dataDir := flag.String("data-dir", "", "persistent analysis store; repeat runs against the same install reuse profiles and locate/compact results instead of recomputing")
+	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	flag.Parse()
 	if *installDir == "" {
 		log.Fatal("negativa-ml: -install is required")
@@ -73,7 +76,16 @@ func main() {
 	if maxSteps == 0 {
 		maxSteps = -1 // BatchOptions: negative = full dataset
 	}
-	svc := dserve.NewService(dserve.Config{Workers: *jobs})
+	cfg := dserve.Config{Workers: *jobs}
+	if *dataDir != "" {
+		store, err := castore.Open(*dataDir, castore.Options{MaxBytes: *diskMB << 20})
+		if err != nil {
+			log.Fatalf("negativa-ml: %v", err)
+		}
+		defer store.Close()
+		cfg.Store = store
+	}
+	svc := dserve.NewService(cfg)
 	defer svc.Close()
 
 	start := time.Now()
@@ -95,6 +107,11 @@ func main() {
 		agg.Elems, agg.ElemsKept, agg.ElemReductionPct())
 	fmt.Printf("virtual end-to-end debloating time: %.0f s (detect %.0f s + analyze %.0f s)\n",
 		res.EndToEnd().Seconds(), res.DetectTime.Seconds(), res.AnalysisTime.Seconds())
+	if st := svc.Store(); st != nil {
+		stats := st.Stats()
+		fmt.Printf("store: %d objects, %.1f MiB, %d hits / %d misses (profiles reused: %d)\n",
+			stats.Objects, float64(stats.Bytes)/(1<<20), stats.Hits, stats.Misses, res.ProfileReuses)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

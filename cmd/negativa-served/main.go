@@ -5,7 +5,16 @@
 //
 // Usage:
 //
-//	negativa-served -addr :8080 -workers 8 -cache-mb 64 -steps 4
+//	negativa-served -addr :8080 -workers 8 -cache-mb 64 -steps 4 \
+//	                -data-dir /var/lib/negativa -disk-mb 512
+//
+// With -data-dir the service is durable: detection profiles, locate/compact
+// results, library images, and completed-job manifests persist to a
+// crash-safe content-addressed store, and a restart against the same
+// directory resumes warm — previously submitted jobs are served (status,
+// report, fetch-library) without re-running detection, location, or
+// compaction. -disk-mb bounds the store; least-recently-used objects not
+// referenced by a retained job are evicted beyond it.
 //
 // Endpoints:
 //
@@ -15,6 +24,7 @@
 //	GET  /v1/jobs/{id}/report       full report of a completed job
 //	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
 //	GET  /v1/metrics                counters, cache stats, timings
+//	GET  /v1/store                  content-addressed store stats
 //
 // Example job body:
 //
@@ -44,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/dserve"
 )
 
@@ -53,13 +64,30 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "content-addressed result cache bound (retained MiB; entries are sparse range sets, not library copies)")
 	steps := flag.Int("steps", 4, "default detection/verification step cap for jobs")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	dataDir := flag.String("data-dir", "", "persistent store directory; empty = in-memory only (no warm restart)")
+	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	flag.Parse()
 
-	svc := dserve.NewService(dserve.Config{
+	cfg := dserve.Config{
 		Workers:    *workers,
 		CacheBytes: *cacheMB << 20,
 		MaxSteps:   *steps,
-	})
+	}
+	if *dataDir != "" {
+		store, err := castore.Open(*dataDir, castore.Options{MaxBytes: *diskMB << 20})
+		if err != nil {
+			log.Fatalf("negativa-served: %v", err)
+		}
+		cfg.Store = store
+		st := store.Stats()
+		log.Printf("negativa-served: store %s: %d objects, %.1f MiB (budget %d MiB)",
+			*dataDir, st.Objects, float64(st.Bytes)/(1<<20), *diskMB)
+	}
+	svc := dserve.NewService(cfg)
+	if *dataDir != "" {
+		log.Printf("negativa-served: restored %d jobs, replayed %d profiles",
+			svc.Counters.Get("jobs.restored"), svc.Counters.Get("registry.replayed"))
+	}
 	srv := &http.Server{Addr: *addr, Handler: dserve.NewHandler(svc)}
 
 	errc := make(chan error, 1)
@@ -83,5 +111,8 @@ func main() {
 		log.Printf("negativa-served: shutdown: %v", err)
 	}
 	svc.Close() // wait for running jobs
+	if cfg.Store != nil {
+		cfg.Store.Close()
+	}
 	log.Printf("negativa-served: done (%d jobs completed)", svc.Counters.Get("jobs.completed"))
 }

@@ -1,8 +1,11 @@
 // Example batch-serve drives the batch-debloat service over its real HTTP
-// API: it starts negativa-served's handler on a loopback listener, submits
-// a four-workload batch over one PyTorch install, polls to completion,
-// prints the union-debloat report, then resubmits the same job to show the
-// profile registry and content-addressed cache absorbing all the work.
+// API: it starts negativa-served's handler on a loopback listener with a
+// persistent data dir, submits a four-workload batch over one PyTorch
+// install, polls to completion, prints the union-debloat report, resubmits
+// the same job to show the profile registry and content-addressed cache
+// absorbing all the work — then shuts the service down, boots a second one
+// on the same data dir, and fetches the first boot's job warm from disk:
+// byte-identical library, zero locate/compact runs.
 package main
 
 import (
@@ -13,22 +16,42 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/dserve"
 )
 
 func main() {
-	svc := dserve.NewService(dserve.Config{Workers: 8, MaxSteps: 4})
-	defer svc.Close()
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	dataDir, err := os.MkdirTemp("", "negativa-store-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, dserve.NewHandler(svc))
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("batch-debloat service on %s\n\n", base)
+	defer os.RemoveAll(dataDir)
+
+	// serve boots one service + listener against the shared data dir and
+	// returns its base URL plus a shutdown func — the "process" we restart.
+	serve := func() (string, func()) {
+		store, err := castore.Open(dataDir, castore.Options{MaxBytes: 512 << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := dserve.NewService(dserve.Config{Workers: 8, MaxSteps: 4, Store: store})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(ln, dserve.NewHandler(svc))
+		return "http://" + ln.Addr().String(), func() {
+			ln.Close()
+			svc.Close()
+			store.Close() // release the data-dir lock for the next boot
+		}
+	}
+
+	base, shutdown := serve()
+	fmt.Printf("batch-debloat service on %s (data dir %s)\n\n", base, dataDir)
 
 	req := dserve.JobRequest{
 		Framework: "pytorch",
@@ -42,7 +65,7 @@ func main() {
 		MaxSteps: 4,
 	}
 
-	run := func(label string) {
+	run := func(base, label string) string {
 		id := submit(base, req)
 		st := poll(base, id)
 		if st.State != "done" {
@@ -62,15 +85,56 @@ func main() {
 			fmt.Printf("    %-42v verified=%v reused=%v\n", wm["name"], wm["verified"], wm["profile_reused"])
 		}
 		fmt.Println()
+		return id
 	}
 
-	run("cold batch")
-	run("repeat batch")
+	jobID := run(base, "cold batch")
+	run(base, "repeat batch")
+	const libName = "libtorch_cuda.so"
+	firstBoot := fetch(base, jobID, libName)
+
+	// ---- Restart: same data dir, fresh process state. ----
+	shutdown()
+	fmt.Println("service shut down; rebooting on the same data dir...")
+	base2, shutdown2 := serve()
+	defer shutdown2()
 
 	var m map[string]any
-	getJSON(base+"/v1/metrics", &m)
-	out, _ := json.MarshalIndent(m["counters"], "", "  ")
-	fmt.Printf("service counters:\n%s\n", out)
+	getJSON(base2+"/v1/metrics", &m)
+	counters := m["counters"].(map[string]any)
+	fmt.Printf("second boot: restored %v jobs, replayed %v profiles\n",
+		counters["jobs.restored"], counters["registry.replayed"])
+
+	// The first boot's job serves warm: no detection, no locate/compact —
+	// status, report, and libraries all come from the store.
+	warm := fetch(base2, jobID, libName)
+	getJSON(base2+"/v1/metrics", &m)
+	counters = m["counters"].(map[string]any)
+	var sv struct {
+		Stats castore.Stats `json:"stats"`
+	}
+	getJSON(base2+"/v1/store", &sv)
+	fmt.Printf("warm fetch of %s from job %s: %d bytes, identical=%v\n",
+		libName, jobID, len(warm), bytes.Equal(firstBoot, warm))
+	fmt.Printf("locate/compact runs on second boot: %v (want <nil> or 0)\n", counters["analysis.computed"])
+	fmt.Printf("store: %d objects, %.1f MiB, %d hits, %d retained by jobs\n",
+		sv.Stats.Objects, float64(sv.Stats.Bytes)/(1<<20), sv.Stats.Hits, sv.Stats.Retained)
+}
+
+func fetch(base, id, name string) []byte {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/libs/" + name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("fetch %s/%s: %s: %s", id, name, resp.Status, body)
+	}
+	return body
 }
 
 func submit(base string, req dserve.JobRequest) string {

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package castore
+
+import "os"
+
+// Non-unix platforms get no advisory locking: the data dir's exclusivity
+// is then the operator's responsibility (documented on Store).
+func flockExclusive(*os.File) error { return nil }
+
+func funlock(*os.File) {}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package castore
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive advisory lock on f. The
+// kernel releases it automatically when the process exits, so a crashed
+// store never wedges its data dir.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func funlock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/elfx"
 	"negativaml/internal/gpuarch"
 	"negativaml/internal/metrics"
@@ -88,6 +89,12 @@ type ResultCache struct {
 	misses   int64
 	evicted  int64
 	counters *metrics.CounterSet
+
+	// store, when attached, is the disk-backed second tier: Put spills
+	// results to it and GetOrLoad falls back to it on memory misses, so a
+	// restarted service (or one whose memory tier evicted an entry) serves
+	// warm without re-running locate/compact.
+	store *castore.Store
 }
 
 type cacheEntry struct {
@@ -140,6 +147,14 @@ func (c *ResultCache) addBytes(delta int64) {
 	}
 }
 
+// AttachStore wires the disk-backed second tier in. Call before serving;
+// the cache never detaches a store.
+func (c *ResultCache) AttachStore(st *castore.Store) {
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
+}
+
 // Get returns the cached result for the key, refreshing its recency.
 func (c *ResultCache) Get(key string) (*negativa.LibDebloat, bool) {
 	c.mu.Lock()
@@ -152,6 +167,28 @@ func (c *ResultCache) Get(key string) (*negativa.LibDebloat, bool) {
 	c.lru.MoveToFront(el)
 	c.count("cache.hits", &c.hits)
 	return el.Value.(*cacheEntry).ld, true
+}
+
+// GetOrLoad is the two-tier lookup: memory first, then the attached store
+// (decoding the persisted range set against the caller's live library),
+// then a miss. Disk hits are promoted into the memory tier. lib anchors the
+// reconstruction; a stored result whose digest does not match it is ignored.
+func (c *ResultCache) GetOrLoad(key string, lib *elfx.Library) (*negativa.LibDebloat, bool) {
+	if ld, ok := c.Get(key); ok {
+		return ld, true
+	}
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st == nil || lib == nil {
+		return nil, false
+	}
+	ld, ok := loadResult(st, key, lib)
+	if !ok {
+		return nil, false
+	}
+	c.put(key, ld, false) // promote without re-spilling what we just read
+	return ld, true
 }
 
 // retainLib charges the entry's referenced library image on its first
@@ -193,9 +230,28 @@ func (c *ResultCache) evictOver() {
 }
 
 // Put stores a result, evicting least-recently-used entries until the
-// retained bytes fit the bound. Re-putting an existing key refreshes its
-// recency (and re-checks the bound if the size changed).
+// retained bytes fit the bound, and spills it to the attached store so the
+// result survives both memory eviction and restarts. Re-putting an existing
+// key refreshes its recency (and re-checks the bound if the size changed).
 func (c *ResultCache) Put(key string, ld *negativa.LibDebloat) {
+	c.put(key, ld, true)
+}
+
+func (c *ResultCache) put(key string, ld *negativa.LibDebloat, spill bool) {
+	if spill && ld.Report != nil && ld.Report.Sparse != nil {
+		c.mu.Lock()
+		st := c.store
+		c.mu.Unlock()
+		if st != nil {
+			// Spill outside the cache lock: castore does its own locking
+			// and file I/O. A failed spill only costs durability — the
+			// memory tier still takes the entry — so it is counted, not
+			// fatal.
+			if err := spillResult(st, key, ld); err != nil && c.counters != nil {
+				c.counters.Add("cache.spill_errors", 1)
+			}
+		}
+	}
 	ent := &cacheEntry{key: key, ld: ld, size: entrySize(key, ld)}
 	if sp := ld.Report.Sparse; sp != nil {
 		lib := sp.Lib()

@@ -44,7 +44,22 @@
 // LibDebloat values (including compacted images) are immutable once stored
 // and handed out shared — callers must not mutate them.
 //
+// # Durability
+//
+// With a castore.Store attached (Config.Store), the service is durable:
+// the result cache gains a disk tier (memory miss → disk hit → recompute),
+// every detection profile snapshots on Put and replays on boot, and each
+// completed job spills a manifest referencing its library images, sparse
+// range sets, and reports — all content-addressed. A restarted service
+// restores its jobs lazily: status reads the manifest, and the first
+// report or fetch-library request materializes the result from the store
+// without re-running detection, location, or compaction. Jobs retain
+// (refcount) their store objects until evicted from the bounded job table;
+// an open fetch-library stream pins its job so eviction never releases
+// images under an in-flight response.
+//
 // The HTTP front end (NewHandler, served by cmd/negativa-served) exposes
 // job submission, status, full reports, debloated-library download, and a
-// metrics snapshot backed by internal/metrics counters and timings.
+// metrics snapshot backed by internal/metrics counters and timings, plus
+// a store-stats endpoint when a data dir is configured.
 package dserve

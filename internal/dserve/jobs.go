@@ -1,11 +1,16 @@
 package dserve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"time"
 
+	"negativaml/internal/elfx"
 	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
 )
 
 // Job states.
@@ -29,6 +34,18 @@ type Job struct {
 	Finished  time.Time
 
 	Result *BatchResult
+
+	// manifest is the durable form of a persisted job; for a job restored
+	// from the store it stands in for Result until first use materializes
+	// it (see Service.ResultOf).
+	manifest *jobManifest
+	// refs are the store objects this job retains; released when the job
+	// is evicted.
+	refs []storeRef
+	// pins counts in-flight readers (an open fetch-library stream, a
+	// materialization in progress). A pinned job is never evicted, so
+	// eviction cannot release store objects out from under a response.
+	pins int
 }
 
 // ErrBusy is returned by Submit when the service already holds its maximum
@@ -88,8 +105,24 @@ func (s *Service) run(job *Job) {
 
 	res, err := s.runBatch(job.Req)
 
+	// Persist before publishing the terminal state (file I/O stays outside
+	// s.mu): once the job reads as done, its manifest and pinned objects
+	// are already durable.
+	finished := time.Now()
+	var manifest *jobManifest
+	var refs []storeRef
+	if s.store != nil {
+		if err == nil {
+			manifest, refs = s.persistJob(job, res, finished)
+		} else {
+			manifest, refs = s.persistFailedJob(job, err, finished)
+		}
+	}
+
 	s.mu.Lock()
-	job.Finished = time.Now()
+	job.Finished = finished
+	job.manifest = manifest
+	job.refs = refs
 	if err != nil {
 		job.State = JobFailed
 		job.Err = err.Error()
@@ -111,30 +144,62 @@ func (s *Service) run(job *Job) {
 
 // pruneJobsLocked evicts the oldest terminal jobs beyond MaxJobs — each
 // completed job pins its compacted library images, so retention must be
-// bounded. Queued and running jobs are never evicted. Callers hold s.mu.
+// bounded. Queued, running, and pinned jobs are never evicted: a pin marks
+// an in-flight reader (an open fetch-library stream), and evicting under it
+// would release the store objects the response is still being served from.
+// Evicting a persisted job releases its store references and deletes its
+// manifest, so a future boot does not resurrect it. Callers hold s.mu.
 func (s *Service) pruneJobsLocked() {
-	terminal := 0
+	var terminal []string
 	for _, id := range s.order {
 		st := s.jobs[id].State
 		if st == JobDone || st == JobFailed {
-			terminal++
+			terminal = append(terminal, id)
 		}
 	}
-	if terminal <= s.cfg.MaxJobs {
+	excess := len(terminal) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	// The newest MaxJobs terminal jobs always stay; of the older ones,
+	// pinned jobs are over-retained until their streams close (the release
+	// re-runs this prune).
+	evict := map[string]bool{}
+	for _, id := range terminal[:excess] {
+		if s.jobs[id].pins == 0 {
+			evict[id] = true
+		}
+	}
+	if len(evict) == 0 {
 		return
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
-		st := s.jobs[id].State
-		if terminal > s.cfg.MaxJobs && (st == JobDone || st == JobFailed) {
+		if evict[id] {
+			s.releaseJobLocked(s.jobs[id])
 			delete(s.jobs, id)
-			terminal--
 			s.Counters.Add("jobs.evicted", 1)
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// releaseJobLocked drops the job's store references and deletes its
+// manifest. Callers hold s.mu.
+func (s *Service) releaseJobLocked(job *Job) {
+	if s.store == nil {
+		return
+	}
+	for _, ref := range job.refs {
+		s.store.Release(ref.Kind, ref.Key)
+	}
+	job.refs = nil
+	if job.manifest != nil {
+		s.store.Delete(kindJob, job.ID)
+		job.manifest = nil
+	}
 }
 
 // runBatch materializes the request (shared install, member workloads) and
@@ -179,6 +244,349 @@ func (s *Service) Jobs() []*Job {
 		out = append(out, &snap)
 	}
 	return out
+}
+
+// persistJob makes a completed job durable: it ensures every referenced
+// object exists in the store, pins it, and writes the job manifest. A
+// failure at any step degrades to a non-durable job (counted, not fatal) —
+// the in-memory result still serves until eviction.
+func (s *Service) persistJob(job *Job, res *BatchResult, finished time.Time) (*jobManifest, []storeRef) {
+	abandon := func(held []storeRef) (*jobManifest, []storeRef) {
+		for _, ref := range held {
+			s.store.Release(ref.Kind, ref.Key)
+		}
+		s.Counters.Add("jobs.persist_failed", 1)
+		return nil, nil
+	}
+	m, err := manifestOf(job, res)
+	if err != nil {
+		return abandon(nil)
+	}
+	m.Finished = finished
+
+	var held []storeRef
+	// Pin each referenced object, re-spilling any the cache layer never
+	// wrote or the byte budget already evicted. Retain-then-spill keeps
+	// the window in which an unpinned object can vanish to the few
+	// instructions between the spill and the retry.
+	for i, ml := range m.Libs {
+		for _, ref := range []storeRef{{kindResult, ml.Key}, {kindSparse, ml.Key}, {kindLib, ml.LibDigest}} {
+			if s.store.Retain(ref.Kind, ref.Key) {
+				held = append(held, ref)
+				continue
+			}
+			if err := spillResult(s.store, ml.Key, &negativa.LibDebloat{Report: res.Libs[i]}); err != nil {
+				return abandon(held)
+			}
+			if !s.store.Retain(ref.Kind, ref.Key) {
+				return abandon(held)
+			}
+			held = append(held, ref)
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return abandon(held)
+	}
+	if err := s.store.Put(kindJob, job.ID, data); err != nil {
+		return abandon(held)
+	}
+	if !s.store.Retain(kindJob, job.ID) {
+		return abandon(held)
+	}
+	held = append(held, storeRef{kindJob, job.ID})
+	s.Counters.Add("jobs.persisted", 1)
+	return m, held
+}
+
+// persistFailedJob makes a failed job's terminal state durable: a minimal
+// manifest (no library references) so a restart keeps answering polls for
+// it — and, crucially, never reissues its ID to a different job.
+func (s *Service) persistFailedJob(job *Job, jobErr error, finished time.Time) (*jobManifest, []storeRef) {
+	m := &jobManifest{
+		ID: job.ID, State: JobFailed, Error: jobErr.Error(),
+		Submitted: job.Submitted, Started: job.Started, Finished: finished,
+		Req: job.Req,
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, nil
+	}
+	if err := s.store.Put(kindJob, job.ID, data); err != nil || !s.store.Retain(kindJob, job.ID) {
+		s.Counters.Add("jobs.persist_failed", 1)
+		return nil, nil
+	}
+	return m, []storeRef{{kindJob, job.ID}}
+}
+
+// restoreJobs loads persisted job manifests at boot, pinning each job's
+// objects and inserting the jobs in their terminal state (done jobs with
+// lazily-materialized results, failed jobs with their error). A manifest
+// whose referenced objects did not all survive is dropped (and deleted)
+// rather than half-restored; its ID still advances the sequence so no
+// previously-issued ID is ever reused. Called from NewService before the
+// service is shared, but takes s.mu for uniformity.
+func (s *Service) restoreJobs() {
+	var manifests []*jobManifest
+	maxSeq := 0
+	s.store.Walk(kindJob, func(key string, _ int64) error {
+		// Every manifest key reserves its ID, even if the manifest itself
+		// turns out unreadable or unrestorable below.
+		if n := jobSeq(key); n > maxSeq {
+			maxSeq = n
+		}
+		raw, ok := s.store.Get(kindJob, key)
+		if !ok {
+			return nil
+		}
+		var m jobManifest
+		err := json.Unmarshal(raw, &m)
+		if err != nil || m.ID != key || (m.state() == JobDone && len(m.Libs) == 0) {
+			s.store.Delete(kindJob, key)
+			s.Counters.Add("jobs.restore_failed", 1)
+			return nil
+		}
+		manifests = append(manifests, &m)
+		return nil
+	})
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i].Submitted.Before(manifests[j].Submitted) })
+	// MaxJobs still bounds terminal retention across restarts: keep the
+	// newest, drop (and delete) the overflow.
+	if len(manifests) > s.cfg.MaxJobs {
+		for _, m := range manifests[:len(manifests)-s.cfg.MaxJobs] {
+			s.store.Delete(kindJob, m.ID)
+			s.Counters.Add("jobs.evicted", 1)
+		}
+		manifests = manifests[len(manifests)-s.cfg.MaxJobs:]
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range manifests {
+		held := make([]storeRef, 0, 1+3*len(m.Libs))
+		ok := true
+		for _, ref := range m.refs() {
+			if !s.store.Retain(ref.Kind, ref.Key) {
+				ok = false
+				break
+			}
+			held = append(held, ref)
+		}
+		if !ok {
+			for _, ref := range held {
+				s.store.Release(ref.Kind, ref.Key)
+			}
+			s.store.Delete(kindJob, m.ID)
+			s.Counters.Add("jobs.restore_failed", 1)
+			continue
+		}
+		job := &Job{
+			ID: m.ID, Req: m.Req, State: m.state(), Err: m.Error,
+			Submitted: m.Submitted, Started: m.Started, Finished: m.Finished,
+			manifest: m, refs: held,
+		}
+		s.jobs[m.ID] = job
+		s.order = append(s.order, m.ID)
+		s.Counters.Add("jobs.restored", 1)
+	}
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+}
+
+// jobSeq parses the numeric suffix of a job ID ("job-0017" → 17) so a
+// rebooted service numbers new jobs past its restored ones.
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Typed lookup errors for the result/stream accessors; the HTTP layer maps
+// them to status codes.
+var (
+	ErrUnknownJob  = errors.New("dserve: unknown job")
+	ErrJobNotReady = errors.New("dserve: job has no result yet")
+	ErrUnknownLib  = errors.New("dserve: job has no such library")
+)
+
+// ResultOf returns the job's batch result, materializing a restored job's
+// result from the store on first use. The job is pinned for the duration of
+// the materialization.
+func (s *Service) ResultOf(id string) (*BatchResult, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	if job.State != JobDone {
+		// Queued, running, and failed jobs (including restored failed
+		// ones, which carry a manifest but no libraries) have no result.
+		s.mu.Unlock()
+		return nil, ErrJobNotReady
+	}
+	if job.Result != nil {
+		res := job.Result
+		s.mu.Unlock()
+		return res, nil
+	}
+	m := job.manifest
+	if m == nil {
+		s.mu.Unlock()
+		return nil, ErrJobNotReady
+	}
+	job.pins++
+	s.mu.Unlock()
+
+	res, err := s.materialize(m)
+
+	s.mu.Lock()
+	job.pins--
+	if err == nil {
+		if job.Result == nil {
+			job.Result = res
+		} else {
+			res = job.Result // another materialization won the race
+		}
+	}
+	s.pruneJobsLocked()
+	s.mu.Unlock()
+	if err != nil {
+		s.Counters.Add("jobs.restore_failed", 1)
+		return nil, err
+	}
+	s.Counters.Add("jobs.materialized", 1)
+	return res, nil
+}
+
+// materialize rebuilds a BatchResult from a job manifest: reports come from
+// kindResult objects, images from kindLib (parsed once per digest), range
+// sets from kindSparse decoded against the parsed image. No locate/compact
+// runs — restored libraries are byte-identical reconstructions.
+func (s *Service) materialize(m *jobManifest) (*BatchResult, error) {
+	res := &BatchResult{
+		InstallFP:     m.InstallFP,
+		Union:         &negativa.Profile{Workload: m.UnionWorkload},
+		Workloads:     append([]WorkloadOutcome(nil), m.Workloads...),
+		DetectTime:    time.Duration(m.DetectNS),
+		AnalysisTime:  time.Duration(m.AnalysisNS),
+		WallTime:      time.Duration(m.WallNS),
+		CacheHits:     m.CacheHits,
+		CacheMisses:   m.CacheMisses,
+		ProfileReuses: m.ProfileReuses,
+		VerifySkipped: m.VerifySkipped,
+	}
+	res.byName = make(map[string]*negativa.LibraryReport, len(m.Libs))
+	for _, ml := range m.Libs {
+		raw, ok := s.store.Get(kindResult, ml.Key)
+		if !ok {
+			return nil, fmt.Errorf("dserve: restore %s: result %.12s… missing from store", m.ID, ml.Key)
+		}
+		var sr storedResult
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			return nil, fmt.Errorf("dserve: restore %s: result %.12s…: %w", m.ID, ml.Key, err)
+		}
+		lib, err := s.restoredLib(ml.LibDigest, ml.Name)
+		if err != nil {
+			return nil, fmt.Errorf("dserve: restore %s: %w", m.ID, err)
+		}
+		enc, ok := s.store.Get(kindSparse, ml.Key)
+		if !ok {
+			return nil, fmt.Errorf("dserve: restore %s: sparse %.12s… missing from store", m.ID, ml.Key)
+		}
+		sparse, err := negativa.DecodeSparseImage(lib, enc)
+		if err != nil {
+			return nil, fmt.Errorf("dserve: restore %s: %w", m.ID, err)
+		}
+		lr := sr.report(sparse)
+		lr.Name = ml.Name
+		res.Libs = append(res.Libs, lr)
+		res.libKeys = append(res.libKeys, ml.Key)
+		res.byName[lr.Name] = lr
+	}
+	return res, nil
+}
+
+// restoredLib loads and parses a library image from the store, memoized by
+// content digest so restored jobs sharing libraries parse each image once.
+// Failures are returned but never memoized: a missing object may reappear
+// (recomputed and re-spilled by a later batch), and the next call must see
+// it.
+func (s *Service) restoredLib(digest, name string) (*elfx.Library, error) {
+	type parsed struct {
+		lib *elfx.Library
+		err error
+	}
+	v := s.restoredLibs.getOK(digest, func() (any, bool) {
+		data, ok := s.store.Get(kindLib, digest)
+		if !ok {
+			return parsed{err: fmt.Errorf("library image %.12s… missing from store", digest)}, false
+		}
+		lib, err := elfx.Parse(name, data)
+		return parsed{lib: lib, err: err}, err == nil
+	}).(parsed)
+	return v.lib, v.err
+}
+
+// LibStream is an open handle on one debloated library of a completed job.
+// It pins the job (and therefore its store objects) until Close, so the
+// response can stream without racing job eviction.
+type LibStream struct {
+	// Size is the image size in bytes (HTTP Content-Length).
+	Size    int64
+	sparse  *negativa.SparseImage
+	release func()
+}
+
+// WriteTo streams the debloated image.
+func (ls *LibStream) WriteTo(w io.Writer) (int64, error) { return ls.sparse.WriteTo(w) }
+
+// Close releases the job pin. Idempotent.
+func (ls *LibStream) Close() {
+	if ls.release != nil {
+		ls.release()
+		ls.release = nil
+	}
+}
+
+// OpenLibStream opens a debloated-library stream on a completed job,
+// holding a reference on the job for the duration of the response — the
+// fix for job eviction freeing images an in-flight fetch-library is still
+// streaming. Callers must Close the stream.
+func (s *Service) OpenLibStream(id, name string) (*LibStream, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	if job.State != JobDone {
+		s.mu.Unlock()
+		return nil, ErrJobNotReady
+	}
+	job.pins++
+	s.mu.Unlock()
+	release := func() {
+		s.mu.Lock()
+		job.pins--
+		// Evictions this pin deferred proceed now.
+		s.pruneJobsLocked()
+		s.mu.Unlock()
+	}
+	res, err := s.ResultOf(id)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	lr := res.Lib(name)
+	if lr == nil || lr.Sparse == nil {
+		release()
+		return nil, ErrUnknownLib
+	}
+	return &LibStream{Size: lr.Sparse.Len(), sparse: lr.Sparse, release: release}, nil
 }
 
 // WaitJob blocks until the job reaches a terminal state or the timeout

@@ -22,10 +22,21 @@ func newBoundedMemo(max int64) *boundedMemo { return &boundedMemo{max: max} }
 // get returns the memoized value for key, computing and storing it on
 // first sight.
 func (b *boundedMemo) get(key any, compute func() any) any {
+	return b.getOK(key, func() (any, bool) { return compute(), true })
+}
+
+// getOK is get for fallible computes: a compute returning ok=false hands
+// its value through without memoizing it, so transient failures (a store
+// object momentarily absent) are retried on the next call instead of
+// being cached forever.
+func (b *boundedMemo) getOK(key any, compute func() (any, bool)) any {
 	if v, ok := b.m.Load(key); ok {
 		return v
 	}
-	v := compute()
+	v, ok := compute()
+	if !ok {
+		return v
+	}
 	if b.n.Add(1) > b.max {
 		b.m.Range(func(k, _ any) bool { b.m.Delete(k); return true })
 		b.n.Store(0)

@@ -1,0 +1,304 @@
+package dserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/elfx"
+	"negativaml/internal/negativa"
+)
+
+// Castore kinds used by the serving plane. Everything durable is keyed by
+// content digest except job manifests, which are keyed by job ID (the one
+// name-addressed namespace — a manifest is a root that references digest-
+// addressed objects).
+const (
+	// kindLib holds original library images, keyed by the hex library
+	// content digest (elfx.Library.ContentDigest).
+	kindLib = "lib"
+	// kindSparse holds encoded SparseImage range sets, keyed by the
+	// locate+compact cache key (CacheKey).
+	kindSparse = "sparse"
+	// kindResult holds LibraryReport metadata (JSON), keyed like kindSparse.
+	kindResult = "result"
+	// kindProfile holds verified detection profiles (JSON), keyed by the
+	// profile-key digest (profileObjectKey).
+	kindProfile = "profile"
+	// kindJob holds job manifests (JSON), keyed by job ID.
+	kindJob = "job"
+)
+
+// storeRef names one castore object a job holds a reference on.
+type storeRef struct {
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+}
+
+// storedResult is the on-disk form of one locate+compact result: every
+// analytic report field plus the digest of the library image the sparse
+// range set applies to. The range set itself is a sibling kindSparse
+// object; the image a kindLib object.
+type storedResult struct {
+	Name      string `json:"name"`
+	LibDigest string `json:"lib_digest"`
+
+	FileSize            int64    `json:"file_size"`
+	FileEffective       int64    `json:"file_effective"`
+	FileEffectiveAfter  int64    `json:"file_effective_after"`
+	CPUSize             int64    `json:"cpu_size"`
+	CPUSizeAfter        int64    `json:"cpu_size_after"`
+	FuncCount           int      `json:"func_count"`
+	FuncKept            int      `json:"func_kept"`
+	GPUSize             int64    `json:"gpu_size"`
+	GPUSizeAfter        int64    `json:"gpu_size_after"`
+	ElemCount           int      `json:"elem_count"`
+	ElemKept            int      `json:"elem_kept"`
+	RemovedArchMismatch int      `json:"removed_arch_mismatch"`
+	RemovedNoUsedKernel int      `json:"removed_no_used_kernel"`
+	ResidentBytes       int64    `json:"resident_bytes"`
+	ResidentBytesAfter  int64    `json:"resident_bytes_after"`
+	UsedFuncs           []string `json:"used_funcs,omitempty"`
+	UsedKernels         []string `json:"used_kernels,omitempty"`
+
+	AnalysisNS int64 `json:"analysis_ns"`
+}
+
+func digestHex(lib *elfx.Library) string {
+	d := lib.ContentDigest()
+	return hex.EncodeToString(d[:])
+}
+
+// spillResult persists one locate+compact result as its three objects:
+// the original library image (shared across results by digest), the sparse
+// range set, and the report metadata. Re-spilling an already-present key is
+// cheap (castore Puts of existing objects are no-ops).
+func spillResult(st *castore.Store, key string, ld *negativa.LibDebloat) error {
+	lr := ld.Report
+	if lr == nil || lr.Sparse == nil {
+		return fmt.Errorf("dserve: result %s has no sparse image to persist", key)
+	}
+	lib := lr.Sparse.Lib()
+	dhex := digestHex(lib)
+	if err := st.Put(kindLib, dhex, lib.Data); err != nil {
+		return err
+	}
+	if err := st.Put(kindSparse, key, lr.Sparse.Encode()); err != nil {
+		return err
+	}
+	sr := storedResult{
+		Name:      lr.Name,
+		LibDigest: dhex,
+
+		FileSize:            lr.FileSize,
+		FileEffective:       lr.FileEffective,
+		FileEffectiveAfter:  lr.FileEffectiveAfter,
+		CPUSize:             lr.CPUSize,
+		CPUSizeAfter:        lr.CPUSizeAfter,
+		FuncCount:           lr.FuncCount,
+		FuncKept:            lr.FuncKept,
+		GPUSize:             lr.GPUSize,
+		GPUSizeAfter:        lr.GPUSizeAfter,
+		ElemCount:           lr.ElemCount,
+		ElemKept:            lr.ElemKept,
+		RemovedArchMismatch: lr.RemovedArchMismatch,
+		RemovedNoUsedKernel: lr.RemovedNoUsedKernel,
+		ResidentBytes:       lr.ResidentBytes,
+		ResidentBytesAfter:  lr.ResidentBytesAfter,
+		UsedFuncs:           lr.UsedFuncs,
+		UsedKernels:         lr.UsedKernels,
+
+		AnalysisNS: int64(ld.Analysis),
+	}
+	data, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	return st.Put(kindResult, key, data)
+}
+
+// reportFrom rebuilds a LibraryReport from its stored metadata and a
+// decoded sparse image.
+func (sr *storedResult) report(sparse *negativa.SparseImage) *negativa.LibraryReport {
+	return &negativa.LibraryReport{
+		Name:                sr.Name,
+		FileSize:            sr.FileSize,
+		FileEffective:       sr.FileEffective,
+		FileEffectiveAfter:  sr.FileEffectiveAfter,
+		CPUSize:             sr.CPUSize,
+		CPUSizeAfter:        sr.CPUSizeAfter,
+		FuncCount:           sr.FuncCount,
+		FuncKept:            sr.FuncKept,
+		GPUSize:             sr.GPUSize,
+		GPUSizeAfter:        sr.GPUSizeAfter,
+		ElemCount:           sr.ElemCount,
+		ElemKept:            sr.ElemKept,
+		RemovedArchMismatch: sr.RemovedArchMismatch,
+		RemovedNoUsedKernel: sr.RemovedNoUsedKernel,
+		ResidentBytes:       sr.ResidentBytes,
+		ResidentBytesAfter:  sr.ResidentBytesAfter,
+		UsedFuncs:           sr.UsedFuncs,
+		UsedKernels:         sr.UsedKernels,
+		Sparse:              sparse,
+	}
+}
+
+// loadResult reconstructs a locate+compact result from the store against a
+// live library (the warm-disk path inside a running batch: the install is
+// already in memory, only the derived artifacts come from disk). Returns
+// false on any absence or corruption — the caller recomputes.
+func loadResult(st *castore.Store, key string, lib *elfx.Library) (*negativa.LibDebloat, bool) {
+	raw, ok := st.Get(kindResult, key)
+	if !ok {
+		return nil, false
+	}
+	var sr storedResult
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		return nil, false
+	}
+	if sr.LibDigest != digestHex(lib) {
+		return nil, false // stored for different library bytes
+	}
+	enc, ok := st.Get(kindSparse, key)
+	if !ok {
+		return nil, false
+	}
+	sparse, err := negativa.DecodeSparseImage(lib, enc)
+	if err != nil {
+		return nil, false
+	}
+	return &negativa.LibDebloat{Report: sr.report(sparse), Analysis: time.Duration(sr.AnalysisNS)}, true
+}
+
+// storedProfile is the on-disk form of one registry entry.
+type storedProfile struct {
+	Install  string            `json:"install"`
+	Workload string            `json:"workload"`
+	Profile  *negativa.Profile `json:"profile"`
+}
+
+// profileObjectKey derives the castore key of a profile entry. Profile keys
+// are free-form strings (workload identities embed model names and device
+// lists), so they are digested into the path-safe content-address space.
+func profileObjectKey(key ProfileKey) string {
+	h := sha256.New()
+	h.Write([]byte(key.Install))
+	h.Write([]byte{0})
+	h.Write([]byte(key.Workload))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// jobManifest is the durable root of one completed job: request, outcome
+// summary, and per-library references into the digest-addressed object
+// space. Restoring a job walks the references; the expensive artifacts are
+// shared with the result cache's disk tier.
+type jobManifest struct {
+	ID        string     `json:"id"`
+	// State is the terminal state (JobDone or JobFailed; empty reads as
+	// done). Failed jobs persist too — their IDs must never be reissued
+	// after a restart, and clients polling them must keep seeing the
+	// failure, not a stranger's new job.
+	State     string     `json:"state,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started"`
+	Finished  time.Time  `json:"finished"`
+	Req       JobRequest `json:"req"`
+
+	InstallFP     string            `json:"install_fp"`
+	UnionWorkload string            `json:"union_workload"`
+	Workloads     []WorkloadOutcome `json:"workloads"`
+	DetectNS      int64             `json:"detect_ns"`
+	AnalysisNS    int64             `json:"analysis_ns"`
+	WallNS        int64             `json:"wall_ns"`
+	CacheHits     int               `json:"cache_hits"`
+	CacheMisses   int               `json:"cache_misses"`
+	ProfileReuses int               `json:"profile_reuses"`
+	VerifySkipped bool              `json:"verify_skipped,omitempty"`
+
+	Libs []manifestLib `json:"libs"`
+}
+
+type manifestLib struct {
+	Name string `json:"name"`
+	// Key addresses the kindResult / kindSparse pair.
+	Key string `json:"key"`
+	// LibDigest addresses the kindLib image.
+	LibDigest string `json:"lib_digest"`
+}
+
+// state returns the manifest's terminal state (legacy manifests without
+// one read as done).
+func (m *jobManifest) state() string {
+	if m.State == "" {
+		return JobDone
+	}
+	return m.State
+}
+
+// allVerified mirrors BatchResult.AllVerified for the lazily-restored path.
+func (m *jobManifest) allVerified() bool {
+	if m.VerifySkipped {
+		return true
+	}
+	for i := range m.Workloads {
+		if !m.Workloads[i].Verified {
+			return false
+		}
+	}
+	return true
+}
+
+// refs lists every object the manifest's job must pin: the manifest itself
+// plus, per library, the result, range set, and image objects.
+func (m *jobManifest) refs() []storeRef {
+	out := make([]storeRef, 0, 1+3*len(m.Libs))
+	out = append(out, storeRef{kindJob, m.ID})
+	for _, l := range m.Libs {
+		out = append(out,
+			storeRef{kindResult, l.Key},
+			storeRef{kindSparse, l.Key},
+			storeRef{kindLib, l.LibDigest},
+		)
+	}
+	return out
+}
+
+func manifestOf(job *Job, res *BatchResult) (*jobManifest, error) {
+	if len(res.libKeys) != len(res.Libs) {
+		return nil, fmt.Errorf("dserve: job %s result carries no cache keys; cannot persist", job.ID)
+	}
+	m := &jobManifest{
+		ID:        job.ID,
+		State:     JobDone,
+		Submitted: job.Submitted,
+		Started:   job.Started,
+		Finished:  job.Finished,
+		Req:       job.Req,
+
+		InstallFP:     res.InstallFP,
+		UnionWorkload: res.Union.Workload,
+		Workloads:     res.Workloads,
+		DetectNS:      int64(res.DetectTime),
+		AnalysisNS:    int64(res.AnalysisTime),
+		WallNS:        int64(res.WallTime),
+		CacheHits:     res.CacheHits,
+		CacheMisses:   res.CacheMisses,
+		ProfileReuses: res.ProfileReuses,
+		VerifySkipped: res.VerifySkipped,
+	}
+	for i, lr := range res.Libs {
+		if lr.Sparse == nil {
+			return nil, fmt.Errorf("dserve: job %s library %s has no sparse image", job.ID, lr.Name)
+		}
+		m.Libs = append(m.Libs, manifestLib{
+			Name:      lr.Name,
+			Key:       res.libKeys[i],
+			LibDigest: digestHex(lr.Sparse.Lib()),
+		})
+	}
+	return m, nil
+}

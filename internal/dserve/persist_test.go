@@ -1,0 +1,421 @@
+package dserve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
+)
+
+const waitTimeout = 60 * time.Second
+
+func openStore(t *testing.T, dir string) *castore.Store {
+	t.Helper()
+	st, err := castore.Open(dir, castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(st.Close) // idempotent; tests close earlier when resequencing
+	return st
+}
+
+func persistTestInstall(t *testing.T) (*mlframework.Install, []mlruntime.Workload) {
+	t.Helper()
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []WorkloadSpec{
+		{Model: "MobileNetV2", Batch: 1},
+		{Model: "Transformer", Batch: 8},
+	}
+	ws := make([]mlruntime.Workload, len(specs))
+	for i, sp := range specs {
+		w, err := sp.Workload(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	return in, ws
+}
+
+// TestCacheDiskTier exercises the two-tier result cache across a service
+// restart: the second service's memory tier is empty, so every library must
+// come back from the store — byte-identical and with zero locate/compact
+// runs.
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	in, ws := persistTestInstall(t)
+
+	st1 := openStore(t, dir)
+	svc1 := NewService(Config{Workers: 2, MaxSteps: 2, Store: st1})
+	cold, err := svc1.DebloatBatch(in, ws, BatchOptions{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	st1.Close()
+	if cold.CacheMisses == 0 {
+		t.Fatal("cold batch had no cache misses")
+	}
+
+	svc2 := NewService(Config{Workers: 2, MaxSteps: 2, Store: openStore(t, dir)})
+	defer svc2.Close()
+	warm, err := svc2.DebloatBatch(in, ws, BatchOptions{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheMisses != 0 || warm.CacheHits != len(warm.Libs) {
+		t.Fatalf("warm-from-disk batch: hits=%d misses=%d libs=%d", warm.CacheHits, warm.CacheMisses, len(warm.Libs))
+	}
+	if got := svc2.Counters.Get("analysis.computed"); got != 0 {
+		t.Fatalf("restarted service ran locate/compact %d times, want 0", got)
+	}
+	if warm.ProfileReuses != len(ws) {
+		t.Fatalf("restarted service re-detected: reuses=%d, want %d", warm.ProfileReuses, len(ws))
+	}
+	if !warm.AllVerified() {
+		t.Fatal("warm batch did not verify")
+	}
+	for i, lr := range warm.Libs {
+		if !bytes.Equal(lr.Debloated(), cold.Libs[i].Debloated()) {
+			t.Fatalf("library %s differs after disk round-trip", lr.Name)
+		}
+	}
+	if svc2.Store().Stats().Hits == 0 {
+		t.Fatal("store recorded no hits on the warm path")
+	}
+}
+
+func TestRegistryReplay(t *testing.T) {
+	dir := t.TempDir()
+	in, ws := persistTestInstall(t)
+	p, err := negativa.DetectUsage(ws[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ProfileKey{Install: InstallFingerprint(in), Workload: WorkloadIdentity(ws[0], 2)}
+
+	st1 := openStore(t, dir)
+	r1 := NewRegistry()
+	r1.AttachStore(st1)
+	r1.Put(key, p)
+	st1.Close()
+
+	r2 := NewRegistry()
+	r2.AttachStore(openStore(t, dir))
+	if n := r2.Replay(); n != 1 {
+		t.Fatalf("replayed %d profiles, want 1", n)
+	}
+	got, ok := r2.Get(key)
+	if !ok {
+		t.Fatal("replayed profile not found under its key")
+	}
+	if got.RunResult.Digest != p.RunResult.Digest || got.Workload != p.Workload {
+		t.Fatal("replayed profile does not match the original")
+	}
+	if len(got.UsedKernels) != len(p.UsedKernels) || len(got.UsedFuncs) != len(p.UsedFuncs) {
+		t.Fatal("replayed profile lost used-symbol maps")
+	}
+}
+
+func fetchLib(t *testing.T, ts *httptest.Server, id, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/libs/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch %s/%s: status %d: %s", id, name, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServerWarmRestartE2E is the end-to-end restart test: submit a batch,
+// shut the service down, boot a second service on the same data dir, and
+// assert the previously-submitted job's status, report, and libraries are
+// served warm — byte-identical images, store hits recorded, and zero
+// locate/compact (and zero detection) runs on the second boot.
+func TestServerWarmRestartE2E(t *testing.T) {
+	dir := t.TempDir()
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  4,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Batch: 8},
+		},
+		MaxSteps: 2,
+	}
+
+	// ---- First boot: submit, complete, download, shut down. ----
+	st1 := openStore(t, dir)
+	svc1 := NewService(Config{Workers: 2, MaxSteps: 2, Store: st1})
+	ts1 := httptest.NewServer(NewHandler(svc1))
+	st := postJob(t, ts1, req)
+	if got := pollDone(t, ts1, st.ID); got.State != JobDone {
+		t.Fatalf("job failed: %s", got.Error)
+	}
+	libName := "libtorch_cuda.so"
+	original := fetchLib(t, ts1, st.ID, libName)
+	ts1.Close()
+	svc1.Close()
+	st1.Close()
+
+	// ---- Second boot, same data dir: the job must come back warm. ----
+	svc2 := NewService(Config{Workers: 2, MaxSteps: 2, Store: openStore(t, dir)})
+	defer svc2.Close()
+	ts2 := httptest.NewServer(NewHandler(svc2))
+	defer ts2.Close()
+
+	if got := svc2.Counters.Get("jobs.restored"); got != 1 {
+		t.Fatalf("restored %d jobs, want 1", got)
+	}
+	var status jobStatus
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+st.ID, &status); code != http.StatusOK {
+		t.Fatalf("restored job status: code %d", code)
+	}
+	if status.State != JobDone || status.Verified == nil || !*status.Verified {
+		t.Fatalf("restored job status = %+v, want done+verified", status)
+	}
+
+	var report jobReport
+	if code := getJSON(t, ts2.URL+"/v1/jobs/"+st.ID+"/report", &report); code != http.StatusOK {
+		t.Fatalf("restored job report: code %d", code)
+	}
+	if len(report.Libs) == 0 || report.InstallFP == "" {
+		t.Fatalf("restored report is hollow: %+v", report)
+	}
+
+	restored := fetchLib(t, ts2, st.ID, libName)
+	if !bytes.Equal(restored, original) {
+		t.Fatalf("restored %s differs: %d bytes vs %d", libName, len(restored), len(original))
+	}
+
+	// The warm path must be pure replay: no locate/compact, no detection.
+	var metrics struct {
+		Counters map[string]int64   `json:"counters"`
+		Store    *castore.Stats     `json:"store"`
+	}
+	if code := getJSON(t, ts2.URL+"/v1/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	if metrics.Counters["analysis.computed"] != 0 {
+		t.Fatalf("second boot ran locate/compact %d times", metrics.Counters["analysis.computed"])
+	}
+	if metrics.Counters["registry.misses"] != 0 {
+		t.Fatalf("second boot ran detection %d times", metrics.Counters["registry.misses"])
+	}
+	if metrics.Store == nil || metrics.Store.Hits == 0 {
+		t.Fatalf("store.hits = %+v, want > 0 (warm restore must read the store)", metrics.Store)
+	}
+
+	var storeView struct {
+		Stats castore.Stats `json:"stats"`
+	}
+	if code := getJSON(t, ts2.URL+"/v1/store", &storeView); code != http.StatusOK {
+		t.Fatalf("/v1/store: code %d", code)
+	}
+	if storeView.Stats.Objects == 0 || storeView.Stats.Retained == 0 {
+		t.Fatalf("/v1/store stats = %+v, want retained objects", storeView.Stats)
+	}
+}
+
+// TestFetchLibraryPinnedAgainstEviction is the regression test for the
+// latent eviction bug: job eviction used to be free to drop a job (and,
+// with a store, release its objects) while a fetch-library response was
+// still streaming from it. An open LibStream must pin the job: eviction
+// pressure may not touch it until the stream closes.
+func TestFetchLibraryPinnedAgainstEviction(t *testing.T) {
+	dir := t.TempDir()
+
+	// First service populates the store with one completed job.
+	st1 := openStore(t, dir)
+	svc1 := NewService(Config{Workers: 2, MaxSteps: 2, MaxJobs: 1, Store: st1})
+	req := JobRequest{
+		Framework: "pytorch", TailLibs: 4, MaxSteps: 2,
+		Workloads: []WorkloadSpec{{Model: "MobileNetV2", Batch: 1}},
+	}
+	job1, err := svc1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := svc1.WaitJob(job1.ID, waitTimeout); j.State != JobDone {
+		t.Fatalf("job1: %s", j.Err)
+	}
+	want := fetchDirect(t, svc1, job1.ID, "libtorch_cuda.so")
+	svc1.Close()
+	st1.Close()
+
+	// Second boot: job1 is restored lazily — its images live only in the
+	// store until materialized. Open a stream (pinning it) before any
+	// eviction pressure.
+	svc2 := NewService(Config{Workers: 2, MaxSteps: 2, MaxJobs: 1, Store: openStore(t, dir)})
+	defer svc2.Close()
+	ls, err := svc2.OpenLibStream(job1.ID, "libtorch_cuda.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Eviction pressure: a second completed job pushes terminal retention
+	// past MaxJobs=1; without the pin, job1 (the oldest) would be evicted
+	// and its store references released mid-stream.
+	job2, err := svc2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := svc2.WaitJob(job2.ID, waitTimeout); j.State != JobDone {
+		t.Fatalf("job2: %s", j.Err)
+	}
+	if svc2.Job(job1.ID) == nil {
+		t.Fatal("pinned job was evicted under a live stream")
+	}
+
+	var buf bytes.Buffer
+	if _, err := ls.WriteTo(&buf); err != nil {
+		t.Fatalf("stream after eviction pressure: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("streamed image differs from the original download")
+	}
+	ls.Close()
+
+	// With the pin released, the deferred eviction lands: job1 goes, its
+	// manifest with it, and job2 (the newest) survives.
+	if svc2.Job(job1.ID) != nil {
+		t.Fatal("job1 still present after stream closed")
+	}
+	if svc2.Store().Has(kindJob, job1.ID) {
+		t.Fatal("evicted job's manifest still in the store")
+	}
+	if svc2.Job(job2.ID) == nil {
+		t.Fatal("newest job evicted instead of the streamed one")
+	}
+	// A double Close stays idempotent.
+	ls.Close()
+}
+
+// TestFailedJobSurvivesRestart: failed jobs persist a minimal manifest, so
+// a restart keeps answering polls for them — and, critically, never
+// reissues their ID to a different client's job.
+func TestFailedJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	svc := NewService(Config{Workers: 2, MaxSteps: 2, Store: st1})
+	// The synthetic installs ship Llama2 kernels for 1 or 8 tensor-parallel
+	// ranks only; 3 ranks fails detection — the supported way to produce a
+	// failed job.
+	bad, err := svc.Submit(JobRequest{
+		Framework: "pytorch", TailLibs: 2, MaxSteps: 2,
+		Workloads: []WorkloadSpec{{Model: "Llama2", GPUs: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := svc.WaitJob(bad.ID, waitTimeout)
+	if j.State != JobFailed {
+		t.Fatalf("job state %s, want failed", j.State)
+	}
+	svc.Close()
+	st1.Close()
+
+	svc2 := NewService(Config{Workers: 2, MaxSteps: 2, Store: openStore(t, dir)})
+	defer svc2.Close()
+	restored := svc2.Job(bad.ID)
+	if restored == nil || restored.State != JobFailed || restored.Err == "" {
+		t.Fatalf("restored failed job = %+v, want failed with error", restored)
+	}
+	if _, err := svc2.ResultOf(bad.ID); !errors.Is(err, ErrJobNotReady) {
+		t.Fatalf("ResultOf failed job = %v, want ErrJobNotReady", err)
+	}
+	// A fresh submission must get a fresh ID, not the failed job's.
+	good, err := svc2.Submit(JobRequest{
+		Framework: "pytorch", TailLibs: 2, MaxSteps: 2,
+		Workloads: []WorkloadSpec{{Model: "MobileNetV2", Batch: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.ID == bad.ID {
+		t.Fatalf("failed job's ID %s was reissued", bad.ID)
+	}
+	if j, _ := svc2.WaitJob(good.ID, waitTimeout); j.State != JobDone {
+		t.Fatalf("new job: %s", j.Err)
+	}
+}
+
+// fetchDirect downloads one library through the service API (no HTTP).
+func fetchDirect(t *testing.T, s *Service, id, name string) []byte {
+	t.Helper()
+	ls, err := s.OpenLibStream(id, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	var buf bytes.Buffer
+	if _, err := ls.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestJobEvictionReleasesStoreRefs: evicting an unpinned job must release
+// its store references so the byte budget can reclaim them, and must not
+// resurrect on the next boot.
+func TestJobEvictionReleasesStoreRefs(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	svc := NewService(Config{Workers: 2, MaxSteps: 2, MaxJobs: 1, Store: st1})
+	req := JobRequest{
+		Framework: "pytorch", TailLibs: 2, MaxSteps: 2,
+		Workloads: []WorkloadSpec{{Model: "MobileNetV2", Batch: 1}},
+	}
+	job1, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := svc.WaitJob(job1.ID, waitTimeout); j.State != JobDone {
+		t.Fatalf("job1: %s", j.Err)
+	}
+	// A different workload so job2 is a distinct terminal job.
+	req2 := req
+	req2.Workloads = []WorkloadSpec{{Model: "Transformer", Batch: 4}}
+	job2, err := svc.Submit(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := svc.WaitJob(job2.ID, waitTimeout); j.State != JobDone {
+		t.Fatalf("job2: %s", j.Err)
+	}
+	if svc.Job(job1.ID) != nil {
+		t.Fatal("job1 not evicted with MaxJobs=1")
+	}
+	if svc.Store().Has(kindJob, job1.ID) {
+		t.Fatal("evicted job manifest survives")
+	}
+	svc.Close()
+	st1.Close()
+
+	svc2 := NewService(Config{Workers: 2, MaxSteps: 2, MaxJobs: 1, Store: openStore(t, dir)})
+	defer svc2.Close()
+	if svc2.Job(job1.ID) != nil {
+		t.Fatal("evicted job resurrected on reboot")
+	}
+	if svc2.Job(job2.ID) == nil {
+		t.Fatal("retained job not restored on reboot")
+	}
+}

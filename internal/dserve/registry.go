@@ -3,10 +3,12 @@ package dserve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/negativa"
 )
@@ -52,6 +54,10 @@ type Registry struct {
 	max      int
 	profiles map[ProfileKey]*negativa.Profile
 	order    []ProfileKey
+
+	// store, when attached, snapshots every Put so a rebooted service
+	// replays its profiles instead of re-detecting them.
+	store *castore.Store
 }
 
 // DefaultRegistryEntries bounds NewRegistry's profile retention.
@@ -63,9 +69,38 @@ func NewRegistry() *Registry {
 	return &Registry{max: DefaultRegistryEntries, profiles: map[ProfileKey]*negativa.Profile{}}
 }
 
+// AttachStore wires profile snapshotting in. Call before serving.
+func (r *Registry) AttachStore(st *castore.Store) {
+	r.mu.Lock()
+	r.store = st
+	r.mu.Unlock()
+}
+
 // Put stores a profile under the key, evicting the oldest entries beyond
-// the bound.
+// the bound, and — with a store attached — snapshots it to disk so the next
+// boot replays it instead of re-running detection. Snapshots of evicted
+// entries are deleted: workload identities are client-controlled, so the
+// on-disk profile set must stay bounded by the same sweep-resistance cap as
+// the in-memory registry.
 func (r *Registry) Put(key ProfileKey, p *negativa.Profile) {
+	evicted := r.putMem(key, p)
+	r.mu.RLock()
+	st := r.store
+	r.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	// Snapshot outside the registry lock; a failed snapshot only costs the
+	// next boot a re-detection.
+	if data, err := json.Marshal(storedProfile{Install: key.Install, Workload: key.Workload, Profile: p}); err == nil {
+		st.Put(kindProfile, profileObjectKey(key), data)
+	}
+	for _, ev := range evicted {
+		st.Delete(kindProfile, profileObjectKey(ev))
+	}
+}
+
+func (r *Registry) putMem(key ProfileKey, p *negativa.Profile) (evicted []ProfileKey) {
 	r.mu.Lock()
 	if _, exists := r.profiles[key]; !exists {
 		r.order = append(r.order, key)
@@ -75,8 +110,44 @@ func (r *Registry) Put(key ProfileKey, p *negativa.Profile) {
 		oldest := r.order[0]
 		r.order = r.order[1:]
 		delete(r.profiles, oldest)
+		evicted = append(evicted, oldest)
 	}
 	r.mu.Unlock()
+	return evicted
+}
+
+// Replay loads every snapshotted profile from the attached store into
+// memory (up to the registry bound) and returns how many it restored.
+// Corrupt or unreadable snapshots are skipped: the worst case is a
+// re-detection, never a wrong profile.
+func (r *Registry) Replay() int {
+	r.mu.RLock()
+	st := r.store
+	r.mu.RUnlock()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	st.Walk(kindProfile, func(key string, _ int64) error {
+		if n >= r.max {
+			return nil
+		}
+		raw, ok := st.Get(kindProfile, key)
+		if !ok {
+			return nil
+		}
+		var sp storedProfile
+		// Persisted bytes are untrusted: a profile without a run result
+		// would nil-panic the reuse path (p.RunResult.Digest), so it is
+		// skipped like any other corrupt snapshot.
+		if err := json.Unmarshal(raw, &sp); err != nil || sp.Profile == nil || sp.Profile.RunResult == nil {
+			return nil
+		}
+		r.putMem(ProfileKey{Install: sp.Install, Workload: sp.Workload}, sp.Profile)
+		n++
+		return nil
+	})
+	return n
 }
 
 // Get returns the stored profile for the key.

@@ -20,6 +20,8 @@ import (
 //	GET  /v1/jobs/{id}/report       full report of a completed job
 //	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
 //	GET  /v1/metrics                counters, cache stats, timing summaries
+//	GET  /v1/store                  content-addressed store stats (404 when
+//	                                the service runs without a data dir)
 func NewHandler(s *Service) http.Handler {
 	return newMux(s)
 }
@@ -77,45 +79,71 @@ func newMux(s *Service) *http.ServeMux {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
-		if job.Result == nil {
+		// ResultOf materializes restored jobs from the store on first use.
+		res, err := s.ResultOf(job.ID)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			// Evicted between the snapshot above and the result lookup.
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", job.ID))
+			return
+		case errors.Is(err, ErrJobNotReady):
 			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no report yet", job.ID, job.State))
 			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, reportOf(job))
+		writeJSON(w, http.StatusOK, reportOf(job, res))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/libs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		job := s.Job(r.PathValue("id"))
-		if job == nil {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		id, name := r.PathValue("id"), r.PathValue("name")
+		// The stream pins the job until Close: eviction cannot release the
+		// images (in memory or in the store) under an in-flight response.
+		ls, err := s.OpenLibStream(id, name)
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		case errors.Is(err, ErrJobNotReady):
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s has no libraries yet", id))
+			return
+		case errors.Is(err, ErrUnknownLib):
+			httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no library %q", id, name))
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		if job.Result == nil {
-			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; no libraries yet", job.ID, job.State))
-			return
-		}
-		name := r.PathValue("name")
-		lr := job.Result.Lib(name)
-		if lr == nil {
-			httpError(w, http.StatusNotFound, fmt.Errorf("job %s has no library %q", job.ID, name))
-			return
-		}
+		defer ls.Close()
 		// Stream the sparse image: retained ranges come straight from the
 		// original bytes, zeroed ranges from a shared scratch buffer — the
 		// handler never materializes a full library copy.
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
-		w.Header().Set("Content-Length", strconv.FormatInt(lr.Sparse.Len(), 10))
+		w.Header().Set("Content-Length", strconv.FormatInt(ls.Size, 10))
 		w.WriteHeader(http.StatusOK)
-		lr.Sparse.WriteTo(w)
+		ls.WriteTo(w)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"counters": s.Counters.Snapshot(),
 			"cache":    s.Cache.Stats(),
 			"registry": map[string]int{"profiles": s.Registry.Len()},
 			"timings":  s.Timings.Snapshot(),
 			"workers":  s.Workers(),
-		})
+		}
+		if st := s.Store(); st != nil {
+			out["store"] = st.Stats()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Store()
+		if st == nil {
+			httpError(w, http.StatusNotFound, errors.New("no data dir configured (start with -data-dir)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dir": st.Dir(), "stats": st.Stats()})
 	})
 	return mux
 }
@@ -146,12 +174,21 @@ func statusOf(j *Job) jobStatus {
 		Framework: j.Req.Framework,
 		Workloads: len(j.Req.Workloads),
 	}
-	if j.Result != nil {
+	switch {
+	case j.Result != nil:
 		v := j.Result.AllVerified()
 		st.Verified = &v
 		st.VerifySkipped = j.Result.VerifySkipped
 		st.CacheHits = &j.Result.CacheHits
 		st.CacheMisses = &j.Result.CacheMisses
+	case j.manifest != nil && j.State == JobDone:
+		// Restored job not yet materialized: the manifest carries the
+		// summary, so status stays cheap (no store reads).
+		v := j.manifest.allVerified()
+		st.Verified = &v
+		st.VerifySkipped = j.manifest.VerifySkipped
+		st.CacheHits = &j.manifest.CacheHits
+		st.CacheMisses = &j.manifest.CacheMisses
 	}
 	return st
 }
@@ -215,8 +252,7 @@ type totalsReport struct {
 	ElemRedPct  float64 `json:"elem_red_pct"`
 }
 
-func reportOf(j *Job) jobReport {
-	res := j.Result
+func reportOf(j *Job, res *BatchResult) jobReport {
 	rep := jobReport{
 		ID:            j.ID,
 		State:         j.State,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"negativaml/internal/castore"
 	"negativaml/internal/gpuarch"
 	"negativaml/internal/metrics"
 	"negativaml/internal/mlframework"
@@ -40,6 +41,11 @@ type Config struct {
 	// MaxInFlight bounds queued+running jobs; Submit returns ErrBusy
 	// beyond it (default 64).
 	MaxInFlight int
+	// Store, when non-nil, is the disk-backed content-addressed store the
+	// service persists through: the result cache gains a second tier,
+	// detection profiles snapshot on Put and replay on boot, and completed
+	// jobs spill their manifests and images so a restart serves them warm.
+	Store *castore.Store
 }
 
 // Service is the batch-debloat service core: the profile registry, the
@@ -53,6 +59,7 @@ type Service struct {
 	Counters *metrics.CounterSet
 	Timings  *metrics.TimingSet
 	pool     *Pool
+	store    *castore.Store
 
 	mu           sync.Mutex
 	jobs         map[string]*Job
@@ -65,6 +72,10 @@ type Service struct {
 
 	// fingerprints memoizes InstallFingerprint per immutable *Install.
 	fingerprints *boundedMemo
+	// restoredLibs memoizes store-image parses per content digest, so
+	// restored jobs sharing libraries (the dependency tail) parse each
+	// image once.
+	restoredLibs *boundedMemo
 }
 
 type installSlot struct {
@@ -94,7 +105,7 @@ func NewService(cfg Config) *Service {
 		cfg.MaxInFlight = 64
 	}
 	counters := metrics.NewCounterSet()
-	return &Service{
+	s := &Service{
 		cfg:          cfg,
 		Registry:     NewRegistry(),
 		Cache:        NewResultCache(cfg.CacheBytes, counters),
@@ -104,8 +115,25 @@ func NewService(cfg Config) *Service {
 		jobs:         map[string]*Job{},
 		installs:     map[string]*installSlot{},
 		fingerprints: newBoundedMemo(64),
+		restoredLibs: newBoundedMemo(64),
 	}
+	if cfg.Store != nil {
+		// Warm-restart wiring: the cache gains its disk tier, the registry
+		// replays its snapshotted profiles, and persisted job manifests
+		// come back as lazily-materialized done jobs.
+		s.store = cfg.Store
+		s.Cache.AttachStore(cfg.Store)
+		s.Registry.AttachStore(cfg.Store)
+		if n := s.Registry.Replay(); n > 0 {
+			counters.Add("registry.replayed", int64(n))
+		}
+		s.restoreJobs()
+	}
+	return s
 }
+
+// Store returns the attached content-addressed store, or nil.
+func (s *Service) Store() *castore.Store { return s.store }
 
 // Workers returns the pool's concurrency bound.
 func (s *Service) Workers() int { return s.pool.Workers() }
@@ -188,6 +216,10 @@ type BatchResult struct {
 	CacheHits     int
 	CacheMisses   int
 	ProfileReuses int
+	// libKeys holds the content-address (CacheKey) of each entry of Libs,
+	// parallel to it — the references a persisted job manifest records.
+	// Empty for hand-built results, which then cannot be persisted.
+	libKeys []string
 	// VerifySkipped records that the batch ran with SkipVerify: no member
 	// Verified flag carries information.
 	VerifySkipped bool
@@ -329,16 +361,19 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	}
 	archs := negativa.DeviceArchs(devs)
 
-	// ---- Location + compaction per library (parallel, cache-backed) ----
+	// ---- Location + compaction per library (parallel, two-tier
+	// cache-backed: memory, then the content-addressed store) ----
 	names := in.LibNames
 	libs := make([]*negativa.LibraryReport, len(names))
+	keys := make([]string, len(names))
 	analyses := make([]time.Duration, len(names))
 	hits := make([]bool, len(names))
 	err = s.pool.Map(len(names), func(i int) error {
 		name := names[i]
 		lib := in.Library(name)
 		key := CacheKey(lib, union.UsedFuncs[name], union.UsedKernels[name], archs)
-		if ld, ok := s.Cache.Get(key); ok {
+		keys[i] = key
+		if ld, ok := s.Cache.GetOrLoad(key, lib); ok {
 			// The cached report may have been computed under a different
 			// library name (identical bytes elsewhere); re-label a shallow
 			// copy, sharing the immutable compacted image.
@@ -352,6 +387,10 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		if err != nil {
 			return fmt.Errorf("dserve: locate %s: %w", name, err)
 		}
+		// analysis.computed is the ground truth for "did this service ever
+		// re-run locate/compact": the warm-restart tests assert it stays
+		// zero when every result comes from memory or disk.
+		s.Counters.Add("analysis.computed", 1)
 		s.Cache.Put(key, ld)
 		libs[i] = ld.Report
 		analyses[i] = ld.Analysis
@@ -361,7 +400,7 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		return nil, err
 	}
 
-	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, Libs: libs}
+	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, Libs: libs, libKeys: keys}
 	res.byName = make(map[string]*negativa.LibraryReport, len(libs))
 	for _, lr := range libs {
 		res.byName[lr.Name] = lr

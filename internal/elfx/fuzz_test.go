@@ -1,0 +1,64 @@
+package elfx
+
+import (
+	"testing"
+
+	"negativaml/internal/fatbin"
+)
+
+// FuzzParseELF is the CI fuzz target for the ELF reader and the analysis
+// index built on top of it: Parse must reject corrupt input with an error,
+// and whatever it accepts must survive indexing and every byte-accounting
+// query without panicking. The seeds cover a plain CPU library, a GPU
+// library with a fatbin section, and a handful of degenerate inputs; the
+// checked-in corpus under testdata/fuzz extends them.
+func FuzzParseELF(f *testing.F) {
+	b := NewBuilder("libfuzz.so")
+	b.AddFunction("alpha", 64)
+	b.AddFunction("beta", 128)
+	b.SetRodata(make([]byte, 512))
+	cpuLib, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cpuLib)
+
+	gb := NewBuilder("libfuzz_cuda.so")
+	gb.AddFunction("launch", 64)
+	gb.SetFatbin(make([]byte, 128)) // zeroed fatbin: parses as empty
+	gpuLib, err := gb.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gpuLib)
+
+	f.Add([]byte{})
+	f.Add([]byte("\x7fELF"))
+	f.Add(make([]byte, elfHeaderSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := Parse("fuzz", data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be safe to index and query: these walk the
+		// symbol table, the section table, the fatbin element table, and
+		// the zero-byte prefix sum.
+		idx := lib.Index()
+		if idx.NonZeroBytes() > idx.Size() {
+			t.Fatal("NonZeroBytes exceeds file size")
+		}
+		if idx.ResidentBytes() > idx.Size()+PageSize {
+			t.Fatal("ResidentBytes wildly out of range")
+		}
+		idx.ZeroBytesIn(fatbin.Range{Start: -8, End: idx.Size() + 8})
+		for i := range lib.Funcs {
+			lib.FunctionAlive(&lib.Funcs[i])
+		}
+		for _, e := range idx.Elements {
+			if e.FileRange.Start < 0 || e.FileRange.End > idx.Size() {
+				t.Fatalf("element %d file range %v escapes the image", e.Index, e.FileRange)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package fatbin
+
+import (
+	"testing"
+
+	"negativaml/internal/cubin"
+	"negativaml/internal/gpuarch"
+)
+
+// FuzzParseFatbin is the CI fuzz target for fatbin element decoding: Parse
+// must reject malformed sections with an error, never panic, and whatever
+// it accepts must expose consistent element geometry. Embedded cubin
+// payloads are pushed through the cubin prober/parser too, mirroring what
+// the analysis index does with every accepted element.
+func FuzzParseFatbin(f *testing.F) {
+	blob := func(names ...string) []byte {
+		c := cubin.New(gpuarch.SM80)
+		for _, n := range names {
+			c.AddKernel(cubin.Kernel{Name: n, Code: []byte(n + "-code"), Flags: cubin.FlagEntry})
+		}
+		b, err := c.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	fb := &FatBin{}
+	r := fb.AddRegion()
+	r.AddElement(Element{Kind: KindCubin, Arch: gpuarch.SM80, Payload: blob("matmul", "softmax")})
+	r.AddElement(Element{Kind: KindPTX, Arch: gpuarch.SM75, Payload: []byte(".ptx matmul")})
+	r2 := fb.AddRegion()
+	r2.AddElement(Element{Kind: KindCubin, Arch: gpuarch.SM90, Payload: blob("conv2d")})
+	good, err := fb.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64)) // all zeros: a fully compacted section
+	f.Add(good[:len(good)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb, err := Parse(data)
+		if err != nil {
+			return
+		}
+		size := int64(len(data))
+		for _, e := range fb.Elements() {
+			if e.FileRange.Start < 0 || e.FileRange.End > size || e.FileRange.Start > e.FileRange.End {
+				t.Fatalf("element %d file range %v escapes the section", e.Index, e.FileRange)
+			}
+			if !e.FileRange.Overlaps(e.PayloadRange) && e.PayloadRange.Len() > 0 {
+				t.Fatalf("element %d payload range %v outside its element", e.Index, e.PayloadRange)
+			}
+			if int64(len(e.Payload)) != e.PayloadRange.Len() {
+				t.Fatalf("element %d payload %d bytes, range %d", e.Index, len(e.Payload), e.PayloadRange.Len())
+			}
+			// The downstream consumer path: probe and parse cubin payloads.
+			if e.Kind == KindCubin && cubin.IsCubin(e.Payload) {
+				cubin.Parse(e.Payload)
+			}
+		}
+		ExtractCubins(fb)
+	})
+}

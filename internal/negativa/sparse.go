@@ -1,6 +1,9 @@
 package negativa
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"io"
 
 	"negativaml/internal/elfx"
@@ -178,5 +181,93 @@ func (s *SparseImage) ResidentBytes() int64 {
 // Byte-bounded caches charge entries with it.
 func (s *SparseImage) RetainedBytes() int64 {
 	return 48 + 16*int64(len(s.zeroed))
+}
+
+// Sparse-image binary encoding: a versioned header binding the range set to
+// the exact library image it compacts, followed by the ranges.
+//
+//	magic     u32  ("NSP1")
+//	version   u16
+//	flags     u16  (reserved, zero)
+//	libSize   u64  size of the library image the ranges apply to
+//	libDigest [32] SHA-256 of that image
+//	nRanges   u32
+//	ranges    (start u64, end u64) × nRanges, sorted, disjoint, non-empty
+//
+// The digest makes a persisted range set self-checking: Decode refuses to
+// marry ranges to any library other than the one they were computed for, so
+// a content-addressed store can hold sparse images as O(ranges) objects and
+// reconstruct byte-identical compacted libraries on demand.
+const (
+	sparseMagic      uint32 = 0x3150534e // "NSP1" little-endian
+	sparseVersion    uint16 = 1
+	sparseHeaderSize        = 52
+)
+
+// Encode serializes the sparse image's range set with a version header
+// binding it to the library's content digest.
+func (s *SparseImage) Encode() []byte {
+	le := binary.LittleEndian
+	buf := make([]byte, sparseHeaderSize+16*len(s.zeroed))
+	le.PutUint32(buf[0:], sparseMagic)
+	le.PutUint16(buf[4:], sparseVersion)
+	le.PutUint64(buf[8:], uint64(len(s.lib.Data)))
+	d := s.lib.ContentDigest()
+	copy(buf[16:48], d[:])
+	le.PutUint32(buf[48:], uint32(len(s.zeroed)))
+	off := sparseHeaderSize
+	for _, r := range s.zeroed {
+		le.PutUint64(buf[off:], uint64(r.Start))
+		le.PutUint64(buf[off+8:], uint64(r.End))
+		off += 16
+	}
+	return buf
+}
+
+// DecodeSparseImage reconstructs a sparse image over lib from an encoded
+// range set. Corrupt input — bad magic or version, a digest or size that
+// does not match lib, truncation, or ranges that are unsorted, overlapping,
+// empty, or out of bounds — is rejected with an error, never a panic: the
+// decoder is a fuzz target and persisted bytes are untrusted.
+func DecodeSparseImage(lib *elfx.Library, data []byte) (*SparseImage, error) {
+	le := binary.LittleEndian
+	if len(data) < sparseHeaderSize {
+		return nil, fmt.Errorf("negativa: sparse image: truncated header (%d bytes)", len(data))
+	}
+	if m := le.Uint32(data[0:]); m != sparseMagic {
+		return nil, fmt.Errorf("negativa: sparse image: bad magic %#x", m)
+	}
+	if v := le.Uint16(data[4:]); v != sparseVersion {
+		return nil, fmt.Errorf("negativa: sparse image: unsupported version %d", v)
+	}
+	size := int64(len(lib.Data))
+	if enc := le.Uint64(data[8:]); enc != uint64(size) {
+		return nil, fmt.Errorf("negativa: sparse image: encoded for a %d-byte image, library is %d bytes", enc, size)
+	}
+	d := lib.ContentDigest()
+	if !bytes.Equal(data[16:48], d[:]) {
+		return nil, fmt.Errorf("negativa: sparse image: library digest mismatch")
+	}
+	n := le.Uint32(data[48:])
+	if int64(len(data)-sparseHeaderSize) != 16*int64(n) {
+		return nil, fmt.Errorf("negativa: sparse image: %d ranges declared, %d bytes of ranges present", n, len(data)-sparseHeaderSize)
+	}
+	zeroed := make([]fatbin.Range, 0, n)
+	prevEnd := int64(0)
+	off := sparseHeaderSize
+	for i := uint32(0); i < n; i++ {
+		start := int64(le.Uint64(data[off:]))
+		end := int64(le.Uint64(data[off+8:]))
+		off += 16
+		// The canonical form Encode emits: sorted, disjoint (merged, so
+		// gaps of ≥1 byte between ranges), non-empty, in bounds. Anything
+		// else is corruption.
+		if start < prevEnd || end <= start || end > size {
+			return nil, fmt.Errorf("negativa: sparse image: range %d [%d, %d) malformed", i, start, end)
+		}
+		zeroed = append(zeroed, fatbin.Range{Start: start, End: end})
+		prevEnd = end
+	}
+	return &SparseImage{lib: lib, zeroed: zeroed}, nil
 }
 

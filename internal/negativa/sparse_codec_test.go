@@ -1,0 +1,169 @@
+package negativa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"negativaml/internal/elfx"
+	"negativaml/internal/fatbin"
+	"negativaml/internal/mlframework"
+)
+
+// codecLib builds one real generated library to round-trip range sets over.
+func codecLib(t testing.TB) *elfx.Library {
+	t.Helper()
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Library(in.LibNames[0])
+}
+
+func TestSparseEncodeDecodeRoundTrip(t *testing.T) {
+	lib := codecLib(t)
+	funcs, kernels, archs := usedSubsets(lib)
+	cpu := LocateCPU(lib, funcs)
+	gpu, err := LocateGPU(lib, kernels, archs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := Compact(lib, cpu, gpu)
+
+	decoded, err := DecodeSparseImage(lib, sparse.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded.Materialize(), sparse.Materialize()) {
+		t.Fatal("decoded image is not byte-identical")
+	}
+	if decoded.ResidentBytes() != sparse.ResidentBytes() {
+		t.Fatalf("ResidentBytes drifted: %d vs %d", decoded.ResidentBytes(), sparse.ResidentBytes())
+	}
+}
+
+// TestSparseCodecProperty is the round-trip property over random range
+// sets: for any input ranges (overlapping, unclamped, unsorted),
+// Encode→Decode→Materialize equals the eager image of the original sparse
+// view, and every analytic size survives the trip unchanged.
+func TestSparseCodecProperty(t *testing.T) {
+	lib := codecLib(t)
+	size := int64(len(lib.Data))
+	rng := rand.New(rand.NewSource(7))
+
+	for trial := 0; trial < 200; trial++ {
+		nRanges := rng.Intn(40)
+		raw := make([]fatbin.Range, 0, nRanges)
+		for i := 0; i < nRanges; i++ {
+			// Deliberately hostile inputs: negative starts, ends past the
+			// file, empty and inverted ranges — NewSparseImage clamps and
+			// merges them into canonical form before Encode sees them.
+			start := rng.Int63n(size+100) - 50
+			raw = append(raw, fatbin.Range{Start: start, End: start + rng.Int63n(size/4+1) - 8})
+		}
+		sparse := NewSparseImage(lib, raw)
+
+		decoded, err := DecodeSparseImage(lib, sparse.Encode())
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		eager := sparse.Materialize()
+		if !bytes.Equal(decoded.Materialize(), eager) {
+			t.Fatalf("trial %d: materialized image differs after round-trip", trial)
+		}
+		if got, want := decoded.ResidentBytes(), sparse.ResidentBytes(); got != want {
+			t.Fatalf("trial %d: ResidentBytes %d != %d", trial, got, want)
+		}
+		if got, want := decoded.ResidentBytes(), elfx.ResidentBytes(eager); got != want {
+			t.Fatalf("trial %d: analytic ResidentBytes %d != eager scan %d", trial, got, want)
+		}
+		if got, want := decoded.NonZeroBytes(), elfx.NonZeroBytes(eager); got != want {
+			t.Fatalf("trial %d: NonZeroBytes %d != eager scan %d", trial, got, want)
+		}
+		var buf bytes.Buffer
+		if _, err := decoded.WriteTo(&buf); err != nil || !bytes.Equal(buf.Bytes(), eager) {
+			t.Fatalf("trial %d: streamed image differs after round-trip (%v)", trial, err)
+		}
+	}
+}
+
+func TestSparseDecodeRejectsCorruption(t *testing.T) {
+	lib := codecLib(t)
+	sparse := NewSparseImage(lib, []fatbin.Range{{Start: 64, End: 4096}, {Start: 8192, End: 9000}})
+	good := sparse.Encode()
+	if _, err := DecodeSparseImage(lib, good); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:sparseHeaderSize-1],
+		"bad magic":        corrupt(func(b []byte) { b[0] ^= 0xff }),
+		"bad version":      corrupt(func(b []byte) { b[4] = 99 }),
+		"wrong size":       corrupt(func(b []byte) { b[8] ^= 0x01 }),
+		"wrong digest":     corrupt(func(b []byte) { b[20] ^= 0x01 }),
+		"truncated ranges": good[:len(good)-8],
+		"trailing bytes":   append(append([]byte(nil), good...), 0),
+		"count mismatch":   corrupt(func(b []byte) { b[48]++ }),
+		"inverted range":   corrupt(func(b []byte) { copy(b[sparseHeaderSize:], []byte{255, 255}) }),
+		"overlap": corrupt(func(b []byte) {
+			copy(b[sparseHeaderSize+16:sparseHeaderSize+24], b[sparseHeaderSize:sparseHeaderSize+8])
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSparseImage(lib, data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+
+	// A range set is bound to its exact library: decoding against another
+	// library must fail on the digest, not produce a plausible image.
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.TensorFlow, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSparseImage(in.Library(in.LibNames[0]), good); err == nil {
+		t.Error("decode accepted a range set for a different library")
+	}
+}
+
+// FuzzDecodeSparseImage hammers the decoder with mutated encodings: it must
+// reject corrupt input with an error and never panic, and anything it does
+// accept must materialize without faulting.
+func FuzzDecodeSparseImage(f *testing.F) {
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	lib := in.Library(in.LibNames[0])
+	f.Add(NewSparseImage(lib, []fatbin.Range{{Start: 100, End: 2000}}).Encode())
+	f.Add(NewSparseImage(lib, nil).Encode())
+	funcs, kernels, archs := usedSubsets(lib)
+	gpu, err := LocateGPU(lib, kernels, archs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(Compact(lib, LocateCPU(lib, funcs), gpu).Encode())
+	f.Add([]byte{})
+	f.Add([]byte("NSP1 but not really"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSparseImage(lib, data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be fully usable.
+		img := s.Materialize()
+		if int64(len(img)) != s.Len() {
+			t.Fatalf("materialized %d bytes, image length %d", len(img), s.Len())
+		}
+		if s.ResidentBytes() != elfx.ResidentBytes(img) {
+			t.Fatal("analytic resident size diverged on accepted input")
+		}
+	})
+}
