@@ -344,6 +344,42 @@ func TestBenchServeJSON(t *testing.T) {
 		t.Fatalf("warm batch should be fully reused: hits=%d reuses=%d", warm.CacheHits, warm.ProfileReuses)
 	}
 
+	// Incremental re-submit: extend the warm batch with a fifth workload
+	// whose profile is already registered (solo batch below, untimed). The
+	// superset batch then performs zero detection runs, absorbs untouched
+	// libraries through unchanged stage keys, and carries the base
+	// members' verifications over — only the fresh member re-verifies, so
+	// it beats even the warm path's full re-verification.
+	extraSpec := dserve.WorkloadSpec{Model: "MobileNetV2", Batch: 8}
+	extraW, err := extraSpec.Workload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.DebloatBatch(in, []mlruntime.Workload{extraW}, dserve.BatchOptions{MaxSteps: 4}); err != nil {
+		t.Fatal(err)
+	}
+	incWorkloads := append(workloads(), extraW)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	incStart := time.Now()
+	inc, err := svc.DebloatBatch(in, incWorkloads, dserve.BatchOptions{MaxSteps: 4, Base: warm, BaseID: "bench-warm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incWall := time.Since(incStart)
+	runtime.ReadMemStats(&m1)
+	incAlloc := int64(m1.TotalAlloc - m0.TotalAlloc)
+	if !inc.AllVerified() {
+		t.Fatal("incremental batch must verify")
+	}
+	if inc.ProfileReuses != len(specs)+1 {
+		t.Fatalf("incremental batch ran detection: reuses=%d want %d", inc.ProfileReuses, len(specs)+1)
+	}
+	if inc.Incremental == nil || inc.Incremental.CarriedVerifications != len(specs) {
+		t.Fatalf("incremental batch must carry the base verifications: %+v", inc.Incremental)
+	}
+
 	// Warm-from-disk: populate a data dir with one service, then boot a
 	// fresh one against it — the restart path. Its memory tiers start
 	// empty, so everything comes from the content-addressed store: no
@@ -377,6 +413,11 @@ func TestBenchServeJSON(t *testing.T) {
 		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/warm/parallel-wall", Value: warmWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/incremental/parallel-wall", Value: incWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/batch4/incremental/alloc-bytes", Value: float64(incAlloc), Unit: "bytes"},
+		{Name: "serve/batch4/incremental/absorbed-libs", Value: float64(inc.Incremental.AbsorbedLibs), Unit: "count"},
+		{Name: "serve/batch4/incremental/delta-libs", Value: float64(inc.Incremental.DeltaLibs), Unit: "count"},
+		{Name: "serve/batch4/incremental/carried-verifications", Value: float64(inc.Incremental.CarriedVerifications), Unit: "count"},
 		{Name: "serve/batch4/warm_disk/parallel-wall", Value: warmDiskWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/alloc-bytes", Value: float64(coldAlloc), Unit: "bytes"},
 		{Name: "serve/batch4/warm/alloc-bytes", Value: float64(warmAlloc), Unit: "bytes"},

@@ -27,6 +27,7 @@ import (
 	"negativaml/internal/dserve"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
+	"negativaml/internal/negativa"
 )
 
 func main() {
@@ -112,6 +113,15 @@ func main() {
 		fmt.Printf("store: %d objects, %.1f MiB, %d hits / %d misses (profiles reused: %d)\n",
 			stats.Objects, float64(stats.Bytes)/(1<<20), stats.Hits, stats.Misses, res.ProfileReuses)
 	}
+	// Per-stage memoization outcomes of the analysis plan: a repeat run
+	// against a warm -data-dir shows every stage absorbed (all hits).
+	fmt.Printf("stages:")
+	for _, st := range []string{negativa.StageDetect, negativa.StageLibIndex, negativa.StageLocate, negativa.StageCompact, negativa.StageVerifyRun} {
+		fmt.Printf("  %s %d/%d", st,
+			svc.Counters.Get("stage."+st+".hits"),
+			svc.Counters.Get("stage."+st+".hits")+svc.Counters.Get("stage."+st+".misses"))
+	}
+	fmt.Printf("  (hits/total)\n")
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

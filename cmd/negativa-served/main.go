@@ -19,6 +19,11 @@
 // Endpoints:
 //
 //	POST /v1/jobs                   submit a batch job
+//	POST /v1/submit                 same, incremental-friendly: a "base"
+//	                                job ID makes the batch extend a prior
+//	                                one — zero detect runs, untouched
+//	                                libraries absorbed, only the
+//	                                union-delta locate/compact recomputed
 //	GET  /v1/jobs                   list jobs
 //	GET  /v1/jobs/{id}              job status
 //	GET  /v1/jobs/{id}/report       full report of a completed job
@@ -67,6 +72,28 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persistent store directory; empty = in-memory only (no warm restart)")
 	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	flag.Parse()
+
+	// Reject misconfigurations loudly instead of silently coercing them to
+	// defaults (Config applies defaults to zero values, which would turn a
+	// typo'd "-workers 0" into NumCPU workers).
+	if *workers <= 0 {
+		log.Fatalf("negativa-served: -workers must be positive (got %d)", *workers)
+	}
+	if *cacheMB < 0 {
+		log.Fatalf("negativa-served: -cache-mb must not be negative (got %d)", *cacheMB)
+	}
+	if *diskMB < 0 {
+		log.Fatalf("negativa-served: -disk-mb must not be negative (got %d)", *diskMB)
+	}
+	diskSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "disk-mb" {
+			diskSet = true
+		}
+	})
+	if diskSet && *dataDir == "" {
+		log.Fatal("negativa-served: -disk-mb has no effect without -data-dir")
+	}
 
 	cfg := dserve.Config{
 		Workers:    *workers,

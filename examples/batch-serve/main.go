@@ -90,6 +90,38 @@ func main() {
 
 	jobID := run(base, "cold batch")
 	run(base, "repeat batch")
+
+	// ---- Incremental re-submit: extend the first job's workload set. ----
+	// Register the added workload's profile with a solo job first, then
+	// POST /v1/submit with base=jobID: the superset batch performs zero
+	// detection runs, absorbs untouched libraries through their unchanged
+	// stage keys, and carries the base members' verifications over.
+	extra := dserve.WorkloadSpec{Model: "Llama2", Name: "pytorch/extra/Llama2"}
+	soloReq := req
+	soloReq.Workloads = []dserve.WorkloadSpec{extra}
+	poll(base, submit(base, soloReq))
+
+	incReq := req
+	incReq.Workloads = append(append([]dserve.WorkloadSpec{}, req.Workloads...), extra)
+	incReq.Base = jobID
+	incID := submitTo(base, "/v1/submit", incReq)
+	if st := poll(base, incID); st.State != "done" {
+		log.Fatalf("incremental job %s: %s (%s)", incID, st.State, st.Error)
+	}
+	var incRep struct {
+		Incremental *dserve.IncrementalStats `json:"incremental"`
+		DetectMS    float64                  `json:"detect_virtual_ms"`
+		WallMS      float64                  `json:"wall_ms"`
+	}
+	getJSON(base+"/v1/jobs/"+incID+"/report", &incRep)
+	fmt.Printf("incremental batch: job %s (base %s)\n", incID, jobID)
+	if inc := incRep.Incremental; inc != nil {
+		fmt.Printf("  absorbed libs: %d  delta libs: %d  carried verifications: %d\n",
+			inc.AbsorbedLibs, inc.DeltaLibs, inc.CarriedVerifications)
+	}
+	fmt.Printf("  fresh detection: %.0f ms (want 0 — every profile reused)  wall: %.0f ms\n\n",
+		incRep.DetectMS, incRep.WallMS)
+
 	const libName = "libtorch_cuda.so"
 	firstBoot := fetch(base, jobID, libName)
 
@@ -138,11 +170,15 @@ func fetch(base, id, name string) []byte {
 }
 
 func submit(base string, req dserve.JobRequest) string {
+	return submitTo(base, "/v1/jobs", req)
+}
+
+func submitTo(base, path string, req dserve.JobRequest) string {
 	body, err := json.Marshal(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,9 +3,6 @@ package dserve
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"sort"
 	"sync"
 
 	"negativaml/internal/castore"
@@ -15,45 +12,15 @@ import (
 	"negativaml/internal/negativa"
 )
 
-// CacheKey derives the content address of one locate+compact computation:
-// SHA-256 over the library's content digest, the used CPU-function and
-// kernel sets, and the target architectures (canonicalized by sorting).
-// The library digest comes from the parse-once analysis index
-// (elfx.Library.ContentDigest), so warm batches hash no library bytes.
-// The library name is deliberately excluded — identical libraries shared
-// across installs (the dependency tail) hit the cache no matter which
-// install or job they arrive through; hits re-label the report with the
-// requesting library's name.
+// CacheKey derives the content address of one locate+compact computation —
+// the shared hash of the locate and compact stage keys
+// (negativa.LocateKey / negativa.CompactKey). The library name is
+// deliberately excluded: identical libraries shared across installs (the
+// dependency tail) hit the cache no matter which install or job they
+// arrive through; hits re-label the report with the requesting library's
+// name.
 func CacheKey(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) string {
-	h := sha256.New()
-	d := lib.ContentDigest()
-	h.Write(d[:])
-	sep := []byte{0}
-	writeList := func(tag byte, items []string) {
-		h.Write([]byte{0xff, tag})
-		for _, s := range items {
-			h.Write([]byte(s))
-			h.Write(sep)
-		}
-	}
-	// Used-symbol sets arrive sorted from DetectUsage/MergeProfiles; sorting
-	// is their canonical form, so the hash is order-independent by contract.
-	writeList(1, usedFuncs)
-	writeList(2, usedKernels)
-	// Architectures only influence fatbin element retention; for CPU-only
-	// libraries (the dependency tail) the result is arch-independent, so
-	// excluding archs lets heterogeneous-device batches share tail entries.
-	if _, hasFB := lib.FatbinRange(); hasFB {
-		sorted := append([]gpuarch.SM(nil), archs...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		h.Write([]byte{0xff, 3})
-		var b [4]byte
-		for _, a := range sorted {
-			binary.LittleEndian.PutUint32(b[:], uint32(a))
-			h.Write(b[:])
-		}
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return negativa.LocateKey(lib, usedFuncs, usedKernels, archs).Hash
 }
 
 // CacheStats is a point-in-time view of cache effectiveness.

@@ -6,60 +6,105 @@
 //
 // # Architecture
 //
-// Three reuse layers sit between a submitted job and the pipeline stages:
+// Every batch executes as a stage graph (internal/plan): each pipeline
+// phase is a node with an explicit content-derived cache key, scheduled in
+// dependency order over one service-wide bounded worker pool and memoized
+// per stage. For a batch of M workloads over an install of N libraries the
+// node DAG is
 //
-//   - Profile registry (Registry): detection profiles are stored keyed by
-//     (install fingerprint, workload identity). A workload profiled once is
-//     never profiled again on the same install, across jobs. The registry
-//     also computes union profiles over workload sets via
-//     negativa.MergeProfiles — per library, the union of used kernels and
-//     CPU functions — so one compacted install safely serves N workloads.
+//	detect(w1) … detect(wM)        libindex(lib1) … libindex(libN)
+//	      \   |   /                      |                |
+//	       [union]───────────┬──── locate(lib1) …  locate(libN)
+//	                         │           |                |
+//	                         └──── compact(lib1) … compact(libN)
+//	                                      \              /
+//	                                       [clone install]
+//	                                      /              \
+//	                            verifyrun(w1)  …  verifyrun(wM)
 //
-//   - Content-addressed result cache (ResultCache): each per-library
-//     locate+compact result is cached under SHA-256(library bytes,
-//     used-symbol sets, target architectures) with LRU eviction. Identical
+// with keys
+//
+//	detect    (install fingerprint, workload identity)   identity embeds the step cap
+//	libindex  library content digest
+//	locate    (library digest, union used-symbol sets, target archs)
+//	compact   its locate key                             pure function of the location
+//	verifyref (install fingerprint, identity at the verification step cap)
+//	verifyrun unmemoized by design — see below
+//
+// Locate keys resolve late, after the union node has produced the merged
+// used-symbol sets; the scheduler then consults the stage memo before
+// running the node, so a key already computed by any prior batch — or any
+// prior boot — absorbs the work.
+//
+// The stage memo (StageMemo) tiers memory → disk per stage:
+//
+//   - detect → the profile Registry: (install fingerprint, workload
+//     identity) entries in memory, snapshotted to the content-addressed
+//     store and replayed at boot. A workload profiled once is never
+//     profiled again on the same install, across jobs and restarts.
+//   - compact → the ResultCache: byte-bounded LRU memory over sparse
+//     locate+compact results, spilling to and reloading from the
+//     castore disk tier (decoded against the live library). Identical
 //     libraries shared across installs — the dependency tail, which
 //     dominates library counts — are analyzed once no matter how many
 //     installs or jobs reference them.
+//   - everything else (libindex, locate, the capped reference run) → a
+//     bounded in-memory memo with singleflight dedup: concurrent batches
+//     computing the same stage key run it once and share the value.
 //
-//   - Bounded worker pool (Pool): one service-wide counting semaphore caps
-//     concurrently executing tasks. Jobs run on their own goroutines;
-//     within a job, per-workload detection runs, per-library locate/compact
-//     tasks, and per-workload verification runs all fan out through the
-//     pool, so concurrent jobs share capacity fairly. Pool.Map is never
-//     nested, which keeps the semaphore deadlock-free.
+// Verification nodes are deliberately unmemoized: a resubmitted batch
+// re-validates what the service hands out. Only an explicit incremental
+// re-submit carries verification outcomes over (next section).
 //
-// A batch (Service.DebloatBatch) proceeds in phases: detect every member
-// workload (registry-backed, parallel), merge into a union profile, locate
-// and compact every library against the union (cache-backed, parallel),
-// then verify — the union-debloated install must reproduce every member
-// workload's reference digest. Because the union retains every kernel and
-// function any member uses, verification holds for all members by
-// construction; the service still re-runs each one, exactly as the paper's
-// tool re-runs its workload.
+// Per-stage hit/miss counters (stage.<name>.hits / .misses) and timings
+// feed /v1/metrics' stages section.
+//
+// # Incremental re-submit
+//
+// POST /v1/submit (or /v1/jobs) with "base": "<job-id>" extends a
+// completed job's workload set instead of re-paying every stage. The
+// request must be a superset of the base's members (identity-compared) on
+// the same install, step cap, and verification mode. Then:
+//
+//   - Detection: every base member's profile is already registered, so
+//     the batch performs zero detection runs for them (and for any added
+//     member profiled before).
+//   - Location/compaction: libraries whose union used-symbol sets are
+//     unchanged by the added members resolve to their base stage keys and
+//     absorb through the memo; only the union-delta recomputes.
+//   - Verification: base members' outcomes carry over without a re-run —
+//     the superset union retains everything the base union did, so base
+//     members stay verified by construction; only fresh members re-run.
+//
+// The base job is pinned for the duration of the batch, so eviction
+// cannot release the store objects its stage keys absorb through. The
+// job report's "incremental" section records absorbed vs delta libraries
+// and carried verifications.
 //
 // Concurrency contract: *elfx.Library and *mlframework.Install values are
 // immutable after parsing/generation and shared read-only across
-// goroutines; each workload run constructs its own cudasim.Driver. Cached
-// LibDebloat values (including compacted images) are immutable once stored
-// and handed out shared — callers must not mutate them.
+// goroutines; each workload run constructs its own cudasim.Driver. Memoized
+// stage values (profiles, locations, compacted results and their images)
+// are immutable once stored and handed out shared — callers must not
+// mutate them.
 //
 // # Durability
 //
 // With a castore.Store attached (Config.Store), the service is durable:
-// the result cache gains a disk tier (memory miss → disk hit → recompute),
-// every detection profile snapshots on Put and replays on boot, and each
-// completed job spills a manifest referencing its library images, sparse
-// range sets, and reports — all content-addressed. A restarted service
-// restores its jobs lazily: status reads the manifest, and the first
-// report or fetch-library request materializes the result from the store
-// without re-running detection, location, or compaction. Jobs retain
-// (refcount) their store objects until evicted from the bounded job table;
-// an open fetch-library stream pins its job so eviction never releases
-// images under an in-flight response.
+// the compact-stage memo gains its disk tier (memory miss → disk hit →
+// recompute), every detection profile snapshots on Put and replays on
+// boot, and each completed job spills a manifest referencing its library
+// images, sparse range sets, and reports — all content-addressed. A
+// restarted service restores its jobs lazily: status reads the manifest,
+// and the first report or fetch-library request materializes the result
+// from the store without re-running detection, location, or compaction.
+// Jobs retain (refcount) their store objects until evicted from the
+// bounded job table; an open fetch-library stream pins its job so eviction
+// never releases images under an in-flight response.
 //
 // The HTTP front end (NewHandler, served by cmd/negativa-served) exposes
-// job submission, status, full reports, debloated-library download, and a
-// metrics snapshot backed by internal/metrics counters and timings, plus
-// a store-stats endpoint when a data dir is configured.
+// job submission (incremental included), status, full reports,
+// debloated-library download, and a metrics snapshot backed by
+// internal/metrics counters and timings, plus a store-stats endpoint when
+// a data dir is configured.
 package dserve

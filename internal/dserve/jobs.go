@@ -53,6 +53,13 @@ type Job struct {
 // 503 so clients back off instead of growing the job table unboundedly.
 var ErrBusy = errors.New("dserve: too many in-flight jobs, retry later")
 
+// Incremental-submit errors; the HTTP layer maps ErrUnknownBase to 404 and
+// ErrBaseNotReady to 409.
+var (
+	ErrUnknownBase  = errors.New("dserve: unknown base job")
+	ErrBaseNotReady = errors.New("dserve: base job has not completed")
+)
+
 // Submit validates the request, queues a job, and runs it asynchronously on
 // a service goroutine. The returned snapshot reflects the queued state;
 // poll Job(id) for progress. Returns ErrBusy when MaxInFlight jobs are
@@ -66,6 +73,12 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, errors.New("dserve: service is shut down")
+	}
+	if req.Base != "" {
+		if err := s.checkBaseLocked(req); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 	}
 	inflight := 0
 	for _, j := range s.jobs {
@@ -84,6 +97,14 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 		Req:       req,
 		State:     JobQueued,
 		Submitted: time.Now(),
+	}
+	if req.Base != "" {
+		// Pin the base while this job exists in a non-terminal state:
+		// checkBaseLocked just proved it is present and done, and the pin
+		// closes the window in which eviction could release it (and its
+		// store objects) between acceptance and the async run. run()
+		// releases it on completion.
+		s.jobs[req.Base].pins++
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -129,6 +150,14 @@ func (s *Service) run(job *Job) {
 	} else {
 		job.State = JobDone
 		job.Result = res
+	}
+	if job.Req.Base != "" {
+		// Release the base pin Submit took; the base cannot have been
+		// evicted while pinned, but a restart-restored table makes the
+		// nil check cheap insurance.
+		if bj := s.jobs[job.Req.Base]; bj != nil {
+			bj.pins--
+		}
 	}
 	wall := job.Finished.Sub(job.Started)
 	s.pruneJobsLocked()
@@ -202,8 +231,45 @@ func (s *Service) releaseJobLocked(job *Job) {
 	}
 }
 
-// runBatch materializes the request (shared install, member workloads) and
-// executes the batch.
+// checkBaseLocked validates an incremental request's base reference at
+// submission time: the base job must exist, be done, and agree on
+// everything that shapes the batch (the workload superset check runs in
+// DebloatBatch, identity-compared, once the install is materialized).
+// Callers hold s.mu.
+func (s *Service) checkBaseLocked(req JobRequest) error {
+	base, ok := s.jobs[req.Base]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownBase, req.Base)
+	}
+	if base.State != JobDone {
+		return fmt.Errorf("%w: %s is %s", ErrBaseNotReady, req.Base, base.State)
+	}
+	reqFW, _ := ResolveFramework(req.Framework) // req passed Validate already
+	baseFW, err := ResolveFramework(base.Req.Framework)
+	if err != nil || reqFW != baseFW || base.Req.TailLibs != req.TailLibs ||
+		s.effectiveSteps(base.Req.MaxSteps) != s.effectiveSteps(req.MaxSteps) ||
+		base.Req.SkipVerify != req.SkipVerify {
+		return fmt.Errorf("dserve: incremental request must match base %s on framework, tail_libs, max_steps, and skip_verify", req.Base)
+	}
+	return nil
+}
+
+// effectiveSteps normalizes a request step cap the way DebloatBatch does:
+// 0 takes the service default, negative means uncapped. Comparing
+// normalized values keeps an omitted max_steps compatible with an
+// explicitly spelled-out default.
+func (s *Service) effectiveSteps(v int) int {
+	if v == 0 {
+		return s.cfg.MaxSteps
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// runBatch materializes the request (shared install, member workloads,
+// incremental base) and executes the batch.
 func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
 	fw, err := ResolveFramework(req.Framework)
 	if err != nil {
@@ -219,7 +285,18 @@ func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
 			return nil, fmt.Errorf("dserve: workload %d: %w", i, err)
 		}
 	}
-	return s.DebloatBatch(in, ws, BatchOptions{MaxSteps: req.MaxSteps, SkipVerify: req.SkipVerify})
+	opt := BatchOptions{MaxSteps: req.MaxSteps, SkipVerify: req.SkipVerify}
+	if req.Base != "" {
+		// The base has been pinned since Submit accepted the request, so
+		// eviction cannot have released it or the store objects its stage
+		// keys absorb through.
+		baseRes, err := s.ResultOf(req.Base)
+		if err != nil {
+			return nil, fmt.Errorf("dserve: incremental base %s: %w", req.Base, err)
+		}
+		opt.Base, opt.BaseID = baseRes, req.Base
+	}
+	return s.DebloatBatch(in, ws, opt)
 }
 
 // Job returns a snapshot of the job, or nil when unknown.
@@ -478,6 +555,7 @@ func (s *Service) materialize(m *jobManifest) (*BatchResult, error) {
 		CacheMisses:   m.CacheMisses,
 		ProfileReuses: m.ProfileReuses,
 		VerifySkipped: m.VerifySkipped,
+		Incremental:   m.Incremental,
 	}
 	res.byName = make(map[string]*negativa.LibraryReport, len(m.Libs))
 	for _, ml := range m.Libs {

@@ -3,6 +3,11 @@ package dserve
 import (
 	"sync"
 	"sync/atomic"
+
+	"negativaml/internal/elfx"
+	"negativaml/internal/metrics"
+	"negativaml/internal/negativa"
+	"negativaml/internal/plan"
 )
 
 // boundedMemo is a pointer-keyed memo for values derived from immutable
@@ -43,4 +48,80 @@ func (b *boundedMemo) getOK(key any, compute func() (any, bool)) any {
 	}
 	b.m.Store(key, v)
 	return v
+}
+
+// StageMemo is the serving plane's per-stage memoization behind the plan
+// scheduler: one plan.Memo that routes each stage's content key to its
+// tier.
+//
+//   - detect → the profile Registry: memory entries keyed by (install
+//     fingerprint, workload identity) recovered from the composite stage
+//     hash, with on-disk profile snapshots replayed at boot.
+//   - compact → the ResultCache: byte-bounded memory plus the
+//     content-addressed store's disk tier, decoding persisted range sets
+//     against the node's live library hint.
+//   - every other stage (lib-index, locate, the capped reference run) →
+//     a bounded in-memory memo with singleflight compute dedup.
+//
+// The registry and cache tiers tolerate concurrent duplicate computes of
+// one key (both writers store identical content — the same benign race the
+// pre-stage-graph service had); the memory tier collapses them outright.
+type StageMemo struct {
+	registry *Registry
+	cache    *ResultCache
+	mem      *plan.MemMemo
+	counters *metrics.CounterSet
+}
+
+// NewStageMemo wires the service's reuse layers into one stage memo.
+// counters, when non-nil, keeps the pre-stage-graph registry.hits /
+// registry.misses series alive alongside the scheduler's per-stage ones.
+func NewStageMemo(registry *Registry, cache *ResultCache, counters *metrics.CounterSet) *StageMemo {
+	return &StageMemo{
+		registry: registry,
+		cache:    cache,
+		mem:      plan.NewMemMemo(0),
+		counters: counters,
+	}
+}
+
+// GetOrCompute implements plan.Memo.
+func (m *StageMemo) GetOrCompute(key plan.Key, hint any, compute func() (any, error)) (any, bool, error) {
+	switch key.Stage {
+	case negativa.StageDetect:
+		fp, wid, ok := negativa.SplitDetectHash(key.Hash)
+		if !ok {
+			break
+		}
+		pk := ProfileKey{Install: fp, Workload: wid}
+		if p, ok := m.registry.Get(pk); ok {
+			m.count("registry.hits")
+			return p, true, nil
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, false, err
+		}
+		m.registry.Put(pk, v.(*negativa.Profile))
+		m.count("registry.misses")
+		return v, false, nil
+	case negativa.StageCompact:
+		lib, _ := hint.(*elfx.Library)
+		if ld, ok := m.cache.GetOrLoad(key.Hash, lib); ok {
+			return ld, true, nil
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, false, err
+		}
+		m.cache.Put(key.Hash, v.(*negativa.LibDebloat))
+		return v, false, nil
+	}
+	return m.mem.GetOrCompute(key, hint, compute)
+}
+
+func (m *StageMemo) count(name string) {
+	if m.counters != nil {
+		m.counters.Add(name, 1)
+	}
 }

@@ -218,6 +218,9 @@ type jobManifest struct {
 	CacheMisses   int               `json:"cache_misses"`
 	ProfileReuses int               `json:"profile_reuses"`
 	VerifySkipped bool              `json:"verify_skipped,omitempty"`
+	// Incremental carries the base-absorption summary of an incremental
+	// batch across restarts (nil for full batches).
+	Incremental *IncrementalStats `json:"incremental,omitempty"`
 
 	Libs []manifestLib `json:"libs"`
 }
@@ -289,6 +292,7 @@ func manifestOf(job *Job, res *BatchResult) (*jobManifest, error) {
 		CacheMisses:   res.CacheMisses,
 		ProfileReuses: res.ProfileReuses,
 		VerifySkipped: res.VerifySkipped,
+		Incremental:   res.Incremental,
 	}
 	for i, lr := range res.Libs {
 		if lr.Sparse == nil {

@@ -1,50 +1,14 @@
 package dserve
 
-import "sync"
+import "negativaml/internal/plan"
 
-// Pool is the service's bounded worker executor: a counting semaphore
-// capping how many tasks — per-library locate/compact, per-workload
-// detection and verification runs — execute concurrently across all jobs.
-type Pool struct {
-	sem chan struct{}
-}
+// Pool is the service's bounded worker executor — the stage-graph
+// scheduler's pool (internal/plan), shared service-wide: batch plans,
+// per-workload detection and verification runs, and per-library
+// locate/compact nodes all draw from one counting semaphore, so concurrent
+// jobs contend fairly for the same worker budget.
+type Pool = plan.Pool
 
 // NewPool returns a pool running at most workers tasks at once (workers < 1
 // is treated as 1).
-func NewPool(workers int) *Pool {
-	if workers < 1 {
-		workers = 1
-	}
-	return &Pool{sem: make(chan struct{}, workers)}
-}
-
-// Workers returns the concurrency bound.
-func (p *Pool) Workers() int { return cap(p.sem) }
-
-// Map runs fn(i) for every i in [0, n) on the pool and waits for all of
-// them, returning the lowest-index error. Slots are shared service-wide, so
-// concurrent jobs contend fairly for the same worker budget. Map must not
-// be called from inside a Map task: a task that blocks on a slot while
-// holding one can deadlock the semaphore.
-func (p *Pool) Map(n int, fn func(int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		p.sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer func() { <-p.sem; wg.Done() }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func NewPool(workers int) *Pool { return plan.NewPool(workers) }

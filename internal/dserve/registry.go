@@ -1,11 +1,8 @@
 package dserve
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"sync"
 
 	"negativaml/internal/castore"
@@ -16,21 +13,10 @@ import (
 // InstallFingerprint hashes an install's identity: framework, library names
 // in load order, and every library's bytes. Two installs with identical
 // content fingerprint identically, so profiles detected on one serve the
-// other.
+// other. The implementation lives with the stage-key derivations in
+// internal/negativa; this re-export keeps the serving plane's public API.
 func InstallFingerprint(in *mlframework.Install) string {
-	h := sha256.New()
-	sep := []byte{0}
-	io.WriteString(h, in.Framework)
-	h.Write(sep)
-	for _, name := range in.LibNames {
-		io.WriteString(h, name)
-		h.Write(sep)
-		if lib := in.Library(name); lib != nil {
-			h.Write(lib.Data)
-		}
-		h.Write(sep)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return negativa.InstallFingerprint(in)
 }
 
 // ProfileKey identifies a stored detection profile: the install it was

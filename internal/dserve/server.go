@@ -8,8 +8,29 @@ import (
 	"strconv"
 	"time"
 
+	"negativaml/internal/metrics"
 	"negativaml/internal/negativa"
 )
+
+// stageNames are the analysis plan's canonical stages, in pipeline order.
+var stageNames = []string{
+	negativa.StageDetect, negativa.StageLibIndex, negativa.StageLocate,
+	negativa.StageCompact, negativa.StageVerifyRef, negativa.StageVerifyRun,
+}
+
+// stageStats assembles the per-stage hit/miss view of /v1/metrics from the
+// stage scheduler's observer counters (per-stage timings live in the
+// timings section under the same stage.<name> series).
+func stageStats(c *metrics.CounterSet) map[string]map[string]int64 {
+	out := make(map[string]map[string]int64, len(stageNames))
+	for _, st := range stageNames {
+		out[st] = map[string]int64{
+			"hits":   c.Get("stage." + st + ".hits"),
+			"misses": c.Get("stage." + st + ".misses"),
+		}
+	}
+	return out
+}
 
 // NewHandler returns the service's HTTP/JSON API, served by
 // cmd/negativa-served:
@@ -32,7 +53,7 @@ const maxRequestBytes = 1 << 20
 
 func newMux(s *Service) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	submit := func(w http.ResponseWriter, r *http.Request) {
 		// Cap the body before decoding: size limits in Validate cannot
 		// protect against a request that OOMs the decoder itself.
 		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
@@ -49,14 +70,24 @@ func newMux(s *Service) *http.ServeMux {
 		job, err := s.Submit(req)
 		if err != nil {
 			code := http.StatusBadRequest
-			if errors.Is(err, ErrBusy) {
+			switch {
+			case errors.Is(err, ErrBusy):
 				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrUnknownBase):
+				code = http.StatusNotFound
+			case errors.Is(err, ErrBaseNotReady):
+				code = http.StatusConflict
 			}
 			httpError(w, code, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, statusOf(job))
-	})
+	}
+	mux.HandleFunc("POST /v1/jobs", submit)
+	// /v1/submit is the incremental-friendly alias: the same body, with
+	// "base" naming a completed job whose workload set the submission
+	// extends.
+	mux.HandleFunc("POST /v1/submit", submit)
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := s.Jobs()
 		out := make([]jobStatus, len(jobs))
@@ -129,6 +160,7 @@ func newMux(s *Service) *http.ServeMux {
 			"counters": s.Counters.Snapshot(),
 			"cache":    s.Cache.Stats(),
 			"registry": map[string]int{"profiles": s.Registry.Len()},
+			"stages":   stageStats(s.Counters),
 			"timings":  s.Timings.Snapshot(),
 			"workers":  s.Workers(),
 		}
@@ -156,6 +188,9 @@ type jobStatus struct {
 	Submitted time.Time `json:"submitted"`
 	Framework string    `json:"framework"`
 	Workloads int       `json:"workloads"`
+	// Base names the job this one incrementally extends, when submitted
+	// with one.
+	Base string `json:"base,omitempty"`
 
 	// Summary fields, present once the job is done. Verified is vacuously
 	// true when VerifySkipped — check both.
@@ -173,6 +208,7 @@ func statusOf(j *Job) jobStatus {
 		Submitted: j.Submitted,
 		Framework: j.Req.Framework,
 		Workloads: len(j.Req.Workloads),
+		Base:      j.Req.Base,
 	}
 	switch {
 	case j.Result != nil:
@@ -214,6 +250,9 @@ type jobReport struct {
 	CacheMisses   int     `json:"cache_misses"`
 	ProfileReuses int     `json:"profile_reuses"`
 	VerifySkipped bool    `json:"verify_skipped,omitempty"`
+	// Incremental summarizes base absorption for jobs submitted with a
+	// base.
+	Incremental *IncrementalStats `json:"incremental,omitempty"`
 }
 
 type workloadReport struct {
@@ -266,6 +305,7 @@ func reportOf(j *Job, res *BatchResult) jobReport {
 		CacheMisses:   res.CacheMisses,
 		ProfileReuses: res.ProfileReuses,
 		VerifySkipped: res.VerifySkipped,
+		Incremental:   res.Incremental,
 	}
 	for _, o := range res.Workloads {
 		rep.Workloads = append(rep.Workloads, workloadReport{

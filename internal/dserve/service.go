@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
@@ -14,7 +13,25 @@ import (
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
 	"negativaml/internal/negativa"
+	"negativaml/internal/plan"
 )
+
+// stageObserver mirrors plan-node outcomes into the service's metrics:
+// stage.<name>.hits / stage.<name>.misses counters and a stage.<name>
+// timing series per stage.
+type stageObserver struct {
+	c *metrics.CounterSet
+	t *metrics.TimingSet
+}
+
+func (o stageObserver) StageDone(stage string, hit bool, wall time.Duration) {
+	if hit {
+		o.c.Add("stage."+stage+".hits", 1)
+	} else {
+		o.c.Add("stage."+stage+".misses", 1)
+	}
+	o.t.Observe("stage."+stage, wall)
+}
 
 // Config sizes the service.
 type Config struct {
@@ -60,6 +77,11 @@ type Service struct {
 	Timings  *metrics.TimingSet
 	pool     *Pool
 	store    *castore.Store
+	// stages routes every plan node's content key to its memo tier
+	// (registry, result cache, bounded memory); observer mirrors stage
+	// outcomes into the counter and timing sets.
+	stages   *StageMemo
+	observer plan.Observer
 
 	mu           sync.Mutex
 	jobs         map[string]*Job
@@ -117,6 +139,8 @@ func NewService(cfg Config) *Service {
 		fingerprints: newBoundedMemo(64),
 		restoredLibs: newBoundedMemo(64),
 	}
+	s.stages = NewStageMemo(s.Registry, s.Cache, counters)
+	s.observer = stageObserver{c: counters, t: s.Timings}
 	if cfg.Store != nil {
 		// Warm-restart wiring: the cache gains its disk tier, the registry
 		// replays its snapshotted profiles, and persisted job manifests
@@ -148,22 +172,11 @@ func (s *Service) Close() {
 }
 
 // WorkloadIdentity canonically identifies a workload configuration for
-// profile reuse. Everything that shapes what detection observes — graph,
-// devices, load mode, dataset, epochs, per-item compute, and the step cap
-// (the reference digest depends on it) — is part of the identity.
+// profile reuse — everything that shapes what detection observes. The
+// implementation lives with the stage-key derivations in
+// internal/negativa; this re-export keeps the serving plane's public API.
 func WorkloadIdentity(w mlruntime.Workload, maxSteps int) string {
-	devs := make([]string, len(w.Devices))
-	for i, d := range w.Devices {
-		devs[i] = d.Arch.String()
-	}
-	var model string
-	var ops, batch int
-	var train bool
-	if w.Graph != nil {
-		model, ops, batch, train = w.Graph.Model, len(w.Graph.Ops), w.Graph.Batch, w.Graph.Train
-	}
-	return fmt.Sprintf("%s|model=%s|ops=%d|batch=%d|train=%v|epochs=%d|data=%s|mode=%s|devs=%s|pic=%s|steps=%d",
-		w.Name, model, ops, batch, train, w.Epochs, w.Data.Name, w.Mode, strings.Join(devs, ","), w.PerItemCompute, maxSteps)
+	return negativa.WorkloadIdentity(w, maxSteps)
 }
 
 // BatchOptions configure one multi-workload debloat batch.
@@ -173,6 +186,32 @@ type BatchOptions struct {
 	MaxSteps int
 	// SkipVerify skips the per-member verification re-runs.
 	SkipVerify bool
+	// Base, when non-nil, makes the batch incremental: the member set must
+	// be a superset of the base batch's (by workload identity) on the same
+	// install with the same step cap and verification mode. Base members'
+	// verification outcomes carry over — the superset union retains
+	// everything the base union did, so base members stay verified by
+	// construction — and only fresh members re-run; unchanged libraries
+	// absorb through their unchanged stage keys.
+	Base *BatchResult
+	// BaseID labels the base batch (the base job's ID) for reporting.
+	BaseID string
+}
+
+// IncrementalStats summarizes what an incremental batch absorbed from its
+// base.
+type IncrementalStats struct {
+	// BaseID is the base job this batch extended.
+	BaseID string `json:"base_id"`
+	// AbsorbedLibs counts libraries whose compact-stage key matches a base
+	// library's — the union delta left them untouched. DeltaLibs counts the
+	// rest (their locate/compact stages were re-resolved, hitting the memo
+	// only if some other batch already computed them).
+	AbsorbedLibs int `json:"absorbed_libs"`
+	DeltaLibs    int `json:"delta_libs"`
+	// CarriedVerifications counts base members whose verification outcome
+	// carried over without a re-run.
+	CarriedVerifications int `json:"carried_verifications"`
 }
 
 // WorkloadOutcome is one member workload's slice of a batch result.
@@ -220,6 +259,8 @@ type BatchResult struct {
 	// parallel to it — the references a persisted job manifest records.
 	// Empty for hand-built results, which then cannot be persisted.
 	libKeys []string
+	// Incremental summarizes base absorption; nil for full batches.
+	Incremental *IncrementalStats
 	// VerifySkipped records that the batch ran with SkipVerify: no member
 	// Verified flag carries information.
 	VerifySkipped bool
@@ -274,11 +315,15 @@ func (r *BatchResult) AllVerified() bool {
 	return true
 }
 
-// DebloatBatch union-debloats one install against a workload set: detect
-// every member (registry-backed), merge profiles, locate+compact every
-// library once against the union (cache-backed), and verify the debloated
-// install against every member's reference digest. Every workload must
-// reference in as its install.
+// DebloatBatch union-debloats one install against a workload set by
+// executing the analysis stage graph: per-member detect nodes feed a union
+// node, the union feeds per-library locate and compact nodes, and the
+// compacted set feeds per-member verification nodes — every stage
+// content-keyed and memoized through the service's tiers (registry,
+// byte-bounded cache, content-addressed store). With opt.Base set the
+// batch is incremental: base members' verifications carry over and only
+// the union delta recomputes. Every workload must reference in as its
+// install.
 func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Workload, opt BatchOptions) (*BatchResult, error) {
 	start := time.Now()
 	if in == nil {
@@ -292,64 +337,47 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 			return nil, fmt.Errorf("dserve: workload %q does not reference the batch install", workloads[i].Name)
 		}
 	}
-	maxSteps := opt.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = s.cfg.MaxSteps
-	} else if maxSteps < 0 {
-		maxSteps = 0 // uncapped: run the full dataset
-	}
+	maxSteps := s.effectiveSteps(opt.MaxSteps)
 	fp := s.fingerprint(in)
 
-	// ---- Detection (parallel, registry-backed) ----
-	outcomes := make([]WorkloadOutcome, len(workloads))
-	profiles := make([]*negativa.Profile, len(workloads))
-	err := s.pool.Map(len(workloads), func(i int) error {
-		w := workloads[i]
-		id := WorkloadIdentity(w, maxSteps)
-		key := ProfileKey{Install: fp, Workload: id}
-		if p, ok := s.Registry.Get(key); ok {
-			s.Counters.Add("registry.hits", 1)
-			profiles[i] = p
-			outcomes[i] = WorkloadOutcome{
-				Name: w.Name, Identity: id,
-				RefDigest: p.RunResult.Digest, DetectTime: p.RunResult.ExecTime,
-				ProfileReused: true,
-			}
-			return nil
-		}
-		p, err := negativa.DetectUsage(w, maxSteps)
-		if err != nil {
-			return fmt.Errorf("dserve: detect %s: %w", w.Name, err)
-		}
-		s.Registry.Put(key, p)
-		s.Counters.Add("registry.misses", 1)
-		profiles[i] = p
-		outcomes[i] = WorkloadOutcome{
-			Name: w.Name, Identity: id,
-			RefDigest: p.RunResult.Digest, DetectTime: p.RunResult.ExecTime,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	ids := make([]string, len(workloads))
+	for i := range workloads {
+		ids[i] = WorkloadIdentity(workloads[i], maxSteps)
 	}
 
-	// Union via the registry (the normal path); under extreme registry
-	// churn a member just stored could already be evicted, in which case
-	// the profiles held by this batch merge directly.
-	ids := make([]string, len(outcomes))
-	for i := range outcomes {
-		ids[i] = outcomes[i].Identity
-	}
-	union, err := s.Registry.Union(fp, ids)
-	if err != nil {
-		union = negativa.MergeProfiles(profiles...)
-	}
-	// Safety invariant of union debloating: the union must cover every
-	// member, or the compacted install would break that member.
-	for i, p := range profiles {
-		if !union.Covers(p) {
-			return nil, fmt.Errorf("dserve: union profile does not cover %s", outcomes[i].Name)
+	// Incremental pre-flight: the base must cover this batch's install and
+	// verification mode, and every base member must reappear (identity-
+	// compared) — a shrunken set would silently drop coverage.
+	carried := make([]bool, len(workloads))
+	baseVerified := map[string]bool{}
+	if opt.Base != nil {
+		base := opt.Base
+		if base.InstallFP != fp {
+			return nil, fmt.Errorf("dserve: incremental base ran against install %.12s…, not %.12s…", base.InstallFP, fp)
+		}
+		if base.VerifySkipped != opt.SkipVerify {
+			return nil, errors.New("dserve: incremental batch verification mode differs from its base")
+		}
+		newIDs := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			newIDs[id] = true
+		}
+		for i := range base.Workloads {
+			o := &base.Workloads[i]
+			if !newIDs[o.Identity] {
+				return nil, fmt.Errorf("dserve: incremental batch is not a superset of its base: member %q missing", o.Name)
+			}
+			baseVerified[o.Identity] = o.Verified
+		}
+		if !opt.SkipVerify {
+			for i, id := range ids {
+				if _, ok := baseVerified[id]; ok {
+					// The superset union retains everything the base union
+					// did, so base members stay verified by construction;
+					// their recorded outcome carries over without a re-run.
+					carried[i] = true
+				}
+			}
 		}
 	}
 
@@ -360,57 +388,183 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		devs = append(devs, workloads[i].Devices...)
 	}
 	archs := negativa.DeviceArchs(devs)
-
-	// ---- Location + compaction per library (parallel, two-tier
-	// cache-backed: memory, then the content-addressed store) ----
 	names := in.LibNames
-	libs := make([]*negativa.LibraryReport, len(names))
-	keys := make([]string, len(names))
-	analyses := make([]time.Duration, len(names))
-	hits := make([]bool, len(names))
-	err = s.pool.Map(len(names), func(i int) error {
-		name := names[i]
-		lib := in.Library(name)
-		key := CacheKey(lib, union.UsedFuncs[name], union.UsedKernels[name], archs)
-		keys[i] = key
-		if ld, ok := s.Cache.GetOrLoad(key, lib); ok {
-			// The cached report may have been computed under a different
-			// library name (identical bytes elsewhere); re-label a shallow
-			// copy, sharing the immutable compacted image.
-			rep := *ld.Report
-			rep.Name = name
-			libs[i] = &rep
-			hits[i] = true
-			return nil
+
+	// ---- Stage graph ----
+	g := plan.New()
+
+	// Detection: one node per member, memoized in the profile registry.
+	detects := make([]*plan.Node, len(workloads))
+	for i := range workloads {
+		i := i
+		w := workloads[i]
+		detects[i] = g.Node(negativa.StageDetect, nil, plan.StaticKey(negativa.DetectKey(fp, ids[i])), func([]any) (any, error) {
+			p, err := negativa.DetectUsage(w, maxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("dserve: detect %s: %w", w.Name, err)
+			}
+			return p, nil
+		})
+	}
+
+	// Union: unkeyed glue — merging sorted symbol lists is far cheaper
+	// than addressing the result. Preference goes to the registry's union
+	// (the normal path); under extreme registry churn a member just stored
+	// could already be evicted, in which case the profiles held by this
+	// batch merge directly.
+	unionNode := g.Node("union", detects, nil, func(deps []any) (any, error) {
+		ps := make([]*negativa.Profile, len(deps))
+		for i := range deps {
+			ps[i] = deps[i].(*negativa.Profile)
 		}
-		ld, err := negativa.LocateAndCompactLib(lib, union.UsedFuncs[name], union.UsedKernels[name], archs)
+		union, err := s.Registry.Union(fp, ids)
 		if err != nil {
-			return fmt.Errorf("dserve: locate %s: %w", name, err)
+			union = negativa.MergeProfiles(ps...)
 		}
-		// analysis.computed is the ground truth for "did this service ever
-		// re-run locate/compact": the warm-restart tests assert it stays
-		// zero when every result comes from memory or disk.
-		s.Counters.Add("analysis.computed", 1)
-		s.Cache.Put(key, ld)
-		libs[i] = ld.Report
-		analyses[i] = ld.Analysis
-		return nil
+		// Safety invariant of union debloating: the union must cover every
+		// member, or the compacted install would break that member.
+		for i, p := range ps {
+			if !union.Covers(p) {
+				return nil, fmt.Errorf("dserve: union profile does not cover %s", workloads[i].Name)
+			}
+		}
+		return union, nil
 	})
-	if err != nil {
+
+	// Location + compaction: per-library node pairs. Locate keys resolve
+	// late from the union's used-symbol sets; compact keys derive from
+	// their locate key, landing in the two-tier result cache (memory, then
+	// the content-addressed store, decoded against the live library hint).
+	locates := make([]*plan.Node, len(names))
+	compacts := make([]*plan.Node, len(names))
+	for i, name := range names {
+		i, name := i, name
+		lib := in.Library(name)
+		idxNode := g.Node(negativa.StageLibIndex, nil, plan.StaticKey(negativa.LibIndexKey(lib)), func([]any) (any, error) {
+			return lib.Index(), nil
+		})
+		locates[i] = g.Node(negativa.StageLocate, []*plan.Node{unionNode, idxNode}, func(deps []any) (plan.Key, error) {
+			u := deps[0].(*negativa.Profile)
+			return negativa.LocateKey(lib, u.UsedFuncs[name], u.UsedKernels[name], archs), nil
+		}, func(deps []any) (any, error) {
+			// The memoized value is a lazy handle (the canonical locate-
+			// stage value type): symbol-to-range resolution runs only when
+			// a compact miss forces it, so compact results served from
+			// memory or disk skip location entirely. Capture just the
+			// used-symbol slices — the handle outlives this batch in the
+			// service-wide memo, and closing over the union profile would
+			// pin it there.
+			u := deps[0].(*negativa.Profile)
+			uf, uk := u.UsedFuncs[name], u.UsedKernels[name]
+			return negativa.NewLocationHandle(func() (*negativa.LibLocation, error) {
+				// locate.resolved counts real symbol-to-range resolutions
+				// (forced handles), as opposed to stage.locate.misses,
+				// which counts handle creations.
+				s.Counters.Add("locate.resolved", 1)
+				return negativa.LocateLib(lib, uf, uk, archs)
+			}), nil
+		})
+		compacts[i] = g.Node(negativa.StageCompact, []*plan.Node{unionNode, locates[i]}, func([]any) (plan.Key, error) {
+			return negativa.CompactKey(locates[i].ResolvedKey()), nil
+		}, func(deps []any) (any, error) {
+			u := deps[0].(*negativa.Profile)
+			ll, err := deps[1].(*negativa.LocationHandle).Force()
+			if err != nil {
+				return nil, fmt.Errorf("dserve: locate %s: %w", name, err)
+			}
+			// analysis.computed is the ground truth for "did this service
+			// ever re-run locate/compact": the warm-restart tests assert it
+			// stays zero when every result comes from memory or disk.
+			s.Counters.Add("analysis.computed", 1)
+			return negativa.CompactLocated(lib, ll, u.UsedFuncs[name], u.UsedKernels[name]), nil
+		}).WithHint(lib)
+	}
+
+	// Verification: the union-debloated install must reproduce every
+	// member's reference digest. Verify nodes are deliberately unmemoized —
+	// a resubmitted batch re-validates what the service hands out; only an
+	// explicit incremental base carries outcomes over.
+	verifies := make([]*plan.Node, len(workloads))
+	if !opt.SkipVerify {
+		fresh := 0
+		for i := range workloads {
+			if !carried[i] {
+				fresh++
+			}
+		}
+		if fresh > 0 {
+			cloneNode := g.Node("clone", compacts, nil, func(deps []any) (any, error) {
+				debloated := make(map[string][]byte, len(deps))
+				for i, d := range deps {
+					debloated[names[i]] = d.(*negativa.LibDebloat).Report.Debloated()
+				}
+				clone, err := in.CloneWithLibs(debloated)
+				if err != nil {
+					return nil, fmt.Errorf("dserve: clone install: %w", err)
+				}
+				return clone, nil
+			})
+			for i := range workloads {
+				if carried[i] {
+					continue
+				}
+				i := i
+				verifies[i] = g.Node(negativa.StageVerifyRun, []*plan.Node{cloneNode}, nil, func(deps []any) (any, error) {
+					vw := workloads[i]
+					vw.Install = deps[0].(*mlframework.Install)
+					vr, err := mlruntime.Run(vw, mlruntime.Options{MaxSteps: maxSteps})
+					if err != nil {
+						return nil, fmt.Errorf("dserve: verify %s: %w", vw.Name, err)
+					}
+					return vr, nil
+				})
+			}
+		}
+	}
+
+	if err := g.Execute(s.pool, s.stages, s.observer); err != nil {
 		return nil, err
 	}
 
-	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, Libs: libs, libKeys: keys}
-	res.byName = make(map[string]*negativa.LibraryReport, len(libs))
-	for _, lr := range libs {
-		res.byName[lr.Name] = lr
+	// ---- Assembly ----
+	outcomes := make([]WorkloadOutcome, len(workloads))
+	for i := range workloads {
+		p := detects[i].Value().(*negativa.Profile)
+		outcomes[i] = WorkloadOutcome{
+			Name: workloads[i].Name, Identity: ids[i],
+			RefDigest: p.RunResult.Digest, DetectTime: p.RunResult.ExecTime,
+			ProfileReused: detects[i].Hit(),
+		}
+		switch {
+		case carried[i]:
+			outcomes[i].Verified = baseVerified[ids[i]]
+		case verifies[i] != nil:
+			outcomes[i].Verified = verifies[i].Value().(*mlruntime.Result).Digest == p.RunResult.Digest
+		}
 	}
-	for i := range libs {
-		if hits[i] {
+
+	union := unionNode.Value().(*negativa.Profile)
+	res := &BatchResult{InstallFP: fp, Union: union, Workloads: outcomes, VerifySkipped: opt.SkipVerify}
+	res.byName = make(map[string]*negativa.LibraryReport, len(names))
+	for i, name := range names {
+		ld := compacts[i].Value().(*negativa.LibDebloat)
+		rep := ld.Report
+		if rep.Name != name {
+			// The memoized report may have been computed under a different
+			// library name (identical bytes elsewhere); re-label a shallow
+			// copy, sharing the immutable compacted image.
+			relabeled := *rep
+			relabeled.Name = name
+			rep = &relabeled
+		}
+		res.Libs = append(res.Libs, rep)
+		res.libKeys = append(res.libKeys, compacts[i].ResolvedKey().Hash)
+		res.byName[rep.Name] = rep
+		if compacts[i].Hit() {
 			res.CacheHits++
 		} else {
 			res.CacheMisses++
-			res.AnalysisTime += analyses[i]
+			res.AnalysisTime += ld.Analysis
 		}
 	}
 	for i := range outcomes {
@@ -420,28 +574,29 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 			res.DetectTime += outcomes[i].DetectTime
 		}
 	}
-
-	// ---- Verification: the union-debloated install must reproduce every
-	// member workload's reference digest. ----
-	res.VerifySkipped = opt.SkipVerify
-	if !opt.SkipVerify {
-		clone, err := in.CloneWithLibs(res.DebloatedLibs())
-		if err != nil {
-			return nil, fmt.Errorf("dserve: clone install: %w", err)
+	if opt.Base != nil {
+		inc := &IncrementalStats{BaseID: opt.BaseID}
+		baseKeys := make(map[string]bool, len(opt.Base.libKeys))
+		for _, k := range opt.Base.libKeys {
+			baseKeys[k] = true
 		}
-		err = s.pool.Map(len(workloads), func(i int) error {
-			vw := workloads[i]
-			vw.Install = clone
-			vr, err := mlruntime.Run(vw, mlruntime.Options{MaxSteps: maxSteps})
-			if err != nil {
-				return fmt.Errorf("dserve: verify %s: %w", vw.Name, err)
+		for _, k := range res.libKeys {
+			if baseKeys[k] {
+				inc.AbsorbedLibs++
+			} else {
+				inc.DeltaLibs++
 			}
-			res.Workloads[i].Verified = vr.Digest == res.Workloads[i].RefDigest
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
+		for i := range carried {
+			if carried[i] {
+				inc.CarriedVerifications++
+			}
+		}
+		res.Incremental = inc
+		s.Counters.Add("batches.incremental", 1)
+		s.Counters.Add("incremental.absorbed_libs", int64(inc.AbsorbedLibs))
+		s.Counters.Add("incremental.delta_libs", int64(inc.DeltaLibs))
+		s.Counters.Add("incremental.carried_verifications", int64(inc.CarriedVerifications))
 	}
 
 	res.WallTime = time.Since(start)

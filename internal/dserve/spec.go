@@ -27,6 +27,13 @@ type JobRequest struct {
 	MaxSteps int `json:"max_steps,omitempty"`
 	// SkipVerify skips the per-member verification re-runs.
 	SkipVerify bool `json:"skip_verify,omitempty"`
+	// Base, when set, makes the submission an incremental re-submit: it
+	// names a completed job on the same framework/tail_libs/max_steps
+	// whose workload set this request extends. The base's per-member
+	// verifications carry over, untouched libraries absorb through their
+	// unchanged stage keys, and only the union-delta locate/compact
+	// stages recompute.
+	Base string `json:"base,omitempty"`
 }
 
 // WorkloadSpec describes one member workload of a job request. Zero values

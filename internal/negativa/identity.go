@@ -1,0 +1,53 @@
+package negativa
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+)
+
+// InstallFingerprint hashes an install's identity: framework, library names
+// in load order, and every library's bytes. Two installs with identical
+// content fingerprint identically, so profiles detected on one serve the
+// other. It anchors the detect stage's content key (detection depends on
+// what code the workload can touch) and the serving plane's profile
+// registry.
+func InstallFingerprint(in *mlframework.Install) string {
+	h := sha256.New()
+	sep := []byte{0}
+	io.WriteString(h, in.Framework)
+	h.Write(sep)
+	for _, name := range in.LibNames {
+		io.WriteString(h, name)
+		h.Write(sep)
+		if lib := in.Library(name); lib != nil {
+			h.Write(lib.Data)
+		}
+		h.Write(sep)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WorkloadIdentity canonically identifies a workload configuration for
+// profile reuse. Everything that shapes what detection observes — graph,
+// devices, load mode, dataset, epochs, per-item compute, and the step cap
+// (the reference digest depends on it) — is part of the identity.
+func WorkloadIdentity(w mlruntime.Workload, maxSteps int) string {
+	devs := make([]string, len(w.Devices))
+	for i, d := range w.Devices {
+		devs[i] = d.Arch.String()
+	}
+	var model string
+	var ops, batch int
+	var train bool
+	if w.Graph != nil {
+		model, ops, batch, train = w.Graph.Model, len(w.Graph.Ops), w.Graph.Batch, w.Graph.Train
+	}
+	return fmt.Sprintf("%s|model=%s|ops=%d|batch=%d|train=%v|epochs=%d|data=%s|mode=%s|devs=%s|pic=%s|steps=%d",
+		w.Name, model, ops, batch, train, w.Epochs, w.Data.Name, w.Mode, strings.Join(devs, ","), w.PerItemCompute, maxSteps)
+}

@@ -2,11 +2,13 @@ package negativa
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"negativaml/internal/elfx"
 	"negativaml/internal/gpuarch"
 	"negativaml/internal/mlruntime"
+	"negativaml/internal/plan"
 )
 
 // Analysis cost constants (virtual time). Function and element counts are
@@ -31,6 +33,16 @@ type Options struct {
 	VerifySteps int
 	// SkipVerify skips the verification re-run.
 	SkipVerify bool
+	// Workers bounds the stage plan's concurrently executing nodes
+	// (default runtime.NumCPU()). Independent stages — per-library
+	// locate/compact, the capped reference run, the verification re-run —
+	// overlap up to this width.
+	Workers int
+	// Memo, when non-nil, memoizes stage results across Debloat calls by
+	// content key (repeat runs against the same install absorb detection
+	// and analysis). Nil uses a fresh per-call memo, which still
+	// deduplicates identical stages within the run.
+	Memo plan.Memo
 }
 
 // Result is the full pipeline output for one workload.
@@ -118,61 +130,178 @@ type LibDebloat struct {
 }
 
 // LocateAndCompactLib runs the location and compaction stages on one
-// library: used CPU functions map to .text file ranges through the symbol
-// table, used kernels decide fatbin element retention for the given
-// architectures, and every unretained range joins the sparse image's
-// zeroed set. Every report size is computed analytically from the range
-// set and the library's zero-byte prefix sum — no post-compaction buffer
-// is allocated or rescanned. The function only reads the library, so
-// concurrent calls on a shared *elfx.Library are safe.
+// library in sequence — the composition of the LocateLib and
+// CompactLocated stage functions the planner schedules separately. The
+// function only reads the library, so concurrent calls on a shared
+// *elfx.Library are safe.
 func LocateAndCompactLib(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) (*LibDebloat, error) {
-	cpuLoc := LocateCPU(lib, usedFuncs)
-	gpuLoc, err := LocateGPU(lib, usedKernels, archs)
+	loc, err := LocateLib(lib, usedFuncs, usedKernels, archs)
 	if err != nil {
 		return nil, err
 	}
-	sparse := Compact(lib, cpuLoc, gpuLoc)
-
-	idx := lib.Index()
-	lr := &LibraryReport{
-		Name:                lib.Name,
-		FileSize:            lib.FileSize(),
-		FileEffective:       idx.NonZeroBytes(),
-		FileEffectiveAfter:  sparse.NonZeroBytes(),
-		CPUSize:             cpuLoc.TotalBytes,
-		FuncCount:           cpuLoc.TotalFuncs,
-		FuncKept:            cpuLoc.KeptFuncs,
-		ElemCount:           len(gpuLoc.Decisions),
-		ElemKept:            gpuLoc.Kept(),
-		RemovedArchMismatch: gpuLoc.RemovedBy(ReasonArchMismatch),
-		RemovedNoUsedKernel: gpuLoc.RemovedBy(ReasonNoUsedKernel),
-		ResidentBytes:       idx.ResidentBytes(),
-		ResidentBytesAfter:  sparse.ResidentBytes(),
-		UsedFuncs:           usedFuncs,
-		UsedKernels:         usedKernels,
-		Sparse:              sparse,
-	}
-	if text := lib.Section(".text"); text != nil {
-		lr.CPUSizeAfter = sparse.NonZeroBytesIn(text.Range)
-	}
-	if fbRange, ok := lib.FatbinRange(); ok {
-		// Compare effective (non-zero) bytes on both sides.
-		lr.GPUSize = idx.NonZeroBytesIn(fbRange)
-		lr.GPUSizeAfter = sparse.NonZeroBytesIn(fbRange)
-	}
-
-	analysis := time.Duration(cpuLoc.TotalFuncs)*locatePerFunc +
-		time.Duration(len(gpuLoc.Decisions))*locatePerElement +
-		time.Duration(lib.FileSize()/1024)*compactPerKB
-	return &LibDebloat{Report: lr, Analysis: analysis}, nil
+	return CompactLocated(lib, loc, usedFuncs, usedKernels), nil
 }
 
-// Debloat runs the full Negativa-ML pipeline on a workload: profile the run,
-// locate used code in every shared library, compact, and verify. Libraries
-// are processed serially; the batch service (internal/dserve) runs the same
-// per-library stage through a bounded worker pool and a content-addressed
-// cache.
+// Debloat runs the full Negativa-ML pipeline on a workload as a stage
+// plan: a detect node feeds per-library locate and compact nodes, and a
+// verification node (plus, when VerifySteps differs from MaxSteps, a
+// capped reference-run node that overlaps with it) closes the graph. Every
+// node carries a content-derived key; with a shared Options.Memo, repeat
+// runs absorb unchanged stages. The result is byte-identical to the
+// pre-planner monolithic pipeline — the golden equivalence suite holds the
+// two implementations together.
 func Debloat(w mlruntime.Workload, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	memo := opt.Memo
+	if memo == nil {
+		memo = plan.NewMemMemo(0)
+	}
+
+	fp := InstallFingerprint(w.Install)
+	wid := WorkloadIdentity(w, opt.MaxSteps)
+	archs := DeviceArchs(w.Devices)
+	names := w.Install.LibNames
+
+	g := plan.New()
+	detect := g.Node(StageDetect, nil, plan.StaticKey(DetectKey(fp, wid)), func([]any) (any, error) {
+		p, err := DetectUsage(w, opt.MaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("negativa: detection: %w", err)
+		}
+		return p, nil
+	})
+
+	compacts := make([]*plan.Node, len(names))
+	for i, name := range names {
+		name := name
+		lib := w.Install.Library(name)
+		idx := g.Node(StageLibIndex, nil, plan.StaticKey(LibIndexKey(lib)), func([]any) (any, error) {
+			return lib.Index(), nil
+		})
+		loc := g.Node(StageLocate, []*plan.Node{detect, idx}, func(deps []any) (plan.Key, error) {
+			p := deps[0].(*Profile)
+			return LocateKey(lib, p.UsedFuncs[name], p.UsedKernels[name], archs), nil
+		}, func(deps []any) (any, error) {
+			// The memoized value is a lazy handle (the canonical locate-
+			// stage value type): resolution runs only when a compact miss
+			// forces it. Capture just the inputs — the handle may outlive
+			// this call in a shared memo.
+			p := deps[0].(*Profile)
+			uf, uk := p.UsedFuncs[name], p.UsedKernels[name]
+			return NewLocationHandle(func() (*LibLocation, error) {
+				return LocateLib(lib, uf, uk, archs)
+			}), nil
+		})
+		compacts[i] = g.Node(StageCompact, []*plan.Node{detect, loc}, func([]any) (plan.Key, error) {
+			// Compaction is keyed by its locate stage's key, resolved by the
+			// time this dependent's key function runs.
+			return CompactKey(loc.ResolvedKey()), nil
+		}, func(deps []any) (any, error) {
+			p := deps[0].(*Profile)
+			ll, err := deps[1].(*LocationHandle).Force()
+			if err != nil {
+				return nil, fmt.Errorf("negativa: locate %s: %w", name, err)
+			}
+			return CompactLocated(lib, ll, p.UsedFuncs[name], p.UsedKernels[name]), nil
+		}).WithHint(lib)
+	}
+
+	var refNode, verifyNode *plan.Node
+	steps := opt.VerifySteps
+	if steps == 0 {
+		steps = opt.MaxSteps
+	}
+	if !opt.SkipVerify {
+		if steps != opt.MaxSteps {
+			// The capped reference run has no dependencies: it enters the
+			// pool immediately and overlaps detection and the verification
+			// fan-out instead of running inline between them.
+			refNode = g.Node(StageVerifyRef, nil, plan.StaticKey(VerifyRefKey(fp, WorkloadIdentity(w, steps))), func([]any) (any, error) {
+				ref, err := mlruntime.Run(w, mlruntime.Options{MaxSteps: steps})
+				if err != nil {
+					return nil, fmt.Errorf("negativa: reference run failed: %w", err)
+				}
+				return ref, nil
+			})
+		}
+		verifyNode = g.Node(StageVerifyRun, compacts, func([]any) (plan.Key, error) {
+			hashes := make([]string, len(compacts))
+			for i, c := range compacts {
+				hashes[i] = c.ResolvedKey().Hash
+			}
+			return VerifyRunKey(fp, wid, steps, hashes), nil
+		}, func(deps []any) (any, error) {
+			debloated := make(map[string][]byte, len(deps))
+			for i, d := range deps {
+				debloated[names[i]] = d.(*LibDebloat).Report.Debloated()
+			}
+			clone, err := w.Install.CloneWithLibs(debloated)
+			if err != nil {
+				return nil, fmt.Errorf("negativa: verify: %w", err)
+			}
+			vw := w
+			vw.Install = clone
+			vr, err := mlruntime.Run(vw, mlruntime.Options{MaxSteps: steps})
+			if err != nil {
+				return nil, fmt.Errorf("negativa: verification run failed: %w", err)
+			}
+			return vr, nil
+		})
+	}
+
+	if err := g.Execute(plan.NewPool(workers), memo, nil); err != nil {
+		return nil, err
+	}
+
+	// ---- Assembly: fold node values into the monolith's exact Result. ----
+	profile := detect.Value().(*Profile)
+	res := &Result{
+		Workload:   w.Name,
+		Profile:    profile,
+		DetectTime: profile.RunResult.ExecTime,
+	}
+	var analysis time.Duration
+	for i, name := range names {
+		ld := compacts[i].Value().(*LibDebloat)
+		rep := ld.Report
+		if rep.Name != name {
+			// Memo hit computed under a different library name (identical
+			// bytes elsewhere); re-label a shallow copy sharing the
+			// immutable sparse image.
+			relabeled := *rep
+			relabeled.Name = name
+			rep = &relabeled
+		}
+		res.Libs = append(res.Libs, rep)
+		// Virtual analysis time is charged per library whether or not the
+		// stage memo absorbed the work — Debloat models the paper's
+		// single-tool cost; hit accounting is the batch service's concern.
+		analysis += ld.Analysis
+	}
+	res.IndexLibs()
+	res.AnalysisTime = analysis
+	res.EndToEnd = res.DetectTime + res.AnalysisTime
+
+	if verifyNode != nil {
+		refDigest := profile.RunResult.Digest
+		if refNode != nil {
+			refDigest = refNode.Value().(*mlruntime.Result).Digest
+		}
+		vr := verifyNode.Value().(*mlruntime.Result)
+		res.VerifyResult = vr
+		res.Verified = vr.Digest == refDigest
+	}
+	return res, nil
+}
+
+// debloatMonolith is the pre-planner serial pipeline, kept as the golden
+// reference implementation: the equivalence suite asserts Debloat's staged
+// plan produces a byte-identical Result. It must not grow features — only
+// mirror what the planner is required to reproduce.
+func debloatMonolith(w mlruntime.Workload, opt Options) (*Result, error) {
 	profile, err := DetectUsage(w, opt.MaxSteps)
 	if err != nil {
 		return nil, fmt.Errorf("negativa: detection: %w", err)

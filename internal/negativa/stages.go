@@ -1,0 +1,243 @@
+package negativa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"negativaml/internal/elfx"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/plan"
+)
+
+// Stage names of the analysis plan. Every pipeline phase is a stage-graph
+// node with an explicit content-derived key; internal/plan schedules them
+// and internal/dserve memoizes them memory→disk.
+const (
+	// StageDetect runs a workload once with the detectors attached. Keyed
+	// by (install fingerprint, workload identity) — the identity embeds the
+	// step cap.
+	StageDetect = "detect"
+	// StageLibIndex builds a library's parse-once analysis index. Keyed by
+	// the library content digest.
+	StageLibIndex = "libindex"
+	// StageLocate maps used symbols to file ranges. Keyed by (library
+	// digest, used-symbol sets, target architectures).
+	StageLocate = "locate"
+	// StageCompact zeroes unretained ranges into a sparse image and builds
+	// the report. Keyed by its locate stage's key.
+	StageCompact = "compact"
+	// StageVerifyRef runs the original install capped to obtain a
+	// comparable reference digest. Keyed by (install fingerprint, workload
+	// identity at the verification step cap).
+	StageVerifyRef = "verifyref"
+	// StageVerifyRun re-runs a workload on the debloated install. Keyed by
+	// (install fingerprint, workload identity, verification step cap, the
+	// compact keys of every debloated library).
+	StageVerifyRun = "verifyrun"
+)
+
+// detectHashSep separates the install fingerprint from the workload
+// identity inside a detect-stage hash. The composite stays unhashed so
+// memo tiers (the serving plane's profile registry) can recover the parts.
+const detectHashSep = "\x00"
+
+// DetectKey is the detect stage's content key. workloadID must come from
+// WorkloadIdentity, which embeds the detection step cap.
+func DetectKey(installFP, workloadID string) plan.Key {
+	return plan.Key{Stage: StageDetect, Hash: installFP + detectHashSep + workloadID}
+}
+
+// SplitDetectHash recovers (install fingerprint, workload identity) from a
+// detect-stage hash.
+func SplitDetectHash(hash string) (installFP, workloadID string, ok bool) {
+	return strings.Cut(hash, detectHashSep)
+}
+
+// LibIndexKey is the lib-index stage's content key: the library digest.
+func LibIndexKey(lib *elfx.Library) plan.Key {
+	d := lib.ContentDigest()
+	return plan.Key{Stage: StageLibIndex, Hash: hex.EncodeToString(d[:])}
+}
+
+// LocateKey derives the content address of one locate computation (and,
+// via CompactKey, of the compaction it feeds): SHA-256 over the library's
+// content digest, the used CPU-function and kernel sets, and the target
+// architectures (canonicalized by sorting). The library digest comes from
+// the parse-once analysis index (elfx.Library.ContentDigest), so warm
+// lookups hash no library bytes. The library name is deliberately
+// excluded — identical libraries shared across installs (the dependency
+// tail) hit the memo no matter which install or job they arrive through;
+// hits re-label the report with the requesting library's name.
+func LocateKey(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) plan.Key {
+	h := sha256.New()
+	d := lib.ContentDigest()
+	h.Write(d[:])
+	sep := []byte{0}
+	writeList := func(tag byte, items []string) {
+		h.Write([]byte{0xff, tag})
+		for _, s := range items {
+			h.Write([]byte(s))
+			h.Write(sep)
+		}
+	}
+	// Used-symbol sets arrive sorted from DetectUsage/MergeProfiles; sorting
+	// is their canonical form, so the hash is order-independent by contract.
+	writeList(1, usedFuncs)
+	writeList(2, usedKernels)
+	// Architectures only influence fatbin element retention; for CPU-only
+	// libraries (the dependency tail) the result is arch-independent, so
+	// excluding archs lets heterogeneous-device batches share tail entries.
+	if _, hasFB := lib.FatbinRange(); hasFB {
+		sorted := append([]gpuarch.SM(nil), archs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		h.Write([]byte{0xff, 3})
+		var b [4]byte
+		for _, a := range sorted {
+			binary.LittleEndian.PutUint32(b[:], uint32(a))
+			h.Write(b[:])
+		}
+	}
+	return plan.Key{Stage: StageLocate, Hash: hex.EncodeToString(h.Sum(nil))}
+}
+
+// CompactKey derives the compact stage's key from its locate stage's key:
+// compaction is a pure function of the location, so the same hash
+// addresses both stages.
+func CompactKey(locate plan.Key) plan.Key {
+	return plan.Key{Stage: StageCompact, Hash: locate.Hash}
+}
+
+// VerifyRefKey is the capped reference run's content key. workloadID must
+// come from WorkloadIdentity at the verification step cap.
+func VerifyRefKey(installFP, workloadID string) plan.Key {
+	h := sha256.New()
+	h.Write([]byte(installFP))
+	h.Write([]byte{0})
+	h.Write([]byte(workloadID))
+	return plan.Key{Stage: StageVerifyRef, Hash: hex.EncodeToString(h.Sum(nil))}
+}
+
+// VerifyRunKey is the verification re-run's content key: the workload (on
+// its original install) plus the debloated library set it runs against,
+// identified by the compact-stage hashes in install load order.
+func VerifyRunKey(installFP, workloadID string, steps int, compactHashes []string) plan.Key {
+	h := sha256.New()
+	h.Write([]byte(installFP))
+	h.Write([]byte{0})
+	h.Write([]byte(workloadID))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(steps)))
+	h.Write(b[:])
+	for _, ch := range compactHashes {
+		h.Write([]byte(ch))
+		h.Write([]byte{0})
+	}
+	return plan.Key{Stage: StageVerifyRun, Hash: hex.EncodeToString(h.Sum(nil))}
+}
+
+// LibLocation is the locate stage's output for one library: the CPU and
+// GPU locations plus the stage's virtual analysis time. It is immutable
+// once built and safe to share.
+type LibLocation struct {
+	CPU *CPULocation
+	GPU *GPULocation
+	// Locate is the location phase's virtual time for this library.
+	Locate time.Duration
+}
+
+// LocationHandle is the canonical memoized value of the locate stage: a
+// deferred location that computes on first Force. Deferral lets a compact
+// stage served from a memo tier skip symbol-to-range resolution entirely;
+// a canonical type lets every planner (the single-workload pipeline and
+// the batch service) share one stage memo without value-type clashes.
+// Forcing is once-only and safe for concurrent use.
+type LocationHandle struct {
+	once sync.Once
+	fn   func() (*LibLocation, error)
+	loc  *LibLocation
+	err  error
+}
+
+// NewLocationHandle wraps a locate computation. fn should capture only
+// what the computation needs (the library, its used-symbol slices, the
+// architectures) — the handle may outlive the batch that created it in a
+// shared memo.
+func NewLocationHandle(fn func() (*LibLocation, error)) *LocationHandle {
+	return &LocationHandle{fn: fn}
+}
+
+// Force computes the location on first call and returns the shared result
+// thereafter.
+func (h *LocationHandle) Force() (*LibLocation, error) {
+	h.once.Do(func() {
+		h.loc, h.err = h.fn()
+		h.fn = nil
+	})
+	return h.loc, h.err
+}
+
+// LocateLib runs the location stage on one library: used CPU functions map
+// to .text file ranges through the symbol table, used kernels decide
+// fatbin element retention for the given architectures. The function only
+// reads the library, so concurrent calls on a shared *elfx.Library are
+// safe.
+func LocateLib(lib *elfx.Library, usedFuncs, usedKernels []string, archs []gpuarch.SM) (*LibLocation, error) {
+	cpuLoc := LocateCPU(lib, usedFuncs)
+	gpuLoc, err := LocateGPU(lib, usedKernels, archs)
+	if err != nil {
+		return nil, err
+	}
+	return &LibLocation{
+		CPU: cpuLoc,
+		GPU: gpuLoc,
+		Locate: time.Duration(cpuLoc.TotalFuncs)*locatePerFunc +
+			time.Duration(len(gpuLoc.Decisions))*locatePerElement,
+	}, nil
+}
+
+// CompactLocated runs the compaction stage on a located library: every
+// unretained range joins the sparse image's zeroed set, and every report
+// size is computed analytically from the range set and the library's
+// zero-byte prefix sum — no post-compaction buffer is allocated or
+// rescanned. The returned LibDebloat's Analysis is the locate+compact
+// virtual time.
+func CompactLocated(lib *elfx.Library, loc *LibLocation, usedFuncs, usedKernels []string) *LibDebloat {
+	cpuLoc, gpuLoc := loc.CPU, loc.GPU
+	sparse := Compact(lib, cpuLoc, gpuLoc)
+
+	idx := lib.Index()
+	lr := &LibraryReport{
+		Name:                lib.Name,
+		FileSize:            lib.FileSize(),
+		FileEffective:       idx.NonZeroBytes(),
+		FileEffectiveAfter:  sparse.NonZeroBytes(),
+		CPUSize:             cpuLoc.TotalBytes,
+		FuncCount:           cpuLoc.TotalFuncs,
+		FuncKept:            cpuLoc.KeptFuncs,
+		ElemCount:           len(gpuLoc.Decisions),
+		ElemKept:            gpuLoc.Kept(),
+		RemovedArchMismatch: gpuLoc.RemovedBy(ReasonArchMismatch),
+		RemovedNoUsedKernel: gpuLoc.RemovedBy(ReasonNoUsedKernel),
+		ResidentBytes:       idx.ResidentBytes(),
+		ResidentBytesAfter:  sparse.ResidentBytes(),
+		UsedFuncs:           usedFuncs,
+		UsedKernels:         usedKernels,
+		Sparse:              sparse,
+	}
+	if text := lib.Section(".text"); text != nil {
+		lr.CPUSizeAfter = sparse.NonZeroBytesIn(text.Range)
+	}
+	if fbRange, ok := lib.FatbinRange(); ok {
+		// Compare effective (non-zero) bytes on both sides.
+		lr.GPUSize = idx.NonZeroBytesIn(fbRange)
+		lr.GPUSizeAfter = sparse.NonZeroBytesIn(fbRange)
+	}
+
+	compact := time.Duration(lib.FileSize()/1024) * compactPerKB
+	return &LibDebloat{Report: lr, Analysis: loc.Locate + compact}
+}

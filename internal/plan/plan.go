@@ -1,0 +1,194 @@
+// Package plan is a small deterministic stage-graph scheduler for the
+// analysis pipeline: each stage of detect→locate→compact→verify becomes a
+// node with an explicit content-derived cache key, and an execution runs
+// the nodes in dependency order over a bounded worker pool with per-stage
+// memoization.
+//
+// Nodes declare their dependencies at graph-build time but resolve their
+// cache keys late — a node's key function runs after its dependencies have
+// completed, so a stage whose key depends on an upstream value (a locate
+// stage keyed by the used-symbol sets a detection union produces) still
+// gets a true content address. A resolved key is looked up in the Memo
+// before the node's work function runs; a hit returns the memoized value
+// and the work function never executes.
+//
+// Determinism: a graph's outputs are a pure function of its inputs — node
+// values are content-keyed and node work functions are required to be
+// deterministic. The schedule itself is concurrent (every node whose
+// dependencies are done may run, bounded by the pool), so wall-clock
+// interleaving varies run to run, but values, keys, hit/miss outcomes
+// against a fixed memo state, and error selection (first error in node
+// insertion order) do not.
+package plan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Key is the content address of one stage computation: the stage name plus
+// a canonical content-derived string (typically a hex digest, but any
+// canonical form works — the detect stage uses its composite identity
+// directly so memo tiers can recover the parts).
+type Key struct {
+	Stage string
+	Hash  string
+}
+
+// Zero reports whether the key is empty — nodes resolving a zero key are
+// executed unmemoized (cheap glue stages like profile unions or install
+// clones that are not worth an address).
+func (k Key) Zero() bool { return k == Key{} }
+
+func (k Key) String() string { return k.Stage + "/" + k.Hash }
+
+// Node is one vertex of a stage graph. Nodes are created through
+// Graph.Node and immutable afterwards; Value, ResolvedKey, and Hit are
+// valid once Execute has returned.
+type Node struct {
+	stage string
+	deps  []*Node
+	keyFn func(deps []any) (Key, error)
+	runFn func(deps []any) (any, error)
+	hint  any
+
+	done chan struct{}
+	out  any
+	err  error
+	key  Key
+	hit  bool
+}
+
+// Value returns the node's output after Execute.
+func (n *Node) Value() any { return n.out }
+
+// Err returns the node's error after Execute (a dependency's error
+// propagates unwrapped, so the root cause is reported once).
+func (n *Node) Err() error { return n.err }
+
+// ResolvedKey returns the content key the node resolved during Execute
+// (zero for unmemoized glue nodes or nodes that never ran).
+func (n *Node) ResolvedKey() Key { return n.key }
+
+// Hit reports whether the node's value came from the memo.
+func (n *Node) Hit() bool { return n.hit }
+
+// Graph is a stage DAG under construction. Build it single-goroutine, then
+// Execute it; a Graph is single-use.
+type Graph struct {
+	nodes []*Node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Node adds a stage node. deps are the nodes whose values feed this one
+// (their outputs arrive in order as the deps slice of both functions).
+// keyFn resolves the node's content key once dependencies are done; a nil
+// keyFn (or a zero resolved key) marks the node unmemoized. runFn computes
+// the value on a memo miss. Either function may also read a captured
+// dependency *Node's ResolvedKey — dependency keys are resolved before
+// dependents run, which is how a compact stage keys itself by its locate
+// stage's key.
+func (g *Graph) Node(stage string, deps []*Node, keyFn func(deps []any) (Key, error), runFn func(deps []any) (any, error)) *Node {
+	n := &Node{stage: stage, deps: deps, keyFn: keyFn, runFn: runFn, done: make(chan struct{})}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// WithHint attaches an opaque reconstruction hint handed to the memo with
+// the node's key — e.g. the live library a disk tier decodes a persisted
+// range set against. Returns the node for chaining.
+func (n *Node) WithHint(hint any) *Node {
+	n.hint = hint
+	return n
+}
+
+// StaticKey adapts a key known at graph-build time to a keyFn.
+func StaticKey(k Key) func([]any) (Key, error) {
+	return func([]any) (Key, error) { return k, nil }
+}
+
+// Executor bounds concurrent node execution. A node holds a slot only
+// while resolving its key and running its work function, never while
+// waiting on dependencies, so graph execution cannot deadlock the
+// executor. *Pool implements it.
+type Executor interface {
+	Acquire()
+	Release()
+}
+
+// Observer receives per-stage outcomes during execution — one call per
+// successfully finished node, memoized or not (unmemoized nodes always
+// report hit=false). wall is the time spent resolving the key plus
+// computing (hits resolve but do not compute). Implementations must be
+// safe for concurrent use.
+type Observer interface {
+	StageDone(stage string, hit bool, wall time.Duration)
+}
+
+// Execute runs the graph: every node starts once its dependencies are
+// done, bounded by ex. memo, when non-nil, is consulted with each node's
+// resolved key; obs, when non-nil, observes every finished node's outcome.
+// Execute blocks until every reachable node has finished and returns the
+// first error in node insertion order (nodes downstream of a failed node
+// do not run; they inherit the failure).
+func (g *Graph) Execute(ex Executor, memo Memo, obs Observer) error {
+	for _, n := range g.nodes {
+		go n.exec(ex, memo, obs)
+	}
+	for _, n := range g.nodes {
+		<-n.done
+	}
+	for _, n := range g.nodes {
+		if n.err != nil {
+			return n.err
+		}
+	}
+	return nil
+}
+
+func (n *Node) exec(ex Executor, memo Memo, obs Observer) {
+	defer close(n.done)
+
+	vals := make([]any, len(n.deps))
+	for i, d := range n.deps {
+		<-d.done
+		if d.err != nil {
+			// Propagate the root cause unwrapped: Execute reports it once,
+			// in insertion order, rather than once per dependent.
+			n.err = d.err
+			return
+		}
+		vals[i] = d.out
+	}
+
+	ex.Acquire()
+	defer ex.Release()
+	start := time.Now()
+
+	if n.keyFn != nil {
+		key, err := n.keyFn(vals)
+		if err != nil {
+			n.err = fmt.Errorf("plan: %s key: %w", n.stage, err)
+			return
+		}
+		n.key = key
+	}
+	if memo == nil || n.key.Zero() {
+		n.out, n.err = n.runFn(vals)
+		if n.err == nil && obs != nil {
+			obs.StageDone(n.stage, false, time.Since(start))
+		}
+		return
+	}
+	v, hit, err := memo.GetOrCompute(n.key, n.hint, func() (any, error) { return n.runFn(vals) })
+	if err != nil {
+		n.err = err
+		return
+	}
+	n.out, n.hit = v, hit
+	if obs != nil {
+		obs.StageDone(n.stage, hit, time.Since(start))
+	}
+}

@@ -1,0 +1,222 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// obs records stage outcomes thread-safely.
+type obs struct {
+	mu     sync.Mutex
+	hits   map[string]int
+	misses map[string]int
+}
+
+func newObs() *obs { return &obs{hits: map[string]int{}, misses: map[string]int{}} }
+
+func (o *obs) StageDone(stage string, hit bool, _ time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if hit {
+		o.hits[stage]++
+	} else {
+		o.misses[stage]++
+	}
+}
+
+func TestGraphExecutesInDependencyOrder(t *testing.T) {
+	g := New()
+	a := g.Node("a", nil, StaticKey(Key{"a", "1"}), func([]any) (any, error) { return 2, nil })
+	b := g.Node("b", nil, StaticKey(Key{"b", "1"}), func([]any) (any, error) { return 3, nil })
+	mul := g.Node("mul", []*Node{a, b}, nil, func(deps []any) (any, error) {
+		return deps[0].(int) * deps[1].(int), nil
+	})
+	// Key resolved late, from dependency values.
+	sq := g.Node("sq", []*Node{mul}, func(deps []any) (Key, error) {
+		return Key{"sq", fmt.Sprint(deps[0].(int))}, nil
+	}, func(deps []any) (any, error) {
+		return deps[0].(int) * deps[0].(int), nil
+	})
+
+	memo := NewMemMemo(0)
+	o := newObs()
+	if err := g.Execute(NewPool(2), memo, o); err != nil {
+		t.Fatal(err)
+	}
+	if sq.Value().(int) != 36 {
+		t.Fatalf("sq = %v, want 36", sq.Value())
+	}
+	if got := sq.ResolvedKey(); got != (Key{"sq", "6"}) {
+		t.Fatalf("late-bound key = %v", got)
+	}
+	if mul.ResolvedKey() != (Key{}) || mul.Hit() {
+		t.Fatalf("glue node must stay unmemoized")
+	}
+	if o.misses["sq"] != 1 || o.hits["sq"] != 0 {
+		t.Fatalf("observer: %+v", o)
+	}
+
+	// Second execution over the same memo: memoized stages hit, values equal.
+	g2 := New()
+	a2 := g2.Node("a", nil, StaticKey(Key{"a", "1"}), func([]any) (any, error) { return -1, nil })
+	if err := g2.Execute(NewPool(1), memo, o); err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Hit() || a2.Value().(int) != 2 {
+		t.Fatalf("memo must serve the first execution's value: hit=%v v=%v", a2.Hit(), a2.Value())
+	}
+}
+
+func TestGraphErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	g := New()
+	bad := g.Node("bad", nil, nil, func([]any) (any, error) { return nil, boom })
+	var downstreamRan atomic.Bool
+	g.Node("down", []*Node{bad}, nil, func([]any) (any, error) {
+		downstreamRan.Store(true)
+		return nil, nil
+	})
+	g.Node("ok", nil, nil, func([]any) (any, error) { return 1, nil })
+
+	err := g.Execute(NewPool(4), nil, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if downstreamRan.Load() {
+		t.Fatal("downstream of a failed node must not run")
+	}
+}
+
+func TestGraphFirstErrorInInsertionOrder(t *testing.T) {
+	g := New()
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Node("n", nil, nil, func([]any) (any, error) { return nil, fmt.Errorf("err-%d", i) })
+	}
+	err := g.Execute(NewPool(8), nil, nil)
+	if err == nil || err.Error() != "err-0" {
+		t.Fatalf("err = %v, want err-0", err)
+	}
+}
+
+func TestGraphKeyErrorFails(t *testing.T) {
+	g := New()
+	g.Node("k", nil, func([]any) (Key, error) { return Key{}, errors.New("no key") },
+		func([]any) (any, error) { return 1, nil })
+	if err := g.Execute(NewPool(1), NewMemMemo(0), nil); err == nil {
+		t.Fatal("want key resolution error")
+	}
+}
+
+func TestGraphNodesOverlapWithinPool(t *testing.T) {
+	// Two independent slow nodes on a 2-wide pool must overlap: their
+	// combined wall time stays well under the serial sum. This is the
+	// property that lets a capped reference run overlap verification.
+	g := New()
+	const d = 40 * time.Millisecond
+	slow := func([]any) (any, error) { time.Sleep(d); return nil, nil }
+	g.Node("x", nil, nil, slow)
+	g.Node("y", nil, nil, slow)
+	start := time.Now()
+	if err := g.Execute(NewPool(2), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 2*d-d/4 {
+		t.Fatalf("independent nodes did not overlap: %v", wall)
+	}
+}
+
+func TestMemMemoSingleflight(t *testing.T) {
+	memo := NewMemMemo(0)
+	var computes atomic.Int64
+	const goroutines = 64
+	var wg sync.WaitGroup
+	vals := make([]any, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := memo.GetOrCompute(Key{"s", "k"}, nil, func() (any, error) {
+				computes.Add(1)
+				time.Sleep(time.Millisecond)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("concurrent computes for one key: %d, want 1", n)
+	}
+	for i, v := range vals {
+		if v.(int) != 42 {
+			t.Fatalf("vals[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMemMemoFailedComputeRetries(t *testing.T) {
+	memo := NewMemMemo(0)
+	calls := 0
+	_, _, err := memo.GetOrCompute(Key{"s", "k"}, nil, func() (any, error) {
+		calls++
+		return nil, errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	v, hit, err := memo.GetOrCompute(Key{"s", "k"}, nil, func() (any, error) {
+		calls++
+		return 7, nil
+	})
+	if err != nil || hit || v.(int) != 7 || calls != 2 {
+		t.Fatalf("retry after failure: v=%v hit=%v err=%v calls=%d", v, hit, err, calls)
+	}
+	if memo.Len() != 1 {
+		t.Fatalf("len = %d", memo.Len())
+	}
+}
+
+func TestMemMemoBoundWipes(t *testing.T) {
+	memo := NewMemMemo(4)
+	for i := 0; i < 9; i++ {
+		memo.GetOrCompute(Key{"s", fmt.Sprint(i)}, nil, func() (any, error) { return i, nil })
+	}
+	if n := memo.Len(); n > 4 {
+		t.Fatalf("memo exceeded bound: %d", n)
+	}
+}
+
+func TestPoolAcquireReleaseBounds(t *testing.T) {
+	p := NewPool(2)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Acquire()
+			defer p.Release()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Fatalf("peak concurrency %d exceeds pool width", peak.Load())
+	}
+}

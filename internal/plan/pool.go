@@ -1,0 +1,61 @@
+package plan
+
+import "sync"
+
+// Pool is the bounded worker executor shared by the stage-graph scheduler
+// and the batch service: a counting semaphore capping how many tasks —
+// graph nodes, per-library locate/compact calls, per-workload detection
+// and verification runs — execute concurrently across all jobs.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most workers tasks at once (workers < 1
+// is treated as 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Acquire takes a worker slot, blocking until one is free. Holders must
+// not Acquire again before Release — the stage scheduler never does (a
+// node holds its slot only while running, never while waiting on
+// dependencies).
+func (p *Pool) Acquire() { p.sem <- struct{}{} }
+
+// Release returns a worker slot.
+func (p *Pool) Release() { <-p.sem }
+
+// Map is the pool's convenience fan-out for flat task lists outside a
+// stage graph (the scheduler itself uses Acquire/Release): it runs fn(i)
+// for every i in [0, n), waits for all of them, and returns the
+// lowest-index error. Map must not be called from inside a Map task: a
+// task that blocks on a slot while holding one can deadlock the
+// semaphore.
+func (p *Pool) Map(n int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p.Acquire()
+		wg.Add(1)
+		go func(i int) {
+			defer func() { p.Release(); wg.Done() }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
