@@ -10,13 +10,18 @@ package negativaml
 // cmd/experiments; EXPERIMENTS.md records paper-vs-measured per cell.
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
 	"negativaml/internal/dserve"
 	"negativaml/internal/experiments"
 	"negativaml/internal/mlframework"
@@ -409,6 +414,82 @@ func TestBenchServeJSON(t *testing.T) {
 	}
 	diskStats := store2.Stats()
 
+	// Cluster path: a 3-node in-process ring. Node A's cold batch executes
+	// every stage on its owning shard; node B's repeat of the same batch is
+	// peer-warm — all analysis arrives through the peer tier (read-through
+	// or B's own shard-resident memo), zero local locate/compact.
+	type benchNode struct {
+		svc  *dserve.Service
+		srv  *httptest.Server
+		stop func()
+	}
+	startNode := func(id string) *benchNode {
+		st, err := castore.Open(t.TempDir(), castore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := dserve.NewService(dserve.Config{MaxSteps: 4, Store: st})
+		srv := httptest.NewServer(dserve.NewHandler(svc))
+		return &benchNode{svc: svc, srv: srv, stop: func() { srv.Close(); svc.Close(); st.Close() }}
+	}
+	nodes := map[string]*benchNode{"a": startNode("a"), "b": startNode("b"), "c": startNode("c")}
+	urls := map[string]string{}
+	for id, n := range nodes {
+		urls[id] = n.srv.URL
+	}
+	for id, n := range nodes {
+		n.svc.AttachCluster(cluster.New(id, urls, cluster.Options{
+			Counters: n.svc.Counters, Timings: n.svc.Timings,
+		}))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+	clusterBatch := func(n *benchNode) time.Duration {
+		body, err := json.Marshal(dserve.JobRequest{
+			Framework: "pytorch", TailLibs: 20, MaxSteps: 4,
+			Workloads: []dserve.WorkloadSpec{
+				{Model: "MobileNetV2", Batch: 1},
+				{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+				{Model: "Transformer", Batch: 32, Device: "A100"},
+				{Model: "Transformer", Train: true, Batch: 128, Epochs: 1},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		resp, err := http.Post(n.srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		job, err := n.svc.WaitJob(st.ID, 2*time.Minute)
+		if err != nil || job.State != dserve.JobDone {
+			t.Fatalf("cluster bench job: %v (state %s, err %q)", err, job.State, job.Err)
+		}
+		return time.Since(start)
+	}
+	clusterColdWall := clusterBatch(nodes["a"])
+	analysisBefore := nodes["b"].svc.Counters.Get("analysis.computed")
+	clusterWarmWall := clusterBatch(nodes["b"])
+	if d := nodes["b"].svc.Counters.Get("analysis.computed") - analysisBefore; d != 0 {
+		t.Fatalf("peer-warm cluster batch ran %d local locate/compacts", d)
+	}
+	peerHits := nodes["b"].svc.Counters.Get("peer.hits")
+	remoteExecs := nodes["a"].svc.Counters.Get("peer.remote_execs")
+	if peerHits == 0 {
+		t.Fatal("peer-warm cluster batch hit no peers")
+	}
+
 	entries := []experiments.BenchEntry{
 		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
@@ -430,6 +511,10 @@ func TestBenchServeJSON(t *testing.T) {
 		{Name: "serve/batch4/warm/cache-hits", Value: float64(warm.CacheHits), Unit: "count"},
 		{Name: "serve/batch4/cache-bytes", Value: float64(svc.Cache.Bytes()), Unit: "bytes"},
 		{Name: "serve/batch4/libs", Value: float64(len(cold.Libs)), Unit: "count"},
+		{Name: "serve/cluster3/cold/wall", Value: clusterColdWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/cluster3/peer_warm/wall", Value: clusterWarmWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/cluster3/peer_warm/peer-hits", Value: float64(peerHits), Unit: "count"},
+		{Name: "serve/cluster3/cold/remote-execs", Value: float64(remoteExecs), Unit: "count"},
 	}
 	if err := experiments.WriteBenchJSON(*benchJSON, entries); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,21 @@
 // compaction. -disk-mb bounds the store; least-recently-used objects not
 // referenced by a retained job are evicted beyond it.
 //
+// With -peers and -node-id the node joins a sharded serving plane: a
+// consistent-hash ring over the peer set routes each detect/locate/compact
+// stage to one owning node, where it is executed and memoized; other nodes
+// read it through (and keep a local copy), so the cluster shares one
+// logical cache. Every node of a symmetric deployment can pass the same
+// -peers list — a node's own entry is ignored:
+//
+//	negativa-served -addr :8080 -node-id a \
+//	    -peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080
+//
+// Peer failures shrink the ring and stages fall back to local compute; a
+// recovered peer is readmitted after a probation period. /v1/metrics gains
+// a "peer" section (hits/misses/fallbacks, per-peer health) and per-peer
+// latency timings.
+//
 // Endpoints:
 //
 //	POST /v1/jobs                   submit a batch job
@@ -30,6 +45,8 @@
 //	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
 //	GET  /v1/metrics                counters, cache stats, timings
 //	GET  /v1/store                  content-addressed store stats
+//	POST /v1/peer/{lookup,detect,compact}   node-to-node stage routing
+//	GET  /v1/peer/objects/{kind}/{key}      castore object transfer
 //
 // Example job body:
 //
@@ -60,6 +77,7 @@ import (
 	"time"
 
 	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
 	"negativaml/internal/dserve"
 )
 
@@ -71,6 +89,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	dataDir := flag.String("data-dir", "", "persistent store directory; empty = in-memory only (no warm restart)")
 	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
+	nodeID := flag.String("node-id", "", "this node's name in the cluster (with -peers)")
+	peers := flag.String("peers", "", "cluster peers as id=base-url,... (the whole cluster's list; this node's own entry is ignored)")
 	flag.Parse()
 
 	// Reject misconfigurations loudly instead of silently coercing them to
@@ -94,6 +114,20 @@ func main() {
 	if diskSet && *dataDir == "" {
 		log.Fatal("negativa-served: -disk-mb has no effect without -data-dir")
 	}
+	if (*peers == "") != (*nodeID == "") {
+		log.Fatal("negativa-served: -peers and -node-id must be set together")
+	}
+	var peerMap map[string]string
+	if *peers != "" {
+		pm, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("negativa-served: %v", err)
+		}
+		if _, onlySelf := pm[*nodeID]; onlySelf && len(pm) == 1 {
+			log.Fatalf("negativa-served: -peers names only this node (%s)", *nodeID)
+		}
+		peerMap = pm
+	}
 
 	cfg := dserve.Config{
 		Workers:    *workers,
@@ -114,6 +148,11 @@ func main() {
 	if *dataDir != "" {
 		log.Printf("negativa-served: restored %d jobs, replayed %d profiles",
 			svc.Counters.Get("jobs.restored"), svc.Counters.Get("registry.replayed"))
+	}
+	if peerMap != nil {
+		c := cluster.New(*nodeID, peerMap, cluster.Options{Counters: svc.Counters, Timings: svc.Timings})
+		svc.AttachCluster(c)
+		log.Printf("negativa-served: node %s in a %d-node ring (%v)", *nodeID, len(c.Nodes()), c.Nodes())
 	}
 	srv := &http.Server{Addr: *addr, Handler: dserve.NewHandler(svc)}
 

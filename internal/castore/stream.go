@@ -1,0 +1,100 @@
+package castore
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrUnknownObject is returned by Export and Stat for a (kind, key) the
+// store does not hold.
+var ErrUnknownObject = errors.New("castore: unknown object")
+
+// maxImportBytes bounds one imported payload. Exported objects carry their
+// length in the header, which arrives from the network before any payload
+// byte — the cap keeps a corrupt or hostile header from provisioning an
+// absurd buffer.
+const maxImportBytes = 1 << 30
+
+// Stat returns the payload size of a stored object without touching its
+// recency (the companion to Has for callers that need a Content-Length).
+func (s *Store) Stat(kind, key string) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[objKey{kind, key}]
+	if !ok {
+		return 0, false
+	}
+	return o.size, true
+}
+
+// Export streams a stored object to w in its durable wire format — the
+// 48-byte integrity header followed by the payload, exactly the on-disk
+// layout — and returns the bytes written. The receiver verifies the
+// checksum on Import, so Export does not re-read the payload to validate
+// it first; a corrupt object is caught on the importing side and served
+// locally as a miss on the next Get. Exporting refreshes the object's
+// recency and counts as a hit (it is a read serving real demand).
+func (s *Store) Export(kind, key string, w io.Writer) (int64, error) {
+	id := objKey{kind, key}
+	s.mu.Lock()
+	o, ok := s.objects[id]
+	if ok {
+		s.lru.MoveToFront(o.el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.mu.Lock()
+		s.misses++
+		s.count("store.misses", 1)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s/%s", ErrUnknownObject, kind, key)
+	}
+	f, err := os.Open(s.objectPath(kind, key))
+	if err != nil {
+		return 0, fmt.Errorf("castore: export %s/%s: %w", kind, key, err)
+	}
+	defer f.Close()
+	n, err := io.Copy(w, f)
+	if err != nil {
+		return n, fmt.Errorf("castore: export %s/%s: %w", kind, key, err)
+	}
+	s.mu.Lock()
+	s.hits++
+	s.count("store.hits", 1)
+	s.mu.Unlock()
+	return n, nil
+}
+
+// Import reads one exported object (header + payload) from r, verifies the
+// checksum against the header, and stores it under (kind, key) with Put's
+// full crash-safety. The wire format carrying its own integrity header
+// means a peer transfer is end-to-end verified: a payload corrupted in
+// flight — or served corrupt by the exporter — is rejected here and never
+// enters the store. Returns the payload size.
+func (s *Store) Import(kind, key string, r io.Reader) (int64, error) {
+	var hdrBuf [headerSize]byte
+	if _, err := io.ReadFull(r, hdrBuf[:]); err != nil {
+		return 0, fmt.Errorf("castore: import %s/%s: header: %w", kind, key, err)
+	}
+	hdr, err := parseHeader(hdrBuf[:])
+	if err != nil {
+		return 0, fmt.Errorf("castore: import %s/%s: %w", kind, key, err)
+	}
+	if hdr.length > maxImportBytes {
+		return 0, fmt.Errorf("castore: import %s/%s: object of %d bytes exceeds the import bound", kind, key, hdr.length)
+	}
+	payload := make([]byte, hdr.length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, fmt.Errorf("castore: import %s/%s: payload: %w", kind, key, err)
+	}
+	if sha256.Sum256(payload) != hdr.sum {
+		return 0, fmt.Errorf("castore: import %s/%s: checksum mismatch", kind, key)
+	}
+	if err := s.Put(kind, key, payload); err != nil {
+		return 0, err
+	}
+	return hdr.length, nil
+}

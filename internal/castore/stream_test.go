@@ -1,0 +1,103 @@
+package castore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	payload := bytes.Repeat([]byte("negativa"), 1000)
+	if err := src.Put("lib", "abc123", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Stat("lib", "abc123"); !ok {
+		t.Fatal("Stat missed a stored object")
+	}
+
+	var wire bytes.Buffer
+	n, err := src.Export("lib", "abc123", &wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload))+headerSize {
+		t.Fatalf("exported %d bytes, want %d", n, len(payload)+headerSize)
+	}
+
+	got, err := dst.Import("lib", "abc123", &wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(len(payload)) {
+		t.Fatalf("imported %d payload bytes, want %d", got, len(payload))
+	}
+	back, ok := dst.Get("lib", "abc123")
+	if !ok || !bytes.Equal(back, payload) {
+		t.Fatal("imported object does not round-trip byte-identically")
+	}
+}
+
+func TestExportUnknownObject(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Export("lib", "nope", &bytes.Buffer{}); err == nil {
+		t.Fatal("export of an absent object must fail")
+	}
+	if _, ok := s.Stat("lib", "nope"); ok {
+		t.Fatal("Stat invented an object")
+	}
+}
+
+func TestImportRejectsCorruption(t *testing.T) {
+	src, _ := Open(t.TempDir(), Options{})
+	defer src.Close()
+	dst, _ := Open(t.TempDir(), Options{})
+	defer dst.Close()
+	if err := src.Put("lib", "k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := src.Export("lib", "k", &wire); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte: the checksum must catch it.
+	b := wire.Bytes()
+	b[len(b)-1] ^= 0xff
+	if _, err := dst.Import("lib", "k", bytes.NewReader(b)); err == nil {
+		t.Fatal("import accepted a corrupted payload")
+	}
+	if dst.Has("lib", "k") {
+		t.Fatal("corrupt import reached the store")
+	}
+
+	// Truncated stream.
+	if _, err := dst.Import("lib", "k", strings.NewReader("short")); err == nil {
+		t.Fatal("import accepted a truncated stream")
+	}
+
+	// Oversized header length.
+	hdr := makeHeader([]byte("x"))
+	hdr[8] = 0xff
+	hdr[9] = 0xff
+	hdr[10] = 0xff
+	hdr[11] = 0xff
+	hdr[12] = 0x40 // > maxImportBytes
+	if _, err := dst.Import("lib", "k", bytes.NewReader(append(hdr, 'x'))); err == nil {
+		t.Fatal("import accepted an oversized header")
+	}
+}

@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"negativaml/internal/metrics"
+)
+
+// Options configure a Cluster.
+type Options struct {
+	// Replicas is the number of virtual ring points per node (default
+	// DefaultReplicas).
+	Replicas int
+	// FailureThreshold is the number of consecutive transport failures
+	// after which a peer is marked down and removed from the ring
+	// (default 2).
+	FailureThreshold int
+	// Probation is how long a downed peer stays off the ring before the
+	// next ownership lookup readmits it for another try (default 15s).
+	Probation time.Duration
+	// Timeout bounds each peer request (default 10s).
+	Timeout time.Duration
+	// Counters, when non-nil, mirrors transport-level series:
+	// peer.requests, peer.transport_errors, peer.marked_down,
+	// peer.readmitted.
+	Counters *metrics.CounterSet
+	// Timings, when non-nil, records per-peer request latency under
+	// peer.<node-id>.
+	Timings *metrics.TimingSet
+	// Client overrides the HTTP client (tests); Timeout is applied to the
+	// default client only.
+	Client *http.Client
+}
+
+// PeerError is an application-level error returned by a peer's HTTP API
+// (status >= 400 with a JSON error body). It does not count against the
+// peer's transport health — the peer is alive and answering.
+type PeerError struct {
+	Peer   string
+	Status int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s: %d: %s", e.Peer, e.Status, e.Msg)
+}
+
+// PeerStatus is one peer's health snapshot.
+type PeerStatus struct {
+	ID   string `json:"id"`
+	URL  string `json:"url"`
+	Down bool   `json:"down"`
+	// ConsecutiveFailures is the current unbroken failure run; Requests and
+	// TransportErrors are lifetime totals.
+	ConsecutiveFailures int   `json:"consecutive_failures"`
+	Requests            int64 `json:"requests"`
+	TransportErrors     int64 `json:"transport_errors"`
+	// MeanLatencyMS is the mean wall time of this peer's requests.
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+}
+
+// Stats is a point-in-time view of cluster membership and peer health.
+type Stats struct {
+	Self string `json:"self"`
+	// RingNodes are the nodes currently on the ring (self plus live peers).
+	RingNodes []string     `json:"ring_nodes"`
+	Peers     []PeerStatus `json:"peers"`
+}
+
+type peerState struct {
+	id, url   string
+	fails     int
+	down      bool
+	downUntil time.Time
+
+	requests, transportErrs int64
+	totalLatency            time.Duration
+}
+
+// Cluster tracks the membership of a dserve peer group: a consistent-hash
+// ring over the live nodes (self included), per-peer health, and the HTTP
+// transport the serving plane's peer tier rides on.
+//
+// Failure handling is deliberately local and lazy — there is no gossip or
+// heartbeat plane. A peer that fails FailureThreshold consecutive requests
+// is marked down and the ring shrinks around it (its keys redistribute to
+// the survivors); after Probation the next ownership lookup readmits it
+// for another try. Application-level errors (a peer answering 4xx/5xx) are
+// not transport failures: the peer is alive, only the request was bad.
+type Cluster struct {
+	self string
+	opt  Options
+
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	ring  *Ring
+}
+
+// New builds a cluster for node `self` over the peer set (node ID → base
+// URL). A peers entry for self is ignored, so every node of a symmetric
+// deployment can share one -peers string. The ring initially contains self
+// and every peer.
+func New(self string, peers map[string]string, opt Options) *Cluster {
+	if opt.FailureThreshold < 1 {
+		opt.FailureThreshold = 2
+	}
+	if opt.Probation <= 0 {
+		opt.Probation = 15 * time.Second
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 10 * time.Second
+	}
+	c := &Cluster{self: self, opt: opt, peers: map[string]*peerState{}}
+	c.client = opt.Client
+	if c.client == nil {
+		c.client = &http.Client{Timeout: opt.Timeout}
+	}
+	for id, url := range peers {
+		if id == self || id == "" {
+			continue
+		}
+		c.peers[id] = &peerState{id: id, url: strings.TrimRight(url, "/")}
+	}
+	c.rebuildRingLocked()
+	return c
+}
+
+// ParsePeers parses a "-peers" flag value: comma-separated id=base-url
+// pairs, e.g. "a=http://h1:8080,b=http://h2:8080".
+func ParsePeers(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: malformed peer %q (want id=base-url)", part)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		out[id] = url
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	return out, nil
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// rebuildRingLocked recomputes the ring from self plus every live peer.
+// Callers hold c.mu.
+func (c *Cluster) rebuildRingLocked() {
+	nodes := []string{c.self}
+	for id, p := range c.peers {
+		if !p.down {
+			nodes = append(nodes, id)
+		}
+	}
+	c.ring = NewRing(nodes, c.opt.Replicas)
+}
+
+// Owner returns the live node owning the key. remote is true when the
+// owner is a peer rather than this node — the caller should route the
+// stage there. Downed peers whose probation has expired are readmitted to
+// the ring here, so recovery needs no background goroutine: the next
+// lookup that would have involved them tries them again.
+func (c *Cluster) Owner(key string) (node string, remote bool) {
+	c.mu.Lock()
+	changed := false
+	now := time.Now()
+	for _, p := range c.peers {
+		if p.down && now.After(p.downUntil) {
+			p.down = false
+			p.fails = 0
+			changed = true
+			c.count("peer.readmitted", 1)
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+	ring := c.ring
+	c.mu.Unlock()
+
+	owner, ok := ring.Owner(key)
+	if !ok || owner == c.self {
+		return c.self, false
+	}
+	return owner, true
+}
+
+// Nodes returns the ring's current members (self plus live peers).
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Nodes()
+}
+
+// Stats snapshots membership and per-peer health for /v1/metrics.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{Self: c.self, RingNodes: c.ring.Nodes()}
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := c.peers[id]
+		ps := PeerStatus{
+			ID: p.id, URL: p.url, Down: p.down,
+			ConsecutiveFailures: p.fails,
+			Requests:            p.requests,
+			TransportErrors:     p.transportErrs,
+		}
+		if p.requests > 0 {
+			ps.MeanLatencyMS = float64(p.totalLatency) / float64(p.requests) / float64(time.Millisecond)
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	return st
+}
+
+func (c *Cluster) count(name string, delta int64) {
+	if c.opt.Counters != nil {
+		c.opt.Counters.Add(name, delta)
+	}
+}
+
+// peerURL resolves a peer's base URL.
+func (c *Cluster) peerURL(id string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[id]
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown peer %q", id)
+	}
+	return p.url, nil
+}
+
+// observe records one request's outcome against the peer's health and the
+// latency series. A transport failure (err != nil) counts toward the
+// consecutive-failure run; at the threshold the peer is marked down and
+// the ring rebuilt without it.
+func (c *Cluster) observe(id string, dur time.Duration, transportErr bool) {
+	if c.opt.Timings != nil {
+		c.opt.Timings.Observe("peer."+id, dur)
+	}
+	c.count("peer.requests", 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[id]
+	if !ok {
+		return
+	}
+	p.requests++
+	p.totalLatency += dur
+	if !transportErr {
+		p.fails = 0
+		return
+	}
+	p.transportErrs++
+	p.fails++
+	c.count("peer.transport_errors", 1)
+	if p.fails >= c.opt.FailureThreshold && !p.down {
+		p.down = true
+		p.downUntil = time.Now().Add(c.opt.Probation)
+		c.rebuildRingLocked()
+		c.count("peer.marked_down", 1)
+	}
+}
+
+// PostJSON POSTs a JSON body to a peer's path and decodes the JSON
+// response into out (which may be nil). A non-2xx status decodes the
+// peer's {"error": ...} body into a *PeerError; transport failures count
+// against the peer's health, application errors do not.
+func (c *Cluster) PostJSON(peer, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s request: %w", path, err)
+	}
+	url, err := c.peerURL(peer)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := c.client.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.observe(peer, time.Since(start), true)
+		return fmt.Errorf("cluster: peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		perr := &PeerError{Peer: peer, Status: resp.StatusCode}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
+			perr.Msg = eb.Error
+		}
+		c.observe(peer, time.Since(start), false)
+		return perr
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			// An unparsable success body means the peer is misbehaving at
+			// the protocol level; treat it like a transport failure so a
+			// wedged peer eventually leaves the ring.
+			c.observe(peer, time.Since(start), true)
+			return fmt.Errorf("cluster: peer %s: decode %s response: %w", peer, path, err)
+		}
+	}
+	c.observe(peer, time.Since(start), false)
+	return nil
+}
+
+// GetStream GETs a peer path and returns the raw response body stream for
+// the caller to consume and close — the castore object-transfer path. A
+// non-2xx status is returned as *PeerError with the body drained.
+func (c *Cluster) GetStream(peer, path string) (io.ReadCloser, error) {
+	url, err := c.peerURL(peer)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := c.client.Get(url + path)
+	if err != nil {
+		c.observe(peer, time.Since(start), true)
+		return nil, fmt.Errorf("cluster: peer %s: %w", peer, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		perr := &PeerError{Peer: peer, Status: resp.StatusCode}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
+			perr.Msg = eb.Error
+		}
+		resp.Body.Close()
+		c.observe(peer, time.Since(start), false)
+		return nil, perr
+	}
+	// Latency is observed at header time; the stream itself is the
+	// caller's to pace.
+	c.observe(peer, time.Since(start), false)
+	return resp.Body, nil
+}

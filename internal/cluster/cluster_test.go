@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+	"time"
+
+	"negativaml/internal/metrics"
+)
+
+func TestParsePeers(t *testing.T) {
+	m, err := ParsePeers("a=http://h1:8080, b=http://h2:8080 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["a"] != "http://h1:8080" || m["b"] != "http://h2:8080" {
+		t.Fatalf("parsed %v", m)
+	}
+	for _, bad := range []string{"", "justanode", "a=", "=url", "a=u,a=v"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNewDropsSelfEntry(t *testing.T) {
+	c := New("b", map[string]string{"a": "http://h1", "b": "http://h2", "c": "http://h3"}, Options{})
+	nodes := c.Nodes()
+	if len(nodes) != 3 || !slices.Contains(nodes, "b") {
+		t.Fatalf("ring nodes = %v", nodes)
+	}
+	if len(c.Stats().Peers) != 2 {
+		t.Fatalf("self must not be its own peer: %+v", c.Stats().Peers)
+	}
+}
+
+func TestOwnerSelfVsRemote(t *testing.T) {
+	c := New("a", map[string]string{"b": "http://h2"}, Options{})
+	sawSelf, sawRemote := false, false
+	for i := 0; i < 200 && !(sawSelf && sawRemote); i++ {
+		owner, remote := c.Owner(string(rune('a'+i%26)) + "key" + string(rune('0'+i%10)))
+		if remote {
+			if owner != "b" {
+				t.Fatalf("remote owner %q", owner)
+			}
+			sawRemote = true
+		} else {
+			if owner != "a" {
+				t.Fatalf("self owner %q", owner)
+			}
+			sawSelf = true
+		}
+	}
+	if !sawSelf || !sawRemote {
+		t.Fatal("2-node ring should split ownership")
+	}
+}
+
+// TestPeerFailureShrinksRingAndProbationReadmits drives the degradation
+// cycle: transport failures mark the peer down (ring shrinks to self),
+// probation expiry readmits it.
+func TestPeerFailureShrinksRingAndProbationReadmits(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	// An address nothing listens on: every request is a transport error.
+	c := New("a", map[string]string{"b": "http://127.0.0.1:1"}, Options{
+		FailureThreshold: 2,
+		Probation:        50 * time.Millisecond,
+		Timeout:          200 * time.Millisecond,
+		Counters:         counters,
+	})
+	for i := 0; i < 2; i++ {
+		if err := c.PostJSON("b", "/x", map[string]int{}, nil); err == nil {
+			t.Fatal("expected transport error")
+		}
+	}
+	if nodes := c.Nodes(); len(nodes) != 1 || nodes[0] != "a" {
+		t.Fatalf("ring should have shrunk to self, got %v", nodes)
+	}
+	st := c.Stats()
+	if !st.Peers[0].Down || st.Peers[0].TransportErrors != 2 {
+		t.Fatalf("peer status %+v", st.Peers[0])
+	}
+	if counters.Get("peer.marked_down") != 1 {
+		t.Fatalf("marked_down = %d", counters.Get("peer.marked_down"))
+	}
+	// Before probation expires every key is self-owned.
+	if owner, remote := c.Owner("anything"); remote || owner != "a" {
+		t.Fatalf("downed peer still owns keys: %s", owner)
+	}
+	time.Sleep(60 * time.Millisecond)
+	c.Owner("poke") // readmission happens on lookup
+	if nodes := c.Nodes(); len(nodes) != 2 {
+		t.Fatalf("peer not readmitted after probation: %v", nodes)
+	}
+	if counters.Get("peer.readmitted") != 1 {
+		t.Fatalf("readmitted = %d", counters.Get("peer.readmitted"))
+	}
+}
+
+// TestPostJSONAppErrorDoesNotCountAgainstHealth: a peer answering 4xx is
+// alive — it must stay on the ring.
+func TestPostJSONAppErrorDoesNotCountAgainstHealth(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]string{"error": "nope"})
+	}))
+	defer srv.Close()
+	c := New("a", map[string]string{"b": srv.URL}, Options{FailureThreshold: 1})
+	err := c.PostJSON("b", "/x", map[string]int{}, nil)
+	perr, ok := err.(*PeerError)
+	if !ok || perr.Status != http.StatusConflict || perr.Msg != "nope" {
+		t.Fatalf("err = %v", err)
+	}
+	if nodes := c.Nodes(); len(nodes) != 2 {
+		t.Fatalf("app error shrank the ring: %v", nodes)
+	}
+}
+
+func TestPostJSONRoundTripAndLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in map[string]int
+		json.NewDecoder(r.Body).Decode(&in)
+		json.NewEncoder(w).Encode(map[string]int{"echo": in["v"] + 1})
+	}))
+	defer srv.Close()
+	timings := metrics.NewTimingSet()
+	c := New("a", map[string]string{"b": srv.URL}, Options{Timings: timings})
+	var out map[string]int
+	if err := c.PostJSON("b", "/x", map[string]int{"v": 41}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["echo"] != 42 {
+		t.Fatalf("out = %v", out)
+	}
+	if timings.Summary("peer.b").N != 1 {
+		t.Fatal("per-peer latency not observed")
+	}
+	if st := c.Stats(); st.Peers[0].Requests != 1 || st.Peers[0].MeanLatencyMS <= 0 {
+		t.Fatalf("peer stats %+v", st.Peers[0])
+	}
+	if err := c.PostJSON("ghost", "/x", nil, nil); err == nil {
+		t.Fatal("unknown peer must error")
+	}
+}
+
+func TestGetStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no such object"})
+			return
+		}
+		w.Write([]byte("payload-bytes"))
+	}))
+	defer srv.Close()
+	c := New("a", map[string]string{"b": srv.URL}, Options{})
+	rc, err := c.GetStream("b", "/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _ := rc.Read(buf)
+	rc.Close()
+	if string(buf[:n]) != "payload-bytes" {
+		t.Fatalf("stream read %q", buf[:n])
+	}
+	if _, err := c.GetStream("b", "/missing"); err == nil {
+		t.Fatal("missing object must error")
+	} else if perr, ok := err.(*PeerError); !ok || perr.Status != 404 {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+// Package cluster shards the batch-debloat serving plane across dserve
+// peers with a consistent-hash ring keyed by stage content keys.
+//
+// # Why content keys shard well
+//
+// Every expensive stage of the analysis pipeline (detect, locate, compact)
+// already has a content-derived cache key (internal/negativa stage keys),
+// and every stage value is immutable once computed. Hashing those keys
+// onto a ring gives each stage exactly one owning node, which makes the
+// owner's memo the cluster-wide point of reuse: any node may accept a
+// batch, but a stage is executed — and memoized — on its owning shard, so
+// N nodes share one logical cache without coordination, invalidation, or
+// consensus. Replication happens by demand: a node that reads a stage
+// value through its owner keeps a local copy (memory + castore), so hot
+// artifacts migrate toward the traffic that wants them.
+//
+// # What this package provides
+//
+//   - Ring: an immutable consistent-hash ring (virtual nodes, 64-bit
+//     SHA-256 positions). Membership changes build a new ring; lookups are
+//     lock-free.
+//   - Cluster: live membership over a Ring — self plus a fixed peer set —
+//     with per-peer health tracking and the HTTP transport the serving
+//     plane's peer tier uses (PostJSON for stage lookups and remote
+//     execution, GetStream for castore object transfer).
+//
+// # Failure model
+//
+// There is no gossip or heartbeat plane; health is observed from the
+// requests the serving plane was making anyway. A peer that fails
+// FailureThreshold consecutive transport-level requests is marked down and
+// the ring shrinks around it — its keys redistribute to the survivors, and
+// stages whose owner is unreachable simply fall back to local compute
+// (correctness never depends on a peer; the peer tier is an optimization
+// layered over a node that is fully capable alone). After a probation
+// period the next ownership lookup readmits the peer for another try.
+// Application-level errors (4xx/5xx with a JSON error body) do not count
+// against health: the peer is alive, the request was just refused.
+//
+// The serving-plane integration — the /v1/peer/* routes, the three-tier
+// stage memo (memory → castore → owning peer), and the peer.* metrics —
+// lives in internal/dserve.
+package cluster

@@ -1,0 +1,13 @@
+// Package cubin implements a CUDA-binary-like kernel container.
+//
+// A cubin holds the compiled device code for a set of kernels that were
+// compiled together. The format here is a compact, fully specified stand-in
+// for NVIDIA's (undocumented) cubin ELF: a fixed header, a kernel table, an
+// intra-cubin call table, a string table, and a code blob.
+//
+// The property the debloater relies on (paper §3.2) is structural: if kernel
+// A launches kernel B from device code, A and B were compiled into the same
+// cubin. The builder in this package enforces that invariant — call-graph
+// edges can only reference kernels within the same cubin — so retaining a
+// whole cubin retains every kernel call graph rooted in it.
+package cubin

@@ -1,0 +1,16 @@
+// Package cudasim simulates the CUDA driver stack the paper's tool observes:
+// devices, contexts, module loading from .nv_fatbin sections (eager and lazy
+// kernel loading modes), cuModuleGetFunction, kernel launches with
+// device-side child launches, plus CPU/GPU memory accounting and a virtual
+// clock.
+//
+// Two behaviours of the real driver are load-bearing for the paper and are
+// reproduced exactly:
+//
+//  1. Only fatbin elements whose compute-capability matches the device
+//     architecture can ever be loaded into GPU memory (§3.2) — elements for
+//     other architectures are dead weight (Reason I bloat).
+//  2. cuModuleGetFunction receives the kernel name and is invoked once per
+//     kernel, no matter how many times the kernel is launched (§3.1). Child
+//     (GPU-launching) kernels never pass through it.
+package cudasim

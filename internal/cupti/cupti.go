@@ -1,19 +1,3 @@
-// Package cupti provides a CUPTI-like callback interface over the simulated
-// CUDA driver.
-//
-// NVIDIA's CUPTI lets tools subscribe to driver API callback sites. The
-// paper's kernel detector (§3.1) is a CUPTI hook on cuModuleGetFunction:
-// that driver function receives the kernel name and is called once per
-// kernel regardless of how many times the kernel later launches, which makes
-// it the ideal once-per-kernel detection point. Profilers like NSys instead
-// record every kernel launch, which is why their overhead is much higher
-// (§4.6).
-//
-// Attaching any subscriber enables driver-wide instrumentation: every driver
-// API call pays a small instrumentation cost, and each delivered callback
-// pays the subscriber's per-record cost. Both costs are charged to the
-// simulated clock by the driver, so tracing overhead is an emergent,
-// measurable quantity.
 package cupti
 
 import "time"

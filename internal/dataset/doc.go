@@ -1,0 +1,6 @@
+// Package dataset provides synthetic stand-ins for the datasets of Table 1:
+// CIFAR10, Multi30k, WMT14, and the manual LLM prompts. The debloater never
+// looks at data content — only iteration counts and working-set sizes affect
+// the simulation — so each dataset is its cardinality plus a deterministic
+// item-digest function used for output verification.
+package dataset

@@ -1,0 +1,298 @@
+package dserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"negativaml/internal/mlframework"
+	"negativaml/internal/negativa"
+)
+
+// docBlock is one annotated JSON example from docs/API.md.
+type docBlock struct {
+	json   []byte
+	subset bool
+}
+
+var apidocMarker = regexp.MustCompile(`<!--\s*apidoc:\s*([a-z0-9-]+)\s+(request|response)(\s+subset)?\s*-->`)
+
+// parseAPIDoc extracts every `<!-- apidoc: <id> <request|response>
+// [subset] -->`-annotated JSON fence from docs/API.md.
+func parseAPIDoc(t *testing.T) map[string]docBlock {
+	t.Helper()
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist: %v", err)
+	}
+	blocks := map[string]docBlock{}
+	lines := strings.Split(string(raw), "\n")
+	for i := 0; i < len(lines); i++ {
+		m := apidocMarker.FindStringSubmatch(lines[i])
+		if m == nil {
+			continue
+		}
+		key := m[1] + " " + m[2]
+		subset := strings.TrimSpace(m[3]) == "subset"
+		// Find the fenced json block that follows the marker.
+		j := i + 1
+		for j < len(lines) && strings.TrimSpace(lines[j]) == "" {
+			j++
+		}
+		if j >= len(lines) || strings.TrimSpace(lines[j]) != "```json" {
+			t.Fatalf("docs/API.md: marker %q is not followed by a ```json fence", key)
+		}
+		var body []string
+		for j++; j < len(lines) && strings.TrimSpace(lines[j]) != "```"; j++ {
+			body = append(body, lines[j])
+		}
+		if _, dup := blocks[key]; dup {
+			t.Fatalf("docs/API.md: duplicate apidoc block %q", key)
+		}
+		blocks[key] = docBlock{json: []byte(strings.Join(body, "\n")), subset: subset}
+		i = j
+	}
+	return blocks
+}
+
+func jsonTypeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	default:
+		return "null"
+	}
+}
+
+// shapeDiff structurally compares a documented example against a live
+// payload: every documented key must exist in the live value with the same
+// JSON type, recursing into objects and first array elements; unless
+// subset, every live key must be documented too. null acts as a wildcard.
+func shapeDiff(path string, doc, live any, subset bool, probs *[]string) {
+	if doc == nil || live == nil {
+		return
+	}
+	switch d := doc.(type) {
+	case map[string]any:
+		l, ok := live.(map[string]any)
+		if !ok {
+			*probs = append(*probs, fmt.Sprintf("%s: documented as object, live is %s", path, jsonTypeName(live)))
+			return
+		}
+		for k, dv := range d {
+			lv, ok := l[k]
+			if !ok {
+				*probs = append(*probs, fmt.Sprintf("%s.%s: documented but absent from the live response", path, k))
+				continue
+			}
+			shapeDiff(path+"."+k, dv, lv, subset, probs)
+		}
+		if !subset {
+			for k := range l {
+				if _, ok := d[k]; !ok {
+					*probs = append(*probs, fmt.Sprintf("%s.%s: present in the live response but undocumented", path, k))
+				}
+			}
+		}
+	case []any:
+		l, ok := live.([]any)
+		if !ok {
+			*probs = append(*probs, fmt.Sprintf("%s: documented as array, live is %s", path, jsonTypeName(live)))
+			return
+		}
+		if len(d) > 0 && len(l) > 0 {
+			shapeDiff(path+"[0]", d[0], l[0], subset, probs)
+		}
+	default:
+		if dt, lt := jsonTypeName(doc), jsonTypeName(live); dt != lt {
+			*probs = append(*probs, fmt.Sprintf("%s: documented as %s, live is %s", path, dt, lt))
+		}
+	}
+}
+
+// TestAPIDocExamples keeps docs/API.md honest: every request example is
+// replayed verbatim against a live two-node service, every response
+// example is shape-compared against what the service actually returned,
+// and both directions of completeness are enforced — an undocumented
+// scenario fails, and so does a documented example the test does not
+// exercise.
+func TestAPIDocExamples(t *testing.T) {
+	blocks := parseAPIDoc(t)
+	nodes := startCluster(t, "a", "b")
+	defer func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	}()
+	a := nodes["a"]
+	actual := map[string][]byte{}
+
+	httpJSON := func(method, path string, body []byte, wantStatus int) []byte {
+		t.Helper()
+		req, err := http.NewRequest(method, a.srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, wantStatus, out)
+		}
+		return out
+	}
+
+	// ---- error shape ----
+	actual["error response"] = httpJSON(http.MethodGet, "/v1/jobs/job-9999", nil, http.StatusNotFound)
+
+	// ---- submit + poll ----
+	submitReq, ok := blocks["submit request"]
+	if !ok {
+		t.Fatal("docs/API.md lacks the submit request example")
+	}
+	actual["submit request"] = submitReq.json
+	sub := httpJSON(http.MethodPost, "/v1/jobs", submitReq.json, http.StatusAccepted)
+	actual["submit response"] = sub
+	var st jobStatus
+	if err := json.Unmarshal(sub, &st); err != nil {
+		t.Fatal(err)
+	}
+	done := pollDone(t, a.srv, st.ID)
+	if done.State != JobDone {
+		t.Fatalf("doc-example job failed: %s", done.Error)
+	}
+
+	actual["job-status response"] = httpJSON(http.MethodGet, "/v1/jobs/"+st.ID, nil, http.StatusOK)
+	actual["jobs-list response"] = httpJSON(http.MethodGet, "/v1/jobs", nil, http.StatusOK)
+	actual["job-report response"] = httpJSON(http.MethodGet, "/v1/jobs/"+st.ID+"/report", nil, http.StatusOK)
+
+	// ---- incremental re-submit ----
+	incReq, ok := blocks["submit-incremental request"]
+	if !ok {
+		t.Fatal("docs/API.md lacks the submit-incremental request example")
+	}
+	actual["submit-incremental request"] = incReq.json
+	incSub := httpJSON(http.MethodPost, "/v1/submit", incReq.json, http.StatusAccepted)
+	actual["submit-incremental response"] = incSub
+	var incSt jobStatus
+	if err := json.Unmarshal(incSub, &incSt); err != nil {
+		t.Fatal(err)
+	}
+	if incDone := pollDone(t, a.srv, incSt.ID); incDone.State != JobDone {
+		t.Fatalf("doc-example incremental job failed: %s", incDone.Error)
+	}
+	actual["incremental-report response"] = httpJSON(http.MethodGet, "/v1/jobs/"+incSt.ID+"/report", nil, http.StatusOK)
+
+	// ---- metrics + store ----
+	actual["metrics response"] = httpJSON(http.MethodGet, "/v1/metrics", nil, http.StatusOK)
+	actual["store response"] = httpJSON(http.MethodGet, "/v1/store", nil, http.StatusOK)
+
+	// ---- peer routes ----
+	lookupReq, ok := blocks["peer-lookup request"]
+	if !ok {
+		t.Fatal("docs/API.md lacks the peer-lookup request example")
+	}
+	actual["peer-lookup request"] = lookupReq.json
+	actual["peer-lookup response"] = httpJSON(http.MethodPost, "/v1/peer/lookup", lookupReq.json, http.StatusOK)
+
+	// peer-detect and peer-compact need content-correct inputs (the server
+	// verifies fingerprints and stage keys), so the test builds the real
+	// request and the doc example is shape-checked against what was sent.
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkloadSpec{Model: "MobileNetV2", Batch: 1}
+	wl, err := spec.Workload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detReq, err := json.Marshal(peerDetectRequest{
+		InstallFP: InstallFingerprint(in),
+		Identity:  WorkloadIdentity(wl, 2),
+		Framework: "pytorch", TailLibs: 6, MaxSteps: 2, Spec: spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-detect request"] = detReq
+	actual["peer-detect response"] = httpJSON(http.MethodPost, "/v1/peer/detect", detReq, http.StatusOK)
+
+	profile, err := negativa.DetectUsage(wl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libName := "libtorch_cuda.so"
+	lib := in.Library(libName)
+	archs := negativa.DeviceArchs(wl.Devices)
+	key := negativa.CompactKey(negativa.LocateKey(lib, profile.UsedFuncs[libName], profile.UsedKernels[libName], archs))
+	compactReq := peerCompactRequest{
+		Key: key.Hash, LibName: libName, LibDigest: digestHex(lib), Lib: lib.Data,
+		UsedFuncs: profile.UsedFuncs[libName], UsedKernels: profile.UsedKernels[libName],
+	}
+	for _, ar := range archs {
+		compactReq.Archs = append(compactReq.Archs, uint32(ar))
+	}
+	compactBody, err := json.Marshal(compactReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-compact request"] = compactBody
+	actual["peer-compact response"] = httpJSON(http.MethodPost, "/v1/peer/compact", compactBody, http.StatusOK)
+
+	// ---- shape comparison, both completeness directions ----
+	var keys []string
+	for k := range actual {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var problems []string
+	for _, k := range keys {
+		blk, ok := blocks[k]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: exercised by the test but has no apidoc example in docs/API.md", k))
+			continue
+		}
+		var docV, liveV any
+		if err := json.Unmarshal(blk.json, &docV); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: example is not valid JSON: %v", k, err))
+			continue
+		}
+		if err := json.Unmarshal(actual[k], &liveV); err != nil {
+			t.Fatalf("%s: live payload is not valid JSON: %v", k, err)
+		}
+		shapeDiff(k, docV, liveV, blk.subset, &problems)
+	}
+	for k := range blocks {
+		if _, ok := actual[k]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: documented in docs/API.md but not exercised by this test", k))
+		}
+	}
+	if len(problems) > 0 {
+		t.Fatalf("docs/API.md is out of sync with the live API:\n  %s", strings.Join(problems, "\n  "))
+	}
+}

@@ -144,6 +144,15 @@ func (c *ResultCache) GetOrLoad(key string, lib *elfx.Library) (*negativa.LibDeb
 	if ld, ok := c.Get(key); ok {
 		return ld, true
 	}
+	return c.LoadStored(key, lib)
+}
+
+// LoadStored is the disk tier alone: the attached store's persisted range
+// set is decoded against the caller's live library and promoted into the
+// memory tier. Callers that need to distinguish memory hits from disk
+// restores (the stage memo's source attribution) call Get then LoadStored;
+// everyone else uses GetOrLoad.
+func (c *ResultCache) LoadStored(key string, lib *elfx.Library) (*negativa.LibDebloat, bool) {
 	c.mu.Lock()
 	st := c.store
 	c.mu.Unlock()

@@ -1,0 +1,204 @@
+package dserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
+)
+
+// testNode is one in-process cluster member: a full service with its own
+// castore behind a real HTTP server.
+type testNode struct {
+	id    string
+	svc   *Service
+	srv   *httptest.Server
+	store *castore.Store
+}
+
+func (n *testNode) close() {
+	n.srv.Close()
+	n.svc.Close()
+	n.store.Close()
+}
+
+// startCluster boots `ids` nodes, each with its own data dir and HTTP
+// server, then joins them into one ring. Probation is effectively infinite
+// so a killed node stays dead for the test's duration.
+func startCluster(t *testing.T, ids ...string) map[string]*testNode {
+	t.Helper()
+	nodes := map[string]*testNode{}
+	urls := map[string]string{}
+	for _, id := range ids {
+		st, err := castore.Open(t.TempDir(), castore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := NewService(Config{Workers: 4, MaxSteps: 2, Store: st})
+		srv := httptest.NewServer(NewHandler(svc))
+		nodes[id] = &testNode{id: id, svc: svc, srv: srv, store: st}
+		urls[id] = srv.URL
+	}
+	for _, n := range nodes {
+		c := cluster.New(n.id, urls, cluster.Options{
+			Counters:         n.svc.Counters,
+			Timings:          n.svc.Timings,
+			FailureThreshold: 1,
+			Probation:        time.Hour,
+			Timeout:          30 * time.Second,
+		})
+		n.svc.AttachCluster(c)
+	}
+	return nodes
+}
+
+func fetchPeerJobLib(t *testing.T, srv *httptest.Server, jobID, name string) []byte {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + jobID + "/libs/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch %s/%s: status %d", jobID, name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestClusterThreeNodeE2E is the sharded serving plane's acceptance test:
+//
+//  1. Node A computes a batch — its stages execute on (and are memoized
+//     by) their owning shards across the ring.
+//  2. The same batch submitted to node B completes without any local
+//     locate/compact (analysis.computed delta 0): everything arrives
+//     through the peer tier or B's own shard-resident memo, and every
+//     fetched library is byte-identical to A's.
+//  3. Killing node C mid-run still completes batches: the ring shrinks
+//     and C-owned stages fall back (peer.fallbacks > 0).
+func TestClusterThreeNodeE2E(t *testing.T) {
+	nodes := startCluster(t, "a", "b", "c")
+	defer func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	}()
+	a, b, c := nodes["a"], nodes["b"], nodes["c"]
+
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  10,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+			{Model: "Transformer", Batch: 32, Device: "A100"},
+		},
+		MaxSteps: 2,
+	}
+
+	// ---- Phase 1: node A computes the batch across the ring ----
+	stA := postJob(t, a.srv, req)
+	doneA := pollDone(t, a.srv, stA.ID)
+	if doneA.State != JobDone {
+		t.Fatalf("node A job failed: %s", doneA.Error)
+	}
+	if doneA.Verified == nil || !*doneA.Verified {
+		t.Fatal("node A batch must verify")
+	}
+	// With ~14 stage keys over 3 nodes, A almost surely routed some stages
+	// to B or C — meaning those shards executed and memoized them.
+	remoteExecs := a.svc.Counters.Get("peer.remote_execs")
+	served := b.svc.Counters.Get("peer.served_compacts") + c.svc.Counters.Get("peer.served_compacts") +
+		b.svc.Counters.Get("peer.served_detects") + c.svc.Counters.Get("peer.served_detects")
+	if remoteExecs == 0 || served == 0 {
+		t.Fatalf("node A should have executed stages on owning shards: remote_execs=%d served=%d", remoteExecs, served)
+	}
+
+	var repA jobReport
+	if code := getJSON(t, a.srv.URL+"/v1/jobs/"+stA.ID+"/report", &repA); code != http.StatusOK {
+		t.Fatalf("node A report status %d", code)
+	}
+
+	// ---- Phase 2: the same batch on node B is pure reuse ----
+	analysisBefore := b.svc.Counters.Get("analysis.computed")
+	stB := postJob(t, b.srv, req)
+	doneB := pollDone(t, b.srv, stB.ID)
+	if doneB.State != JobDone {
+		t.Fatalf("node B job failed: %s", doneB.Error)
+	}
+	if doneB.Verified == nil || !*doneB.Verified {
+		t.Fatal("node B batch must verify")
+	}
+	if delta := b.svc.Counters.Get("analysis.computed") - analysisBefore; delta != 0 {
+		t.Fatalf("node B ran locate/compact %d times locally; the cluster should have absorbed all of it", delta)
+	}
+	if hits := b.svc.Counters.Get("peer.hits"); hits == 0 {
+		t.Fatal("node B should have read stages through their owning peers")
+	}
+	// Read-through replicates toward demand: peer-served compact results
+	// were spilled into B's own castore.
+	if b.store.Stats().Puts == 0 {
+		t.Fatal("peer-served results should have been written into node B's castore")
+	}
+
+	// Byte-identical libraries from both nodes' jobs.
+	var repB jobReport
+	if code := getJSON(t, b.srv.URL+"/v1/jobs/"+stB.ID+"/report", &repB); code != http.StatusOK {
+		t.Fatalf("node B report status %d", code)
+	}
+	if len(repB.Libs) != len(repA.Libs) {
+		t.Fatalf("lib count mismatch: A=%d B=%d", len(repA.Libs), len(repB.Libs))
+	}
+	for _, lr := range repA.Libs {
+		la := fetchPeerJobLib(t, a.srv, stA.ID, lr.Name)
+		lb := fetchPeerJobLib(t, b.srv, stB.ID, lr.Name)
+		if string(la) != string(lb) {
+			t.Fatalf("library %s differs between nodes A and B", lr.Name)
+		}
+	}
+
+	// ---- Phase 3: kill node C; the ring degrades gracefully ----
+	c.srv.Close()
+	freshReq := JobRequest{
+		Framework: "tensorflow", // a fresh install: every stage key is new
+		TailLibs:  10,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Train: true, Batch: 128, Epochs: 1},
+		},
+		MaxSteps: 2,
+	}
+	stA2 := postJob(t, a.srv, freshReq)
+	doneA2 := pollDone(t, a.srv, stA2.ID)
+	if doneA2.State != JobDone {
+		t.Fatalf("batch after killing node C failed: %s", doneA2.Error)
+	}
+	if doneA2.Verified == nil || !*doneA2.Verified {
+		t.Fatal("degraded batch must still verify")
+	}
+	if fallbacks := a.svc.Counters.Get("peer.fallbacks"); fallbacks == 0 {
+		t.Fatal("killing node C should have forced local fallbacks on node A")
+	}
+	// The ring shrank around the dead node.
+	if n := len(a.svc.Cluster().Nodes()); n != 2 {
+		t.Fatalf("node A's ring should have shrunk to 2 nodes, has %d", n)
+	}
+
+	// A second degraded submit exercises the shrunken ring: C-owned keys
+	// now route to the survivors (or self) without touching C.
+	transportErrs := a.svc.Counters.Get("peer.transport_errors")
+	stA3 := postJob(t, a.srv, freshReq)
+	if doneA3 := pollDone(t, a.srv, stA3.ID); doneA3.State != JobDone {
+		t.Fatalf("repeat degraded batch failed: %s", doneA3.Error)
+	}
+	if got := a.svc.Counters.Get("peer.transport_errors"); got != transportErrs {
+		t.Fatalf("shrunken ring still routed %d requests to the dead node", got-transportErrs)
+	}
+}

@@ -36,7 +36,8 @@
 // running the node, so a key already computed by any prior batch — or any
 // prior boot — absorbs the work.
 //
-// The stage memo (StageMemo) tiers memory → disk per stage:
+// The stage memo (StageMemo) tiers memory → disk → owning cluster peer
+// per stage:
 //
 //   - detect → the profile Registry: (install fingerprint, workload
 //     identity) entries in memory, snapshotted to the content-addressed
@@ -56,8 +57,33 @@
 // re-validates what the service hands out. Only an explicit incremental
 // re-submit carries verification outcomes over (next section).
 //
-// Per-stage hit/miss counters (stage.<name>.hits / .misses) and timings
-// feed /v1/metrics' stages section.
+// Per-stage hit/miss counters (stage.<name>.hits / .misses, with
+// .disk_hits / .peer_hits tier attribution) and timings feed /v1/metrics'
+// stages section.
+//
+// # Sharding
+//
+// With a cluster attached (AttachCluster, fed by negativa-served's
+// -peers/-node-id flags), the stage content keys double as the sharding
+// unit: a consistent-hash ring (internal/cluster) assigns each detect and
+// compact key one owning node, and the stage memo gains a third tier. Any
+// node accepts any batch; a stage whose owner is a peer is first looked
+// up there (POST /v1/peer/lookup — the read-through path) and, on a miss,
+// executed there (POST /v1/peer/detect with the workload spec, POST
+// /v1/peer/compact with the library image inline), so the owning shard
+// memoizes what it executed and the whole cluster shares one logical
+// cache. Peer-served values are written into the local tiers — memory,
+// and the castore when attached — so hot artifacts replicate toward
+// demand; GET /v1/peer/objects/{kind}/{key} additionally streams raw
+// castore objects in their integrity-framed wire format. Locate needs no
+// peer tier: its memoized value is a lazy handle that only resolves under
+// a compact miss, and compact misses route to the owner.
+//
+// Every peer failure degrades gracefully — transport errors shrink the
+// ring around the dead node and the stage computes locally; correctness
+// never depends on a peer. /v1/metrics gains a peer section
+// (hits/misses/fallbacks/remote_execs plus per-peer health) and per-peer
+// latency timings. docs/ARCHITECTURE.md draws the full picture.
 //
 // # Incremental re-submit
 //

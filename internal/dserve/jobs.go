@@ -285,7 +285,14 @@ func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
 			return nil, fmt.Errorf("dserve: workload %d: %w", i, err)
 		}
 	}
-	opt := BatchOptions{MaxSteps: req.MaxSteps, SkipVerify: req.SkipVerify}
+	opt := BatchOptions{
+		MaxSteps:   req.MaxSteps,
+		SkipVerify: req.SkipVerify,
+		// The request's specs ride along so the cluster tier can execute
+		// detect stages on their owning shard (the shard regenerates the
+		// install from framework/tail_libs).
+		Specs: &BatchSpecs{Framework: req.Framework, TailLibs: req.TailLibs, Workloads: req.Workloads},
+	}
 	if req.Base != "" {
 		// The base has been pinned since Submit accepted the request, so
 		// eviction cannot have released it or the store objects its stage

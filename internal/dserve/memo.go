@@ -4,7 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"negativaml/internal/elfx"
+	"negativaml/internal/cluster"
 	"negativaml/internal/metrics"
 	"negativaml/internal/negativa"
 	"negativaml/internal/plan"
@@ -51,26 +51,43 @@ func (b *boundedMemo) getOK(key any, compute func() (any, bool)) any {
 }
 
 // StageMemo is the serving plane's per-stage memoization behind the plan
-// scheduler: one plan.Memo that routes each stage's content key to its
-// tier.
+// scheduler: one plan.Memo that routes each stage's content key through up
+// to three tiers — local memory, local disk, owning cluster peer.
 //
 //   - detect → the profile Registry: memory entries keyed by (install
 //     fingerprint, workload identity) recovered from the composite stage
-//     hash, with on-disk profile snapshots replayed at boot.
-//   - compact → the ResultCache: byte-bounded memory plus the
-//     content-addressed store's disk tier, decoding persisted range sets
-//     against the node's live library hint.
+//     hash, with on-disk profile snapshots replayed at boot. With a
+//     cluster attached, a registry miss consults the stage's owning peer
+//     (read-through, or remote execution when the batch carried its
+//     workload spec).
+//   - compact → the ResultCache: byte-bounded memory, then the
+//     content-addressed store's disk tier (persisted range sets decoded
+//     against the node's live library hint), then the owning peer. A
+//     peer-served result is Put back into the local cache — which spills
+//     it into the local castore — so hot artifacts replicate toward the
+//     demand that reads them.
 //   - every other stage (lib-index, locate, the capped reference run) →
-//     a bounded in-memory memo with singleflight compute dedup.
+//     a bounded in-memory memo with singleflight compute dedup. Locate
+//     needs no peer tier of its own: its memoized value is a lazy handle
+//     that only resolves under a compact miss, and compact misses route
+//     to the owner — so location effectively executes on the owning shard
+//     too.
 //
-// The registry and cache tiers tolerate concurrent duplicate computes of
-// one key (both writers store identical content — the same benign race the
-// pre-stage-graph service had); the memory tier collapses them outright.
+// Every peer-tier failure (transport error, downed owner, undecodable
+// payload) falls back to local compute: the cluster is an optimization
+// over a node that is fully capable alone, and correctness never depends
+// on a peer. The registry and cache tiers tolerate concurrent duplicate
+// computes of one key (both writers store identical content — the same
+// benign race the pre-stage-graph service had); the memory tier collapses
+// them outright.
 type StageMemo struct {
 	registry *Registry
 	cache    *ResultCache
 	mem      *plan.MemMemo
 	counters *metrics.CounterSet
+	// cluster, when non-nil, adds the owning-peer tier to detect and
+	// compact lookups.
+	cluster *cluster.Cluster
 }
 
 // NewStageMemo wires the service's reuse layers into one stage memo.
@@ -85,8 +102,28 @@ func NewStageMemo(registry *Registry, cache *ResultCache, counters *metrics.Coun
 	}
 }
 
+// AttachCluster adds the owning-peer tier. Call before serving; the memo
+// never detaches a cluster.
+func (m *StageMemo) AttachCluster(c *cluster.Cluster) { m.cluster = c }
+
+// owner returns the peer owning a stage key, when that peer is not this
+// node.
+func (m *StageMemo) owner(key plan.Key) (string, bool) {
+	if m.cluster == nil {
+		return "", false
+	}
+	return m.cluster.Owner(key.String())
+}
+
 // GetOrCompute implements plan.Memo.
 func (m *StageMemo) GetOrCompute(key plan.Key, hint any, compute func() (any, error)) (any, bool, error) {
+	v, src, err := m.GetOrComputeSourced(key, hint, compute)
+	return v, src.Hit(), err
+}
+
+// GetOrComputeSourced implements plan.SourcedMemo, attributing each value
+// to the tier that produced it.
+func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (any, error)) (any, plan.Source, error) {
 	switch key.Stage {
 	case negativa.StageDetect:
 		fp, wid, ok := negativa.SplitDetectHash(key.Hash)
@@ -96,28 +133,52 @@ func (m *StageMemo) GetOrCompute(key plan.Key, hint any, compute func() (any, er
 		pk := ProfileKey{Install: fp, Workload: wid}
 		if p, ok := m.registry.Get(pk); ok {
 			m.count("registry.hits")
-			return p, true, nil
+			return p, plan.SourceMemory, nil
+		}
+		if owner, remote := m.owner(key); remote {
+			dh, _ := hint.(*detectHint)
+			if p, ok := m.peerDetect(owner, key.Hash, dh); ok {
+				m.registry.Put(pk, p)
+				return p, plan.SourcePeer, nil
+			}
 		}
 		v, err := compute()
 		if err != nil {
-			return nil, false, err
+			return nil, plan.SourceComputed, err
 		}
 		m.registry.Put(pk, v.(*negativa.Profile))
 		m.count("registry.misses")
-		return v, false, nil
+		return v, plan.SourceComputed, nil
 	case negativa.StageCompact:
-		lib, _ := hint.(*elfx.Library)
-		if ld, ok := m.cache.GetOrLoad(key.Hash, lib); ok {
-			return ld, true, nil
+		lib, ch := compactHintOf(hint)
+		if ld, ok := m.cache.Get(key.Hash); ok {
+			return ld, plan.SourceMemory, nil
+		}
+		if ld, ok := m.cache.LoadStored(key.Hash, lib); ok {
+			return ld, plan.SourceDisk, nil
+		}
+		if owner, remote := m.owner(key); remote && lib != nil {
+			if ld, ok := m.peerCompact(owner, key.Hash, lib, ch); ok {
+				// Replicate toward demand: the local Put spills the result
+				// into this node's castore, so the next miss here is a disk
+				// hit, not another network hop.
+				m.cache.Put(key.Hash, ld)
+				return ld, plan.SourcePeer, nil
+			}
 		}
 		v, err := compute()
 		if err != nil {
-			return nil, false, err
+			return nil, plan.SourceComputed, err
 		}
 		m.cache.Put(key.Hash, v.(*negativa.LibDebloat))
-		return v, false, nil
+		return v, plan.SourceComputed, nil
 	}
-	return m.mem.GetOrCompute(key, hint, compute)
+	v, hit, err := m.mem.GetOrCompute(key, hint, compute)
+	src := plan.SourceComputed
+	if hit {
+		src = plan.SourceMemory
+	}
+	return v, src, err
 }
 
 func (m *StageMemo) count(name string) {

@@ -1,0 +1,492 @@
+package dserve
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
+	"negativaml/internal/elfx"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/negativa"
+)
+
+// The peer wire protocol. Every route lives under /v1/peer/ and is spoken
+// only between dserve nodes of one cluster:
+//
+//	POST /v1/peer/lookup                 read-through: return an already-
+//	                                     memoized stage value by content key
+//	POST /v1/peer/detect                 execute a detect stage on its
+//	                                     owning shard (registry-memoized)
+//	POST /v1/peer/compact                execute a locate+compact stage on
+//	                                     its owning shard (cache-memoized)
+//	GET  /v1/peer/objects/{kind}/{key}   stream one castore object in its
+//	                                     integrity-framed wire format
+//
+// Compact lookups are cheap (no payloads shipped on a miss), so the
+// requester probes before escalating to remote execution, which carries
+// the library image inline; detect requests are small either way, so a
+// hinted requester goes straight to the execute route (which starts with
+// the owner's registry probe). Responses hand back the same durable forms the
+// castore disk tier uses (storedResult JSON + encoded sparse range set),
+// which the requester decodes against its own live library — the
+// digest-bound sparse codec makes a mismatched or corrupted payload a
+// decode error, never a wrong image.
+
+// peerLookupRequest asks a peer for a stage value it may have memoized.
+type peerLookupRequest struct {
+	Stage string `json:"stage"`
+	Hash  string `json:"hash"`
+}
+
+// peerLookupResponse carries the stage value when found: a detection
+// profile for detect stages, a stored result + encoded sparse range set
+// for compact stages.
+type peerLookupResponse struct {
+	Found   bool              `json:"found"`
+	Profile *negativa.Profile `json:"profile,omitempty"`
+	Result  *storedResult     `json:"result,omitempty"`
+	Sparse  []byte            `json:"sparse,omitempty"`
+}
+
+// peerDetectRequest executes one detect stage on its owning shard. The
+// spec (plus framework and tail-libs) is everything the owner needs to
+// regenerate the install — installs are deterministic functions of their
+// config — and the fingerprint pins the request to the bytes the requester
+// actually holds.
+type peerDetectRequest struct {
+	InstallFP string       `json:"install_fp"`
+	Identity  string       `json:"identity"`
+	Framework string       `json:"framework"`
+	TailLibs  int          `json:"tail_libs"`
+	MaxSteps  int          `json:"max_steps"`
+	Spec      WorkloadSpec `json:"spec"`
+}
+
+type peerDetectResponse struct {
+	Profile *negativa.Profile `json:"profile"`
+	// Hit reports the profile was already registered on the owner.
+	Hit bool `json:"hit"`
+}
+
+// peerCompactRequest executes one locate+compact stage on its owning
+// shard, shipping the library image inline (the owner may have never seen
+// it). The owner re-derives the stage key from the inputs and refuses a
+// mismatch, so a confused requester cannot poison the owner's memo.
+type peerCompactRequest struct {
+	Key         string   `json:"key"`
+	LibName     string   `json:"lib_name"`
+	LibDigest   string   `json:"lib_digest"`
+	Lib         []byte   `json:"lib"`
+	UsedFuncs   []string `json:"used_funcs"`
+	UsedKernels []string `json:"used_kernels"`
+	Archs       []uint32 `json:"archs"`
+}
+
+type peerCompactResponse struct {
+	Result *storedResult `json:"result"`
+	Sparse []byte        `json:"sparse"`
+	// Hit reports the result was already memoized on the owner.
+	Hit bool `json:"hit"`
+}
+
+// peerBodyLimit bounds peer request bodies. Compact execution ships a full
+// library image inline, so the bound is far above the client-facing
+// maxRequestBytes.
+const peerBodyLimit = 256 << 20
+
+// registerPeerRoutes mounts the node-to-node API. The routes are mounted
+// unconditionally — a node not in a cluster simply never receives peer
+// traffic, and a read-through lookup against a standalone node is
+// harmless.
+func registerPeerRoutes(mux *http.ServeMux, s *Service) {
+	mux.HandleFunc("POST /v1/peer/lookup", s.handlePeerLookup)
+	mux.HandleFunc("POST /v1/peer/detect", s.handlePeerDetect)
+	mux.HandleFunc("POST /v1/peer/compact", s.handlePeerCompact)
+	mux.HandleFunc("GET /v1/peer/objects/{kind}/{key}", s.handlePeerObject)
+}
+
+func decodePeerBody(w http.ResponseWriter, r *http.Request, limit int64, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, fmt.Errorf("decode peer request: %w", err))
+		return false
+	}
+	return true
+}
+
+// handlePeerLookup serves the read-through tier: a stage value this node
+// already holds in memory or in its castore, in durable wire form. A miss
+// is a found=false success, never an error — the requester decides whether
+// to escalate to remote execution.
+func (s *Service) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
+	var req peerLookupRequest
+	if !decodePeerBody(w, r, maxRequestBytes, &req) {
+		return
+	}
+	s.Counters.Add("peer.served_lookups", 1)
+	resp := peerLookupResponse{}
+	switch req.Stage {
+	case negativa.StageDetect:
+		fp, wid, ok := negativa.SplitDetectHash(req.Hash)
+		if !ok {
+			httpError(w, http.StatusBadRequest, errors.New("malformed detect hash"))
+			return
+		}
+		if p, ok := s.Registry.Get(ProfileKey{Install: fp, Workload: wid}); ok {
+			resp.Found, resp.Profile = true, p
+		}
+	case negativa.StageCompact:
+		if ld, ok := s.Cache.Get(req.Hash); ok && ld.Report != nil && ld.Report.Sparse != nil {
+			sr := storedResultOf(ld)
+			resp.Found, resp.Result, resp.Sparse = true, &sr, ld.Report.Sparse.Encode()
+		} else if s.store != nil {
+			raw, ok1 := s.store.Get(kindResult, req.Hash)
+			enc, ok2 := s.store.Get(kindSparse, req.Hash)
+			if ok1 && ok2 {
+				var sr storedResult
+				if err := json.Unmarshal(raw, &sr); err == nil {
+					resp.Found, resp.Result, resp.Sparse = true, &sr, enc
+				}
+			}
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("stage %q has no peer lookup", req.Stage))
+		return
+	}
+	if resp.Found {
+		s.Counters.Add("peer.served_hits", 1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeerDetect executes a detect stage as its owning shard: the
+// install is regenerated from the request config (deterministic), pinned
+// to the requester's fingerprint, profiled, and registered — so the owner
+// memoizes what it executed and every later lookup for this key hits.
+// Execution (not the registry fast path) is bounded by the peer-execution
+// semaphore so a busy shard cannot be driven past its worker width.
+func (s *Service) handlePeerDetect(w http.ResponseWriter, r *http.Request) {
+	var req peerDetectRequest
+	if !decodePeerBody(w, r, maxRequestBytes, &req) {
+		return
+	}
+	s.Counters.Add("peer.served_detects", 1)
+	pk := ProfileKey{Install: req.InstallFP, Workload: req.Identity}
+	if p, ok := s.Registry.Get(pk); ok {
+		writeJSON(w, http.StatusOK, peerDetectResponse{Profile: p, Hit: true})
+		return
+	}
+	s.peerSem <- struct{}{}
+	defer func() { <-s.peerSem }()
+	fw, err := ResolveFramework(req.Framework)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TailLibs < 0 || req.TailLibs > MaxTailLibs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("tail_libs %d out of range", req.TailLibs))
+		return
+	}
+	if req.MaxSteps < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("max_steps %d out of range", req.MaxSteps))
+		return
+	}
+	in, err := s.install(fw, req.TailLibs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if got := s.fingerprint(in); got != req.InstallFP {
+		// The requester's install bytes differ from what this node
+		// generates for the same config — a version skew a profile must
+		// never paper over.
+		httpError(w, http.StatusConflict, fmt.Errorf("install fingerprint mismatch: have %.12s…, requested %.12s…", got, req.InstallFP))
+		return
+	}
+	wl, err := req.Spec.Workload(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if id := WorkloadIdentity(wl, req.MaxSteps); id != req.Identity {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("workload identity mismatch: spec resolves to %q", id))
+		return
+	}
+	p, err := negativa.DetectUsage(wl, req.MaxSteps)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.Registry.Put(pk, p)
+	s.Counters.Add("peer.executed_detects", 1)
+	writeJSON(w, http.StatusOK, peerDetectResponse{Profile: p})
+}
+
+// handlePeerCompact executes a locate+compact stage as its owning shard.
+// The stage key is re-derived from the shipped inputs and must match the
+// requested one; the result lands in this node's cache (and castore, when
+// attached) before it is returned, so the shard owns the memoization.
+// The memory-tier fast path answers without touching the semaphore;
+// everything that parses or computes is bounded by it.
+func (s *Service) handlePeerCompact(w http.ResponseWriter, r *http.Request) {
+	var req peerCompactRequest
+	if !decodePeerBody(w, r, peerBodyLimit, &req) {
+		return
+	}
+	s.Counters.Add("peer.served_compacts", 1)
+	if ld, ok := s.Cache.Get(req.Key); ok && ld.Report != nil && ld.Report.Sparse != nil {
+		sr := storedResultOf(ld)
+		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode(), Hit: true})
+		return
+	}
+	s.peerSem <- struct{}{}
+	defer func() { <-s.peerSem }()
+	lib, err := elfx.Parse(req.LibName, req.Lib)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parse shipped library: %w", err))
+		return
+	}
+	if digestHex(lib) != req.LibDigest {
+		httpError(w, http.StatusBadRequest, errors.New("library digest mismatch"))
+		return
+	}
+	if ld, ok := s.Cache.LoadStored(req.Key, lib); ok && ld.Report != nil && ld.Report.Sparse != nil {
+		sr := storedResultOf(ld)
+		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode(), Hit: true})
+		return
+	}
+	archs := make([]gpuarch.SM, len(req.Archs))
+	for i, a := range req.Archs {
+		archs[i] = gpuarch.SM(a)
+	}
+	lk := negativa.LocateKey(lib, req.UsedFuncs, req.UsedKernels, archs)
+	if negativa.CompactKey(lk).Hash != req.Key {
+		httpError(w, http.StatusBadRequest, errors.New("stage key does not match its inputs"))
+		return
+	}
+	ll, err := negativa.LocateLib(lib, req.UsedFuncs, req.UsedKernels, archs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.Counters.Add("locate.resolved", 1)
+	ld := negativa.CompactLocated(lib, ll, req.UsedFuncs, req.UsedKernels)
+	s.Counters.Add("analysis.computed", 1)
+	s.Counters.Add("peer.executed_compacts", 1)
+	s.Cache.Put(req.Key, ld)
+	sr := storedResultOf(ld)
+	writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode()})
+}
+
+// handlePeerObject streams one castore object in its integrity-framed wire
+// format (castore.Export); the receiving peer verifies the checksum on
+// import. The object is pinned for the duration of the response so LRU
+// eviction cannot delete it between the Content-Length header and the
+// body. 404s: no store attached, or the object is absent. A mid-stream
+// export failure cannot change the already-sent status; it is counted
+// (peer.object_export_errors) and the importer's checksum rejects the
+// truncated body.
+func (s *Service) handlePeerObject(w http.ResponseWriter, r *http.Request) {
+	st := s.Store()
+	if st == nil {
+		httpError(w, http.StatusNotFound, errors.New("no data dir configured"))
+		return
+	}
+	kind, key := r.PathValue("kind"), r.PathValue("key")
+	if !st.Retain(kind, key) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no object %s/%s", kind, key))
+		return
+	}
+	defer st.Release(kind, key)
+	size, ok := st.Stat(kind, key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no object %s/%s", kind, key))
+		return
+	}
+	s.Counters.Add("peer.served_objects", 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size+castore.HeaderSize, 10))
+	w.WriteHeader(http.StatusOK)
+	if _, err := st.Export(kind, key, w); err != nil {
+		s.Counters.Add("peer.object_export_errors", 1)
+	}
+}
+
+// ---- Requester side: the stage memo's peer tier ----
+
+// detectHint carries what the peer tier needs to execute a detect stage on
+// its owning shard. Attached to detect nodes by DebloatBatch when the
+// batch arrived with its workload specs (the HTTP path); library callers
+// without specs simply detect locally on a registry miss.
+type detectHint struct {
+	framework string
+	tailLibs  int
+	maxSteps  int
+	spec      WorkloadSpec
+}
+
+// compactHint carries the compact stage's live library and — filled in by
+// the node's key function, which runs before the memo is consulted — the
+// union-resolved inputs a peer needs to re-execute the stage remotely.
+type compactHint struct {
+	lib         *elfx.Library
+	usedFuncs   []string
+	usedKernels []string
+	archs       []gpuarch.SM
+}
+
+// compactHintOf accepts both hint shapes compact nodes use: the bare
+// library (the single-workload planner in internal/negativa) and the full
+// cluster hint (the batch service).
+func compactHintOf(hint any) (*elfx.Library, *compactHint) {
+	switch h := hint.(type) {
+	case *elfx.Library:
+		return h, nil
+	case *compactHint:
+		return h.lib, h
+	}
+	return nil, nil
+}
+
+// peerDetect resolves a detect stage through its owning peer. With a hint
+// (the workload spec) it goes straight to /v1/peer/detect in one round
+// trip — that route begins with the owner's own registry probe and the
+// request is a small spec, so a preliminary lookup would only double the
+// latency. Without a hint there is nothing to execute remotely, so a
+// lookup probe is all that happens. ok=false means the caller should
+// compute locally; the failure has already been counted.
+func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.Profile, bool) {
+	if hint == nil {
+		var lr peerLookupResponse
+		if err := m.cluster.PostJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: hash}, &lr); err != nil {
+			m.count("peer.fallbacks")
+			return nil, false
+		}
+		if lr.Found && lr.Profile != nil && lr.Profile.RunResult != nil {
+			m.count("peer.hits")
+			return lr.Profile, true
+		}
+		m.count("peer.misses")
+		return nil, false
+	}
+	fp, wid, ok := negativa.SplitDetectHash(hash)
+	if !ok {
+		return nil, false
+	}
+	req := peerDetectRequest{
+		InstallFP: fp, Identity: wid,
+		Framework: hint.framework, TailLibs: hint.tailLibs,
+		MaxSteps: hint.maxSteps, Spec: hint.spec,
+	}
+	var dr peerDetectResponse
+	if err := m.cluster.PostJSON(owner, "/v1/peer/detect", req, &dr); err != nil || dr.Profile == nil || dr.Profile.RunResult == nil {
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	if !dr.Hit {
+		// The owner had nothing memoized and executed the stage for us.
+		m.count("peer.misses")
+		m.count("peer.remote_execs")
+	}
+	m.count("peer.hits")
+	return dr.Profile, true
+}
+
+// peerCompact resolves a compact stage through its owning peer: lookup
+// first (no image on the wire), then remote execution with the library
+// shipped inline. The returned result has been decoded against the live
+// library — the digest-bound sparse codec rejects any payload that does
+// not reproduce this library's bytes.
+func (m *StageMemo) peerCompact(owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
+	var lr peerLookupResponse
+	if err := m.cluster.PostJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: hash}, &lr); err != nil {
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	if lr.Found {
+		if ld, ok := decodePeerResult(lib, lr.Result, lr.Sparse); ok {
+			m.count("peer.hits")
+			return ld, true
+		}
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	m.count("peer.misses")
+	if hint == nil {
+		return nil, false
+	}
+	if base64.StdEncoding.EncodedLen(len(lib.Data)) > peerBodyLimit-(64<<10) {
+		// The owner's body cap would bounce the request after we shipped
+		// the whole image; don't marshal it just to be rejected — compute
+		// locally (the margin covers the non-image request fields).
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	req := peerCompactRequest{
+		Key: hash, LibName: lib.Name, LibDigest: digestHex(lib), Lib: lib.Data,
+		UsedFuncs: hint.usedFuncs, UsedKernels: hint.usedKernels,
+	}
+	for _, a := range hint.archs {
+		req.Archs = append(req.Archs, uint32(a))
+	}
+	var cr peerCompactResponse
+	if err := m.cluster.PostJSON(owner, "/v1/peer/compact", req, &cr); err != nil {
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	ld, ok := decodePeerResult(lib, cr.Result, cr.Sparse)
+	if !ok {
+		m.count("peer.fallbacks")
+		return nil, false
+	}
+	m.count("peer.hits")
+	m.count("peer.remote_execs")
+	return ld, true
+}
+
+// decodePeerResult rebuilds a locate+compact result from its wire form
+// against the requester's live library.
+func decodePeerResult(lib *elfx.Library, sr *storedResult, enc []byte) (*negativa.LibDebloat, bool) {
+	if sr == nil || len(enc) == 0 || lib == nil {
+		return nil, false
+	}
+	if sr.LibDigest != digestHex(lib) {
+		return nil, false
+	}
+	sparse, err := negativa.DecodeSparseImage(lib, enc)
+	if err != nil {
+		return nil, false
+	}
+	return &negativa.LibDebloat{Report: sr.report(sparse), Analysis: time.Duration(sr.AnalysisNS)}, true
+}
+
+// FetchPeerObject imports one castore object from a peer into the local
+// store (the generic replication path: restored-job materialization, warm
+// pre-seeding). Returns the payload size.
+func (s *Service) FetchPeerObject(c *cluster.Cluster, peer, kind, key string) (int64, error) {
+	if s.store == nil {
+		return 0, errors.New("dserve: no store attached")
+	}
+	rc, err := c.GetStream(peer, "/v1/peer/objects/"+kind+"/"+key)
+	if err != nil {
+		return 0, err
+	}
+	defer rc.Close()
+	n, err := s.store.Import(kind, key, rc)
+	if err != nil {
+		return 0, err
+	}
+	s.Counters.Add("peer.objects_fetched", 1)
+	return n, nil
+}

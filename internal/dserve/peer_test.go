@@ -1,0 +1,201 @@
+package dserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/negativa"
+)
+
+func postPeer(t *testing.T, srv *httptest.Server, path string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestPeerLookupMissesAndRejections: misses are found=false successes,
+// unroutable stages are 400s.
+func TestPeerLookupMissesAndRejections(t *testing.T) {
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	var lr peerLookupResponse
+	if code := postPeer(t, srv, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: "nope"}, &lr); code != http.StatusOK {
+		t.Fatalf("lookup miss status %d", code)
+	}
+	if lr.Found {
+		t.Fatal("lookup invented a result")
+	}
+	if code := postPeer(t, srv, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: "no-separator"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed detect hash status %d", code)
+	}
+	if code := postPeer(t, srv, "/v1/peer/lookup", peerLookupRequest{Stage: "union", Hash: "x"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unroutable stage status %d", code)
+	}
+}
+
+// TestPeerCompactRejectsMismatches: a shipped library whose digest or
+// derived stage key disagrees with the request must be refused — a
+// confused requester cannot poison the owning shard's memo.
+func TestPeerCompactRejectsMismatches(t *testing.T) {
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := in.Library(in.LibNames[0])
+
+	req := peerCompactRequest{
+		Key: "0000", LibName: lib.Name, LibDigest: "wrong-digest", Lib: lib.Data,
+	}
+	if code := postPeer(t, srv, "/v1/peer/compact", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("digest mismatch status %d", code)
+	}
+	req.LibDigest = digestHex(lib)
+	if code := postPeer(t, srv, "/v1/peer/compact", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("key mismatch status %d", code)
+	}
+	req.Lib = []byte("not an elf")
+	if code := postPeer(t, srv, "/v1/peer/compact", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("unparsable library status %d", code)
+	}
+}
+
+// TestPeerDetectMismatches: a fingerprint the owner cannot reproduce (or
+// an identity the spec does not resolve to) must be refused, not papered
+// over with a wrong profile.
+func TestPeerDetectMismatches(t *testing.T) {
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	req := peerDetectRequest{
+		InstallFP: "not-a-real-fingerprint", Identity: "whatever",
+		Framework: "pytorch", TailLibs: 2, MaxSteps: 2,
+		Spec: WorkloadSpec{Model: "MobileNetV2", Batch: 1},
+	}
+	if code := postPeer(t, srv, "/v1/peer/detect", req, nil); code != http.StatusConflict {
+		t.Fatalf("fingerprint mismatch status %d", code)
+	}
+	if code := postPeer(t, srv, "/v1/peer/detect", peerDetectRequest{Framework: "no-such", Spec: req.Spec}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad framework status %d", code)
+	}
+
+	// A correct fingerprint with a wrong identity is still refused.
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.InstallFP = InstallFingerprint(in)
+	if code := postPeer(t, srv, "/v1/peer/detect", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("identity mismatch status %d", code)
+	}
+}
+
+// TestPeerDetectExecutesAndRegisters: a well-formed remote detect runs on
+// the owner and lands in its registry, so the next call is a hit.
+func TestPeerDetectExecutesAndRegisters(t *testing.T) {
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkloadSpec{Model: "MobileNetV2", Batch: 1}
+	wl, err := spec.Workload(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := peerDetectRequest{
+		InstallFP: InstallFingerprint(in),
+		Identity:  WorkloadIdentity(wl, 2),
+		Framework: "pytorch", TailLibs: 2, MaxSteps: 2, Spec: spec,
+	}
+	var dr peerDetectResponse
+	if code := postPeer(t, srv, "/v1/peer/detect", req, &dr); code != http.StatusOK {
+		t.Fatalf("detect status %d", code)
+	}
+	if dr.Hit || dr.Profile == nil || dr.Profile.RunResult == nil {
+		t.Fatalf("first detect should execute: %+v", dr)
+	}
+	var dr2 peerDetectResponse
+	if code := postPeer(t, srv, "/v1/peer/detect", req, &dr2); code != http.StatusOK {
+		t.Fatalf("second detect status %d", code)
+	}
+	if !dr2.Hit {
+		t.Fatal("owner did not memoize the executed detect stage")
+	}
+}
+
+// TestFetchPeerObject moves a castore object between two nodes through the
+// streaming route, end-to-end integrity-checked.
+func TestFetchPeerObject(t *testing.T) {
+	stA, err := castore.Open(t.TempDir(), castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	svcA := NewService(Config{Workers: 1, Store: stA})
+	defer svcA.Close()
+	srvA := httptest.NewServer(NewHandler(svcA))
+	defer srvA.Close()
+
+	stB, err := castore.Open(t.TempDir(), castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	svcB := NewService(Config{Workers: 1, Store: stB})
+	defer svcB.Close()
+
+	payload := bytes.Repeat([]byte("obj"), 4096)
+	if err := stA.Put("lib", "deadbeef", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	c := cluster.New("b", map[string]string{"a": srvA.URL}, cluster.Options{Timeout: 10 * time.Second})
+	n, err := svcB.FetchPeerObject(c, "a", "lib", "deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("fetched %d bytes, want %d", n, len(payload))
+	}
+	got, ok := stB.Get("lib", "deadbeef")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("fetched object does not round-trip")
+	}
+	if _, err := svcB.FetchPeerObject(c, "a", "lib", "missing"); err == nil {
+		t.Fatal("fetching an absent object must fail")
+	}
+}

@@ -89,9 +89,21 @@ func spillResult(st *castore.Store, key string, ld *negativa.LibDebloat) error {
 	if err := st.Put(kindSparse, key, lr.Sparse.Encode()); err != nil {
 		return err
 	}
-	sr := storedResult{
+	data, err := json.Marshal(storedResultOf(ld))
+	if err != nil {
+		return err
+	}
+	return st.Put(kindResult, key, data)
+}
+
+// storedResultOf flattens one locate+compact result into its durable /
+// wire form. The caller guarantees ld.Report and its Sparse image are
+// non-nil.
+func storedResultOf(ld *negativa.LibDebloat) storedResult {
+	lr := ld.Report
+	return storedResult{
 		Name:      lr.Name,
-		LibDigest: dhex,
+		LibDigest: digestHex(lr.Sparse.Lib()),
 
 		FileSize:            lr.FileSize,
 		FileEffective:       lr.FileEffective,
@@ -113,11 +125,6 @@ func spillResult(st *castore.Store, key string, ld *negativa.LibDebloat) error {
 
 		AnalysisNS: int64(ld.Analysis),
 	}
-	data, err := json.Marshal(sr)
-	if err != nil {
-		return err
-	}
-	return st.Put(kindResult, key, data)
 }
 
 // reportFrom rebuilds a LibraryReport from its stored metadata and a
@@ -196,7 +203,7 @@ func profileObjectKey(key ProfileKey) string {
 // space. Restoring a job walks the references; the expensive artifacts are
 // shared with the result cache's disk tier.
 type jobManifest struct {
-	ID        string     `json:"id"`
+	ID string `json:"id"`
 	// State is the terminal state (JobDone or JobFailed; empty reads as
 	// done). Failed jobs persist too — their IDs must never be reissued
 	// after a restart, and clients polling them must keep seeing the

@@ -208,8 +208,8 @@ func TestServerWarmRestartE2E(t *testing.T) {
 
 	// The warm path must be pure replay: no locate/compact, no detection.
 	var metrics struct {
-		Counters map[string]int64   `json:"counters"`
-		Store    *castore.Stats     `json:"store"`
+		Counters map[string]int64 `json:"counters"`
+		Store    *castore.Stats   `json:"store"`
 	}
 	if code := getJSON(t, ts2.URL+"/v1/metrics", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: code %d", code)

@@ -20,16 +20,40 @@ var stageNames = []string{
 
 // stageStats assembles the per-stage hit/miss view of /v1/metrics from the
 // stage scheduler's observer counters (per-stage timings live in the
-// timings section under the same stage.<name> series).
+// timings section under the same stage.<name> series). disk_hits and
+// peer_hits attribute the hits that did not come from local memory.
 func stageStats(c *metrics.CounterSet) map[string]map[string]int64 {
 	out := make(map[string]map[string]int64, len(stageNames))
 	for _, st := range stageNames {
 		out[st] = map[string]int64{
-			"hits":   c.Get("stage." + st + ".hits"),
-			"misses": c.Get("stage." + st + ".misses"),
+			"hits":      c.Get("stage." + st + ".hits"),
+			"misses":    c.Get("stage." + st + ".misses"),
+			"disk_hits": c.Get("stage." + st + ".disk_hits"),
+			"peer_hits": c.Get("stage." + st + ".peer_hits"),
 		}
 	}
 	return out
+}
+
+// peerStats assembles the peer section of /v1/metrics: the memo tier's
+// hit/miss/fallback counters plus the cluster's membership and per-peer
+// health (per-peer latency distributions live in the timings section
+// under peer.<node-id>).
+func peerStats(s *Service) map[string]any {
+	c := s.Cluster()
+	if c == nil {
+		return nil
+	}
+	st := c.Stats()
+	return map[string]any{
+		"self":         st.Self,
+		"ring_nodes":   st.RingNodes,
+		"hits":         s.Counters.Get("peer.hits"),
+		"misses":       s.Counters.Get("peer.misses"),
+		"fallbacks":    s.Counters.Get("peer.fallbacks"),
+		"remote_execs": s.Counters.Get("peer.remote_execs"),
+		"peers":        st.Peers,
+	}
 }
 
 // NewHandler returns the service's HTTP/JSON API, served by
@@ -43,6 +67,11 @@ func stageStats(c *metrics.CounterSet) map[string]map[string]int64 {
 //	GET  /v1/metrics                counters, cache stats, timing summaries
 //	GET  /v1/store                  content-addressed store stats (404 when
 //	                                the service runs without a data dir)
+//
+// plus the node-to-node /v1/peer/* routes (see peer.go) that cluster
+// peers use for stage read-through, remote stage execution, and castore
+// object transfer. docs/API.md documents every route with examples kept
+// honest by TestAPIDocExamples.
 func NewHandler(s *Service) http.Handler {
 	return newMux(s)
 }
@@ -167,6 +196,9 @@ func newMux(s *Service) *http.ServeMux {
 		if st := s.Store(); st != nil {
 			out["store"] = st.Stats()
 		}
+		if ps := peerStats(s); ps != nil {
+			out["peer"] = ps
+		}
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
@@ -177,6 +209,7 @@ func newMux(s *Service) *http.ServeMux {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"dir": st.Dir(), "stats": st.Stats()})
 	})
+	registerPeerRoutes(mux, s)
 	return mux
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
 	"negativaml/internal/gpuarch"
 	"negativaml/internal/metrics"
 	"negativaml/internal/mlframework"
@@ -24,6 +25,7 @@ type stageObserver struct {
 	t *metrics.TimingSet
 }
 
+// StageDone implements plan.Observer.
 func (o stageObserver) StageDone(stage string, hit bool, wall time.Duration) {
 	if hit {
 		o.c.Add("stage."+stage+".hits", 1)
@@ -31,6 +33,20 @@ func (o stageObserver) StageDone(stage string, hit bool, wall time.Duration) {
 		o.c.Add("stage."+stage+".misses", 1)
 	}
 	o.t.Observe("stage."+stage, wall)
+}
+
+// StageSource implements plan.SourceObserver: hits are additionally
+// attributed to the tier that served them (stage.<name>.disk_hits for
+// castore restores, stage.<name>.peer_hits for values a cluster peer
+// served or executed) so /v1/metrics can show where reuse actually comes
+// from.
+func (o stageObserver) StageSource(stage string, src plan.Source, _ time.Duration) {
+	switch src {
+	case plan.SourceDisk:
+		o.c.Add("stage."+stage+".disk_hits", 1)
+	case plan.SourcePeer:
+		o.c.Add("stage."+stage+".peer_hits", 1)
+	}
 }
 
 // Config sizes the service.
@@ -77,6 +93,15 @@ type Service struct {
 	Timings  *metrics.TimingSet
 	pool     *Pool
 	store    *castore.Store
+	cluster  *cluster.Cluster
+	// peerSem bounds concurrently executing peer-route stage computations
+	// (remote detects/compacts this node serves as owning shard) to the
+	// same width as the worker pool. It is deliberately a separate
+	// semaphore, not the pool: peer handlers compute purely locally while
+	// holding a slot, so they can never participate in a cross-node wait
+	// cycle the way sharing the pool with network-blocked batch stages
+	// could.
+	peerSem chan struct{}
 	// stages routes every plan node's content key to its memo tier
 	// (registry, result cache, bounded memory); observer mirrors stage
 	// outcomes into the counter and timing sets.
@@ -138,6 +163,7 @@ func NewService(cfg Config) *Service {
 		installs:     map[string]*installSlot{},
 		fingerprints: newBoundedMemo(64),
 		restoredLibs: newBoundedMemo(64),
+		peerSem:      make(chan struct{}, cfg.Workers),
 	}
 	s.stages = NewStageMemo(s.Registry, s.Cache, counters)
 	s.observer = stageObserver{c: counters, t: s.Timings}
@@ -158,6 +184,18 @@ func NewService(cfg Config) *Service {
 
 // Store returns the attached content-addressed store, or nil.
 func (s *Service) Store() *castore.Store { return s.store }
+
+// AttachCluster joins the service to a dserve peer group: detect and
+// compact stages gain the owning-peer memo tier, the /v1/peer/* routes
+// start answering with this node's tiers, and /v1/metrics grows the peer
+// section. Call before serving; the service never detaches a cluster.
+func (s *Service) AttachCluster(c *cluster.Cluster) {
+	s.cluster = c
+	s.stages.AttachCluster(c)
+}
+
+// Cluster returns the attached peer group, or nil for a standalone node.
+func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
 
 // Workers returns the pool's concurrency bound.
 func (s *Service) Workers() int { return s.pool.Workers() }
@@ -196,6 +234,23 @@ type BatchOptions struct {
 	Base *BatchResult
 	// BaseID labels the base batch (the base job's ID) for reporting.
 	BaseID string
+	// Specs, when non-nil and parallel to the workload slice, carries the
+	// batch's workload specs plus the install config — everything an
+	// owning peer needs to re-execute a detect stage remotely (peers
+	// regenerate the install from Framework/TailLibs, which is
+	// deterministic, and pin it by fingerprint). The HTTP layer fills it
+	// from the job request; library callers may leave it nil, in which
+	// case detect stages compute locally on a cluster read-through miss.
+	Specs *BatchSpecs
+}
+
+// BatchSpecs is the serializable description of a batch, used by the
+// cluster peer tier to re-execute detect stages on their owning shard.
+type BatchSpecs struct {
+	Framework string
+	TailLibs  int
+	// Workloads is parallel to the batch's workload slice.
+	Workloads []WorkloadSpec
 }
 
 // IncrementalStats summarizes what an incremental batch absorbed from its
@@ -394,6 +449,8 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	g := plan.New()
 
 	// Detection: one node per member, memoized in the profile registry.
+	// With specs attached, each node also carries the hint the cluster
+	// tier needs to execute the stage on its owning shard.
 	detects := make([]*plan.Node, len(workloads))
 	for i := range workloads {
 		i := i
@@ -405,6 +462,14 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 			}
 			return p, nil
 		})
+		if opt.Specs != nil && i < len(opt.Specs.Workloads) {
+			detects[i].WithHint(&detectHint{
+				framework: opt.Specs.Framework,
+				tailLibs:  opt.Specs.TailLibs,
+				maxSteps:  maxSteps,
+				spec:      opt.Specs.Workloads[i],
+			})
+		}
 	}
 
 	// Union: unkeyed glue — merging sorted symbol lists is far cheaper
@@ -464,7 +529,14 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 				return negativa.LocateLib(lib, uf, uk, archs)
 			}), nil
 		})
-		compacts[i] = g.Node(negativa.StageCompact, []*plan.Node{unionNode, locates[i]}, func([]any) (plan.Key, error) {
+		// The compact hint starts as just the live library; its key
+		// function — which runs after the union resolves, before the memo
+		// is consulted — fills in the union-derived inputs the cluster
+		// tier needs to re-execute the stage on its owning shard.
+		ch := &compactHint{lib: lib, archs: archs}
+		compacts[i] = g.Node(negativa.StageCompact, []*plan.Node{unionNode, locates[i]}, func(deps []any) (plan.Key, error) {
+			u := deps[0].(*negativa.Profile)
+			ch.usedFuncs, ch.usedKernels = u.UsedFuncs[name], u.UsedKernels[name]
 			return negativa.CompactKey(locates[i].ResolvedKey()), nil
 		}, func(deps []any) (any, error) {
 			u := deps[0].(*negativa.Profile)
@@ -477,7 +549,7 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 			// stays zero when every result comes from memory or disk.
 			s.Counters.Add("analysis.computed", 1)
 			return negativa.CompactLocated(lib, ll, u.UsedFuncs[name], u.UsedKernels[name]), nil
-		}).WithHint(lib)
+		}).WithHint(ch)
 	}
 
 	// Verification: the union-debloated install must reproduce every

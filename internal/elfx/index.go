@@ -282,4 +282,3 @@ func (x *LibIndex) ResidentBytes() int64 {
 	}
 	return n
 }
-

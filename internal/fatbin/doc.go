@@ -1,0 +1,12 @@
+// Package fatbin implements the GPU-code container stored in the
+// .nv_fatbin section of ML shared libraries.
+//
+// NVIDIA publishes no specification for this format; the layout here follows
+// the structure the paper describes (§3.2, Figure 4) and public reverse
+// engineering: the section is a list of *regions*, each region is a region
+// header followed by a list of *elements*, and each element is an element
+// header followed by a payload (a cubin, or PTX text). The element header
+// carries the compute-capability (SM architecture) the payload was compiled
+// for. Elements are indexed 1-based across the whole section, matching the
+// indices cuobjdump assigns to extracted cubin files.
+package fatbin

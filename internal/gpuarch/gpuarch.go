@@ -1,10 +1,3 @@
-// Package gpuarch models NVIDIA GPU architectures (SM versions) and the
-// device catalog used throughout the simulator.
-//
-// GPU device code inside a fatbin element is compiled for exactly one SM
-// architecture; an element can only be loaded on a device whose architecture
-// matches. That matching rule is the paper's "Reason I" for removed elements
-// (The Hidden Bloat in Machine Learning Systems, §4.3).
 package gpuarch
 
 import "fmt"

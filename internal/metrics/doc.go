@@ -1,0 +1,4 @@
+// Package metrics provides the analysis primitives behind the paper's
+// figures and tables: Jaccard similarity (Table 4/9), Pareto accumulation
+// (Figure 6), and distribution summaries for the violin plots (Figure 5).
+package metrics

@@ -1,0 +1,7 @@
+// Package mlruntime executes model workloads against a framework install on
+// the simulated CUDA driver. It is the stand-in for "running the ML
+// workload" in the paper's pipeline: the kernel detector observes the run
+// through CUPTI hooks, the CPU-function profiler through the function-call
+// hook, and the verifier re-runs the workload on debloated libraries and
+// compares output digests.
+package mlruntime

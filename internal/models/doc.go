@@ -1,0 +1,13 @@
+// Package models defines the ML workloads the paper evaluates as framework-
+// agnostic operator graphs: MobileNetV2 (small CV model), a Transformer
+// (medium NLP model), Llama2 (large LLM), and the nine-model LLM zoo from
+// the Hugging Face Open LLM Leaderboard (Table 1, §4.5).
+//
+// A model is a Graph of Ops executed once per training/inference step. Each
+// Op belongs to a kernel *family* (conv2d, matmul, attention, …) and a shape
+// *variant*; the (family, variant, phase) triple determines the GPU kernel
+// name through KernelName. The synthetic framework generator enumerates the
+// same names when planting kernels into shared libraries, so whichever
+// kernels a workload touches at run time are guaranteed to exist — and
+// everything else in the libraries is bloat the debloater should find.
+package models

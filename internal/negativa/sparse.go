@@ -270,4 +270,3 @@ func DecodeSparseImage(lib *elfx.Library, data []byte) (*SparseImage, error) {
 	}
 	return &SparseImage{lib: lib, zeroed: zeroed}, nil
 }
-

@@ -1,24 +1,3 @@
-// Package plan is a small deterministic stage-graph scheduler for the
-// analysis pipeline: each stage of detect→locate→compact→verify becomes a
-// node with an explicit content-derived cache key, and an execution runs
-// the nodes in dependency order over a bounded worker pool with per-stage
-// memoization.
-//
-// Nodes declare their dependencies at graph-build time but resolve their
-// cache keys late — a node's key function runs after its dependencies have
-// completed, so a stage whose key depends on an upstream value (a locate
-// stage keyed by the used-symbol sets a detection union produces) still
-// gets a true content address. A resolved key is looked up in the Memo
-// before the node's work function runs; a hit returns the memoized value
-// and the work function never executes.
-//
-// Determinism: a graph's outputs are a pure function of its inputs — node
-// values are content-keyed and node work functions are required to be
-// deterministic. The schedule itself is concurrent (every node whose
-// dependencies are done may run, bounded by the pool), so wall-clock
-// interleaving varies run to run, but values, keys, hit/miss outcomes
-// against a fixed memo state, and error selection (first error in node
-// insertion order) do not.
 package plan
 
 import (
@@ -40,6 +19,8 @@ type Key struct {
 // clones that are not worth an address).
 func (k Key) Zero() bool { return k == Key{} }
 
+// String renders the key as stage/hash — the form ring sharding and logs
+// use.
 func (k Key) String() string { return k.Stage + "/" + k.Hash }
 
 // Node is one vertex of a stage graph. Nodes are created through
@@ -57,6 +38,7 @@ type Node struct {
 	err  error
 	key  Key
 	hit  bool
+	src  Source
 }
 
 // Value returns the node's output after Execute.
@@ -72,6 +54,11 @@ func (n *Node) ResolvedKey() Key { return n.key }
 
 // Hit reports whether the node's value came from the memo.
 func (n *Node) Hit() bool { return n.hit }
+
+// ValueSource returns which tier produced the node's value after Execute:
+// SourceComputed unless the memo implements SourcedMemo and served the
+// value from one of its tiers.
+func (n *Node) ValueSource() Source { return n.src }
 
 // Graph is a stage DAG under construction. Build it single-goroutine, then
 // Execute it; a Graph is single-use.
@@ -178,17 +165,37 @@ func (n *Node) exec(ex Executor, memo Memo, obs Observer) {
 	if memo == nil || n.key.Zero() {
 		n.out, n.err = n.runFn(vals)
 		if n.err == nil && obs != nil {
-			obs.StageDone(n.stage, false, time.Since(start))
+			notify(obs, n.stage, SourceComputed, time.Since(start))
 		}
 		return
 	}
-	v, hit, err := memo.GetOrCompute(n.key, n.hint, func() (any, error) { return n.runFn(vals) })
+	var v any
+	var err error
+	src := SourceComputed
+	if sm, ok := memo.(SourcedMemo); ok {
+		v, src, err = sm.GetOrComputeSourced(n.key, n.hint, func() (any, error) { return n.runFn(vals) })
+	} else {
+		var hit bool
+		v, hit, err = memo.GetOrCompute(n.key, n.hint, func() (any, error) { return n.runFn(vals) })
+		if hit {
+			src = SourceMemory
+		}
+	}
 	if err != nil {
 		n.err = err
 		return
 	}
-	n.out, n.hit = v, hit
+	n.out, n.hit, n.src = v, src.Hit(), src
 	if obs != nil {
-		obs.StageDone(n.stage, hit, time.Since(start))
+		notify(obs, n.stage, src, time.Since(start))
+	}
+}
+
+// notify delivers a finished node's outcome: StageDone always, StageSource
+// additionally when the observer wants tier attribution.
+func notify(obs Observer, stage string, src Source, wall time.Duration) {
+	obs.StageDone(stage, src.Hit(), wall)
+	if so, ok := obs.(SourceObserver); ok {
+		so.StageSource(stage, src, wall)
 	}
 }

@@ -1,6 +1,3 @@
-// Package trace provides the two tracing tools compared in the paper:
-// the lightweight kernel detector hook (Negativa-ML's detection phase,
-// §3.1) and an NSys-like full tracer baseline (§4.6).
 package trace
 
 import (
