@@ -24,6 +24,7 @@ import (
 	"negativaml/internal/cluster"
 	"negativaml/internal/dserve"
 	"negativaml/internal/experiments"
+	"negativaml/internal/gateway"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
 )
@@ -490,6 +491,56 @@ func TestBenchServeJSON(t *testing.T) {
 		t.Fatal("peer-warm cluster batch hit no peers")
 	}
 
+	// Gateway front door: the sustained-load storm from internal/gateway at
+	// full scale — thousands of concurrent submissions in a hostile mix of
+	// duplicates, supersets, and garbage across three tenants (one with a
+	// tight concurrency quota, so shedding is exercised) and both lanes,
+	// against a dispatch width that exceeds the backend's in-flight cap.
+	// Recorded: end-to-end job latency (p50/p99), shed and coalesce rates,
+	// and the analysis-compute delta (must stay 0 — duplicates must
+	// coalesce or hit memo tiers, never recompute).
+	gwSvc := dserve.NewService(dserve.Config{MaxSteps: 2, MaxInFlight: 4})
+	defer gwSvc.Close()
+	gwSubmits, gwConc := 2000, 64
+	gw, err := gateway.New(gwSvc, gateway.Config{DispatchSlots: 8, QueueDepth: 4 * gwSubmits, MaxJobs: 4 * gwSubmits}, []gateway.TenantConfig{
+		{Name: "acme", Keys: []string{"bench-acme"}},
+		{Name: "beta", Keys: []string{"bench-beta"}, Lane: gateway.LaneBulk},
+		{Name: "capped", Keys: []string{"bench-capped"}, Quota: gateway.QuotaConfig{MaxConcurrent: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	gwSrv := httptest.NewServer(gateway.NewHandler(gw, dserve.NewHandler(gwSvc)))
+	defer gwSrv.Close()
+	gwCfg := gateway.LoadConfig{
+		BaseURL:      gwSrv.URL,
+		Keys:         []string{"bench-acme", "bench-beta", "bench-capped"},
+		Lanes:        []string{"", gateway.LaneInteractive, gateway.LaneBulk},
+		Submits:      gwSubmits,
+		Concurrency:  gwConc,
+		Distinct:     3,
+		GarbageEvery: 10,
+		TailLibs:     8,
+		MaxSteps:     2,
+		JobTimeout:   3 * time.Minute,
+	}
+	gwWarm := gwCfg
+	gwWarm.Submits, gwWarm.Concurrency, gwWarm.GarbageEvery = gwCfg.Distinct, gwCfg.Distinct, 0
+	gwWarm.Keys = []string{"bench-acme"}
+	if rep, err := gateway.RunLoad(gwWarm); err != nil || rep.Completed != gwCfg.Distinct {
+		t.Fatalf("gateway warmup: %+v err=%v", rep, err)
+	}
+	gwComputedBefore := gwSvc.Counters.Get("analysis.computed")
+	gwRep, err := gateway.RunLoad(gwCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gwRep.FailedAccepted != 0 || gwRep.Unexpected != 0 || gwRep.ShedMissingRetryAfter != 0 {
+		t.Fatalf("gateway storm broke the admission promise: %+v", gwRep)
+	}
+	gwComputedDelta := gwSvc.Counters.Get("analysis.computed") - gwComputedBefore
+
 	entries := []experiments.BenchEntry{
 		{Name: "serve/batch4/cold/serial-wall", Value: serialWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/batch4/cold/parallel-wall", Value: coldWall.Seconds() * 1000, Unit: "ms"},
@@ -515,6 +566,14 @@ func TestBenchServeJSON(t *testing.T) {
 		{Name: "serve/cluster3/peer_warm/wall", Value: clusterWarmWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/cluster3/peer_warm/peer-hits", Value: float64(peerHits), Unit: "count"},
 		{Name: "serve/cluster3/cold/remote-execs", Value: float64(remoteExecs), Unit: "count"},
+		{Name: "serve/gateway/storm/submits", Value: float64(gwRep.Submits), Unit: "count"},
+		{Name: "serve/gateway/storm/job-p50", Value: gwRep.Latency.P50, Unit: "ms"},
+		{Name: "serve/gateway/storm/job-p99", Value: gwRep.Latency.P99, Unit: "ms"},
+		{Name: "serve/gateway/storm/submit-p99", Value: gwRep.SubmitLatency.P99, Unit: "ms"},
+		{Name: "serve/gateway/storm/shed-rate", Value: 100 * float64(gwRep.Shed) / float64(gwRep.Submits), Unit: "%"},
+		{Name: "serve/gateway/storm/coalesce-rate", Value: 100 * float64(gw.Counters.Get("gateway.coalesced")) / float64(gwRep.Accepted), Unit: "%"},
+		{Name: "serve/gateway/storm/failed-accepted", Value: float64(gwRep.FailedAccepted), Unit: "count"},
+		{Name: "serve/gateway/storm/analysis-computed-delta", Value: float64(gwComputedDelta), Unit: "count"},
 	}
 	if err := experiments.WriteBenchJSON(*benchJSON, entries); err != nil {
 		t.Fatal(err)

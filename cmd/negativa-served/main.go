@@ -31,6 +31,28 @@
 // a "peer" section (hits/misses/fallbacks, per-peer health) and per-peer
 // latency timings.
 //
+// With -tenants the multi-tenant gateway fronts the service: every /v1/
+// route except /v1/peer/* then requires a tenant API key (Authorization:
+// Bearer or X-API-Key), per-tenant quotas (concurrent batches, retained
+// result bytes, stage-seconds per window) shed over-budget submissions
+// with 429 + Retry-After, identical in-flight batches coalesce across
+// tenants onto one backend execution, and two weighted priority lanes
+// (interactive, bulk) order dispatch under contention. Job progress
+// streams live over GET /v1/jobs/{id}/events (SSE or long-poll). The
+// tenant file is JSON:
+//
+//	{"tenants": [
+//	  {"name": "acme", "keys": ["key-acme-1"], "lane": "interactive",
+//	   "quota": {"max_concurrent": 4, "max_result_bytes": 67108864,
+//	             "stage_seconds": 120, "window_seconds": 60}},
+//	  {"name": "batch-org", "keys": ["key-batch"], "lane": "bulk"}
+//	]}
+//
+// SIGHUP re-reads the file in place — key rotation and quota changes land
+// without dropping in-flight jobs. /v1/metrics gains a "gateway" section
+// (admitted/shed/coalesced per tenant and lane, queue depths, dispatch
+// timings).
+//
 // Endpoints:
 //
 //	POST /v1/jobs                   submit a batch job
@@ -41,6 +63,8 @@
 //	                                union-delta locate/compact recomputed
 //	GET  /v1/jobs                   list jobs
 //	GET  /v1/jobs/{id}              job status
+//	GET  /v1/jobs/{id}/events       live progress stream (SSE or long-poll)
+//	DELETE /v1/jobs/{id}            cancel a still-queued job (gateway mode)
 //	GET  /v1/jobs/{id}/report       full report of a completed job
 //	GET  /v1/jobs/{id}/libs/{name}  download one debloated library
 //	GET  /v1/metrics                counters, cache stats, timings
@@ -79,6 +103,7 @@ import (
 	"negativaml/internal/castore"
 	"negativaml/internal/cluster"
 	"negativaml/internal/dserve"
+	"negativaml/internal/gateway"
 )
 
 func main() {
@@ -91,6 +116,11 @@ func main() {
 	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	nodeID := flag.String("node-id", "", "this node's name in the cluster (with -peers)")
 	peers := flag.String("peers", "", "cluster peers as id=base-url,... (the whole cluster's list; this node's own entry is ignored)")
+	tenantsPath := flag.String("tenants", "", "tenant config JSON; enables the multi-tenant gateway (API keys, quotas, lanes)")
+	gwDispatch := flag.Int("gw-dispatch", 4, "gateway concurrent dispatch slots (with -tenants)")
+	gwQueue := flag.Int("gw-queue", 64, "gateway per-lane queue depth before load-shedding (with -tenants)")
+	gwIWeight := flag.Int("gw-interactive-weight", 3, "interactive lane weight in the dispatch ratio (with -tenants)")
+	gwBWeight := flag.Int("gw-bulk-weight", 1, "bulk lane weight in the dispatch ratio (with -tenants)")
 	flag.Parse()
 
 	// Reject misconfigurations loudly instead of silently coercing them to
@@ -116,6 +146,14 @@ func main() {
 	}
 	if (*peers == "") != (*nodeID == "") {
 		log.Fatal("negativa-served: -peers and -node-id must be set together")
+	}
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"gw-dispatch", *gwDispatch}, {"gw-queue", *gwQueue}, {"gw-interactive-weight", *gwIWeight}, {"gw-bulk-weight", *gwBWeight}} {
+		if f.val <= 0 {
+			log.Fatalf("negativa-served: -%s must be positive (got %d)", f.name, f.val)
+		}
 	}
 	var peerMap map[string]string
 	if *peers != "" {
@@ -154,7 +192,46 @@ func main() {
 		svc.AttachCluster(c)
 		log.Printf("negativa-served: node %s in a %d-node ring (%v)", *nodeID, len(c.Nodes()), c.Nodes())
 	}
-	srv := &http.Server{Addr: *addr, Handler: dserve.NewHandler(svc)}
+	handler := http.Handler(dserve.NewHandler(svc))
+	var gw *gateway.Gateway
+	if *tenantsPath != "" {
+		tenants, err := gateway.LoadTenants(*tenantsPath)
+		if err != nil {
+			log.Fatalf("negativa-served: %v", err)
+		}
+		gw, err = gateway.New(svc, gateway.Config{
+			DispatchSlots:     *gwDispatch,
+			QueueDepth:        *gwQueue,
+			InteractiveWeight: *gwIWeight,
+			BulkWeight:        *gwBWeight,
+		}, tenants)
+		if err != nil {
+			log.Fatalf("negativa-served: %v", err)
+		}
+		handler = gateway.NewHandler(gw, handler)
+		log.Printf("negativa-served: gateway: %d tenants, %d dispatch slots, interactive:bulk %d:%d",
+			len(tenants), *gwDispatch, *gwIWeight, *gwBWeight)
+
+		// SIGHUP re-reads the tenant file: key rotation and quota changes
+		// land without dropping in-flight jobs.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				tenants, err := gateway.LoadTenants(*tenantsPath)
+				if err != nil {
+					log.Printf("negativa-served: tenant reload rejected: %v", err)
+					continue
+				}
+				if err := gw.SetTenants(tenants); err != nil {
+					log.Printf("negativa-served: tenant reload rejected: %v", err)
+					continue
+				}
+				log.Printf("negativa-served: reloaded %d tenants", len(tenants))
+			}
+		}()
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -175,6 +252,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("negativa-served: shutdown: %v", err)
+	}
+	if gw != nil {
+		gw.Close() // shed queued units, stop event pumps
 	}
 	svc.Close() // wait for running jobs
 	if cfg.Store != nil {

@@ -11,6 +11,7 @@ import (
 	"negativaml/internal/elfx"
 	"negativaml/internal/mlruntime"
 	"negativaml/internal/negativa"
+	"negativaml/internal/plan"
 )
 
 // Job states.
@@ -33,7 +34,20 @@ type Job struct {
 	Started   time.Time
 	Finished  time.Time
 
+	// StagesDone counts completed plan nodes of the running batch;
+	// StagesTotal is fixed once the stage graph is planned. Together they
+	// derive the monotone progress fraction the status endpoint reports.
+	StagesDone  int
+	StagesTotal int
+
 	Result *BatchResult
+
+	// events is the job's live progress stream (state transitions plus one
+	// event per completed stage); subscribers attach via Service.JobEvents.
+	events *EventLog
+	// opts carries the submitter's hooks (extra stage observer, completion
+	// callback) into the async run.
+	opts SubmitOptions
 
 	// manifest is the durable form of a persisted job; for a job restored
 	// from the store it stands in for Result until first use materializes
@@ -60,12 +74,31 @@ var (
 	ErrBaseNotReady = errors.New("dserve: base job has not completed")
 )
 
+// SubmitOptions carry a submitter's hooks into a job's async run. The
+// gateway uses them to charge per-tenant stage-seconds (Observer) and to
+// learn about completion without polling (OnDone).
+type SubmitOptions struct {
+	// Observer, when non-nil, additionally receives the batch's per-stage
+	// outcomes (the service's metrics observer and the job's progress
+	// tracking always run). Must be safe for concurrent use.
+	Observer plan.Observer
+	// OnDone, when non-nil, is called once with a terminal-state snapshot
+	// of the job after it finishes (done or failed), from the job's own
+	// goroutine with no service locks held.
+	OnDone func(*Job)
+}
+
 // Submit validates the request, queues a job, and runs it asynchronously on
 // a service goroutine. The returned snapshot reflects the queued state;
 // poll Job(id) for progress. Returns ErrBusy when MaxInFlight jobs are
 // already queued or running — the one retention surface MaxJobs pruning
 // cannot touch (it only evicts terminal jobs).
 func (s *Service) Submit(req JobRequest) (*Job, error) {
+	return s.SubmitWith(req, SubmitOptions{})
+}
+
+// SubmitWith is Submit with per-job hooks attached.
+func (s *Service) SubmitWith(req JobRequest, opts SubmitOptions) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,7 +130,10 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 		Req:       req,
 		State:     JobQueued,
 		Submitted: time.Now(),
+		events:    NewEventLog(),
+		opts:      opts,
 	}
+	job.events.Append(JobEvent{Type: EventState, State: JobQueued})
 	if req.Base != "" {
 		// Pin the base while this job exists in a non-terminal state:
 		// checkBaseLocked just proved it is present and done, and the pin
@@ -117,14 +153,39 @@ func (s *Service) Submit(req JobRequest) (*Job, error) {
 	return &snap, nil
 }
 
+// progressObserver mirrors one job's completed plan nodes into its stage
+// counters and event stream.
+type progressObserver struct {
+	s   *Service
+	job *Job
+}
+
+func (o progressObserver) StageDone(stage string, hit bool, _ time.Duration) {
+	o.s.mu.Lock()
+	o.job.StagesDone++
+	done, total := o.job.StagesDone, o.job.StagesTotal
+	o.s.mu.Unlock()
+	o.job.events.Append(JobEvent{
+		Type: EventStage, Stage: stage, Hit: hit,
+		StagesDone: done, StagesTotal: total,
+	})
+}
+
 func (s *Service) run(job *Job) {
 	defer s.wg.Done()
 	s.mu.Lock()
 	job.State = JobRunning
 	job.Started = time.Now()
 	s.mu.Unlock()
+	job.events.Append(JobEvent{Type: EventState, State: JobRunning})
 
-	res, err := s.runBatch(job.Req)
+	obs := plan.MultiObserver(progressObserver{s: s, job: job}, job.opts.Observer)
+	onPlanned := func(total int) {
+		s.mu.Lock()
+		job.StagesTotal = total
+		s.mu.Unlock()
+	}
+	res, err := s.runBatch(job.Req, obs, onPlanned)
 
 	// Persist before publishing the terminal state (file I/O stays outside
 	// s.mu): once the job reads as done, its manifest and pinned objects
@@ -160,8 +221,17 @@ func (s *Service) run(job *Job) {
 		}
 	}
 	wall := job.Finished.Sub(job.Started)
+	snap := *job
 	s.pruneJobsLocked()
 	s.mu.Unlock()
+
+	// Terminal event last: subscribers that see it know the stream is
+	// complete and every stage event precedes it.
+	term := JobEvent{
+		Type: EventState, State: snap.State, Error: snap.Err, Terminal: true,
+		StagesDone: snap.StagesDone, StagesTotal: snap.StagesTotal,
+	}
+	job.events.Append(term)
 
 	if err != nil {
 		s.Counters.Add("jobs.failed", 1)
@@ -169,6 +239,9 @@ func (s *Service) run(job *Job) {
 		s.Counters.Add("jobs.completed", 1)
 	}
 	s.Timings.Observe("job.wall", wall)
+	if job.opts.OnDone != nil {
+		job.opts.OnDone(&snap)
+	}
 }
 
 // pruneJobsLocked evicts the oldest terminal jobs beyond MaxJobs — each
@@ -269,8 +342,9 @@ func (s *Service) effectiveSteps(v int) int {
 }
 
 // runBatch materializes the request (shared install, member workloads,
-// incremental base) and executes the batch.
-func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
+// incremental base) and executes the batch. obs and onPlanned carry the
+// job's progress hooks into the batch options.
+func (s *Service) runBatch(req JobRequest, obs plan.Observer, onPlanned func(int)) (*BatchResult, error) {
 	fw, err := ResolveFramework(req.Framework)
 	if err != nil {
 		return nil, err
@@ -291,7 +365,9 @@ func (s *Service) runBatch(req JobRequest) (*BatchResult, error) {
 		// The request's specs ride along so the cluster tier can execute
 		// detect stages on their owning shard (the shard regenerates the
 		// install from framework/tail_libs).
-		Specs: &BatchSpecs{Framework: req.Framework, TailLibs: req.TailLibs, Workloads: req.Workloads},
+		Specs:     &BatchSpecs{Framework: req.Framework, TailLibs: req.TailLibs, Workloads: req.Workloads},
+		Observer:  obs,
+		OnPlanned: onPlanned,
 	}
 	if req.Base != "" {
 		// The base has been pinned since Submit accepted the request, so
@@ -468,7 +544,12 @@ func (s *Service) restoreJobs() {
 			ID: m.ID, Req: m.Req, State: m.state(), Err: m.Error,
 			Submitted: m.Submitted, Started: m.Started, Finished: m.Finished,
 			manifest: m, refs: held,
+			events: NewEventLog(),
 		}
+		// A restored job's stream is just its terminal state: per-stage
+		// history does not survive a restart (and does not need to — the
+		// job is already done).
+		job.events.Append(JobEvent{Type: EventState, State: job.State, Error: job.Err, Terminal: true})
 		s.jobs[m.ID] = job
 		s.order = append(s.order, m.ID)
 		s.Counters.Add("jobs.restored", 1)
@@ -672,6 +753,21 @@ func (s *Service) OpenLibStream(id, name string) (*LibStream, error) {
 		return nil, ErrUnknownLib
 	}
 	return &LibStream{Size: lr.Sparse.Len(), sparse: lr.Sparse, release: release}, nil
+}
+
+// JobEvents returns the job's buffered progress events with Seq > after,
+// whether the stream is terminally complete, and a channel that closes on
+// the next append (for blocking long-polls and SSE). ErrUnknownJob when
+// the job does not exist.
+func (s *Service) JobEvents(id string, after int) ([]JobEvent, bool, <-chan struct{}, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil, ErrUnknownJob
+	}
+	evs, done, ch := job.events.After(after)
+	return evs, done, ch, nil
 }
 
 // WaitJob blocks until the job reaches a terminal state or the timeout

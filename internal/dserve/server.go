@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"negativaml/internal/metrics"
@@ -131,7 +132,28 @@ func newMux(s *Service) *http.ServeMux {
 			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
+		if job.State == JobQueued || job.State == JobRunning {
+			// Polling hint: how long until the job is plausibly done, from
+			// the recent job-wall distribution. Clients that prefer pushes
+			// should use /v1/jobs/{id}/events instead.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint(job)))
+		}
 		writeJSON(w, http.StatusOK, statusOf(job))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if s.Job(id) == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		ServeEvents(w, r, func(after int) ([]JobEvent, bool, <-chan struct{}) {
+			evs, done, ch, err := s.JobEvents(id, after)
+			if err != nil {
+				// Evicted mid-stream: end the stream rather than hang.
+				return nil, true, nil
+			}
+			return evs, done, ch
+		})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		job := s.Job(r.PathValue("id"))
@@ -185,21 +207,7 @@ func newMux(s *Service) *http.ServeMux {
 		ls.WriteTo(w)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		out := map[string]any{
-			"counters": s.Counters.Snapshot(),
-			"cache":    s.Cache.Stats(),
-			"registry": map[string]int{"profiles": s.Registry.Len()},
-			"stages":   stageStats(s.Counters),
-			"timings":  s.Timings.Snapshot(),
-			"workers":  s.Workers(),
-		}
-		if st := s.Store(); st != nil {
-			out["store"] = st.Stats()
-		}
-		if ps := peerStats(s); ps != nil {
-			out["peer"] = ps
-		}
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, s.MetricsPayload())
 	})
 	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Store()
@@ -221,6 +229,13 @@ type jobStatus struct {
 	Submitted time.Time `json:"submitted"`
 	Framework string    `json:"framework"`
 	Workloads int       `json:"workloads"`
+	// Progress is the monotone completed-stage fraction (0..1, exactly 1
+	// once done); StagesDone/StagesTotal are its integer parts. A job
+	// restored after a restart reports 1 with zero counts — its per-stage
+	// history did not survive, its completion did.
+	Progress    float64 `json:"progress"`
+	StagesDone  int     `json:"stages_done"`
+	StagesTotal int     `json:"stages_total"`
 	// Base names the job this one incrementally extends, when submitted
 	// with one.
 	Base string `json:"base,omitempty"`
@@ -235,13 +250,16 @@ type jobStatus struct {
 
 func statusOf(j *Job) jobStatus {
 	st := jobStatus{
-		ID:        j.ID,
-		State:     j.State,
-		Error:     j.Err,
-		Submitted: j.Submitted,
-		Framework: j.Req.Framework,
-		Workloads: len(j.Req.Workloads),
-		Base:      j.Req.Base,
+		ID:          j.ID,
+		State:       j.State,
+		Error:       j.Err,
+		Submitted:   j.Submitted,
+		Framework:   j.Req.Framework,
+		Workloads:   len(j.Req.Workloads),
+		Progress:    progressOf(j),
+		StagesDone:  j.StagesDone,
+		StagesTotal: j.StagesTotal,
+		Base:        j.Req.Base,
 	}
 	switch {
 	case j.Result != nil:
@@ -381,6 +399,163 @@ func totalsOf(t negativa.Totals) totalsReport {
 		GPURedPct:   t.GPUReductionPct(),
 		FuncRedPct:  t.FuncReductionPct(),
 		ElemRedPct:  t.ElemReductionPct(),
+	}
+}
+
+// progressOf derives the monotone progress fraction: completed stages over
+// planned stages, pinned to 1 for done jobs (including restored ones whose
+// stage counts did not survive the restart).
+func progressOf(j *Job) float64 {
+	if j.State == JobDone {
+		return 1
+	}
+	if j.StagesTotal <= 0 {
+		return 0
+	}
+	p := float64(j.StagesDone) / float64(j.StagesTotal)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// retryAfterHint estimates, in whole seconds (≥ 1), how long a poller
+// should wait before asking about a queued/running job again: the recent
+// median job wall time minus what this job has already spent, clamped to
+// [1, 30].
+func (s *Service) retryAfterHint(j *Job) int {
+	est := s.Timings.Summary("job.wall").P50 // milliseconds
+	if j.State == JobRunning && !j.Started.IsZero() {
+		est -= ms(time.Since(j.Started))
+	}
+	secs := int((est + 999) / 1000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// MetricsPayload assembles the /v1/metrics response body. The gateway
+// reuses it to serve a merged metrics view with its own section added.
+func (s *Service) MetricsPayload() map[string]any {
+	out := map[string]any{
+		"counters": s.Counters.Snapshot(),
+		"cache":    s.Cache.Stats(),
+		"registry": map[string]int{"profiles": s.Registry.Len()},
+		"stages":   stageStats(s.Counters),
+		"timings":  s.Timings.Snapshot(),
+		"workers":  s.Workers(),
+	}
+	if st := s.Store(); st != nil {
+		out["store"] = st.Stats()
+	}
+	if ps := peerStats(s); ps != nil {
+		out["peer"] = ps
+	}
+	return out
+}
+
+// eventsPollDefault and eventsPollMax bound a long-poll's blocking time.
+const (
+	eventsPollDefault = 0
+	eventsPollMax     = 60 * time.Second
+)
+
+// ServeEvents renders a job event stream over HTTP from an After-style
+// source (see EventLog.After). Two modes, negotiated by the Accept header:
+//
+//   - text/event-stream: SSE. Every buffered event replays as one `data:`
+//     line, new events stream as they arrive, and the response ends after
+//     the terminal event (or when the client disconnects).
+//   - otherwise: long-poll JSON. ?after=N returns events with Seq > N
+//     (default all); ?timeout_ms=M blocks up to M milliseconds (capped at
+//     60000) when no fresh events exist. The body is
+//     {"events": [...], "done": bool} — an empty events array with
+//     done=false means the poll timed out.
+//
+// The gateway serves its own job streams through this same renderer, so
+// both layers speak one wire format.
+func ServeEvents(w http.ResponseWriter, r *http.Request, after func(int) ([]JobEvent, bool, <-chan struct{})) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		serveEventsSSE(w, r, after)
+		return
+	}
+	from := -1
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", v))
+			return
+		}
+		from = n
+	}
+	timeout := time.Duration(eventsPollDefault)
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q", v))
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+		if timeout > eventsPollMax {
+			timeout = eventsPollMax
+		}
+	}
+	evs, done, ch := after(from)
+	if len(evs) == 0 && !done && timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-ch:
+			evs, done, _ = after(from)
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	if evs == nil {
+		evs = []JobEvent{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": evs, "done": done})
+}
+
+func serveEventsSSE(w http.ResponseWriter, r *http.Request, after func(int) ([]JobEvent, bool, <-chan struct{})) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, errors.New("response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	last := -1
+	for {
+		evs, done, ch := after(last)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			last = e.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
 	}
 }
 

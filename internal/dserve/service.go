@@ -242,6 +242,15 @@ type BatchOptions struct {
 	// from the job request; library callers may leave it nil, in which
 	// case detect stages compute locally on a cluster read-through miss.
 	Specs *BatchSpecs
+	// Observer, when non-nil, additionally receives this batch's per-stage
+	// outcomes (alongside the service's global metrics observer) — the hook
+	// job progress streams and the gateway's stage-seconds accounting hang
+	// off.
+	Observer plan.Observer
+	// OnPlanned, when non-nil, is called once with the batch's total stage
+	// count after the graph is built and before any stage executes — the
+	// denominator for progress reporting.
+	OnPlanned func(totalStages int)
 }
 
 // BatchSpecs is the serializable description of a batch, used by the
@@ -594,7 +603,10 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		}
 	}
 
-	if err := g.Execute(s.pool, s.stages, s.observer); err != nil {
+	if opt.OnPlanned != nil {
+		opt.OnPlanned(g.Len())
+	}
+	if err := g.Execute(s.pool, s.stages, plan.MultiObserver(s.observer, opt.Observer)); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,38 @@
+// Package gateway is the multi-tenant front door of the debloat service:
+// the admission, scheduling, and streaming layer that stands between
+// untrusted clients and the single shared dserve batch engine.
+//
+// The gateway owns four concerns the serving plane deliberately does not:
+//
+//   - Tenancy. Every request authenticates with an API key that maps to a
+//     named tenant (see TenantConfig). Tenants carry quotas — concurrent
+//     batches in flight, retained result bytes, and analysis stage-seconds
+//     per fixed window — and a request that would exceed one is shed with
+//     a 429 and a Retry-After hint rather than queued.
+//
+//   - Priority lanes. Admitted work lands in one of two lanes,
+//     interactive or bulk, drained by a weighted round-robin dispatcher
+//     into a bounded number of backend submission slots. Under contention
+//     the interactive lane receives InteractiveWeight units of service
+//     for every BulkWeight the bulk lane gets; an uncontested lane drains
+//     at full speed without building up credit.
+//
+//   - Coalescing. Identical requests (same canonical request JSON, after
+//     base translation) submitted while a matching unit is still in
+//     flight attach to that unit as followers instead of dispatching
+//     again: one backend batch feeds every attached tenant's job, each
+//     with its own event stream and accounting. Followers of a failed
+//     unit receive its terminal event — they never hang — and a follower
+//     or leader cancelled while the unit is still queued simply detaches
+//     (the unit is dropped only when its last rider cancels).
+//
+//   - Live streaming. Each gateway job mirrors its unit's upstream event
+//     log (re-sequenced, late attachers get a full replay) and serves it
+//     over the same SSE/long-poll renderer the serving plane uses, so
+//     both layers speak one wire format.
+//
+// The gateway talks to the engine through the narrow Backend interface —
+// *dserve.Service satisfies it directly, tests substitute fakes — and
+// merges its own counters, lane depths, and per-tenant accounting into
+// the backend's /v1/metrics payload under a "gateway" section.
+package gateway

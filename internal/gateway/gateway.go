@@ -1,0 +1,905 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"negativaml/internal/dserve"
+	"negativaml/internal/metrics"
+)
+
+// Lane names. Interactive is the default.
+const (
+	LaneInteractive = "interactive"
+	LaneBulk        = "bulk"
+)
+
+// Gateway job states. Queued/running/done/failed mirror the backend's;
+// cancelled is gateway-only (the backend never starts cancelled work).
+const (
+	JobQueued    = dserve.JobQueued
+	JobRunning   = dserve.JobRunning
+	JobDone      = dserve.JobDone
+	JobFailed    = dserve.JobFailed
+	JobCancelled = "cancelled"
+)
+
+// Shed reasons, reported in 429 bodies and counted under
+// gateway.shed.<reason>.
+const (
+	ShedQueueFull    = "queue_full"
+	ShedConcurrency  = "concurrency"
+	ShedResultBytes  = "result_bytes"
+	ShedStageSeconds = "stage_seconds"
+)
+
+// Backend is the slice of the serving plane the gateway drives.
+// *dserve.Service satisfies it; tests substitute fakes.
+type Backend interface {
+	SubmitWith(req dserve.JobRequest, opts dserve.SubmitOptions) (*dserve.Job, error)
+	Job(id string) *dserve.Job
+	JobEvents(id string, after int) ([]dserve.JobEvent, bool, <-chan struct{}, error)
+	MetricsPayload() map[string]any
+}
+
+// Config tunes the gateway. Zero values take the documented defaults.
+type Config struct {
+	// DispatchSlots caps concurrent backend submissions (default 4). Keep
+	// it at or below the backend's MaxInFlight so dispatch rarely meets
+	// ErrBusy; when it does, the dispatcher holds the slot and retries —
+	// admitted work never fails for backend backpressure.
+	DispatchSlots int
+	// QueueDepth caps each lane's queued units (default 64); admissions
+	// beyond it shed with 429 queue_full.
+	QueueDepth int
+	// InteractiveWeight and BulkWeight set the contested drain ratio
+	// (defaults 3 and 1).
+	InteractiveWeight int
+	BulkWeight        int
+	// MaxJobs bounds retained terminal gateway jobs (default 512);
+	// eviction releases the jobs' result-byte charges.
+	MaxJobs int
+	// DefaultQuota fills zero fields of every tenant's quota.
+	DefaultQuota QuotaConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.DispatchSlots <= 0 {
+		c.DispatchSlots = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.InteractiveWeight <= 0 {
+		c.InteractiveWeight = 3
+	}
+	if c.BulkWeight <= 0 {
+		c.BulkWeight = 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 512
+	}
+	return c
+}
+
+// Typed errors the HTTP layer maps to status codes.
+var (
+	ErrUnknownJob     = errors.New("gateway: unknown job")
+	ErrJobNotReady    = errors.New("gateway: job has no result yet")
+	ErrNotCancellable = errors.New("gateway: job is past cancellation")
+	ErrUnknownBase    = errors.New("gateway: unknown base job")
+	ErrBaseNotReady   = errors.New("gateway: base job has not completed")
+	ErrUnknownTenant  = errors.New("gateway: unknown tenant")
+	ErrClosed         = errors.New("gateway: shut down")
+)
+
+// ShedError is a load-shedding verdict: the request was refused to protect
+// the service (or a quota), and the client should retry after RetryAfter
+// seconds. The HTTP layer maps it to 429 with a Retry-After header.
+type ShedError struct {
+	Reason     string
+	RetryAfter int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("gateway: overloaded (%s), retry after %ds", e.Reason, e.RetryAfter)
+}
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	cfg   TenantConfig
+	quota QuotaConfig // cfg.Quota merged with gateway defaults
+
+	inflight    int   // non-terminal gateway jobs, followers included
+	resultBytes int64 // retained result bytes across terminal jobs
+
+	windowStart time.Time // stage-seconds fixed window
+	windowUsed  float64
+}
+
+// gwJob is one tenant-visible admission. Several jobs may ride one
+// workUnit (coalescing); each keeps its own event log and accounting.
+type gwJob struct {
+	id        string
+	tenant    string
+	lane      string
+	coalesced bool
+	submitted time.Time
+	req       dserve.JobRequest
+
+	state       string
+	err         string
+	stagesDone  int
+	stagesTotal int
+	resultBytes int64
+
+	events *dserve.EventLog
+	unit   *workUnit
+}
+
+// workUnit is one batch of backend work: the deduplicated form of every
+// identical request in flight. jobs[0] is the current leader, whose tenant
+// is charged the unit's stage-seconds.
+type workUnit struct {
+	digest string
+	req    dserve.JobRequest
+	lane   string
+	tenant string
+
+	jobs     []*gwJob
+	mirrored []dserve.JobEvent // upstream events, replayed to late attachers
+
+	dispatched  bool
+	dsID        string
+	state       string
+	stagesDone  int
+	stagesTotal int
+}
+
+// Gateway is the multi-tenant front door. See the package documentation
+// for the full model.
+type Gateway struct {
+	backend Backend
+	cfg     Config
+
+	// Counters and Timings hold the gateway's own series, merged into the
+	// backend's /v1/metrics payload under "gateway".
+	Counters *metrics.CounterSet
+	Timings  *metrics.TimingSet
+
+	mu      sync.Mutex
+	closed  bool
+	tenants map[string]*tenantState
+	keys    map[string]string // API key -> tenant name
+
+	jobs  map[string]*gwJob
+	order []string
+	seq   int
+
+	lanes            map[string][]*workUnit
+	servedI, servedB int64
+	units            map[string]*workUnit // in-flight only, by request digest
+	inflightUnits    int
+
+	// stop is closed by Close so dispatched units' pump goroutines and
+	// busy-retry loops unblock instead of waiting on the backend forever.
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a gateway over the backend with the given tenant set.
+func New(backend Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) {
+	g := &Gateway{
+		backend:  backend,
+		cfg:      cfg.withDefaults(),
+		Counters: metrics.NewCounterSet(),
+		Timings:  metrics.NewTimingSet(),
+		tenants:  map[string]*tenantState{},
+		keys:     map[string]string{},
+		jobs:     map[string]*gwJob{},
+		lanes:    map[string][]*workUnit{LaneInteractive: nil, LaneBulk: nil},
+		units:    map[string]*workUnit{},
+		stop:     make(chan struct{}),
+	}
+	if err := g.SetTenants(tenants); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SetTenants replaces the tenant table (key rotation, quota changes,
+// tenant add/remove). Live accounting carries over by tenant name: a
+// tenant present before and after the reload keeps its in-flight counts,
+// byte charges, and stage-seconds window. Jobs of a removed tenant finish
+// but are no longer reachable by any key.
+func (g *Gateway) SetTenants(cfgs []TenantConfig) error {
+	if err := ValidateTenants(cfgs); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	next := make(map[string]*tenantState, len(cfgs))
+	keys := make(map[string]string)
+	for _, tc := range cfgs {
+		ts := g.tenants[tc.Name]
+		if ts == nil {
+			ts = &tenantState{}
+		}
+		ts.cfg = tc
+		ts.quota = tc.Quota.merge(g.cfg.DefaultQuota)
+		next[tc.Name] = ts
+		for _, k := range tc.Keys {
+			keys[k] = tc.Name
+		}
+	}
+	g.tenants = next
+	g.keys = keys
+	g.Counters.Add("gateway.tenant_reloads", 1)
+	return nil
+}
+
+// Authenticate resolves an API key to its tenant name.
+func (g *Gateway) Authenticate(key string) (string, bool) {
+	if key == "" {
+		return "", false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	name, ok := g.keys[key]
+	return name, ok
+}
+
+// requestDigest is the coalescing key: SHA-256 over the canonical JSON of
+// the validated request (framework resolved, base already translated to a
+// backend job ID). Install generation is deterministic from the request
+// fields, so equal digests mean byte-identical batches; the key is
+// conservative — only logically identical requests coalesce.
+func requestDigest(req dserve.JobRequest) string {
+	if fw, err := dserve.ResolveFramework(req.Framework); err == nil {
+		req.Framework = fw
+	}
+	b, _ := json.Marshal(req)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Submit admits one request for the tenant: validate, translate the base,
+// enforce quotas, coalesce onto an in-flight identical unit or enqueue a
+// new one, and return the queued job's snapshot. Shed verdicts come back
+// as *ShedError.
+func (g *Gateway) Submit(tenantName string, req dserve.JobRequest, laneOverride string) (*JobView, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	ts := g.tenants[tenantName]
+	if ts == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName)
+	}
+	lane := laneOverride
+	if lane == "" {
+		lane = ts.cfg.Lane
+	}
+	if lane == "" {
+		lane = LaneInteractive
+	}
+	if lane != LaneInteractive && lane != LaneBulk {
+		return nil, fmt.Errorf("gateway: unknown lane %q (want %s or %s)", lane, LaneInteractive, LaneBulk)
+	}
+
+	if req.Base != "" {
+		// Clients name gateway jobs; the backend knows only its own IDs.
+		// Translate (own-tenant, completed) or refuse.
+		bj := g.jobs[req.Base]
+		if bj == nil || bj.tenant != tenantName {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownBase, req.Base)
+		}
+		if bj.state != JobDone || bj.unit == nil || bj.unit.dsID == "" {
+			return nil, fmt.Errorf("%w: %s is %s", ErrBaseNotReady, req.Base, bj.state)
+		}
+		req.Base = bj.unit.dsID
+	}
+
+	if shed := g.quotaShedLocked(ts); shed != nil {
+		g.shedLocked(tenantName, lane, shed)
+		return nil, shed
+	}
+
+	digest := requestDigest(req)
+	if u := g.units[digest]; u != nil {
+		// Identical work already in flight: attach as a follower. The one
+		// backend batch feeds every rider; this tenant still pays its own
+		// concurrency slot and result-byte charge.
+		job := g.newJobLocked(tenantName, lane, req, u, true)
+		job.state = u.state
+		job.stagesDone, job.stagesTotal = u.stagesDone, u.stagesTotal
+		for _, ev := range u.mirrored {
+			job.events.Append(ev)
+		}
+		u.jobs = append(u.jobs, job)
+		ts.inflight++
+		g.admitCountersLocked(tenantName, lane)
+		g.Counters.Add("gateway.coalesced", 1)
+		g.Counters.Add("tenant."+tenantName+".coalesced", 1)
+		g.Counters.Add("lane."+lane+".coalesced", 1)
+		return g.viewLocked(job), nil
+	}
+
+	if len(g.lanes[lane]) >= g.cfg.QueueDepth {
+		shed := &ShedError{Reason: ShedQueueFull, RetryAfter: g.wallHintLocked()}
+		g.shedLocked(tenantName, lane, shed)
+		return nil, shed
+	}
+
+	u := &workUnit{digest: digest, req: req, lane: lane, tenant: tenantName, state: JobQueued}
+	job := g.newJobLocked(tenantName, lane, req, u, false)
+	u.jobs = []*gwJob{job}
+	g.units[digest] = u
+	g.lanes[lane] = append(g.lanes[lane], u)
+	ts.inflight++
+	g.admitCountersLocked(tenantName, lane)
+	g.dispatchLocked()
+	return g.viewLocked(job), nil
+}
+
+func (g *Gateway) newJobLocked(tenant, lane string, req dserve.JobRequest, u *workUnit, coalesced bool) *gwJob {
+	g.seq++
+	job := &gwJob{
+		id:        fmt.Sprintf("gw-%04d", g.seq),
+		tenant:    tenant,
+		lane:      lane,
+		coalesced: coalesced,
+		submitted: time.Now(),
+		req:       req,
+		state:     JobQueued,
+		events:    dserve.NewEventLog(),
+		unit:      u,
+	}
+	job.events.Append(dserve.JobEvent{Type: dserve.EventState, State: JobQueued})
+	g.jobs[job.id] = job
+	g.order = append(g.order, job.id)
+	return job
+}
+
+func (g *Gateway) admitCountersLocked(tenant, lane string) {
+	g.Counters.Add("gateway.admitted", 1)
+	g.Counters.Add("tenant."+tenant+".admitted", 1)
+	g.Counters.Add("lane."+lane+".admitted", 1)
+}
+
+func (g *Gateway) shedLocked(tenant, lane string, shed *ShedError) {
+	g.Counters.Add("gateway.shed", 1)
+	g.Counters.Add("gateway.shed."+shed.Reason, 1)
+	g.Counters.Add("tenant."+tenant+".shed", 1)
+	g.Counters.Add("lane."+lane+".shed", 1)
+}
+
+// quotaShedLocked returns the shed verdict for one more admission under
+// the tenant's quotas, or nil to admit.
+func (g *Gateway) quotaShedLocked(ts *tenantState) *ShedError {
+	q := ts.quota
+	if q.MaxConcurrent > 0 && ts.inflight >= q.MaxConcurrent {
+		return &ShedError{Reason: ShedConcurrency, RetryAfter: g.wallHintLocked()}
+	}
+	if q.MaxResultBytes > 0 && ts.resultBytes >= q.MaxResultBytes {
+		return &ShedError{Reason: ShedResultBytes, RetryAfter: g.wallHintLocked()}
+	}
+	if q.StageSeconds > 0 {
+		g.rollWindowLocked(ts)
+		if ts.windowUsed >= q.StageSeconds {
+			rem := time.Until(ts.windowStart.Add(time.Duration(q.WindowSeconds) * time.Second))
+			return &ShedError{Reason: ShedStageSeconds, RetryAfter: ceilSeconds(rem)}
+		}
+	}
+	return nil
+}
+
+// rollWindowLocked resets an expired stage-seconds window.
+func (g *Gateway) rollWindowLocked(ts *tenantState) {
+	w := time.Duration(ts.quota.WindowSeconds) * time.Second
+	if ts.windowStart.IsZero() || time.Since(ts.windowStart) >= w {
+		ts.windowStart = time.Now()
+		ts.windowUsed = 0
+	}
+}
+
+// wallHintLocked estimates seconds until capacity plausibly frees: the
+// recent median unit wall time, clamped to [1, 30].
+func (g *Gateway) wallHintLocked() int {
+	p50 := g.Timings.Summary("gateway.unit_wall").P50 // milliseconds
+	return clampSeconds(int((p50 + 999) / 1000))
+}
+
+func ceilSeconds(d time.Duration) int {
+	return clampSeconds(int((d + time.Second - 1) / time.Second))
+}
+
+func clampSeconds(s int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > 30 {
+		return 30
+	}
+	return s
+}
+
+// stageCharge bills a dispatched unit's per-stage wall time to its
+// tenant's stage-seconds window. Called from backend execution goroutines.
+type stageCharge struct {
+	g      *Gateway
+	tenant string
+}
+
+func (o stageCharge) StageDone(_ string, _ bool, wall time.Duration) {
+	o.g.mu.Lock()
+	defer o.g.mu.Unlock()
+	ts := o.g.tenants[o.tenant]
+	if ts == nil || ts.quota.StageSeconds <= 0 {
+		return
+	}
+	o.g.rollWindowLocked(ts)
+	ts.windowUsed += wall.Seconds()
+}
+
+// dispatchLocked fills free submission slots from the lane queues.
+func (g *Gateway) dispatchLocked() {
+	for !g.closed && g.inflightUnits < g.cfg.DispatchSlots {
+		u := g.pickLocked()
+		if u == nil {
+			return
+		}
+		u.dispatched = true
+		g.inflightUnits++
+		g.Counters.Add("lane."+u.lane+".dispatched", 1)
+		g.wg.Add(1)
+		go g.runUnit(u)
+	}
+}
+
+// pickLocked pops the next unit under weighted round-robin. Served counts
+// advance only on contested picks, so a lane idle while the other drains
+// does not bank credit for a starvation-sized burst later.
+func (g *Gateway) pickLocked() *workUnit {
+	qi, qb := g.lanes[LaneInteractive], g.lanes[LaneBulk]
+	var lane string
+	switch {
+	case len(qi) == 0 && len(qb) == 0:
+		return nil
+	case len(qb) == 0:
+		lane = LaneInteractive
+	case len(qi) == 0:
+		lane = LaneBulk
+	case g.servedI*int64(g.cfg.BulkWeight) <= g.servedB*int64(g.cfg.InteractiveWeight):
+		lane, g.servedI = LaneInteractive, g.servedI+1
+	default:
+		lane, g.servedB = LaneBulk, g.servedB+1
+	}
+	q := g.lanes[lane]
+	u := q[0]
+	g.lanes[lane] = append(q[:0:0], q[1:]...)
+	return u
+}
+
+// runUnit submits the unit to the backend (holding its slot through
+// transient ErrBusy backpressure) and pumps the upstream event log into
+// every attached job until the terminal event.
+func (g *Gateway) runUnit(u *workUnit) {
+	defer g.wg.Done()
+	start := time.Now()
+	obs := stageCharge{g: g, tenant: u.tenant}
+	var ds *dserve.Job
+	var err error
+	for backoff := time.Millisecond; ; {
+		ds, err = g.backend.SubmitWith(u.req, dserve.SubmitOptions{Observer: obs})
+		if !errors.Is(err, dserve.ErrBusy) {
+			break
+		}
+		// The backend's in-flight cap is backpressure, not a verdict:
+		// admitted work must not fail for it. Hold the slot and retry.
+		g.Counters.Add("gateway.backend_busy_retries", 1)
+		select {
+		case <-g.stop:
+			g.finishUnit(u, dserve.JobEvent{
+				Type: dserve.EventState, State: JobFailed, Terminal: true,
+				Error: ErrClosed.Error(),
+			}, 0, start)
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	if err != nil {
+		g.finishUnit(u, dserve.JobEvent{
+			Type: dserve.EventState, State: JobFailed, Terminal: true,
+			Error: fmt.Sprintf("gateway: dispatch: %v", err),
+		}, 0, start)
+		return
+	}
+	g.mu.Lock()
+	u.dsID = ds.ID
+	g.mu.Unlock()
+	g.pumpUnit(u, ds.ID, start)
+}
+
+// pumpUnit mirrors the backend job's event stream into the unit (and every
+// attached gateway job) until its terminal event.
+func (g *Gateway) pumpUnit(u *workUnit, dsID string, start time.Time) {
+	last := -1
+	for {
+		evs, done, ch, err := g.backend.JobEvents(dsID, last)
+		if err != nil {
+			// Evicted mid-flight — cannot happen to a running backend job,
+			// but a fake or future backend might: fail the riders rather
+			// than hang them.
+			g.finishUnit(u, dserve.JobEvent{
+				Type: dserve.EventState, State: JobFailed, Terminal: true,
+				Error: "gateway: backend job " + dsID + " disappeared mid-flight",
+			}, 0, start)
+			return
+		}
+		var term *dserve.JobEvent
+		g.mu.Lock()
+		for i := range evs {
+			ev := evs[i]
+			last = ev.Seq
+			if ev.Terminal {
+				term = &evs[i]
+				break
+			}
+			if ev.Type == dserve.EventState && ev.State == dserve.JobQueued {
+				continue // the gateway issued its own queued event at admission
+			}
+			g.mirrorLocked(u, ev)
+		}
+		g.mu.Unlock()
+		if term != nil {
+			var bytes int64
+			if term.State == dserve.JobDone {
+				bytes = retainedBytes(g.backend.Job(dsID))
+			}
+			g.finishUnit(u, *term, bytes, start)
+			return
+		}
+		if done {
+			// Terminally closed with no terminal event — defensive.
+			g.finishUnit(u, dserve.JobEvent{
+				Type: dserve.EventState, State: JobFailed, Terminal: true,
+				Error: "gateway: backend stream for " + dsID + " ended without a terminal event",
+			}, 0, start)
+			return
+		}
+		select {
+		case <-ch:
+		case <-g.stop:
+			// Shutdown with the backend job still running: the gateway
+			// stops tracking it; riders see a terminal failure.
+			g.finishUnit(u, dserve.JobEvent{
+				Type: dserve.EventState, State: JobFailed, Terminal: true,
+				Error: ErrClosed.Error(),
+			}, 0, start)
+			return
+		}
+	}
+}
+
+// mirrorLocked records one upstream event on the unit and fans it out to
+// every attached job's log (Append re-stamps Seq per log).
+func (g *Gateway) mirrorLocked(u *workUnit, ev dserve.JobEvent) {
+	switch ev.Type {
+	case dserve.EventState:
+		u.state = ev.State
+	case dserve.EventStage:
+		u.stagesDone, u.stagesTotal = ev.StagesDone, ev.StagesTotal
+	}
+	u.mirrored = append(u.mirrored, ev)
+	for _, j := range u.jobs {
+		switch ev.Type {
+		case dserve.EventState:
+			j.state = ev.State
+		case dserve.EventStage:
+			j.stagesDone, j.stagesTotal = ev.StagesDone, ev.StagesTotal
+		}
+		j.events.Append(ev)
+	}
+}
+
+// retainedBytes sums a completed backend job's debloated image bytes — the
+// amount a tenant's result-byte quota is charged for retaining it.
+func retainedBytes(j *dserve.Job) int64 {
+	if j == nil || j.Result == nil {
+		return 0
+	}
+	var n int64
+	for _, lr := range j.Result.Libs {
+		if lr.Sparse != nil {
+			n += lr.Sparse.Len()
+		}
+	}
+	return n
+}
+
+// finishUnit publishes the unit's terminal event to every rider, settles
+// accounting (result bytes charged per attached tenant, in-flight slots
+// released), frees the dispatch slot, and pulls the next unit.
+func (g *Gateway) finishUnit(u *workUnit, term dserve.JobEvent, bytes int64, start time.Time) {
+	g.Timings.Observe("gateway.unit_wall", time.Since(start))
+	if term.StagesTotal == 0 {
+		term.StagesDone, term.StagesTotal = u.stagesDone, u.stagesTotal
+	}
+	g.mu.Lock()
+	delete(g.units, u.digest)
+	u.state = term.State
+	u.stagesDone, u.stagesTotal = term.StagesDone, term.StagesTotal
+	for _, j := range u.jobs {
+		j.state = term.State
+		j.err = term.Error
+		j.stagesDone, j.stagesTotal = term.StagesDone, term.StagesTotal
+		j.resultBytes = bytes
+		j.events.Append(term)
+		if ts := g.tenants[j.tenant]; ts != nil {
+			ts.inflight--
+			ts.resultBytes += bytes
+		}
+	}
+	if term.State == JobDone {
+		g.Counters.Add("gateway.completed", int64(len(u.jobs)))
+	} else {
+		g.Counters.Add("gateway.failed", int64(len(u.jobs)))
+	}
+	u.jobs = nil
+	if u.dispatched {
+		g.inflightUnits--
+	}
+	g.pruneLocked()
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// Cancel withdraws a still-queued job. A follower (or a leader with
+// followers) detaches without disturbing the unit — the charging tenant is
+// promoted to the next rider when the leader leaves — and the unit itself
+// is dropped from its lane only when the last rider cancels. Dispatched
+// units are past cancellation (the backend owns them): ErrNotCancellable.
+func (g *Gateway) Cancel(tenantName, id string) (*JobView, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := g.jobs[id]
+	if j == nil || j.tenant != tenantName {
+		return nil, ErrUnknownJob
+	}
+	u := j.unit
+	if j.state != JobQueued || u == nil || u.dispatched {
+		return nil, ErrNotCancellable
+	}
+	riders := u.jobs[:0]
+	for _, r := range u.jobs {
+		if r != j {
+			riders = append(riders, r)
+		}
+	}
+	u.jobs = riders
+	if len(u.jobs) == 0 {
+		delete(g.units, u.digest)
+		q := g.lanes[u.lane]
+		kept := q[:0]
+		for _, qu := range q {
+			if qu != u {
+				kept = append(kept, qu)
+			}
+		}
+		g.lanes[u.lane] = kept
+	} else if u.tenant == tenantName {
+		u.tenant = u.jobs[0].tenant
+	}
+	j.state = JobCancelled
+	j.events.Append(dserve.JobEvent{
+		Type: dserve.EventState, State: JobCancelled, Terminal: true,
+		StagesDone: j.stagesDone, StagesTotal: j.stagesTotal,
+	})
+	if ts := g.tenants[tenantName]; ts != nil {
+		ts.inflight--
+	}
+	g.Counters.Add("gateway.cancelled", 1)
+	g.pruneLocked()
+	return g.viewLocked(j), nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond MaxJobs, releasing
+// their tenants' result-byte charges.
+func (g *Gateway) pruneLocked() {
+	var terminal []string
+	for _, id := range g.order {
+		switch g.jobs[id].state {
+		case JobDone, JobFailed, JobCancelled:
+			terminal = append(terminal, id)
+		}
+	}
+	excess := len(terminal) - g.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	evict := make(map[string]bool, excess)
+	for _, id := range terminal[:excess] {
+		evict[id] = true
+	}
+	kept := g.order[:0]
+	for _, id := range g.order {
+		if !evict[id] {
+			kept = append(kept, id)
+			continue
+		}
+		j := g.jobs[id]
+		if ts := g.tenants[j.tenant]; ts != nil {
+			ts.resultBytes -= j.resultBytes
+		}
+		delete(g.jobs, id)
+		g.Counters.Add("gateway.evicted", 1)
+	}
+	g.order = kept
+}
+
+// JobView is a tenant-facing job snapshot.
+type JobView struct {
+	ID          string
+	Tenant      string
+	Lane        string
+	State       string
+	Err         string
+	Coalesced   bool
+	Submitted   time.Time
+	Framework   string
+	Workloads   int
+	Base        string
+	StagesDone  int
+	StagesTotal int
+	// Upstream is the backend job ID once the unit dispatched.
+	Upstream string
+}
+
+func (g *Gateway) viewLocked(j *gwJob) *JobView {
+	v := &JobView{
+		ID: j.id, Tenant: j.tenant, Lane: j.lane, State: j.state, Err: j.err,
+		Coalesced: j.coalesced, Submitted: j.submitted,
+		Framework: j.req.Framework, Workloads: len(j.req.Workloads), Base: j.req.Base,
+		StagesDone: j.stagesDone, StagesTotal: j.stagesTotal,
+	}
+	if j.unit != nil {
+		v.Upstream = j.unit.dsID
+	}
+	return v
+}
+
+// Job returns the tenant's job snapshot, or nil when the ID is unknown or
+// owned by another tenant (indistinguishable by design).
+func (g *Gateway) Job(tenant, id string) *JobView {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := g.jobs[id]
+	if j == nil || j.tenant != tenant {
+		return nil
+	}
+	return g.viewLocked(j)
+}
+
+// Jobs returns the tenant's jobs in admission order.
+func (g *Gateway) Jobs(tenant string) []*JobView {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*JobView
+	for _, id := range g.order {
+		if j := g.jobs[id]; j.tenant == tenant {
+			out = append(out, g.viewLocked(j))
+		}
+	}
+	return out
+}
+
+// JobEvents is the tenant-scoped event-stream accessor, shaped for
+// dserve.ServeEvents.
+func (g *Gateway) JobEvents(tenant, id string, after int) ([]dserve.JobEvent, bool, <-chan struct{}, error) {
+	g.mu.Lock()
+	j := g.jobs[id]
+	if j == nil || j.tenant != tenant {
+		g.mu.Unlock()
+		return nil, false, nil, ErrUnknownJob
+	}
+	log := j.events
+	g.mu.Unlock()
+	evs, done, ch := log.After(after)
+	return evs, done, ch, nil
+}
+
+// Upstream translates a completed gateway job to its backend job ID, for
+// delegated report and library fetches. ErrUnknownJob for missing/foreign
+// IDs, ErrJobNotReady before dispatch or after cancellation.
+func (g *Gateway) Upstream(tenant, id string) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j := g.jobs[id]
+	if j == nil || j.tenant != tenant {
+		return "", ErrUnknownJob
+	}
+	if j.state == JobCancelled || j.unit == nil || j.unit.dsID == "" {
+		return "", fmt.Errorf("%w: %s is %s", ErrJobNotReady, id, j.state)
+	}
+	return j.unit.dsID, nil
+}
+
+// RetryAfterHint estimates seconds before a queued/running job's next
+// poll is worthwhile.
+func (g *Gateway) RetryAfterHint() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.wallHintLocked()
+}
+
+// MetricsPayload merges the backend's metrics payload with a "gateway"
+// section: counters (admitted/shed/coalesced totals plus per-tenant and
+// per-lane breakdowns), unit wall timings, lane depths and weights, and
+// live per-tenant accounting.
+func (g *Gateway) MetricsPayload() map[string]any {
+	out := g.backend.MetricsPayload()
+	g.mu.Lock()
+	lanes := map[string]any{
+		LaneInteractive: map[string]any{"queued": len(g.lanes[LaneInteractive]), "weight": g.cfg.InteractiveWeight},
+		LaneBulk:        map[string]any{"queued": len(g.lanes[LaneBulk]), "weight": g.cfg.BulkWeight},
+	}
+	tenants := make(map[string]any, len(g.tenants))
+	for name, ts := range g.tenants {
+		g.rollWindowLocked(ts)
+		tenants[name] = map[string]any{
+			"inflight":             ts.inflight,
+			"result_bytes":         ts.resultBytes,
+			"window_stage_seconds": ts.windowUsed,
+		}
+	}
+	inflight := g.inflightUnits
+	g.mu.Unlock()
+	out["gateway"] = map[string]any{
+		"counters":       g.Counters.Snapshot(),
+		"timings":        g.Timings.Snapshot(),
+		"lanes":          lanes,
+		"inflight_units": inflight,
+		"tenants":        tenants,
+	}
+	return out
+}
+
+// Close stops admission, fails every still-queued unit (riders receive a
+// terminal failed event rather than hanging), and waits for dispatched
+// units to finish pumping.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		g.wg.Wait()
+		return
+	}
+	g.closed = true
+	close(g.stop)
+	var queued []*workUnit
+	for _, lane := range []string{LaneInteractive, LaneBulk} {
+		queued = append(queued, g.lanes[lane]...)
+		g.lanes[lane] = nil
+	}
+	g.mu.Unlock()
+	for _, u := range queued {
+		g.finishUnit(u, dserve.JobEvent{
+			Type: dserve.EventState, State: JobFailed, Terminal: true,
+			Error: ErrClosed.Error(),
+		}, 0, time.Now())
+	}
+	g.wg.Wait()
+}

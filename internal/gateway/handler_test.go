@@ -1,0 +1,453 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"negativaml/internal/dserve"
+)
+
+// newFrontDoor stands up a real dserve service behind a gateway handler.
+func newFrontDoor(t *testing.T, cfg Config, tenants []TenantConfig) (*httptest.Server, *Gateway, *dserve.Service) {
+	t.Helper()
+	svc := dserve.NewService(dserve.Config{Workers: 4, MaxSteps: 2})
+	g, err := New(svc, cfg, tenants)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(g, dserve.NewHandler(svc)))
+	t.Cleanup(func() { ts.Close(); g.Close(); svc.Close() })
+	return ts, g, svc
+}
+
+func twoTenants() []TenantConfig {
+	return []TenantConfig{
+		{Name: "acme", Keys: []string{"key-acme"}},
+		{Name: "beta", Keys: []string{"key-beta"}, Lane: LaneBulk},
+	}
+}
+
+// heavyReq is a deliberately expensive cold batch (wide tail, deep steps,
+// training epochs): tests that need a job to still be in flight while a
+// few localhost round trips land use it to keep the window wide even on a
+// saturated machine. (A job's wall time scales with load the same way the
+// competing round trips do; a small warm job can finish inside one delayed
+// HTTP hop.)
+func heavyReq() dserve.JobRequest {
+	return dserve.JobRequest{
+		Framework: "pytorch", TailLibs: 20, MaxSteps: 4,
+		Workloads: []dserve.WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Batch: 32},
+			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 3},
+			{Model: "Transformer", Train: true, Batch: 128, Epochs: 3},
+		},
+	}
+}
+
+// doJSON issues an authenticated request and decodes the JSON response.
+func doJSON(t *testing.T, method, url, key string, body any, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, raw, err)
+		}
+	}
+	return resp
+}
+
+func pollGwDone(t *testing.T, base, key, id string) gwStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var st gwStatus
+		resp := doJSON(t, "GET", base+"/v1/jobs/"+id, key, nil, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %d", id, resp.StatusCode)
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCancelled:
+			return st
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("non-terminal status for %s must carry Retry-After", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return gwStatus{}
+}
+
+func TestAuthRequired(t *testing.T) {
+	ts, _, _ := newFrontDoor(t, Config{}, twoTenants())
+
+	for _, key := range []string{"", "wrong-key"} {
+		var st gwStatus
+		req := LoadRequest(0, 6, 2)
+		resp := doJSON(t, "POST", ts.URL+"/v1/jobs", key, req, &st)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("key %q: status %d, want 401", key, resp.StatusCode)
+		}
+		if resp.Header.Get("WWW-Authenticate") == "" {
+			t.Fatal("401 must carry WWW-Authenticate")
+		}
+	}
+
+	// X-API-Key is accepted as an alternative to the Bearer header.
+	body, _ := json.Marshal(LoadRequest(0, 6, 2))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-API-Key", "key-acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("X-API-Key submit: status %d, want 202", resp.StatusCode)
+	}
+
+	// Peer routes are node-to-node and bypass tenant auth entirely.
+	presp, err := http.Post(ts.URL+"/v1/peer/lookup", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode == http.StatusUnauthorized {
+		t.Fatal("/v1/peer/* must not require a tenant key")
+	}
+}
+
+// TestSubmitStreamReport is the happy-path e2e: submit, watch per-stage
+// progress over SSE through the terminal event, then fetch the report via
+// the delegated route — all under one tenant key, with backend job IDs
+// never leaking into the client's view of URLs.
+func TestSubmitStreamReport(t *testing.T) {
+	ts, _, _ := newFrontDoor(t, Config{}, twoTenants())
+
+	var st gwStatus
+	resp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(1, 8, 2), &st)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(st.ID, "gw-") || st.Tenant != "acme" || st.Lane != LaneInteractive {
+		t.Fatalf("submit view = %+v", st)
+	}
+
+	// SSE: stages stream with monotone progress and end terminally.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	req.Header.Set("Authorization", "Bearer key-acme")
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	var stages, lastDone int
+	terminal := false
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev dserve.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE line %q: %v", line, err)
+		}
+		if ev.Type == dserve.EventStage {
+			stages++
+			if ev.StagesDone < lastDone {
+				t.Fatalf("progress went backwards: %d after %d", ev.StagesDone, lastDone)
+			}
+			lastDone = ev.StagesDone
+		}
+		if ev.Terminal {
+			terminal = true
+			if ev.State != JobDone {
+				t.Fatalf("terminal state %s: %s", ev.State, ev.Error)
+			}
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !terminal || stages == 0 {
+		t.Fatalf("SSE saw %d stages, terminal=%v", stages, terminal)
+	}
+
+	final := pollGwDone(t, ts.URL, "key-acme", st.ID)
+	if final.Progress != 1 || final.StagesDone != final.StagesTotal || final.StagesTotal == 0 {
+		t.Fatalf("final status = %+v", final)
+	}
+	if final.Upstream == "" {
+		t.Fatal("done job must expose its upstream backend ID")
+	}
+
+	var report map[string]any
+	rresp := doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID+"/report", "key-acme", nil, &report)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d", rresp.StatusCode)
+	}
+	if _, ok := report["libs"]; !ok {
+		t.Fatalf("report missing libs: %v", report)
+	}
+
+	// The other tenant sees none of it.
+	oresp := doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID, "key-beta", nil, nil)
+	if oresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant status read: %d, want 404", oresp.StatusCode)
+	}
+}
+
+// TestCoalescingAcrossTenants: identical concurrent submissions from two
+// tenants share one backend execution; both riders complete with results.
+func TestCoalescingAcrossTenants(t *testing.T) {
+	ts, g, svc := newFrontDoor(t, Config{DispatchSlots: 1}, twoTenants())
+
+	// A slow blocker pins the dispatch slot so the two identical requests
+	// demonstrably coalesce while queued.
+	var blocker gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", heavyReq(), &blocker)
+
+	var a, b gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(0, 6, 2), &a)
+	resp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-beta", LoadRequest(0, 6, 2), &b)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("follower submit: %d", resp.StatusCode)
+	}
+	if !b.Coalesced {
+		t.Fatal("identical queued request must coalesce")
+	}
+
+	fa := pollGwDone(t, ts.URL, "key-acme", a.ID)
+	fb := pollGwDone(t, ts.URL, "key-beta", b.ID)
+	if fa.State != JobDone || fb.State != JobDone {
+		t.Fatalf("rider states: %s / %s", fa.State, fb.State)
+	}
+	if fa.Upstream != fb.Upstream {
+		t.Fatalf("riders ran different backend jobs: %s vs %s", fa.Upstream, fb.Upstream)
+	}
+	if got := g.Counters.Get("gateway.coalesced"); got != 1 {
+		t.Fatalf("gateway.coalesced = %d, want 1", got)
+	}
+	// Exactly two backend jobs ran (blocker + the shared unit).
+	if got := svc.Counters.Get("jobs.submitted"); got != 2 {
+		t.Fatalf("backend saw %d submissions, want 2", got)
+	}
+
+	// The merged metrics payload surfaces the gateway section.
+	var m map[string]any
+	doJSON(t, "GET", ts.URL+"/v1/metrics", "key-acme", nil, &m)
+	gw, ok := m["gateway"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing gateway section: %v", m)
+	}
+	counters, _ := gw["counters"].(map[string]any)
+	if counters["gateway.coalesced"] != 1.0 {
+		t.Fatalf("metrics gateway.coalesced = %v", counters["gateway.coalesced"])
+	}
+}
+
+// TestShedOverQuota: the second concurrent batch of a MaxConcurrent=1
+// tenant is shed with 429 + Retry-After while another tenant stays
+// admissible; after the first batch finishes the tenant is admitted again.
+func TestShedOverQuota(t *testing.T) {
+	tenants := twoTenants()
+	tenants[0].Quota = QuotaConfig{MaxConcurrent: 1}
+	ts, _, _ := newFrontDoor(t, Config{}, tenants)
+
+	// The in-flight job must outlive the next round trip, so it is heavy.
+	var first gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", heavyReq(), &first)
+
+	var shed struct {
+		Error      string `json:"error"`
+		Reason     string `json:"reason"`
+		RetryAfter int    `json:"retry_after"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(1, 6, 2), &shed)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || shed.Reason != ShedConcurrency || shed.RetryAfter < 1 {
+		t.Fatalf("shed response: header=%q body=%+v", resp.Header.Get("Retry-After"), shed)
+	}
+
+	// The other tenant is unaffected.
+	oresp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-beta", LoadRequest(1, 6, 2), nil)
+	if oresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant: status %d", oresp.StatusCode)
+	}
+
+	pollGwDone(t, ts.URL, "key-acme", first.ID)
+	rresp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(2, 6, 2), nil)
+	if rresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-completion submit: status %d, want 202", rresp.StatusCode)
+	}
+}
+
+// TestResultBytesQuota: a tenant whose retained results exceed its byte
+// quota sheds with reason result_bytes until eviction frees the charge.
+func TestResultBytesQuota(t *testing.T) {
+	tenants := twoTenants()
+	tenants[0].Quota = QuotaConfig{MaxResultBytes: 1}
+	ts, _, _ := newFrontDoor(t, Config{}, tenants)
+
+	var first gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(0, 6, 2), &first)
+	if st := pollGwDone(t, ts.URL, "key-acme", first.ID); st.State != JobDone {
+		t.Fatalf("first job: %s (%s)", st.State, st.Error)
+	}
+
+	var shed struct {
+		Reason string `json:"reason"`
+	}
+	resp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(1, 6, 2), &shed)
+	if resp.StatusCode != http.StatusTooManyRequests || shed.Reason != ShedResultBytes {
+		t.Fatalf("want result_bytes shed, got %d %+v", resp.StatusCode, shed)
+	}
+}
+
+// TestBaseTranslation: incremental re-submits name the base by its gateway
+// ID; cross-tenant bases are invisible.
+func TestBaseTranslation(t *testing.T) {
+	ts, _, _ := newFrontDoor(t, Config{}, twoTenants())
+
+	var base gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(0, 8, 2), &base)
+	if st := pollGwDone(t, ts.URL, "key-acme", base.ID); st.State != JobDone {
+		t.Fatalf("base: %s (%s)", st.State, st.Error)
+	}
+
+	inc := LoadRequest(1, 8, 2)
+	inc.Base = base.ID
+	var incSt gwStatus
+	resp := doJSON(t, "POST", ts.URL+"/v1/submit", "key-acme", inc, &incSt)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("incremental submit: status %d", resp.StatusCode)
+	}
+	if incSt.Base == "" || strings.HasPrefix(incSt.Base, "gw-") {
+		t.Fatalf("echoed base must be the resolved backend ID, got %q", incSt.Base)
+	}
+	if st := pollGwDone(t, ts.URL, "key-acme", incSt.ID); st.State != JobDone {
+		t.Fatalf("incremental: %s (%s)", st.State, st.Error)
+	}
+
+	// Another tenant cannot use acme's job as a base.
+	inc2 := LoadRequest(1, 8, 2)
+	inc2.Base = base.ID
+	bresp := doJSON(t, "POST", ts.URL+"/v1/submit", "key-beta", inc2, nil)
+	if bresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant base: status %d, want 404", bresp.StatusCode)
+	}
+}
+
+// TestLaneAndCancelSemantics: the X-Lane header overrides the tenant's
+// default lane, and DELETE on a finished job is refused with 409.
+func TestLaneAndCancelSemantics(t *testing.T) {
+	ts, _, _ := newFrontDoor(t, Config{}, twoTenants())
+
+	body, _ := json.Marshal(LoadRequest(0, 6, 2))
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer key-beta") // default lane: bulk
+	req.Header.Set("X-Lane", LaneInteractive)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st gwStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Lane != LaneInteractive {
+		t.Fatalf("X-Lane override ignored: lane %q", st.Lane)
+	}
+
+	if fin := pollGwDone(t, ts.URL, "key-beta", st.ID); fin.State != JobDone {
+		t.Fatalf("job: %s (%s)", fin.State, fin.Error)
+	}
+	dresp := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+st.ID, "key-beta", nil, nil)
+	if dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done job: status %d, want 409", dresp.StatusCode)
+	}
+	dresp = doJSON(t, "DELETE", ts.URL+"/v1/jobs/no-such", "key-beta", nil, nil)
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestLongPollEvents: the long-poll envelope works through the gateway,
+// with resumption by seq cursor.
+func TestLongPollEvents(t *testing.T) {
+	ts, _, _ := newFrontDoor(t, Config{}, twoTenants())
+
+	var st gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(2, 6, 2), &st)
+
+	after, seen := -1, 0
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var body struct {
+			Events []dserve.JobEvent `json:"events"`
+			Done   bool              `json:"done"`
+		}
+		url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d&timeout_ms=1000", ts.URL, st.ID, after)
+		resp := doJSON(t, "GET", url, "key-acme", nil, &body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("long-poll: status %d", resp.StatusCode)
+		}
+		for _, ev := range body.Events {
+			if ev.Seq <= after {
+				t.Fatalf("cursor went backwards: seq %d after %d", ev.Seq, after)
+			}
+			after = ev.Seq
+			seen++
+		}
+		if body.Done {
+			if seen < 2 {
+				t.Fatalf("stream closed after only %d events", seen)
+			}
+			return
+		}
+	}
+	t.Fatal("long-poll never reached the terminal event")
+}

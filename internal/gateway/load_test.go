@@ -1,0 +1,101 @@
+package gateway
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"negativaml/internal/dserve"
+)
+
+// TestSustainedLoad is the front door's acceptance storm: a hostile mix of
+// duplicate, superset, and garbage submissions from several tenants across
+// both lanes, pushed through a gateway whose dispatch width exceeds the
+// backend's in-flight cap (so ErrBusy backpressure is exercised). The
+// service promise under load: zero accepted batches fail, every shed
+// carries Retry-After, garbage never admits, duplicates coalesce instead
+// of recomputing analysis. Short mode runs a scaled-down storm as the CI
+// smoke test; the root bench harness reuses RunLoad at full scale.
+func TestSustainedLoad(t *testing.T) {
+	submits, conc := 2000, 64
+	if testing.Short() {
+		submits, conc = 120, 16
+	}
+
+	// Backend in-flight cap below the gateway's dispatch width forces the
+	// busy-retry path under storm pressure.
+	svc := dserve.NewService(dserve.Config{Workers: 8, MaxSteps: 2, MaxInFlight: 4})
+	defer svc.Close()
+	tenants := []TenantConfig{
+		{Name: "acme", Keys: []string{"key-acme"}},
+		{Name: "beta", Keys: []string{"key-beta"}, Lane: LaneBulk},
+		{Name: "gamma", Keys: []string{"key-gamma"}},
+	}
+	g, err := New(svc, Config{DispatchSlots: 8, QueueDepth: 4 * submits, MaxJobs: 4 * submits}, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ts := httptest.NewServer(NewHandler(g, dserve.NewHandler(svc)))
+	defer ts.Close()
+
+	cfg := LoadConfig{
+		BaseURL:      ts.URL,
+		Keys:         []string{"key-acme", "key-beta", "key-gamma"},
+		Lanes:        []string{"", LaneInteractive, LaneBulk},
+		Submits:      submits,
+		Concurrency:  conc,
+		Distinct:     3,
+		GarbageEvery: 10,
+		TailLibs:     8,
+		MaxSteps:     2,
+		JobTimeout:   3 * time.Minute,
+	}
+
+	// Warm each distinct variant through once so the storm's duplicates
+	// measure coalescing and memoization, not first-run analysis.
+	warm := cfg
+	warm.Submits, warm.Concurrency, warm.GarbageEvery = cfg.Distinct, cfg.Distinct, 0
+	if rep, err := RunLoad(warm); err != nil || rep.Completed != cfg.Distinct {
+		t.Fatalf("warmup: %+v err=%v", rep, err)
+	}
+	computedBefore := svc.Counters.Get("analysis.computed")
+
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load: %d submits → %d accepted, %d completed, %d shed, %d rejected; job p50=%.0fms p99=%.0fms",
+		rep.Submits, rep.Accepted, rep.Completed, rep.Shed, rep.Rejected,
+		rep.Latency.P50, rep.Latency.P99)
+
+	if rep.FailedAccepted != 0 {
+		t.Errorf("%d accepted batches failed — the admission promise is zero", rep.FailedAccepted)
+	}
+	if rep.Unexpected != 0 {
+		t.Errorf("%d responses outside the 202/429/4xx protocol", rep.Unexpected)
+	}
+	if rep.ShedMissingRetryAfter != 0 {
+		t.Errorf("%d sheds arrived without Retry-After", rep.ShedMissingRetryAfter)
+	}
+	wantGarbage := submits / 10
+	if rep.Rejected != wantGarbage {
+		t.Errorf("rejected %d, want every garbage submission (%d)", rep.Rejected, wantGarbage)
+	}
+	if rep.Accepted+rep.Shed+rep.Rejected != rep.Submits {
+		t.Errorf("outcome counts don't partition the storm: %+v", rep)
+	}
+
+	// Duplicates coalesce: the storm repeats 3 request digests, so the
+	// coalesce counter must be large and — critically — analysis compute
+	// must not scale with the duplicate count.
+	if got := g.Counters.Get("gateway.coalesced"); got == 0 {
+		t.Error("storm of duplicates produced zero coalesces")
+	}
+	if delta := svc.Counters.Get("analysis.computed") - computedBefore; delta != 0 {
+		t.Errorf("analysis.computed grew by %d during a duplicate-only storm", delta)
+	}
+	if got := g.Counters.Get("gateway.backend_busy_retries"); got == 0 {
+		t.Log("note: storm never hit the backend in-flight cap")
+	}
+}

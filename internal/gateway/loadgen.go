@@ -1,0 +1,284 @@
+package gateway
+
+// Sustained-load harness for the front door. RunLoad drives a gateway's
+// HTTP API with a configurable storm of concurrent submissions in a
+// hostile mix — duplicate requests (exercising coalescing), workload
+// supersets and subsets (exercising the backend's stage cache), and
+// garbage requests (exercising validation) — across several tenant keys
+// and lanes, waits each accepted job to its terminal event over the
+// long-poll stream, and reports acceptance/shed/latency outcomes. The
+// gateway smoke test runs it small in -short CI; the root bench harness
+// runs it at full scale and records the serve/gateway/* perf entries.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"negativaml/internal/dserve"
+	"negativaml/internal/metrics"
+)
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	// BaseURL is the gateway server root (no trailing slash).
+	BaseURL string
+	// Keys are the tenant API keys submissions rotate through.
+	Keys []string
+	// Lanes, when non-empty, rotate an X-Lane header across submissions
+	// ("" entries leave the tenant default).
+	Lanes []string
+	// Submits is the total submission count; Concurrency the worker count.
+	Submits     int
+	Concurrency int
+	// Distinct is the size of the legitimate request pool (default 3);
+	// the storm cycles through it, so Submits/Distinct submissions share
+	// each digest — the duplicate pressure coalescing must absorb. Pool
+	// members are workload prefixes of one list, so they are also mutual
+	// subsets/supersets.
+	Distinct int
+	// GarbageEvery makes every Nth submission invalid (0 = none); these
+	// must be rejected with 4xx, never admitted.
+	GarbageEvery int
+	// TailLibs and MaxSteps shape the generated installs (defaults 8, 2).
+	TailLibs int
+	MaxSteps int
+	// JobTimeout bounds one accepted job's wait to terminal (default 2m).
+	JobTimeout time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport is one run's outcome.
+type LoadReport struct {
+	Submits  int
+	Accepted int
+	// Completed counts accepted jobs that reached done; FailedAccepted
+	// counts accepted jobs that failed or timed out — the service promise
+	// is that this stays zero.
+	Completed      int
+	FailedAccepted int
+	// Shed counts 429 responses; ShedMissingRetryAfter the subset that
+	// arrived without a Retry-After header (must be zero).
+	Shed                  int
+	ShedMissingRetryAfter int
+	// Rejected counts 4xx validation refusals (the garbage submissions).
+	Rejected int
+	// Unexpected counts responses outside 202/429/4xx-validation.
+	Unexpected int
+	// Latency summarizes accepted jobs' submit-to-terminal wall times in
+	// milliseconds; SubmitLatency the POST round-trips alone.
+	Latency       metrics.Distribution
+	SubmitLatency metrics.Distribution
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Distinct <= 0 {
+		c.Distinct = 3
+	}
+	if c.TailLibs <= 0 {
+		c.TailLibs = 8
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// loadPool is the workload list request variants prefix.
+var loadPool = []dserve.WorkloadSpec{
+	{Model: "MobileNetV2", Batch: 1},
+	{Model: "Transformer", Batch: 8},
+	{Model: "MobileNetV2", Train: true, Batch: 4, Epochs: 1},
+	{Model: "Transformer", Train: true, Batch: 16, Epochs: 1},
+}
+
+// LoadRequest returns variant v of the harness's legitimate request pool:
+// the first 1+(v mod len(pool)) workloads of the shared list, so distinct
+// variants are workload subsets/supersets of each other while equal
+// variants are byte-identical (and therefore coalescible).
+func LoadRequest(v, tailLibs, maxSteps int) dserve.JobRequest {
+	n := 1 + v%len(loadPool)
+	return dserve.JobRequest{
+		Framework: "pytorch",
+		TailLibs:  tailLibs,
+		MaxSteps:  maxSteps,
+		Workloads: loadPool[:n],
+	}
+}
+
+// RunLoad executes the storm and returns its report. Request/transport
+// errors surface as the returned error; protocol-level surprises (a 500,
+// a shed without Retry-After) are counted in the report for the caller to
+// assert on.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" || len(cfg.Keys) == 0 || cfg.Submits <= 0 {
+		return nil, fmt.Errorf("gateway: load config needs BaseURL, Keys, and Submits")
+	}
+	rep := &LoadReport{Submits: cfg.Submits}
+	var mu sync.Mutex
+	var jobLat, subLat []float64
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := loadOne(cfg, i, rep, &mu, &jobLat, &subLat); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Submits; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep.Latency = metrics.Summarize(jobLat)
+	rep.SubmitLatency = metrics.Summarize(subLat)
+	return rep, nil
+}
+
+func loadOne(cfg LoadConfig, i int, rep *LoadReport, mu *sync.Mutex, jobLat, subLat *[]float64) error {
+	req := LoadRequest(i%cfg.Distinct, cfg.TailLibs, cfg.MaxSteps)
+	garbage := cfg.GarbageEvery > 0 && i%cfg.GarbageEvery == cfg.GarbageEvery-1
+	if garbage {
+		req.Workloads = []dserve.WorkloadSpec{{Model: "NoSuchModel"}}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequest("POST", cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Authorization", "Bearer "+cfg.Keys[i%len(cfg.Keys)])
+	if len(cfg.Lanes) > 0 {
+		if lane := cfg.Lanes[i%len(cfg.Lanes)]; lane != "" {
+			hreq.Header.Set("X-Lane", lane)
+		}
+	}
+	start := time.Now()
+	resp, err := cfg.Client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	submitMS := float64(time.Since(start)) / float64(time.Millisecond)
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+
+	mu.Lock()
+	*subLat = append(*subLat, submitMS)
+	mu.Unlock()
+
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return fmt.Errorf("gateway load: decode submit response: %w", err)
+		}
+		mu.Lock()
+		rep.Accepted++
+		mu.Unlock()
+		state, err := waitTerminal(cfg, i, st.ID)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if state == JobDone {
+			rep.Completed++
+			*jobLat = append(*jobLat, float64(time.Since(start))/float64(time.Millisecond))
+		} else {
+			rep.FailedAccepted++
+		}
+		mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		mu.Lock()
+		rep.Shed++
+		if _, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil {
+			rep.ShedMissingRetryAfter++
+		}
+		mu.Unlock()
+	case garbage && resp.StatusCode >= 400 && resp.StatusCode < 500:
+		mu.Lock()
+		rep.Rejected++
+		mu.Unlock()
+	default:
+		mu.Lock()
+		rep.Unexpected++
+		mu.Unlock()
+	}
+	return nil
+}
+
+// waitTerminal long-polls the job's event stream to its terminal event and
+// returns the terminal state ("" on timeout, counted as a failure by the
+// caller).
+func waitTerminal(cfg LoadConfig, i int, id string) (string, error) {
+	deadline := time.Now().Add(cfg.JobTimeout)
+	after := -1
+	for time.Now().Before(deadline) {
+		url := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d&timeout_ms=2000", cfg.BaseURL, id, after)
+		hreq, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			return "", err
+		}
+		hreq.Header.Set("Authorization", "Bearer "+cfg.Keys[i%len(cfg.Keys)])
+		resp, err := cfg.Client.Do(hreq)
+		if err != nil {
+			return "", err
+		}
+		var body struct {
+			Events []dserve.JobEvent `json:"events"`
+			Done   bool              `json:"done"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return "", fmt.Errorf("gateway load: decode events for %s: %w", id, err)
+		}
+		for _, ev := range body.Events {
+			after = ev.Seq
+			if ev.Terminal {
+				return ev.State, nil
+			}
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// QuotaConfig bounds one tenant's use of the shared backend. Zero values
+// fall back to the gateway's DefaultQuota; a value that is still zero
+// after the merge means unlimited.
+type QuotaConfig struct {
+	// MaxConcurrent caps the tenant's non-terminal gateway jobs (queued or
+	// running, followers included).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// MaxResultBytes caps the debloated-library bytes retained across the
+	// tenant's completed jobs; new submissions shed while at or above it
+	// (eviction of old jobs releases the charge).
+	MaxResultBytes int64 `json:"max_result_bytes,omitempty"`
+	// StageSeconds caps analysis stage wall-seconds charged to the tenant
+	// per window; WindowSeconds sizes the fixed window (default 60).
+	StageSeconds  float64 `json:"stage_seconds,omitempty"`
+	WindowSeconds int     `json:"window_seconds,omitempty"`
+}
+
+// merge overlays zero fields with defaults.
+func (q QuotaConfig) merge(def QuotaConfig) QuotaConfig {
+	if q.MaxConcurrent == 0 {
+		q.MaxConcurrent = def.MaxConcurrent
+	}
+	if q.MaxResultBytes == 0 {
+		q.MaxResultBytes = def.MaxResultBytes
+	}
+	if q.StageSeconds == 0 {
+		q.StageSeconds = def.StageSeconds
+	}
+	if q.WindowSeconds == 0 {
+		q.WindowSeconds = def.WindowSeconds
+	}
+	if q.WindowSeconds <= 0 {
+		q.WindowSeconds = 60
+	}
+	return q
+}
+
+// TenantConfig declares one tenant: its identity, accepted API keys, the
+// lane its requests default into, and its quotas. Key rotation is a config
+// reload with a changed key list — jobs in flight are owned by the tenant
+// name, not the key, so they survive the rotation and remain visible to
+// whichever keys the tenant holds afterwards.
+type TenantConfig struct {
+	Name string   `json:"name"`
+	Keys []string `json:"keys"`
+	// Lane is the default lane for this tenant's requests: "interactive"
+	// (default) or "bulk". A request may override it with the X-Lane
+	// header.
+	Lane  string      `json:"lane,omitempty"`
+	Quota QuotaConfig `json:"quota"`
+}
+
+// tenantsFile is the on-disk shape of the -tenants config.
+type tenantsFile struct {
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// ParseTenants decodes and validates a tenants config document:
+//
+//	{"tenants": [{"name": "acme", "keys": ["k-..."], "lane": "bulk",
+//	              "quota": {"max_concurrent": 4, "stage_seconds": 30}}]}
+func ParseTenants(data []byte) ([]TenantConfig, error) {
+	var f tenantsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("gateway: parse tenants: %w", err)
+	}
+	if err := ValidateTenants(f.Tenants); err != nil {
+		return nil, err
+	}
+	return f.Tenants, nil
+}
+
+// LoadTenants reads and parses a tenants config file.
+func LoadTenants(path string) ([]TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: read tenants: %w", err)
+	}
+	return ParseTenants(data)
+}
+
+// ValidateTenants checks a tenant set for internal consistency: at least
+// one tenant, unique non-empty names, at least one non-empty key each,
+// globally unique keys (a key must identify exactly one tenant), known
+// lanes, and non-negative quotas.
+func ValidateTenants(cfgs []TenantConfig) error {
+	if len(cfgs) == 0 {
+		return fmt.Errorf("gateway: tenants config declares no tenants")
+	}
+	names := make(map[string]bool, len(cfgs))
+	keys := make(map[string]string, len(cfgs))
+	for i, tc := range cfgs {
+		if strings.TrimSpace(tc.Name) == "" {
+			return fmt.Errorf("gateway: tenant %d has no name", i)
+		}
+		if names[tc.Name] {
+			return fmt.Errorf("gateway: duplicate tenant %q", tc.Name)
+		}
+		names[tc.Name] = true
+		if len(tc.Keys) == 0 {
+			return fmt.Errorf("gateway: tenant %q has no keys", tc.Name)
+		}
+		for _, k := range tc.Keys {
+			if k == "" {
+				return fmt.Errorf("gateway: tenant %q has an empty key", tc.Name)
+			}
+			if owner, dup := keys[k]; dup {
+				return fmt.Errorf("gateway: key shared by tenants %q and %q", owner, tc.Name)
+			}
+			keys[k] = tc.Name
+		}
+		switch tc.Lane {
+		case "", LaneInteractive, LaneBulk:
+		default:
+			return fmt.Errorf("gateway: tenant %q: unknown lane %q (want %s or %s)", tc.Name, tc.Lane, LaneInteractive, LaneBulk)
+		}
+		q := tc.Quota
+		if q.MaxConcurrent < 0 || q.MaxResultBytes < 0 || q.StageSeconds < 0 || q.WindowSeconds < 0 {
+			return fmt.Errorf("gateway: tenant %q: negative quota", tc.Name)
+		}
+	}
+	return nil
+}

@@ -32,10 +32,10 @@ func Jaccard(a, b []string) float64 {
 
 // Distribution summarizes a sample for violin-style reporting.
 type Distribution struct {
-	N                       int
-	Min, Max                float64
-	Mean                    float64
-	P10, P25, P50, P75, P90 float64
+	N                            int
+	Min, Max                     float64
+	Mean                         float64
+	P10, P25, P50, P75, P90, P99 float64
 }
 
 // Summarize computes a Distribution. An empty sample yields the zero value.
@@ -60,6 +60,7 @@ func Summarize(sample []float64) Distribution {
 		P50:  quantile(s, 0.50),
 		P75:  quantile(s, 0.75),
 		P90:  quantile(s, 0.90),
+		P99:  quantile(s, 0.99),
 	}
 }
 

@@ -69,6 +69,10 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
 
+// Len returns the number of nodes added so far — the denominator a
+// progress observer divides completed-stage counts by.
+func (g *Graph) Len() int { return len(g.nodes) }
+
 // Node adds a stage node. deps are the nodes whose values feed this one
 // (their outputs arrive in order as the deps slice of both functions).
 // keyFn resolves the node's content key once dependencies are done; a nil
@@ -198,4 +202,43 @@ func notify(obs Observer, stage string, src Source, wall time.Duration) {
 	if so, ok := obs.(SourceObserver); ok {
 		so.StageSource(stage, src, wall)
 	}
+}
+
+// multiObserver fans one execution's outcomes out to several observers —
+// the serving plane's global metrics observer plus a per-job progress
+// observer, for example. Source attribution is forwarded to every member
+// that wants it.
+type multiObserver []Observer
+
+func (m multiObserver) StageDone(stage string, hit bool, wall time.Duration) {
+	for _, o := range m {
+		o.StageDone(stage, hit, wall)
+	}
+}
+
+func (m multiObserver) StageSource(stage string, src Source, wall time.Duration) {
+	for _, o := range m {
+		if so, ok := o.(SourceObserver); ok {
+			so.StageSource(stage, src, wall)
+		}
+	}
+}
+
+// MultiObserver combines observers into one; nil members are skipped, and a
+// single surviving member is returned unwrapped. Returns nil when none
+// survive.
+func MultiObserver(obs ...Observer) Observer {
+	var m multiObserver
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
 }
