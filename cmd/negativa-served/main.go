@@ -31,9 +31,17 @@
 // a "peer" section (hits/misses/fallbacks, per-peer health) and per-peer
 // latency timings.
 //
+// The node-to-node /v1/peer/* routes answer 404 unless the node is
+// clustered, and -peer-secret (the same value on every node) makes each
+// peer request carry and require an X-Peer-Secret header. Without a
+// secret, peer traffic is unauthenticated — isolate the peer network from
+// clients.
+//
 // With -tenants the multi-tenant gateway fronts the service: every /v1/
-// route except /v1/peer/* then requires a tenant API key (Authorization:
-// Bearer or X-API-Key), per-tenant quotas (concurrent batches, retained
+// route then requires a tenant API key (Authorization: Bearer or
+// X-API-Key) — /v1/peer/* is forwarded key-less on clustered nodes (peers
+// authenticate with -peer-secret) and refused with 404 everywhere else —
+// per-tenant quotas (concurrent batches, retained
 // result bytes, stage-seconds per window) shed over-budget submissions
 // with 429 + Retry-After, identical in-flight batches coalesce across
 // tenants onto one backend execution, and two weighted priority lanes
@@ -50,8 +58,9 @@
 //
 // SIGHUP re-reads the file in place — key rotation and quota changes land
 // without dropping in-flight jobs. /v1/metrics gains a "gateway" section
-// (admitted/shed/coalesced per tenant and lane, queue depths, dispatch
-// timings).
+// (admitted/shed/coalesced totals and per-lane breakdowns, queue depths,
+// dispatch timings) scoped to the requesting tenant: a tenant sees its own
+// counters and accounting, never another tenant's.
 //
 // Endpoints:
 //
@@ -116,6 +125,7 @@ func main() {
 	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	nodeID := flag.String("node-id", "", "this node's name in the cluster (with -peers)")
 	peers := flag.String("peers", "", "cluster peers as id=base-url,... (the whole cluster's list; this node's own entry is ignored)")
+	peerSecret := flag.String("peer-secret", "", "shared cluster credential; peer requests carry and require it (with -peers)")
 	tenantsPath := flag.String("tenants", "", "tenant config JSON; enables the multi-tenant gateway (API keys, quotas, lanes)")
 	gwDispatch := flag.Int("gw-dispatch", 4, "gateway concurrent dispatch slots (with -tenants)")
 	gwQueue := flag.Int("gw-queue", 64, "gateway per-lane queue depth before load-shedding (with -tenants)")
@@ -146,6 +156,9 @@ func main() {
 	}
 	if (*peers == "") != (*nodeID == "") {
 		log.Fatal("negativa-served: -peers and -node-id must be set together")
+	}
+	if *peerSecret != "" && *peers == "" {
+		log.Fatal("negativa-served: -peer-secret has no effect without -peers")
 	}
 	for _, f := range []struct {
 		name string
@@ -188,7 +201,7 @@ func main() {
 			svc.Counters.Get("jobs.restored"), svc.Counters.Get("registry.replayed"))
 	}
 	if peerMap != nil {
-		c := cluster.New(*nodeID, peerMap, cluster.Options{Counters: svc.Counters, Timings: svc.Timings})
+		c := cluster.New(*nodeID, peerMap, cluster.Options{Counters: svc.Counters, Timings: svc.Timings, Secret: *peerSecret})
 		svc.AttachCluster(c)
 		log.Printf("negativa-served: node %s in a %d-node ring (%v)", *nodeID, len(c.Nodes()), c.Nodes())
 	}
@@ -204,9 +217,13 @@ func main() {
 			QueueDepth:        *gwQueue,
 			InteractiveWeight: *gwIWeight,
 			BulkWeight:        *gwBWeight,
+			PeerPassthrough:   peerMap != nil,
 		}, tenants)
 		if err != nil {
 			log.Fatalf("negativa-served: %v", err)
+		}
+		if peerMap != nil && *peerSecret == "" {
+			log.Printf("negativa-served: warning: -tenants with -peers but no -peer-secret; the forwarded /v1/peer/* surface is unauthenticated — keep it network-isolated from clients")
 		}
 		handler = gateway.NewHandler(gw, handler)
 		log.Printf("negativa-served: gateway: %d tenants, %d dispatch slots, interactive:bulk %d:%d",

@@ -137,16 +137,27 @@ func main() {
 	waitDone(base, acmeKey, retry.ID)
 	fmt.Printf("acme retries          → %s accepted and completed\n", retry.ID)
 
-	// 6. The gateway section of /v1/metrics tells the whole story.
+	// 6. The gateway section of /v1/metrics tells the whole story — scoped
+	// to the asking tenant: each sees the shared aggregates plus only its
+	// own tenant.* counters, never the other's.
 	var metrics struct {
 		Gateway struct {
 			Counters map[string]int64 `json:"counters"`
 		} `json:"gateway"`
 	}
 	getJSON(base+"/v1/metrics", acmeKey, &metrics)
-	fmt.Println("\ngateway counters:")
+	fmt.Println("\ngateway counters as acme sees them:")
 	for _, k := range []string{"gateway.admitted", "gateway.coalesced", "gateway.shed",
-		"tenant.acme.admitted", "tenant.acme.shed", "tenant.batch-org.admitted", "tenant.batch-org.coalesced"} {
+		"tenant.acme.admitted", "tenant.acme.shed"} {
+		fmt.Printf("  %-28s %d\n", k, metrics.Gateway.Counters[k])
+	}
+	if _, leaked := metrics.Gateway.Counters["tenant.batch-org.admitted"]; leaked {
+		log.Fatal("acme's metrics view leaked batch-org's counters")
+	}
+	metrics.Gateway.Counters = nil // a fresh decode, not a merge
+	getJSON(base+"/v1/metrics", batchKey, &metrics)
+	fmt.Println("gateway counters as batch-org sees them:")
+	for _, k := range []string{"tenant.batch-org.admitted", "tenant.batch-org.coalesced"} {
 		fmt.Printf("  %-28s %d\n", k, metrics.Gateway.Counters[k])
 	}
 }

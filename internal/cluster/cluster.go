@@ -38,7 +38,18 @@ type Options struct {
 	// Client overrides the HTTP client (tests); Timeout is applied to the
 	// default client only.
 	Client *http.Client
+	// Secret, when non-empty, is the cluster's shared peer credential:
+	// every outgoing peer request carries it in the PeerSecretHeader, and
+	// the receiving node's /v1/peer/* handlers refuse requests without it.
+	// All nodes of one cluster must configure the same value. Without a
+	// secret the peer surface is unauthenticated and must be network-
+	// isolated from client traffic.
+	Secret string
 }
+
+// PeerSecretHeader carries the cluster's shared secret on node-to-node
+// requests (see Options.Secret).
+const PeerSecretHeader = "X-Peer-Secret"
 
 // PeerError is an application-level error returned by a peer's HTTP API
 // (status >= 400 with a JSON error body). It does not count against the
@@ -163,6 +174,11 @@ func ParsePeers(s string) (map[string]string, error) {
 
 // Self returns this node's ID.
 func (c *Cluster) Self() string { return c.self }
+
+// Secret returns the cluster's shared peer credential ("" when the
+// cluster runs unauthenticated). The serving plane's peer handlers use it
+// to verify incoming node-to-node requests.
+func (c *Cluster) Secret() string { return c.opt.Secret }
 
 // rebuildRingLocked recomputes the ring from self plus every live peer.
 // Callers hold c.mu.
@@ -301,8 +317,16 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: build %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.opt.Secret != "" {
+		req.Header.Set(PeerSecretHeader, c.opt.Secret)
+	}
 	start := time.Now()
-	resp, err := c.client.Post(url+path, "application/json", bytes.NewReader(body))
+	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observe(peer, time.Since(start), true)
 		return fmt.Errorf("cluster: peer %s: %w", peer, err)
@@ -340,8 +364,15 @@ func (c *Cluster) GetStream(peer, path string) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
+	req, err := http.NewRequest(http.MethodGet, url+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build %s request: %w", path, err)
+	}
+	if c.opt.Secret != "" {
+		req.Header.Set(PeerSecretHeader, c.opt.Secret)
+	}
 	start := time.Now()
-	resp, err := c.client.Get(url + path)
+	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observe(peer, time.Since(start), true)
 		return nil, fmt.Errorf("cluster: peer %s: %w", peer, err)

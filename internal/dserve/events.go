@@ -36,6 +36,12 @@ type JobEvent struct {
 	StagesTotal int    `json:"stages_total,omitempty"`
 	// Terminal marks the stream's final event; no events follow it.
 	Terminal bool `json:"terminal,omitempty"`
+	// ResultBytes, set on a done job's terminal event, is the total
+	// debloated-image bytes the job retains — the amount a front-door
+	// result quota charges. Carrying it on the event (rather than having
+	// consumers re-fetch the job) closes the race against MaxJobs pruning
+	// evicting the job between its terminal event and the lookup.
+	ResultBytes int64 `json:"result_bytes,omitempty"`
 }
 
 // EventLog is an append-only, terminally-closed event sequence with

@@ -161,13 +161,16 @@ type progressObserver struct {
 }
 
 func (o progressObserver) StageDone(stage string, hit bool, _ time.Duration) {
+	// The event is appended while still holding s.mu so two concurrently
+	// completing stages cannot publish their counters out of order (the
+	// stream's documented invariant is that StagesDone never decreases).
+	// EventLog.Append takes only its own lock and never blocks.
 	o.s.mu.Lock()
+	defer o.s.mu.Unlock()
 	o.job.StagesDone++
-	done, total := o.job.StagesDone, o.job.StagesTotal
-	o.s.mu.Unlock()
 	o.job.events.Append(JobEvent{
 		Type: EventStage, Stage: stage, Hit: hit,
-		StagesDone: done, StagesTotal: total,
+		StagesDone: o.job.StagesDone, StagesTotal: o.job.StagesTotal,
 	})
 }
 
@@ -226,10 +229,16 @@ func (s *Service) run(job *Job) {
 	s.mu.Unlock()
 
 	// Terminal event last: subscribers that see it know the stream is
-	// complete and every stage event precedes it.
+	// complete and every stage event precedes it. A done job's event also
+	// carries its retained result bytes, so consumers (the gateway's
+	// result-byte accounting) need no post-terminal job lookup that could
+	// race MaxJobs pruning.
 	term := JobEvent{
 		Type: EventState, State: snap.State, Error: snap.Err, Terminal: true,
 		StagesDone: snap.StagesDone, StagesTotal: snap.StagesTotal,
+	}
+	if snap.State == JobDone {
+		term.ResultBytes = res.RetainedBytes()
 	}
 	job.events.Append(term)
 

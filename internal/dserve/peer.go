@@ -1,6 +1,7 @@
 package dserve
 
 import (
+	"crypto/subtle"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -27,6 +28,10 @@ import (
 //	                                     its owning shard (cache-memoized)
 //	GET  /v1/peer/objects/{kind}/{key}   stream one castore object in its
 //	                                     integrity-framed wire format
+//
+// The surface is node-to-node only: routes answer 404 unless a cluster is
+// attached, and a cluster configured with a shared secret (see
+// cluster.Options.Secret) additionally requires it on every request.
 //
 // Compact lookups are cheap (no payloads shipped on a miss), so the
 // requester probes before escalating to remote execution, which carries
@@ -100,15 +105,42 @@ type peerCompactResponse struct {
 // maxRequestBytes.
 const peerBodyLimit = 256 << 20
 
-// registerPeerRoutes mounts the node-to-node API. The routes are mounted
-// unconditionally — a node not in a cluster simply never receives peer
-// traffic, and a read-through lookup against a standalone node is
-// harmless.
+// registerPeerRoutes mounts the node-to-node API. Every route is guarded
+// by peerAuth: a node with no cluster attached refuses peer traffic
+// outright, and a cluster configured with a shared secret refuses
+// requests that do not present it.
 func registerPeerRoutes(mux *http.ServeMux, s *Service) {
-	mux.HandleFunc("POST /v1/peer/lookup", s.handlePeerLookup)
-	mux.HandleFunc("POST /v1/peer/detect", s.handlePeerDetect)
-	mux.HandleFunc("POST /v1/peer/compact", s.handlePeerCompact)
-	mux.HandleFunc("GET /v1/peer/objects/{kind}/{key}", s.handlePeerObject)
+	mux.HandleFunc("POST /v1/peer/lookup", s.peerAuth(s.handlePeerLookup))
+	mux.HandleFunc("POST /v1/peer/detect", s.peerAuth(s.handlePeerDetect))
+	mux.HandleFunc("POST /v1/peer/compact", s.peerAuth(s.handlePeerCompact))
+	mux.HandleFunc("GET /v1/peer/objects/{kind}/{key}", s.peerAuth(s.handlePeerObject))
+}
+
+// peerAuth guards one node-to-node route. The peer surface exists only on
+// clustered nodes — anywhere else it is 404, indistinguishable from an
+// unmounted route, so a standalone (or gateway-fronted) deployment exposes
+// no analysis-compute or object-transfer endpoints to strangers. When the
+// attached cluster carries a shared secret, every request must present it
+// in cluster.PeerSecretHeader; the comparison is constant-time. A cluster
+// without a secret still answers any request that reaches it — that mode
+// is for deployments whose peer network is isolated from client traffic
+// (see docs/API.md).
+func (s *Service) peerAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c := s.Cluster()
+		if c == nil {
+			httpError(w, http.StatusNotFound, errors.New("peer API requires cluster mode (start with -peers)"))
+			return
+		}
+		if secret := c.Secret(); secret != "" {
+			got := r.Header.Get(cluster.PeerSecretHeader)
+			if subtle.ConstantTimeCompare([]byte(got), []byte(secret)) != 1 {
+				httpError(w, http.StatusUnauthorized, errors.New("missing or wrong peer secret"))
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 func decodePeerBody(w http.ResponseWriter, r *http.Request, limit int64, into any) bool {

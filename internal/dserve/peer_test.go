@@ -14,6 +14,13 @@ import (
 	"negativaml/internal/negativa"
 )
 
+// soloCluster attaches a single-node cluster to the service so its peer
+// routes answer (they 404 on non-clustered nodes); an empty peer map makes
+// a self-only ring, so stage routing is unchanged.
+func soloCluster(svc *Service) {
+	svc.AttachCluster(cluster.New("solo", nil, cluster.Options{}))
+}
+
 func postPeer(t *testing.T, srv *httptest.Server, path string, in, out any) int {
 	t.Helper()
 	body, err := json.Marshal(in)
@@ -38,6 +45,7 @@ func postPeer(t *testing.T, srv *httptest.Server, path string, in, out any) int 
 func TestPeerLookupMissesAndRejections(t *testing.T) {
 	svc := NewService(Config{Workers: 2, MaxSteps: 2})
 	defer svc.Close()
+	soloCluster(svc)
 	srv := httptest.NewServer(NewHandler(svc))
 	defer srv.Close()
 
@@ -62,6 +70,7 @@ func TestPeerLookupMissesAndRejections(t *testing.T) {
 func TestPeerCompactRejectsMismatches(t *testing.T) {
 	svc := NewService(Config{Workers: 2, MaxSteps: 2})
 	defer svc.Close()
+	soloCluster(svc)
 	srv := httptest.NewServer(NewHandler(svc))
 	defer srv.Close()
 
@@ -93,6 +102,7 @@ func TestPeerCompactRejectsMismatches(t *testing.T) {
 func TestPeerDetectMismatches(t *testing.T) {
 	svc := NewService(Config{Workers: 2, MaxSteps: 2})
 	defer svc.Close()
+	soloCluster(svc)
 	srv := httptest.NewServer(NewHandler(svc))
 	defer srv.Close()
 
@@ -124,6 +134,7 @@ func TestPeerDetectMismatches(t *testing.T) {
 func TestPeerDetectExecutesAndRegisters(t *testing.T) {
 	svc := NewService(Config{Workers: 2, MaxSteps: 2})
 	defer svc.Close()
+	soloCluster(svc)
 	srv := httptest.NewServer(NewHandler(svc))
 	defer srv.Close()
 
@@ -167,6 +178,7 @@ func TestFetchPeerObject(t *testing.T) {
 	defer stA.Close()
 	svcA := NewService(Config{Workers: 1, Store: stA})
 	defer svcA.Close()
+	soloCluster(svcA)
 	srvA := httptest.NewServer(NewHandler(svcA))
 	defer srvA.Close()
 
@@ -197,5 +209,78 @@ func TestFetchPeerObject(t *testing.T) {
 	}
 	if _, err := svcB.FetchPeerObject(c, "a", "lib", "missing"); err == nil {
 		t.Fatal("fetching an absent object must fail")
+	}
+}
+
+// TestPeerRoutesRequireCluster: the peer surface is node-to-node only —
+// on a non-clustered node every peer route answers 404 so a standalone
+// deployment exposes no analysis-compute or object-transfer endpoints.
+func TestPeerRoutesRequireCluster(t *testing.T) {
+	svc := NewService(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	if code := postPeer(t, srv, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: "x"}, nil); code != http.StatusNotFound {
+		t.Fatalf("lookup without a cluster: status %d, want 404", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/peer/objects/lib/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("object fetch without a cluster: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPeerSecretEnforced: a cluster configured with a shared secret
+// refuses peer requests without it (constant-time compare, 401), accepts
+// them with it, and the cluster transport attaches it automatically.
+func TestPeerSecretEnforced(t *testing.T) {
+	svc := NewService(Config{Workers: 1, MaxSteps: 2})
+	defer svc.Close()
+	svc.AttachCluster(cluster.New("solo", nil, cluster.Options{Secret: "ring-credential"}))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	body, _ := json.Marshal(peerLookupRequest{Stage: negativa.StageCompact, Hash: "nope"})
+	do := func(secret string) int {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/peer/lookup", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if secret != "" {
+			req.Header.Set(cluster.PeerSecretHeader, secret)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := do(""); code != http.StatusUnauthorized {
+		t.Fatalf("no secret: status %d, want 401", code)
+	}
+	if code := do("wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong secret: status %d, want 401", code)
+	}
+	if code := do("ring-credential"); code != http.StatusOK {
+		t.Fatalf("correct secret: status %d, want 200", code)
+	}
+
+	// The cluster client carries the secret on its own requests: a peer
+	// configured with the matching secret can call through PostJSON ...
+	peerOK := cluster.New("b", map[string]string{"a": srv.URL}, cluster.Options{Secret: "ring-credential"})
+	var lr peerLookupResponse
+	if err := peerOK.PostJSON("a", "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: "nope"}, &lr); err != nil {
+		t.Fatalf("peer with matching secret: %v", err)
+	}
+	// ... and one with no (or the wrong) secret is refused.
+	peerBad := cluster.New("b", map[string]string{"a": srv.URL}, cluster.Options{})
+	if err := peerBad.PostJSON("a", "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: "nope"}, &lr); err == nil {
+		t.Fatal("peer without the secret was accepted")
 	}
 }

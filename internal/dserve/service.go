@@ -336,6 +336,19 @@ type BatchResult struct {
 // metric, extended to batches).
 func (r *BatchResult) EndToEnd() time.Duration { return r.DetectTime + r.AnalysisTime }
 
+// RetainedBytes sums the batch's debloated library image bytes — what a
+// node keeps in memory (and a front-door result quota charges) while the
+// job is retained.
+func (r *BatchResult) RetainedBytes() int64 {
+	var n int64
+	for _, lr := range r.Libs {
+		if lr.Sparse != nil {
+			n += lr.Sparse.Len()
+		}
+	}
+	return n
+}
+
 // DebloatedLibs materializes the compacted images keyed by library name.
 // Images are built lazily at call time; batch results and cache entries
 // only hold sparse range sets.

@@ -33,6 +33,12 @@
 //
 // The gateway talks to the engine through the narrow Backend interface —
 // *dserve.Service satisfies it directly, tests substitute fakes — and
-// merges its own counters, lane depths, and per-tenant accounting into
-// the backend's /v1/metrics payload under a "gateway" section.
+// merges its own counters, lane depths, and live accounting into the
+// backend's /v1/metrics payload under a "gateway" section, scoped to the
+// requesting tenant (one tenant never sees another's names or usage).
+//
+// The backend's node-to-node /v1/peer/* surface is forwarded key-less
+// only when Config.PeerPassthrough marks the node a cluster member —
+// peers authenticate with the cluster's shared secret, not API keys —
+// and refused with 404 everywhere else, so tenants can never reach it.
 package gateway

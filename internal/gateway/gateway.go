@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +67,13 @@ type Config struct {
 	MaxJobs int
 	// DefaultQuota fills zero fields of every tenant's quota.
 	DefaultQuota QuotaConfig
+	// PeerPassthrough forwards /v1/peer/* requests to the backend without
+	// tenant authentication — node-to-node traffic authenticates with the
+	// cluster's shared peer secret, not an API key. Enable it only on
+	// clustered nodes; everywhere else the gateway refuses the peer
+	// surface outright (404), so tenants cannot reach the backend's
+	// analysis-compute or object-transfer routes.
+	PeerPassthrough bool
 }
 
 func (c Config) withDefaults() Config {
@@ -216,7 +224,9 @@ func New(backend Backend, cfg Config, tenants []TenantConfig) (*Gateway, error) 
 // tenant add/remove). Live accounting carries over by tenant name: a
 // tenant present before and after the reload keeps its in-flight counts,
 // byte charges, and stage-seconds window. Jobs of a removed tenant finish
-// but are no longer reachable by any key.
+// but are no longer reachable by any key; the removed tenant's accounting
+// is retained (key-less) while any of it is live, so re-adding the tenant
+// later resumes from true counts instead of zeroed ones.
 func (g *Gateway) SetTenants(cfgs []TenantConfig) error {
 	if err := ValidateTenants(cfgs); err != nil {
 		return err
@@ -235,6 +245,20 @@ func (g *Gateway) SetTenants(cfgs []TenantConfig) error {
 		next[tc.Name] = ts
 		for _, k := range tc.Keys {
 			keys[k] = tc.Name
+		}
+	}
+	for name, ts := range g.tenants {
+		if _, kept := next[name]; kept {
+			continue
+		}
+		if ts.inflight > 0 || ts.resultBytes > 0 {
+			// Removed mid-flight: no key reaches this tenant anymore, but
+			// dropping the state would make finishUnit/Cancel decrement a
+			// fresh zero (driving inflight negative and over-admitting on a
+			// later re-add). Keep it until its charges drain; a future
+			// reload re-evaluates.
+			ts.cfg.Keys = nil
+			next[name] = ts
 		}
 	}
 	g.tenants = next
@@ -565,11 +589,11 @@ func (g *Gateway) pumpUnit(u *workUnit, dsID string, start time.Time) {
 		}
 		g.mu.Unlock()
 		if term != nil {
-			var bytes int64
-			if term.State == dserve.JobDone {
-				bytes = retainedBytes(g.backend.Job(dsID))
-			}
-			g.finishUnit(u, *term, bytes, start)
+			// The terminal event carries the job's retained result bytes
+			// (JobEvent.ResultBytes); re-fetching the job here would race
+			// MaxJobs pruning, which can evict it between its terminal event
+			// and the lookup and silently zero the tenant's charge.
+			g.finishUnit(u, *term, term.ResultBytes, start)
 			return
 		}
 		if done {
@@ -615,21 +639,6 @@ func (g *Gateway) mirrorLocked(u *workUnit, ev dserve.JobEvent) {
 	}
 }
 
-// retainedBytes sums a completed backend job's debloated image bytes — the
-// amount a tenant's result-byte quota is charged for retaining it.
-func retainedBytes(j *dserve.Job) int64 {
-	if j == nil || j.Result == nil {
-		return 0
-	}
-	var n int64
-	for _, lr := range j.Result.Libs {
-		if lr.Sparse != nil {
-			n += lr.Sparse.Len()
-		}
-	}
-	return n
-}
-
 // finishUnit publishes the unit's terminal event to every rider, settles
 // accounting (result bytes charged per attached tenant, in-flight slots
 // released), frees the dispatch slot, and pulls the next unit.
@@ -649,7 +658,9 @@ func (g *Gateway) finishUnit(u *workUnit, term dserve.JobEvent, bytes int64, sta
 		j.resultBytes = bytes
 		j.events.Append(term)
 		if ts := g.tenants[j.tenant]; ts != nil {
-			ts.inflight--
+			if ts.inflight > 0 { // clamp: a tenant reload may have reset state
+				ts.inflight--
+			}
 			ts.resultBytes += bytes
 		}
 	}
@@ -708,7 +719,7 @@ func (g *Gateway) Cancel(tenantName, id string) (*JobView, error) {
 		Type: dserve.EventState, State: JobCancelled, Terminal: true,
 		StagesDone: j.stagesDone, StagesTotal: j.stagesTotal,
 	})
-	if ts := g.tenants[tenantName]; ts != nil {
+	if ts := g.tenants[tenantName]; ts != nil && ts.inflight > 0 {
 		ts.inflight--
 	}
 	g.Counters.Add("gateway.cancelled", 1)
@@ -742,7 +753,9 @@ func (g *Gateway) pruneLocked() {
 		}
 		j := g.jobs[id]
 		if ts := g.tenants[j.tenant]; ts != nil {
-			ts.resultBytes -= j.resultBytes
+			if ts.resultBytes -= j.resultBytes; ts.resultBytes < 0 {
+				ts.resultBytes = 0 // clamp: a tenant reload may have reset state
+			}
 		}
 		delete(g.jobs, id)
 		g.Counters.Add("gateway.evicted", 1)
@@ -846,20 +859,23 @@ func (g *Gateway) RetryAfterHint() int {
 }
 
 // MetricsPayload merges the backend's metrics payload with a "gateway"
-// section: counters (admitted/shed/coalesced totals plus per-tenant and
-// per-lane breakdowns), unit wall timings, lane depths and weights, and
-// live per-tenant accounting.
-func (g *Gateway) MetricsPayload() map[string]any {
+// section: counters (admitted/shed/coalesced totals plus per-lane
+// breakdowns), unit wall timings, lane depths and weights, and live
+// per-tenant accounting. The view is scoped to the requesting tenant —
+// other tenants' names, counters, and accounting are withheld, so the
+// shared metrics route discloses only gateway-wide aggregates plus the
+// caller's own numbers.
+func (g *Gateway) MetricsPayload(tenant string) map[string]any {
 	out := g.backend.MetricsPayload()
 	g.mu.Lock()
 	lanes := map[string]any{
 		LaneInteractive: map[string]any{"queued": len(g.lanes[LaneInteractive]), "weight": g.cfg.InteractiveWeight},
 		LaneBulk:        map[string]any{"queued": len(g.lanes[LaneBulk]), "weight": g.cfg.BulkWeight},
 	}
-	tenants := make(map[string]any, len(g.tenants))
-	for name, ts := range g.tenants {
+	tenants := make(map[string]any, 1)
+	if ts := g.tenants[tenant]; ts != nil {
 		g.rollWindowLocked(ts)
-		tenants[name] = map[string]any{
+		tenants[tenant] = map[string]any{
 			"inflight":             ts.inflight,
 			"result_bytes":         ts.resultBytes,
 			"window_stage_seconds": ts.windowUsed,
@@ -867,8 +883,15 @@ func (g *Gateway) MetricsPayload() map[string]any {
 	}
 	inflight := g.inflightUnits
 	g.mu.Unlock()
+	counters := g.Counters.Snapshot()
+	ownPrefix := "tenant." + tenant + "."
+	for k := range counters {
+		if strings.HasPrefix(k, "tenant.") && !strings.HasPrefix(k, ownPrefix) {
+			delete(counters, k)
+		}
+	}
 	out["gateway"] = map[string]any{
-		"counters":       g.Counters.Snapshot(),
+		"counters":       counters,
 		"timings":        g.Timings.Snapshot(),
 		"lanes":          lanes,
 		"inflight_units": inflight,

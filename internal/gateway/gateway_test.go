@@ -628,6 +628,71 @@ func TestEvictionReleasesResultBytes(t *testing.T) {
 	}
 }
 
+// TestTenantRemoveMidFlight: a tenant removed by a reload while it has
+// in-flight work keeps its accounting (key-less) so the eventual
+// completion settles against real counts — re-adding the tenant must not
+// start from a zeroed state, and inflight must never go negative.
+func TestTenantRemoveMidFlight(t *testing.T) {
+	fb := newFake()
+	g, err := New(fb, Config{}, oneTenant("t", "k", QuotaConfig{MaxConcurrent: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	v, err := g.Submit("t", testReq(0), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "dispatch", func() bool { return fb.count() == 1 })
+
+	// Reload without "t": its keys stop working, but its live accounting
+	// survives the reload.
+	if err := g.SetTenants(oneTenant("u", "k2", QuotaConfig{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Authenticate("k"); ok {
+		t.Fatal("removed tenant's key still authenticates")
+	}
+	g.mu.Lock()
+	ts := g.tenants["t"]
+	g.mu.Unlock()
+	if ts == nil || ts.inflight != 1 {
+		t.Fatalf("removed tenant's live accounting dropped: %+v", ts)
+	}
+
+	// Re-add "t" (rotated key): the retained state carries over, so the
+	// finishing job decrements the true count instead of a fresh zero.
+	if err := g.SetTenants([]TenantConfig{
+		{Name: "t", Keys: []string{"k-new"}, Quota: QuotaConfig{MaxConcurrent: 2}},
+		{Name: "u", Keys: []string{"k2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fb.finish(fb.last(), false, "")
+	waitFor(t, "completion", func() bool {
+		j := g.Job("t", v.ID)
+		return j != nil && j.State == JobDone
+	})
+	g.mu.Lock()
+	inflight := g.tenants["t"].inflight
+	g.mu.Unlock()
+	if inflight != 0 {
+		t.Fatalf("inflight after completion = %d, want 0", inflight)
+	}
+
+	// Fully drained, the next reload drops the tenant for real.
+	if err := g.SetTenants(oneTenant("u", "k2", QuotaConfig{})); err != nil {
+		t.Fatal(err)
+	}
+	g.mu.Lock()
+	_, kept := g.tenants["t"]
+	g.mu.Unlock()
+	if kept {
+		t.Fatal("drained removed tenant was retained")
+	}
+}
+
 func TestTenantValidation(t *testing.T) {
 	cases := []struct {
 		name string

@@ -45,11 +45,14 @@ type handler struct {
 }
 
 // NewHandler wraps the backend's HTTP API with the gateway: every /v1/
-// route except the node-to-node /v1/peer/* routes now requires a tenant
-// API key, job routes are served from the gateway's own tenant-scoped job
-// table (backend job IDs never appear in client URLs), report and library
-// fetches delegate to the inner handler after ID translation, and
-// /v1/metrics serves the merged payload.
+// route requires a tenant API key, job routes are served from the
+// gateway's own tenant-scoped job table (backend job IDs never appear in
+// client URLs), report and library fetches delegate to the inner handler
+// after ID translation, and /v1/metrics serves the merged payload scoped
+// to the requesting tenant. The node-to-node /v1/peer/* routes are
+// forwarded — without tenant auth, since peers authenticate with the
+// cluster secret — only when Config.PeerPassthrough is set; otherwise the
+// gateway answers 404 so tenants can never reach the peer surface.
 func NewHandler(g *Gateway, inner http.Handler) http.Handler {
 	h := &handler{g: g, inner: inner}
 	mux := http.NewServeMux()
@@ -70,7 +73,15 @@ func NewHandler(g *Gateway, inner http.Handler) http.Handler {
 
 func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/v1/peer/") {
-		// Node-to-node traffic: cluster peers are not tenants.
+		// Node-to-node traffic: cluster peers are not tenants and carry no
+		// API key — they authenticate with the cluster's shared secret at
+		// the backend. Forward only on nodes explicitly configured as
+		// cluster members; everywhere else the peer surface (analysis
+		// compute, castore object transfer) must be unreachable to clients.
+		if !h.g.cfg.PeerPassthrough {
+			httpError(w, http.StatusNotFound, errors.New("peer API is not enabled on this node"))
+			return
+		}
 		h.inner.ServeHTTP(w, r)
 		return
 	}
@@ -202,6 +213,14 @@ func (h *handler) delegate(w http.ResponseWriter, r *http.Request, path func(dsI
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	if h.g.backend.Job(dsID) == nil {
+		// The gateway still lists the job as done, but the backend's
+		// MaxJobs pruning already evicted the result. Distinguish this
+		// from "unknown job" so clients know the result existed and is
+		// permanently gone (resubmit to recompute).
+		httpError(w, http.StatusGone, fmt.Errorf("result for job %q was evicted from the backend; resubmit to recompute", id))
+		return
+	}
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = path(dsID)
 	r2.URL.RawPath = ""
@@ -209,7 +228,7 @@ func (h *handler) delegate(w http.ResponseWriter, r *http.Request, path func(dsI
 }
 
 func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.g.MetricsPayload())
+	writeJSON(w, http.StatusOK, h.g.MetricsPayload(tenantOf(r)))
 }
 
 // gwStatus is the tenant-facing job view returned by submit/list/status/

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"negativaml/internal/cluster"
 	"negativaml/internal/dserve"
 )
 
@@ -139,14 +140,49 @@ func TestAuthRequired(t *testing.T) {
 		t.Fatalf("X-API-Key submit: status %d, want 202", resp.StatusCode)
 	}
 
-	// Peer routes are node-to-node and bypass tenant auth entirely.
-	presp, err := http.Post(ts.URL+"/v1/peer/lookup", "application/json", strings.NewReader("{}"))
+	// Peer routes are node-to-node: a gateway without PeerPassthrough (the
+	// non-clustered default) refuses them outright, even with a valid key —
+	// tenants must never reach the backend's peer surface.
+	for _, key := range []string{"", "key-acme"} {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/peer/lookup", strings.NewReader("{}"))
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		presp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusNotFound {
+			t.Fatalf("peer route with key %q: status %d, want 404", key, presp.StatusCode)
+		}
+	}
+}
+
+// TestPeerPassthrough: a clustered gateway forwards /v1/peer/* to the
+// backend without tenant auth (peers carry the cluster secret instead of
+// an API key) — the backend's own peer handling then answers.
+func TestPeerPassthrough(t *testing.T) {
+	ts, _, svc := newFrontDoor(t, Config{PeerPassthrough: true}, twoTenants())
+	svc.AttachCluster(cluster.New("solo", nil, cluster.Options{}))
+
+	presp, err := http.Post(ts.URL+"/v1/peer/lookup", "application/json",
+		strings.NewReader(`{"stage":"compact","hash":"nope"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	presp.Body.Close()
-	if presp.StatusCode == http.StatusUnauthorized {
-		t.Fatal("/v1/peer/* must not require a tenant key")
+	defer presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded peer lookup: status %d, want 200", presp.StatusCode)
+	}
+	var lr struct {
+		Found bool `json:"found"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Found {
+		t.Fatal("lookup invented a result")
 	}
 }
 
@@ -284,6 +320,25 @@ func TestCoalescingAcrossTenants(t *testing.T) {
 	if counters["gateway.coalesced"] != 1.0 {
 		t.Fatalf("metrics gateway.coalesced = %v", counters["gateway.coalesced"])
 	}
+
+	// The payload is scoped to the requesting tenant: acme sees its own
+	// counters and accounting but nothing of beta's, even though beta just
+	// rode the same unit.
+	if n, _ := counters["tenant.acme.admitted"].(float64); n < 1 {
+		t.Fatalf("metrics tenant.acme.admitted = %v", counters["tenant.acme.admitted"])
+	}
+	for k := range counters {
+		if strings.HasPrefix(k, "tenant.beta.") {
+			t.Fatalf("metrics for acme leak beta counter %q", k)
+		}
+	}
+	tenantsOut, _ := gw["tenants"].(map[string]any)
+	if _, ok := tenantsOut["acme"]; !ok {
+		t.Fatalf("metrics tenants section missing the requester: %v", tenantsOut)
+	}
+	if _, ok := tenantsOut["beta"]; ok {
+		t.Fatal("metrics for acme leak beta's accounting")
+	}
 }
 
 // TestShedOverQuota: the second concurrent batch of a MaxConcurrent=1
@@ -343,6 +398,41 @@ func TestResultBytesQuota(t *testing.T) {
 	resp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(1, 6, 2), &shed)
 	if resp.StatusCode != http.StatusTooManyRequests || shed.Reason != ShedResultBytes {
 		t.Fatalf("want result_bytes shed, got %d %+v", resp.StatusCode, shed)
+	}
+}
+
+// TestDelegatedFetchAfterBackendEviction: when the backend's own MaxJobs
+// pruning evicts a result the gateway still lists as done, delegated
+// report/library fetches answer 410 Gone — the result existed and is
+// permanently gone (resubmit recomputes) — not a confusable 404.
+func TestDelegatedFetchAfterBackendEviction(t *testing.T) {
+	svc := dserve.NewService(dserve.Config{Workers: 4, MaxSteps: 2, MaxJobs: 1})
+	g, err := New(svc, Config{}, twoTenants())
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(g, dserve.NewHandler(svc)))
+	defer func() { ts.Close(); g.Close(); svc.Close() }()
+
+	var a, b gwStatus
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(0, 6, 2), &a)
+	if st := pollGwDone(t, ts.URL, "key-acme", a.ID); st.State != JobDone {
+		t.Fatalf("first job: %s (%s)", st.State, st.Error)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(1, 6, 2), &b)
+	if st := pollGwDone(t, ts.URL, "key-acme", b.ID); st.State != JobDone {
+		t.Fatalf("second job: %s (%s)", st.State, st.Error)
+	}
+
+	// The second completion pushed the first out of the backend (MaxJobs=1).
+	resp := doJSON(t, "GET", ts.URL+"/v1/jobs/"+a.ID+"/report", "key-acme", nil, nil)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted result's report: status %d, want 410", resp.StatusCode)
+	}
+	resp = doJSON(t, "GET", ts.URL+"/v1/jobs/"+b.ID+"/report", "key-acme", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retained result's report: status %d, want 200", resp.StatusCode)
 	}
 }
 
