@@ -1,0 +1,101 @@
+// Command benchdiff gates perf regressions between two bench-trajectory
+// files (the BENCH_serve.json format internal/experiments writes). It
+// compares every entry whose name contains one of the watched substrings —
+// lower-is-better metrics like alloc bytes and wall times — and exits
+// non-zero if any regressed beyond the allowed percentage:
+//
+//	benchdiff -old BENCH_serve.committed.json -new BENCH_serve.json \
+//	          -watch alloc-bytes,peer_warm/wall -max-regress 20
+//
+// Entries present in only one file are reported but never fail the gate,
+// so adding or retiring metrics does not break CI; only a watched metric
+// that got measurably worse does. Improvements print alongside regressions
+// so the gate's output doubles as the PR's perf delta summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"negativaml/internal/experiments"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench JSON (required)")
+	newPath := flag.String("new", "", "candidate bench JSON (required)")
+	watch := flag.String("watch", "alloc-bytes,peer_warm/wall", "comma-separated name substrings to gate (lower is better)")
+	maxRegress := flag.Float64("max-regress", 20, "allowed regression in percent before failing")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldDoc, err := experiments.ReadBenchJSON(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := experiments.ReadBenchJSON(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	baseline := map[string]experiments.BenchEntry{}
+	for _, e := range oldDoc.Entries {
+		baseline[e.Name] = e
+	}
+	patterns := strings.Split(*watch, ",")
+	watched := func(name string) bool {
+		for _, p := range patterns {
+			if p != "" && strings.Contains(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	failed := false
+	for _, e := range newDoc.Entries {
+		if !watched(e.Name) {
+			continue
+		}
+		base, ok := baseline[e.Name]
+		if !ok {
+			fmt.Printf("NEW     %-50s %.0f %s (no baseline, not gated)\n", e.Name, e.Value, e.Unit)
+			continue
+		}
+		if base.Value <= 0 {
+			fmt.Printf("SKIP    %-50s baseline is %.0f, cannot compute a ratio\n", e.Name, base.Value)
+			continue
+		}
+		delta := 100 * (e.Value - base.Value) / base.Value
+		switch {
+		case delta > *maxRegress:
+			failed = true
+			fmt.Printf("REGRESS %-50s %.0f -> %.0f %s (%+.1f%%, limit %+.0f%%)\n", e.Name, base.Value, e.Value, e.Unit, delta, *maxRegress)
+		default:
+			fmt.Printf("ok      %-50s %.0f -> %.0f %s (%+.1f%%)\n", e.Name, base.Value, e.Value, e.Unit, delta)
+		}
+	}
+	for _, e := range oldDoc.Entries {
+		if watched(e.Name) {
+			if _, ok := func() (experiments.BenchEntry, bool) {
+				for _, n := range newDoc.Entries {
+					if n.Name == e.Name {
+						return n, true
+					}
+				}
+				return experiments.BenchEntry{}, false
+			}(); !ok {
+				fmt.Printf("GONE    %-50s was %.0f %s (retired, not gated)\n", e.Name, e.Value, e.Unit)
+			}
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: watched metrics regressed beyond the limit")
+		os.Exit(1)
+	}
+}

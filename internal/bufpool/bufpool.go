@@ -1,0 +1,102 @@
+package bufpool
+
+import (
+	"bytes"
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minClassBits is the smallest pooled size class (4 KiB): smaller
+	// requests round up rather than fragmenting the pools.
+	minClassBits = 12
+	// maxClassBits is the largest pooled size class (16 MiB): bigger
+	// requests are served by plain allocation and never pooled, so one
+	// oversized object cannot park tens of megabytes in a pool.
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxPooledBuffer bounds the capacity of a *bytes.Buffer accepted
+	// back by PutBuffer.
+	maxPooledBuffer = 4 << 20
+)
+
+// classes[i] pools []byte arrays of exactly 1<<(minClassBits+i) bytes.
+// Pools store *[]byte (not []byte) to avoid an allocation per Put.
+var classes [numClasses]sync.Pool
+
+func init() {
+	for i := range classes {
+		size := 1 << (minClassBits + i)
+		classes[i].New = func() any {
+			b := make([]byte, size)
+			return &b
+		}
+	}
+}
+
+// classFor returns the pool index serving a request of n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a scratch slice with len == n. The contents are
+// unspecified (the slice may have been used before); callers that need
+// zeroed memory must clear it themselves. Pass the returned slice —
+// resliced to any length — back to Put when done.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	bp := classes[c].Get().(*[]byte)
+	return (*bp)[:n]
+}
+
+// Put recycles a slice obtained from Get. Slices whose backing array is
+// not a pooled size class (e.g. oversized Get results, or foreign
+// slices) are dropped silently, so Put is always safe to call.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	// Only accept exact class-sized arrays: anything else came from the
+	// make() fallback or from a caller's own allocation.
+	if c&(c-1) != 0 {
+		return
+	}
+	idx := bits.Len(uint(c)) - 1 - minClassBits
+	if idx < 0 || idx >= numClasses {
+		return
+	}
+	full := b[:c]
+	classes[idx].Put(&full)
+}
+
+// bufferPool recycles bytes.Buffer values for encoders.
+var bufferPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// GetBuffer returns an empty *bytes.Buffer from the pool.
+func GetBuffer() *bytes.Buffer {
+	return bufferPool.Get().(*bytes.Buffer)
+}
+
+// PutBuffer resets and recycles a buffer obtained from GetBuffer.
+// Buffers that grew beyond maxPooledBuffer are dropped so a single
+// large body does not pin its memory in the pool.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufferPool.Put(b)
+}

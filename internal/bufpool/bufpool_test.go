@@ -1,0 +1,126 @@
+package bufpool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestGetLenAndClassRounding(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{1, 4096},
+		{4096, 4096},
+		{4097, 8192},
+		{1 << 20, 1 << 20},
+		{(1 << 20) + 1, 2 << 20},
+		{16 << 20, 16 << 20},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d) len = %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d) cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizedNotPooled(t *testing.T) {
+	n := (16 << 20) + 1
+	b := Get(n)
+	if len(b) != n || cap(b) != n {
+		t.Fatalf("oversized Get: len=%d cap=%d", len(b), cap(b))
+	}
+	Put(b) // must not panic or pollute a class pool
+}
+
+func TestPutForeignSliceIsDropped(t *testing.T) {
+	Put(nil)
+	Put(make([]byte, 100))     // non-power-of-two cap
+	Put(make([]byte, 0, 2048)) // power-of-two but below min class
+	// A subsequent Get must still return a correctly sized buffer.
+	b := Get(4096)
+	if len(b) != 4096 || cap(b) != 4096 {
+		t.Fatalf("pool polluted: len=%d cap=%d", len(b), cap(b))
+	}
+	Put(b)
+}
+
+func TestReuseAfterPut(t *testing.T) {
+	b := Get(8192)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(8192)
+	// Contents are unspecified but the array should be a recycled one of
+	// the right shape; most importantly len must be exact.
+	if len(c) != 8192 || cap(c) != 8192 {
+		t.Fatalf("reuse: len=%d cap=%d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestResliceThenPut(t *testing.T) {
+	b := Get(1 << 16)
+	Put(b[:10]) // Put accepts any reslice of a pooled array
+	c := Get(1 << 16)
+	if len(c) != 1<<16 {
+		t.Fatalf("len = %d after reslice Put", len(c))
+	}
+	Put(c)
+}
+
+func TestBufferPool(t *testing.T) {
+	buf := GetBuffer()
+	buf.WriteString("hello")
+	PutBuffer(buf)
+	buf2 := GetBuffer()
+	if buf2.Len() != 0 {
+		t.Fatalf("recycled buffer not reset: %q", buf2.Bytes())
+	}
+	PutBuffer(buf2)
+	// Oversized buffers are dropped, never recycled with their capacity.
+	big := GetBuffer()
+	big.Write(bytes.Repeat([]byte{1}, maxPooledBuffer+1))
+	PutBuffer(big)
+	PutBuffer(nil) // must not panic
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := Get(4096 + i*137)
+				for j := range b {
+					b[j] = seed
+				}
+				for j := range b {
+					if b[j] != seed {
+						t.Error("scratch buffer corrupted mid-use")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut64K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(64 << 10)
+		buf[0] = 1
+		Put(buf)
+	}
+}

@@ -1,0 +1,25 @@
+// Package bufpool is the shared scratch-buffer layer for the byte plane.
+//
+// Every hot path that moves object bytes between tiers — castore
+// Export/Import, peer object streaming, sparse-image materialization,
+// cluster request encoding, gateway event fan-out — needs transient
+// buffers whose lifetime is one call. Allocating them per call is the
+// single largest source of garbage on the serving path; this package
+// centralizes them in size-classed sync.Pools so steady-state serving
+// recycles the same few buffers instead of growing the heap.
+//
+// Two families are provided:
+//
+//   - Get/Put hand out []byte scratch buffers in power-of-two size
+//     classes (4 KiB … 16 MiB). Get(n) returns a slice with len == n
+//     backed by a pooled array; Put recycles it. Requests beyond the
+//     largest class fall through to plain allocation and are not pooled.
+//   - GetBuffer/PutBuffer hand out *bytes.Buffer values for encoders
+//     (JSON bodies, codec frames). Buffers that have grown beyond
+//     maxPooledBuffer are dropped on Put so a single huge body cannot
+//     pin memory in the pool forever.
+//
+// All pools are safe for concurrent use. Callers must not retain a
+// buffer (or any subslice of it) after Put — the next Get may hand the
+// same array to another goroutine.
+package bufpool

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"negativaml/internal/bufpool"
 	"negativaml/internal/metrics"
 )
 
@@ -40,6 +41,10 @@ type Options struct {
 	// never evicted, so the real floor is the retained working set (and a
 	// single over-budget object still stores successfully).
 	MaxBytes int64
+	// DisableMmap forces OpenMapped onto the portable os.ReadFile fallback
+	// even where mmap is available (the -mmap=off server flag). Builds
+	// tagged castore_nommap are always on the fallback regardless.
+	DisableMmap bool
 	// Counters, when non-nil, mirrors store.hits / store.misses /
 	// store.puts / store.evictions / store.corrupt and tracks store.bytes
 	// as a gauge.
@@ -94,6 +99,17 @@ type Store struct {
 	objects map[objKey]*object
 	lru     list.List // front = most recently used
 	bytes   int64
+	// madeDirs remembers kind/shard directories already created, so the
+	// Put hot path skips MkdirAll's per-component mkdir syscalls after the
+	// first object lands in a shard. Guarded by mu.
+	madeDirs map[string]struct{}
+	// dirtyFiles and dirtyDirs collect the object files and directories
+	// whose durability fsyncs Put deferred — files for their data, dirs
+	// for the publishing renames. SyncDirs group-commits both sets in one
+	// overlapped sweep (data before directory entries) instead of Put
+	// paying two blocking fsyncs per object. Guarded by mu.
+	dirtyFiles map[string]struct{}
+	dirtyDirs  map[string]struct{}
 	// orphanRefs holds the reference counts of objects that were removed
 	// while retained (corruption forces removal regardless of pins). The
 	// holders' eventual Releases drain this map instead of touching a
@@ -110,7 +126,7 @@ type Store struct {
 // Structurally invalid files (bad magic, truncated header, size mismatch)
 // are deleted; checksum validation is deferred to Get and Verify.
 func Open(dir string, opt Options) (*Store, error) {
-	s := &Store{dir: dir, opt: opt, objects: map[objKey]*object{}, orphanRefs: map[objKey]int{}}
+	s := &Store{dir: dir, opt: opt, objects: map[objKey]*object{}, orphanRefs: map[objKey]int{}, madeDirs: map[string]struct{}{}, dirtyFiles: map[string]struct{}{}, dirtyDirs: map[string]struct{}{}}
 	if err := os.MkdirAll(s.tmpDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("castore: %w", err)
 	}
@@ -151,6 +167,7 @@ func Open(dir string, opt Options) (*Store, error) {
 // directory. It does not flush anything — every Put is already durable.
 // Idempotent; the store must not be used after Close.
 func (s *Store) Close() {
+	s.SyncDirs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lockf != nil {
@@ -329,12 +346,21 @@ func (s *Store) Has(kind, key string) bool {
 	return ok
 }
 
-// Put stores an object crash-safely: temp write, fsync, atomic rename.
-// Re-putting an existing (kind, key) is a no-op — objects are
-// content-addressed, so identical keys hold identical payloads. The
-// expensive part (staging and fsyncing the temp file) runs outside the
-// store lock, so concurrent Puts and Gets proceed in parallel; only the
-// publishing rename and the index update are serialized.
+// Put stores an object via temp write + atomic rename. Re-putting an
+// existing (kind, key) is a no-op — objects are content-addressed, so
+// identical keys hold identical payloads. The expensive part (staging the
+// temp file) runs outside the store lock, so concurrent Puts and Gets
+// proceed in parallel; only the publishing rename and the index update are
+// serialized. Both fsyncs that harden the object against power loss — the
+// data flush and the directory-entry flush — are deferred to the next
+// SyncDirs (or Close): between commit points a power cut can lose or tear
+// a recently put object, but SyncDirs flushes data before directory
+// entries, so once a commit point returns every published object is
+// complete and durable. Callers that publish a reference to the object
+// (a manifest) call SyncDirs first, which is what keeps a torn object
+// unreachable: no manifest ever points at bytes that were not flushed.
+// A process crash (as opposed to power loss) tears nothing — the rename
+// is atomic and the page cache survives the process.
 func (s *Store) Put(kind, key string, payload []byte) error {
 	if !validName(kind) || !validName(key) {
 		return fmt.Errorf("castore: invalid object name %s/%s", kind, key)
@@ -349,25 +375,23 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	s.mu.Unlock()
 
 	final := s.objectPath(kind, key)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+	if err := s.ensureDir(filepath.Dir(final)); err != nil {
 		return fmt.Errorf("castore: %w", err)
 	}
 	tmp, err := os.CreateTemp(s.tmpDir(), key+".*")
 	if err != nil {
 		return fmt.Errorf("castore: %w", err)
 	}
-	// The write sequence below is the crash-safety contract: header+payload
-	// into the temp file, fsync so the bytes are durable under the temp
-	// name, then a single atomic rename publishes the object. A crash at
-	// any point leaves either no final file or a complete one.
+	// Header+payload into the temp file, then a single atomic rename
+	// publishes the object. No fsync here — the data flush rides the next
+	// SyncDirs commit point, where it overlaps with every other deferred
+	// flush instead of stalling each Put individually.
 	werr := func() error {
 		if _, err := tmp.Write(makeHeader(payload)); err != nil {
 			return err
 		}
-		if _, err := tmp.Write(payload); err != nil {
-			return err
-		}
-		return tmp.Sync()
+		_, err := tmp.Write(payload)
+		return err
 	}()
 	if cerr := tmp.Close(); werr == nil {
 		werr = cerr
@@ -377,8 +401,8 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		return fmt.Errorf("castore: put %s/%s: %w", kind, key, werr)
 	}
 	if s.opt.BeforeRename != nil {
-		// Crash injection: abort with the durable temp file left behind,
-		// exactly the state a kill between fsync and rename produces.
+		// Crash injection: abort with the staged temp file left behind,
+		// exactly the state a kill between staging and rename produces.
 		if err := s.opt.BeforeRename(kind, key); err != nil {
 			return fmt.Errorf("castore: put %s/%s: %w", kind, key, err)
 		}
@@ -404,25 +428,108 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	s.addBytes(o.size)
 	s.puts++
 	s.count("store.puts", 1)
+	// Neither fsync orders against anything a reader sees, so both are
+	// deferred into the dirty sets and group-committed by the next
+	// SyncDirs — a burst of Puts pays one overlapped flush sweep, not two
+	// blocking fsyncs per object.
+	s.dirtyFiles[final] = struct{}{}
+	s.dirtyDirs[filepath.Dir(final)] = struct{}{}
 	s.evictOverLocked()
 	s.mu.Unlock()
-	// The directory fsync only hardens the rename against power loss; it
-	// does not order against other operations, so it runs after the lock
-	// is dropped — readers never wait on a flush.
-	syncDir(filepath.Dir(final))
 	return nil
 }
 
-// syncDir fsyncs a directory so the rename that published an object is
-// itself durable. Failures are ignored: not every filesystem supports it,
-// and the object file's own fsync already bounds the loss to "the rename".
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
+// SyncDirs flushes every fsync Put deferred — the group-commit barrier.
+// Call it at durability commit points: after a batch of Puts whose
+// visibility a later write will assert (a job manifest referencing freshly
+// spilled objects), and before Close returns. Object data is flushed
+// before directory entries, so a completed SyncDirs never leaves a durable
+// rename pointing at undurable bytes. Failures are ignored for the same
+// reason syncAll's are.
+func (s *Store) SyncDirs() {
+	s.mu.Lock()
+	files := make([]string, 0, len(s.dirtyFiles))
+	for f := range s.dirtyFiles {
+		files = append(files, f)
+	}
+	clear(s.dirtyFiles)
+	dirs := make([]string, 0, len(s.dirtyDirs))
+	for d := range s.dirtyDirs {
+		dirs = append(dirs, d)
+	}
+	clear(s.dirtyDirs)
+	s.mu.Unlock()
+	// A large dirty set is cheaper to flush wholesale than path by path:
+	// one sync(2) is a single journal commit covering every deferred file
+	// and rename, where per-path fsync pays a commit each. Small sets stay
+	// per-path to avoid flushing unrelated system-wide dirty pages.
+	if len(files)+len(dirs) >= bulkSyncThreshold && bulkSync() {
 		return
 	}
-	d.Sync()
-	d.Close()
+	syncAll(files)
+	syncAll(dirs)
+}
+
+// bulkSyncThreshold is the deferred-path count at which SyncDirs prefers
+// one whole-system sync over per-path fsyncs.
+const bulkSyncThreshold = 16
+
+// ensureDir creates a kind/shard directory once per store lifetime. An
+// externally deleted directory surfaces as the subsequent rename's error,
+// the same failure mode MkdirAll-per-Put had for a deletion racing the
+// rename itself.
+func (s *Store) ensureDir(dir string) error {
+	s.mu.Lock()
+	_, ok := s.madeDirs[dir]
+	s.mu.Unlock()
+	if ok {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.madeDirs[dir] = struct{}{}
+	s.mu.Unlock()
+	return nil
+}
+
+// syncAll fsyncs the paths with bounded parallelism: the flushes are
+// independent disk waits, so a commit point pays roughly the slowest one,
+// not the sum. Failures are ignored — a path may have been evicted since
+// it went dirty, and not every filesystem supports directory fsync; the
+// manifest-after-SyncDirs ordering bounds what a lost flush can cost.
+func syncAll(paths []string) {
+	if len(paths) == 0 {
+		return
+	}
+	// Concurrent fsyncs of distinct files mostly coalesce into shared
+	// journal commits, so wide fan-out turns ~N commits into a handful.
+	workers := 32
+	if len(paths) < workers {
+		workers = len(paths)
+	}
+	ch := make(chan string)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				f, err := os.Open(p)
+				if err != nil {
+					continue
+				}
+				f.Sync()
+				f.Close()
+			}
+		}()
+	}
+	for _, p := range paths {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // Get returns the object's payload, verifying its checksum and refreshing
@@ -466,6 +573,41 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	s.hits++
 	s.count("store.hits", 1)
 	return payload, true
+}
+
+// verifyObject integrity-checks one object file without materializing it:
+// the payload streams through the checksum in pooled chunks, so a Verify
+// scan's memory stays bounded regardless of object size.
+func verifyObject(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdrBuf [headerSize]byte
+	if _, err := io.ReadFull(f, hdrBuf[:]); err != nil {
+		return err
+	}
+	hdr, err := parseHeader(hdrBuf[:])
+	if err != nil {
+		return err
+	}
+	h := sha256.New()
+	buf := bufpool.Get(64 << 10)
+	n, err := io.CopyBuffer(h, f, buf)
+	bufpool.Put(buf)
+	if err != nil {
+		return err
+	}
+	if n != hdr.length {
+		return fmt.Errorf("castore: truncated object")
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	if sum != hdr.sum {
+		return fmt.Errorf("castore: checksum mismatch")
+	}
+	return nil
 }
 
 // readObject reads and integrity-checks one object file.
@@ -612,7 +754,9 @@ func (s *Store) Dir() string { return s.dir }
 
 // Verify integrity-checks every object, removing any whose checksum fails.
 // After a crash, Open's tmp cleanup plus a Verify scan restore the
-// invariant that every indexed object is complete and correct.
+// invariant that every indexed object is complete and correct. Each object
+// streams through the checksum in pooled chunks — a scan's memory is
+// bounded by one chunk, not by the largest stored object.
 func (s *Store) Verify() VerifyReport {
 	s.mu.Lock()
 	objs := make([]*object, 0, len(s.objects))
@@ -624,7 +768,7 @@ func (s *Store) Verify() VerifyReport {
 	var rep VerifyReport
 	for _, o := range objs {
 		rep.Scanned++
-		_, err := readObject(s.objectPath(o.id.kind, o.id.key))
+		err := verifyObject(s.objectPath(o.id.kind, o.id.key))
 		if err == nil {
 			rep.OK++
 			continue

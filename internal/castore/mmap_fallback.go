@@ -1,0 +1,18 @@
+//go:build !unix || castore_nommap
+
+package castore
+
+import "os"
+
+// mmapSupported is false on platforms without the mmap implementation and
+// under the castore_nommap build tag: OpenMapped serves heap-backed views
+// via os.ReadFile with the identical pin/verify contract.
+const mmapSupported = false
+
+// mmapFile is never called when mmapSupported is false; it exists so the
+// shared OpenMapped code compiles on every platform.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	panic("castore: mmapFile called on a platform without mmap support")
+}
+
+func munmapFile(b []byte) {}

@@ -1,0 +1,27 @@
+//go:build unix && !castore_nommap
+
+package castore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the page-cache-backed OpenMapped path. Building
+// with -tags castore_nommap forces the portable os.ReadFile fallback on
+// every platform (useful under sanitizers that do not model mmap, and for
+// exercising the fallback in CI).
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared: the returned slice
+// is a window onto the page cache, not a heap copy.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile. Errors are ignored — the
+// only failure mode is an invalid address, which would mean the slice was
+// not a live mapping in the first place.
+func munmapFile(b []byte) {
+	syscall.Munmap(b)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"negativaml/internal/bufpool"
 )
 
 // ErrUnknownObject is returned by Export and Stat for a (kind, key) the
@@ -17,6 +19,35 @@ var ErrUnknownObject = errors.New("castore: unknown object")
 // byte — the cap keeps a corrupt or hostile header from provisioning an
 // absurd buffer.
 const maxImportBytes = 1 << 30
+
+// Frame wraps a payload in the store's integrity wire format — the same
+// 48-byte header + payload layout Export streams — for callers that ship
+// derived (transcoded) bytes over the object-transfer route rather than a
+// stored file.
+func Frame(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, makeHeader(payload)...)
+	return append(out, payload...)
+}
+
+// Unframe verifies an integrity-framed object (header + payload, the
+// Export/Frame wire format) and returns its payload, aliasing data. It is
+// the in-memory counterpart of Import for callers that must transform the
+// payload before storing it.
+func Unframe(data []byte) ([]byte, error) {
+	hdr, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	payload := data[headerSize:]
+	if int64(len(payload)) != hdr.length {
+		return nil, fmt.Errorf("castore: truncated object")
+	}
+	if sha256.Sum256(payload) != hdr.sum {
+		return nil, fmt.Errorf("castore: checksum mismatch")
+	}
+	return payload, nil
+}
 
 // Stat returns the payload size of a stored object without touching its
 // recency (the companion to Has for callers that need a Content-Length).
@@ -57,7 +88,14 @@ func (s *Store) Export(kind, key string, w io.Writer) (int64, error) {
 		return 0, fmt.Errorf("castore: export %s/%s: %w", kind, key, err)
 	}
 	defer f.Close()
-	n, err := io.Copy(w, f)
+	// Pooled copy chunk: io.Copy would allocate a fresh 32 KiB buffer per
+	// export, and peer object streaming exports in bursts. The wrapper
+	// hides *os.File's WriterTo so CopyBuffer actually uses our buffer —
+	// the WriterTo fast path only helps when the destination is a raw
+	// socket, which an HTTP response writer is not.
+	buf := bufpool.Get(64 << 10)
+	n, err := io.CopyBuffer(w, struct{ io.Reader }{f}, buf)
+	bufpool.Put(buf)
 	if err != nil {
 		return n, fmt.Errorf("castore: export %s/%s: %w", kind, key, err)
 	}
@@ -86,7 +124,11 @@ func (s *Store) Import(kind, key string, r io.Reader) (int64, error) {
 	if hdr.length > maxImportBytes {
 		return 0, fmt.Errorf("castore: import %s/%s: object of %d bytes exceeds the import bound", kind, key, hdr.length)
 	}
-	payload := make([]byte, hdr.length)
+	// Pooled staging: Put copies the payload to disk and retains nothing,
+	// so the buffer goes straight back to the pool — a burst of imports
+	// recycles one buffer per size class instead of allocating per object.
+	payload := bufpool.Get(int(hdr.length))
+	defer bufpool.Put(payload)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, fmt.Errorf("castore: import %s/%s: payload: %w", kind, key, err)
 	}

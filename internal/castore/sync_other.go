@@ -1,0 +1,9 @@
+//go:build !linux
+
+package castore
+
+// bulkSync reports that no whole-system flush is available; SyncDirs falls
+// back to per-path fsync.
+func bulkSync() bool {
+	return false
+}

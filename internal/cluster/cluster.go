@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"negativaml/internal/bufpool"
 	"negativaml/internal/metrics"
 )
 
@@ -36,8 +37,16 @@ type Options struct {
 	// peer.<node-id>.
 	Timings *metrics.TimingSet
 	// Client overrides the HTTP client (tests); Timeout is applied to the
-	// default client only.
+	// default client only. The default client rides a dedicated
+	// http.Transport tuned for the peer plane: keep-alive connection
+	// pooling sized for concurrent stage fan-out (the stock transport
+	// keeps only 2 idle connections per host, so bursts of peer lookups
+	// re-dial constantly).
 	Client *http.Client
+	// Headers are applied to every outgoing peer request — the capability
+	// advertisement channel (e.g. the sparse wire-codec version header).
+	// Static per node, so negotiation costs nothing per request.
+	Headers map[string]string
 	// Secret, when non-empty, is the cluster's shared peer credential:
 	// every outgoing peer request carries it in the PeerSecretHeader, and
 	// the receiving node's /v1/peer/* handlers refuse requests without it.
@@ -116,6 +125,10 @@ type Cluster struct {
 	mu    sync.Mutex
 	peers map[string]*peerState
 	ring  *Ring
+	// headers are the static per-request headers (Options.Headers plus
+	// anything set later via SetHeader) — the capability advertisement
+	// channel.
+	headers map[string]string
 }
 
 // New builds a cluster for node `self` over the peer set (node ID → base
@@ -135,7 +148,22 @@ func New(self string, peers map[string]string, opt Options) *Cluster {
 	c := &Cluster{self: self, opt: opt, peers: map[string]*peerState{}}
 	c.client = opt.Client
 	if c.client == nil {
-		c.client = &http.Client{Timeout: opt.Timeout}
+		// Dedicated transport: the peer tier fans a batch's stages out
+		// concurrently, and net/http's default 2 idle connections per host
+		// would close and re-dial most of them between waves. Generous
+		// idle pools turn the steady state into pure keep-alive reuse.
+		c.client = &http.Client{
+			Timeout: opt.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	c.headers = map[string]string{}
+	for k, v := range opt.Headers {
+		c.headers[k] = v
 	}
 	for id, url := range peers {
 		if id == self || id == "" {
@@ -145,6 +173,29 @@ func New(self string, peers map[string]string, opt Options) *Cluster {
 	}
 	c.rebuildRingLocked()
 	return c
+}
+
+// SetHeader adds (or, with an empty value, removes) a static header sent
+// on every outgoing peer request. The serving plane uses it to advertise
+// protocol capabilities — e.g. the sparse wire-codec version — when it
+// attaches to the cluster.
+func (c *Cluster) SetHeader(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if value == "" {
+		delete(c.headers, key)
+		return
+	}
+	c.headers[key] = value
+}
+
+// applyHeaders stamps the static per-request headers onto req.
+func (c *Cluster) applyHeaders(req *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range c.headers {
+		req.Header.Set(k, v)
+	}
 }
 
 // ParsePeers parses a "-peers" flag value: comma-separated id=base-url
@@ -308,11 +359,19 @@ func (c *Cluster) observe(id string, dur time.Duration, transportErr bool) {
 // response into out (which may be nil). A non-2xx status decodes the
 // peer's {"error": ...} body into a *PeerError; transport failures count
 // against the peer's health, application errors do not.
+//
+// The request body is encoded once into a pooled buffer: Content-Length is
+// set from it (so the peer can preallocate), GetBody replays the same
+// bytes on any transport-level retry instead of re-marshalling, and the
+// buffer returns to the pool when the exchange finishes — steady-state
+// peer traffic produces no per-call encoding garbage.
 func (c *Cluster) PostJSON(peer, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
+	buf := bufpool.GetBuffer()
+	defer bufpool.PutBuffer(buf)
+	if err := json.NewEncoder(buf).Encode(in); err != nil {
 		return fmt.Errorf("cluster: encode %s request: %w", path, err)
 	}
+	body := buf.Bytes()
 	url, err := c.peerURL(peer)
 	if err != nil {
 		return err
@@ -321,10 +380,15 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("cluster: build %s request: %w", path, err)
 	}
+	req.ContentLength = int64(len(body))
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(body)), nil
+	}
 	req.Header.Set("Content-Type", "application/json")
 	if c.opt.Secret != "" {
 		req.Header.Set(PeerSecretHeader, c.opt.Secret)
 	}
+	c.applyHeaders(req)
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
@@ -360,22 +424,31 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 // the caller to consume and close — the castore object-transfer path. A
 // non-2xx status is returned as *PeerError with the body drained.
 func (c *Cluster) GetStream(peer, path string) (io.ReadCloser, error) {
+	rc, _, err := c.GetStreamHeader(peer, path)
+	return rc, err
+}
+
+// GetStreamHeader is GetStream plus the response headers, for protocols
+// whose body encoding is negotiated per request (the sparse wire codec on
+// the object-transfer route).
+func (c *Cluster) GetStreamHeader(peer, path string) (io.ReadCloser, http.Header, error) {
 	url, err := c.peerURL(peer)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req, err := http.NewRequest(http.MethodGet, url+path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: build %s request: %w", path, err)
+		return nil, nil, fmt.Errorf("cluster: build %s request: %w", path, err)
 	}
 	if c.opt.Secret != "" {
 		req.Header.Set(PeerSecretHeader, c.opt.Secret)
 	}
+	c.applyHeaders(req)
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observe(peer, time.Since(start), true)
-		return nil, fmt.Errorf("cluster: peer %s: %w", peer, err)
+		return nil, nil, fmt.Errorf("cluster: peer %s: %w", peer, err)
 	}
 	if resp.StatusCode/100 != 2 {
 		perr := &PeerError{Peer: peer, Status: resp.StatusCode}
@@ -387,10 +460,10 @@ func (c *Cluster) GetStream(peer, path string) (io.ReadCloser, error) {
 		}
 		resp.Body.Close()
 		c.observe(peer, time.Since(start), false)
-		return nil, perr
+		return nil, nil, perr
 	}
 	// Latency is observed at header time; the stream itself is the
 	// caller's to pace.
 	c.observe(peer, time.Since(start), false)
-	return resp.Body, nil
+	return resp.Body, resp.Header, nil
 }

@@ -289,9 +289,14 @@ func Parse(data []byte) (*Cubin, error) {
 			return nil, fmt.Errorf("cubin: kernel %d references out-of-range data", i)
 		}
 		name := string(data[strOff+nameOff : strOff+nameOff+nameLen])
-		codeBytes := make([]byte, kCodeSize)
-		copy(codeBytes, data[codeOff+kCodeOff:codeOff+kCodeOff+kCodeSize])
+		// Zero-copy: kernel code aliases the blob (capacity-clamped). The
+		// blob must stay alive and unmutated while the Cubin is in use;
+		// every consumer treats Code as read-only.
+		codeBytes := data[codeOff+kCodeOff : codeOff+kCodeOff+kCodeSize : codeOff+kCodeOff+kCodeSize]
 		var launches []int
+		if cCount > 0 {
+			launches = make([]int, 0, cCount)
+		}
 		for j := 0; j < cCount; j++ {
 			launches = append(launches, int(le.Uint32(data[callOff+4*(cOff+j):])))
 		}

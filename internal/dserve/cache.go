@@ -62,6 +62,20 @@ type ResultCache struct {
 	// restarted service (or one whose memory tier evicted an entry) serves
 	// warm without re-running locate/compact.
 	store *castore.Store
+	// spillCh feeds the write-behind worker: Put hands the disk spill to
+	// it instead of fsyncing on the serve path. A full queue falls back to
+	// an inline spill (backpressure), so disk writes never outrun the
+	// worker unboundedly. Guarded by mu; nil once CloseSpill has run.
+	spillCh chan spillJob
+	spillWG sync.WaitGroup
+}
+
+// spillJob is one queued write-behind spill; a job with ack set is a
+// Flush barrier — the worker closes ack instead of writing.
+type spillJob struct {
+	key string
+	ld  *negativa.LibDebloat
+	ack chan struct{}
 }
 
 type cacheEntry struct {
@@ -114,12 +128,83 @@ func (c *ResultCache) addBytes(delta int64) {
 	}
 }
 
-// AttachStore wires the disk-backed second tier in. Call before serving;
-// the cache never detaches a store.
+// AttachStore wires the disk-backed second tier in and starts the
+// write-behind spill worker. Call before serving; the cache never
+// detaches a store.
 func (c *ResultCache) AttachStore(st *castore.Store) {
 	c.mu.Lock()
 	c.store = st
+	if c.spillCh == nil {
+		c.spillCh = make(chan spillJob, 64)
+		c.spillWG.Add(1)
+		go c.spillLoop(st, c.spillCh)
+	}
 	c.mu.Unlock()
+}
+
+// spillConcurrency bounds in-flight write-behind spills. Each spill is a
+// handful of fsyncs; issuing a few concurrently lets the device coalesce
+// flushes instead of paying every sync's full latency serially.
+const spillConcurrency = 4
+
+// spillLoop is the write-behind dispatcher: it drains queued spills into
+// the store, off the serve path, running up to spillConcurrency at once.
+// A Flush barrier waits for everything dispatched before it — the
+// dispatcher reads nothing further until the ack is released, so barrier
+// ordering holds. A failed spill only costs durability — the memory tier
+// already took the entry — so it is counted, not fatal.
+func (c *ResultCache) spillLoop(st *castore.Store, ch chan spillJob) {
+	defer c.spillWG.Done()
+	sem := make(chan struct{}, spillConcurrency)
+	var inflight sync.WaitGroup
+	for j := range ch {
+		if j.ack != nil {
+			inflight.Wait()
+			close(j.ack)
+			continue
+		}
+		inflight.Add(1)
+		sem <- struct{}{}
+		go func(j spillJob) {
+			defer func() { <-sem; inflight.Done() }()
+			if err := spillResult(st, j.key, j.ld); err != nil && c.counters != nil {
+				c.counters.Add("cache.spill_errors", 1)
+			}
+		}(j)
+	}
+	inflight.Wait()
+}
+
+// Flush blocks until every spill queued before the call has reached the
+// store. Shutdown and tests use it; the serving path never waits on disk.
+// Must not race CloseSpill.
+func (c *ResultCache) Flush() {
+	c.mu.Lock()
+	if c.spillCh == nil {
+		c.mu.Unlock()
+		return
+	}
+	// The barrier send happens under mu so CloseSpill cannot close the
+	// channel out from under it; the worker never takes mu, so the send
+	// always drains even when the queue is momentarily full.
+	ack := make(chan struct{})
+	c.spillCh <- spillJob{ack: ack}
+	c.mu.Unlock()
+	<-ack
+}
+
+// CloseSpill drains the spill queue and stops the worker. The cache
+// remains usable afterwards — later Puts spill inline, as they do when
+// the queue is full.
+func (c *ResultCache) CloseSpill() {
+	c.mu.Lock()
+	ch := c.spillCh
+	c.spillCh = nil
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+		c.spillWG.Wait()
+	}
 }
 
 // Get returns the cached result for the key, refreshing its recency.
@@ -213,20 +298,33 @@ func (c *ResultCache) Put(key string, ld *negativa.LibDebloat) {
 	c.put(key, ld, true)
 }
 
+// enqueueSpill hands the entry to the write-behind worker. The send
+// happens under mu (non-blocking) so it cannot race CloseSpill closing
+// the channel; a full queue or a stopped worker falls back to an inline
+// spill outside the lock — castore does its own locking and file I/O.
+func (c *ResultCache) enqueueSpill(key string, ld *negativa.LibDebloat) {
+	c.mu.Lock()
+	st := c.store
+	enqueued := false
+	if st != nil && c.spillCh != nil {
+		select {
+		case c.spillCh <- spillJob{key: key, ld: ld}:
+			enqueued = true
+		default:
+		}
+	}
+	c.mu.Unlock()
+	if st == nil || enqueued {
+		return
+	}
+	if err := spillResult(st, key, ld); err != nil && c.counters != nil {
+		c.counters.Add("cache.spill_errors", 1)
+	}
+}
+
 func (c *ResultCache) put(key string, ld *negativa.LibDebloat, spill bool) {
 	if spill && ld.Report != nil && ld.Report.Sparse != nil {
-		c.mu.Lock()
-		st := c.store
-		c.mu.Unlock()
-		if st != nil {
-			// Spill outside the cache lock: castore does its own locking
-			// and file I/O. A failed spill only costs durability — the
-			// memory tier still takes the entry — so it is counted, not
-			// fatal.
-			if err := spillResult(st, key, ld); err != nil && c.counters != nil {
-				c.counters.Add("cache.spill_errors", 1)
-			}
-		}
+		c.enqueueSpill(key, ld)
 	}
 	ent := &cacheEntry{key: key, ld: ld, size: entrySize(key, ld)}
 	if sp := ld.Report.Sparse; sp != nil {

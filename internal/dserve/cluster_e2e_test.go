@@ -143,7 +143,9 @@ func TestClusterThreeNodeE2E(t *testing.T) {
 		t.Fatal("node B should have read stages through their owning peers")
 	}
 	// Read-through replicates toward demand: peer-served compact results
-	// were spilled into B's own castore.
+	// were spilled into B's own castore. The spill is write-behind, so
+	// drain it before looking at the store.
+	b.svc.Cache.Flush()
 	if b.store.Stats().Puts == 0 {
 		t.Fatal("peer-served results should have been written into node B's castore")
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -433,6 +434,19 @@ func (s *Service) persistJob(job *Job, res *BatchResult, finished time.Time) (*j
 	}
 	m.Finished = finished
 
+	// Drain the cache's write-behind spills first: the worker has been
+	// overlapping its disk waits with the batch's compute, so by now most
+	// referenced objects are already durable and Retain succeeds without
+	// the synchronous re-spill below.
+	// The persist.* timings split the durability tail the same way the
+	// stage.* timings split the batch: flush (write-behind drain), retain
+	// (pin sweep plus any re-spill), sync (object commit sweep), manifest
+	// (manifest publish and its flush).
+	t0 := time.Now()
+	s.Cache.Flush()
+	s.Timings.Observe("persist.flush", time.Since(t0))
+	t0 = time.Now()
+
 	var held []storeRef
 	// Pin each referenced object, re-spilling any the cache layer never
 	// wrote or the byte budget already evicted. Retain-then-spill keeps
@@ -453,13 +467,24 @@ func (s *Service) persistJob(job *Job, res *BatchResult, finished time.Time) (*j
 			held = append(held, ref)
 		}
 	}
+	s.Timings.Observe("persist.retain", time.Since(t0))
 	data, err := json.Marshal(m)
 	if err != nil {
 		return abandon(held)
 	}
+	// Commit point: group-flush the directories holding every object
+	// rename above, THEN publish the manifest that references them, then
+	// flush the manifest's own rename. A crash between the two flushes
+	// loses the manifest, never a manifest pointing at vanished objects.
+	t0 = time.Now()
+	s.store.SyncDirs()
+	s.Timings.Observe("persist.sync", time.Since(t0))
+	t0 = time.Now()
 	if err := s.store.Put(kindJob, job.ID, data); err != nil {
 		return abandon(held)
 	}
+	s.store.SyncDirs()
+	s.Timings.Observe("persist.manifest", time.Since(t0))
 	if !s.store.Retain(kindJob, job.ID) {
 		return abandon(held)
 	}
@@ -485,6 +510,7 @@ func (s *Service) persistFailedJob(job *Job, jobErr error, finished time.Time) (
 		s.Counters.Add("jobs.persist_failed", 1)
 		return nil, nil
 	}
+	s.store.SyncDirs()
 	return m, []storeRef{{kindJob, job.ID}}
 }
 
@@ -690,18 +716,30 @@ func (s *Service) materialize(m *jobManifest) (*BatchResult, error) {
 // Failures are returned but never memoized: a missing object may reappear
 // (recomputed and re-spilled by a later batch), and the next call must see
 // it.
+//
+// The image is opened via castore.OpenMapped, so a restored library's bytes
+// are a pinned page-cache view, not a heap copy. The mapping's lifetime is
+// pin-scoped to the Library that aliases it: a finalizer closes it (unmap +
+// unpin) once the Library — and with it every SparseImage and in-flight
+// OpenLibStream response over it — becomes unreachable. Eviction can
+// therefore never yank pages out from under a live response.
 func (s *Service) restoredLib(digest, name string) (*elfx.Library, error) {
 	type parsed struct {
 		lib *elfx.Library
 		err error
 	}
 	v := s.restoredLibs.getOK(digest, func() (any, bool) {
-		data, ok := s.store.Get(kindLib, digest)
+		m, ok := s.store.OpenMapped(kindLib, digest)
 		if !ok {
 			return parsed{err: fmt.Errorf("library image %.12s… missing from store", digest)}, false
 		}
-		lib, err := elfx.Parse(name, data)
-		return parsed{lib: lib, err: err}, err == nil
+		lib, err := elfx.Parse(name, m.Data())
+		if err != nil {
+			m.Close()
+			return parsed{err: err}, false
+		}
+		runtime.SetFinalizer(lib, func(*elfx.Library) { m.Close() })
+		return parsed{lib: lib}, true
 	}).(parsed)
 	return v.lib, v.err
 }

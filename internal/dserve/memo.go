@@ -88,6 +88,10 @@ type StageMemo struct {
 	// cluster, when non-nil, adds the owning-peer tier to detect and
 	// compact lookups.
 	cluster *cluster.Cluster
+	// exec, when non-nil, is the same executor the plan scheduler runs
+	// stages under; peer round trips yield their slot through it (see
+	// postJSON).
+	exec plan.Executor
 }
 
 // NewStageMemo wires the service's reuse layers into one stage memo.
@@ -105,6 +109,28 @@ func NewStageMemo(registry *Registry, cache *ResultCache, counters *metrics.Coun
 // AttachCluster adds the owning-peer tier. Call before serving; the memo
 // never detaches a cluster.
 func (m *StageMemo) AttachCluster(c *cluster.Cluster) { m.cluster = c }
+
+// AttachExecutor hands the memo the executor its callers hold slots of.
+// Every GetOrCompute happens inside a plan node that has Acquired ex, so
+// the memo may temporarily Release that slot around pure I/O waits. Call
+// before serving, with the same executor passed to Graph.Execute.
+func (m *StageMemo) AttachExecutor(ex plan.Executor) { m.exec = ex }
+
+// postJSON runs one peer round trip with the caller's executor slot
+// yielded. Plan nodes hold a worker slot while resolving their memo, but
+// a peer lookup is pure network wait — holding a CPU-sized slot across it
+// would serialize the whole read-through tier behind the compute budget
+// (on a small Workers bound, every peer-warm batch degenerates to one
+// round trip at a time). The slot is re-Acquired before returning, so
+// compute after the wire — decode, verify, local compute on fallback —
+// still runs under the pool's bound.
+func (m *StageMemo) postJSON(owner, path string, req, resp any) error {
+	if m.exec != nil {
+		m.exec.Release()
+		defer m.exec.Acquire()
+	}
+	return m.cluster.PostJSON(owner, path, req, resp)
+}
 
 // owner returns the peer owning a stage key, when that peer is not this
 // node.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -105,6 +106,54 @@ type peerCompactResponse struct {
 // maxRequestBytes.
 const peerBodyLimit = 256 << 20
 
+// Sparse wire-codec negotiation. A node that can decode the compact v2
+// codec advertises it on every outgoing peer request (the header is
+// installed on the cluster transport by AttachCluster); a responder emits
+// v2 only to a requester that advertised it, and v1 otherwise. Old nodes
+// neither send nor understand the header, so every mixed pairing degrades
+// to v1: old→new requests get v1 answers, new→old requests are answered by
+// a node that ignores the header and emits v1 — which the new node's
+// magic-sniffing decoder accepts. See negativa.TranscodeSparseWire for the
+// codec itself.
+const (
+	// SparseCodecHeader is the Accept-style capability header naming the
+	// highest sparse wire-codec version the requester decodes.
+	SparseCodecHeader = "X-Negativa-Sparse-Codec"
+	sparseCodecV2     = "2"
+)
+
+// wantsWireV2 reports whether this node answers the request in the compact
+// v2 sparse codec: the requester advertised it and this node's v2 support
+// is not switched off (Config.DisableSparseWireV2 silences both directions,
+// so the knob is a faithful pre-v2-node stand-in).
+func (s *Service) wantsWireV2(r *http.Request) bool {
+	return !s.cfg.DisableSparseWireV2 && r.Header.Get(SparseCodecHeader) == sparseCodecV2
+}
+
+// encodeSparseFor encodes a live sparse image for a peer response in the
+// newest codec the requester advertised.
+func (s *Service) encodeSparseFor(r *http.Request, sp *negativa.SparseImage) []byte {
+	if s.wantsWireV2(r) {
+		return sp.EncodeWire()
+	}
+	return sp.Encode()
+}
+
+// transcodeSparseFor re-encodes stored (canonical v1) sparse bytes for the
+// requester's advertised codec. Transcoding failure falls back to the
+// stored bytes — the requester's digest-bound decoder is the integrity
+// authority either way.
+func (s *Service) transcodeSparseFor(r *http.Request, enc []byte) []byte {
+	if !s.wantsWireV2(r) {
+		return enc
+	}
+	v2, err := negativa.TranscodeSparseWire(enc, 2)
+	if err != nil {
+		return enc
+	}
+	return v2
+}
+
 // registerPeerRoutes mounts the node-to-node API. Every route is guarded
 // by peerAuth: a node with no cluster attached refuses peer traffic
 // outright, and a cluster configured with a shared secret refuses
@@ -181,14 +230,14 @@ func (s *Service) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	case negativa.StageCompact:
 		if ld, ok := s.Cache.Get(req.Hash); ok && ld.Report != nil && ld.Report.Sparse != nil {
 			sr := storedResultOf(ld)
-			resp.Found, resp.Result, resp.Sparse = true, &sr, ld.Report.Sparse.Encode()
+			resp.Found, resp.Result, resp.Sparse = true, &sr, s.encodeSparseFor(r, ld.Report.Sparse)
 		} else if s.store != nil {
 			raw, ok1 := s.store.Get(kindResult, req.Hash)
 			enc, ok2 := s.store.Get(kindSparse, req.Hash)
 			if ok1 && ok2 {
 				var sr storedResult
 				if err := json.Unmarshal(raw, &sr); err == nil {
-					resp.Found, resp.Result, resp.Sparse = true, &sr, enc
+					resp.Found, resp.Result, resp.Sparse = true, &sr, s.transcodeSparseFor(r, enc)
 				}
 			}
 		}
@@ -279,7 +328,7 @@ func (s *Service) handlePeerCompact(w http.ResponseWriter, r *http.Request) {
 	s.Counters.Add("peer.served_compacts", 1)
 	if ld, ok := s.Cache.Get(req.Key); ok && ld.Report != nil && ld.Report.Sparse != nil {
 		sr := storedResultOf(ld)
-		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode(), Hit: true})
+		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: s.encodeSparseFor(r, ld.Report.Sparse), Hit: true})
 		return
 	}
 	s.peerSem <- struct{}{}
@@ -295,7 +344,7 @@ func (s *Service) handlePeerCompact(w http.ResponseWriter, r *http.Request) {
 	}
 	if ld, ok := s.Cache.LoadStored(req.Key, lib); ok && ld.Report != nil && ld.Report.Sparse != nil {
 		sr := storedResultOf(ld)
-		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode(), Hit: true})
+		writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: s.encodeSparseFor(r, ld.Report.Sparse), Hit: true})
 		return
 	}
 	archs := make([]gpuarch.SM, len(req.Archs))
@@ -318,7 +367,7 @@ func (s *Service) handlePeerCompact(w http.ResponseWriter, r *http.Request) {
 	s.Counters.Add("peer.executed_compacts", 1)
 	s.Cache.Put(req.Key, ld)
 	sr := storedResultOf(ld)
-	writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: ld.Report.Sparse.Encode()})
+	writeJSON(w, http.StatusOK, peerCompactResponse{Result: &sr, Sparse: s.encodeSparseFor(r, ld.Report.Sparse)})
 }
 
 // handlePeerObject streams one castore object in its integrity-framed wire
@@ -329,6 +378,12 @@ func (s *Service) handlePeerCompact(w http.ResponseWriter, r *http.Request) {
 // export failure cannot change the already-sent status; it is counted
 // (peer.object_export_errors) and the importer's checksum rejects the
 // truncated body.
+//
+// Sparse objects to a v2-advertising requester are transcoded to the
+// compact wire codec and re-framed in memory (they are O(ranges), so this
+// is cheap), with the response's codec header telling the requester to
+// transcode back before storing — disk stays canonical v1 on both ends.
+// Every other (kind, requester) pairing streams the stored bytes as-is.
 func (s *Service) handlePeerObject(w http.ResponseWriter, r *http.Request) {
 	st := s.Store()
 	if st == nil {
@@ -341,6 +396,24 @@ func (s *Service) handlePeerObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer st.Release(kind, key)
+	if kind == kindSparse && s.wantsWireV2(r) {
+		if enc, ok := st.Get(kind, key); ok {
+			if v2, err := negativa.TranscodeSparseWire(enc, 2); err == nil {
+				framed := castore.Frame(v2)
+				s.Counters.Add("peer.served_objects", 1)
+				w.Header().Set("Content-Type", "application/octet-stream")
+				w.Header().Set("Content-Length", strconv.Itoa(len(framed)))
+				w.Header().Set(SparseCodecHeader, sparseCodecV2)
+				w.WriteHeader(http.StatusOK)
+				if _, err := w.Write(framed); err != nil {
+					s.Counters.Add("peer.object_export_errors", 1)
+				}
+				return
+			}
+		}
+		// Unreadable or untranscodable: fall through to the raw stream —
+		// the importer's checksum is the authority on whether it's usable.
+	}
 	size, ok := st.Stat(kind, key)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no object %s/%s", kind, key))
@@ -401,7 +474,7 @@ func compactHintOf(hint any) (*elfx.Library, *compactHint) {
 func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.Profile, bool) {
 	if hint == nil {
 		var lr peerLookupResponse
-		if err := m.cluster.PostJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: hash}, &lr); err != nil {
+		if err := m.postJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: hash}, &lr); err != nil {
 			m.count("peer.fallbacks")
 			return nil, false
 		}
@@ -422,7 +495,7 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 		MaxSteps: hint.maxSteps, Spec: hint.spec,
 	}
 	var dr peerDetectResponse
-	if err := m.cluster.PostJSON(owner, "/v1/peer/detect", req, &dr); err != nil || dr.Profile == nil || dr.Profile.RunResult == nil {
+	if err := m.postJSON(owner, "/v1/peer/detect", req, &dr); err != nil || dr.Profile == nil || dr.Profile.RunResult == nil {
 		m.count("peer.fallbacks")
 		return nil, false
 	}
@@ -442,7 +515,7 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 // not reproduce this library's bytes.
 func (m *StageMemo) peerCompact(owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
 	var lr peerLookupResponse
-	if err := m.cluster.PostJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: hash}, &lr); err != nil {
+	if err := m.postJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: hash}, &lr); err != nil {
 		m.count("peer.fallbacks")
 		return nil, false
 	}
@@ -473,7 +546,7 @@ func (m *StageMemo) peerCompact(owner, hash string, lib *elfx.Library, hint *com
 		req.Archs = append(req.Archs, uint32(a))
 	}
 	var cr peerCompactResponse
-	if err := m.cluster.PostJSON(owner, "/v1/peer/compact", req, &cr); err != nil {
+	if err := m.postJSON(owner, "/v1/peer/compact", req, &cr); err != nil {
 		m.count("peer.fallbacks")
 		return nil, false
 	}
@@ -505,16 +578,38 @@ func decodePeerResult(lib *elfx.Library, sr *storedResult, enc []byte) (*negativ
 
 // FetchPeerObject imports one castore object from a peer into the local
 // store (the generic replication path: restored-job materialization, warm
-// pre-seeding). Returns the payload size.
+// pre-seeding). A response the exporter marked with the v2 sparse codec
+// header is unframed, transcoded back to the canonical v1 encoding, and
+// stored via Put — the disk form never depends on which codec crossed the
+// wire. Returns the stored payload size.
 func (s *Service) FetchPeerObject(c *cluster.Cluster, peer, kind, key string) (int64, error) {
 	if s.store == nil {
 		return 0, errors.New("dserve: no store attached")
 	}
-	rc, err := c.GetStream(peer, "/v1/peer/objects/"+kind+"/"+key)
+	rc, hdr, err := c.GetStreamHeader(peer, "/v1/peer/objects/"+kind+"/"+key)
 	if err != nil {
 		return 0, err
 	}
 	defer rc.Close()
+	if kind == kindSparse && hdr.Get(SparseCodecHeader) == sparseCodecV2 {
+		framed, err := io.ReadAll(io.LimitReader(rc, peerBodyLimit))
+		if err != nil {
+			return 0, fmt.Errorf("dserve: fetch %s/%s: %w", kind, key, err)
+		}
+		payload, err := castore.Unframe(framed)
+		if err != nil {
+			return 0, fmt.Errorf("dserve: fetch %s/%s: %w", kind, key, err)
+		}
+		enc, err := negativa.TranscodeSparseWire(payload, 1)
+		if err != nil {
+			return 0, fmt.Errorf("dserve: fetch %s/%s: %w", kind, key, err)
+		}
+		if err := s.store.Put(kind, key, enc); err != nil {
+			return 0, err
+		}
+		s.Counters.Add("peer.objects_fetched", 1)
+		return int64(len(enc)), nil
+	}
 	n, err := s.store.Import(kind, key, rc)
 	if err != nil {
 		return 0, err

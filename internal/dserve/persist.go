@@ -158,22 +158,29 @@ func (sr *storedResult) report(sparse *negativa.SparseImage) *negativa.LibraryRe
 // already in memory, only the derived artifacts come from disk). Returns
 // false on any absence or corruption — the caller recomputes.
 func loadResult(st *castore.Store, key string, lib *elfx.Library) (*negativa.LibDebloat, bool) {
-	raw, ok := st.Get(kindResult, key)
+	// Both reads go through OpenMapped: the decoded forms (storedResult,
+	// the range set) copy what they keep, so the raw object bytes are
+	// page-cache views scoped to this call — the warm-disk tier allocates
+	// no payload copies.
+	mr, ok := st.OpenMapped(kindResult, key)
 	if !ok {
 		return nil, false
 	}
 	var sr storedResult
-	if err := json.Unmarshal(raw, &sr); err != nil {
+	err := json.Unmarshal(mr.Data(), &sr)
+	mr.Close()
+	if err != nil {
 		return nil, false
 	}
 	if sr.LibDigest != digestHex(lib) {
 		return nil, false // stored for different library bytes
 	}
-	enc, ok := st.Get(kindSparse, key)
+	ms, ok := st.OpenMapped(kindSparse, key)
 	if !ok {
 		return nil, false
 	}
-	sparse, err := negativa.DecodeSparseImage(lib, enc)
+	sparse, err := negativa.DecodeSparseImage(lib, ms.Data())
+	ms.Close()
 	if err != nil {
 		return nil, false
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"negativaml/internal/bufpool"
 	"negativaml/internal/metrics"
 	"negativaml/internal/negativa"
 )
@@ -532,20 +533,31 @@ func serveEventsSSE(w http.ResponseWriter, r *http.Request, after func(int) ([]J
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	// One pooled frame buffer and one encoder per subscriber, reused for
+	// the whole stream: a fan-out of N watchers costs N buffers total, not
+	// one marshal allocation per event per watcher, and each wake-up's
+	// events leave in a single Write.
+	buf := bufpool.GetBuffer()
+	defer bufpool.PutBuffer(buf)
+	enc := json.NewEncoder(buf)
 	last := -1
 	for {
 		evs, done, ch := after(last)
-		for _, e := range evs {
-			data, err := json.Marshal(e)
-			if err != nil {
-				return
-			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
-				return
-			}
-			last = e.Seq
-		}
 		if len(evs) > 0 {
+			buf.Reset()
+			for _, e := range evs {
+				buf.WriteString("data: ")
+				if err := enc.Encode(e); err != nil {
+					return
+				}
+				// Encode appended the JSON's trailing newline; the second
+				// ends the SSE frame.
+				buf.WriteByte('\n')
+				last = e.Seq
+			}
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return
+			}
 			flusher.Flush()
 		}
 		if done {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"negativaml/internal/bufpool"
 	"negativaml/internal/castore"
 	"negativaml/internal/cluster"
 	"negativaml/internal/gpuarch"
@@ -79,6 +80,14 @@ type Config struct {
 	// detection profiles snapshot on Put and replay on boot, and completed
 	// jobs spill their manifests and images so a restart serves them warm.
 	Store *castore.Store
+	// DisableSparseWireV2 stops this node from advertising the compact v2
+	// sparse wire codec on outgoing peer requests, so every response it
+	// receives arrives in the v1 encoding. Responding in v2 is driven
+	// purely by the requester's header, so this knob makes the node behave
+	// exactly like a pre-v2 peer on the wire — the escape hatch (and the
+	// interop test's old-node stand-in) if a mixed-version cluster
+	// misbehaves.
+	DisableSparseWireV2 bool
 }
 
 // Service is the batch-debloat service core: the profile registry, the
@@ -166,6 +175,7 @@ func NewService(cfg Config) *Service {
 		peerSem:      make(chan struct{}, cfg.Workers),
 	}
 	s.stages = NewStageMemo(s.Registry, s.Cache, counters)
+	s.stages.AttachExecutor(s.pool)
 	s.observer = stageObserver{c: counters, t: s.Timings}
 	if cfg.Store != nil {
 		// Warm-restart wiring: the cache gains its disk tier, the registry
@@ -192,6 +202,12 @@ func (s *Service) Store() *castore.Store { return s.store }
 func (s *Service) AttachCluster(c *cluster.Cluster) {
 	s.cluster = c
 	s.stages.AttachCluster(c)
+	// Advertise the compact sparse wire codec on every outgoing peer
+	// request. Decoding is unconditional (DecodeSparseImage sniffs the
+	// magic), so the knob only controls what peers are invited to send.
+	if !s.cfg.DisableSparseWireV2 {
+		c.SetHeader(SparseCodecHeader, sparseCodecV2)
+	}
 }
 
 // Cluster returns the attached peer group, or nil for a standalone node.
@@ -201,12 +217,15 @@ func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
 func (s *Service) Workers() int { return s.pool.Workers() }
 
 // Close drains the service: no new submissions are accepted and Close
-// returns once every running job has finished.
+// returns once every running job has finished and every write-behind
+// cache spill has reached the store — so a store closed after Close holds
+// everything the memory tier ever took.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.Cache.CloseSpill()
 }
 
 // WorkloadIdentity canonically identifies a workload configuration for
@@ -579,6 +598,16 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	// a resubmitted batch re-validates what the service hands out; only an
 	// explicit incremental base carries outcomes over.
 	verifies := make([]*plan.Node, len(workloads))
+	// Pooled scratch backing the verify clone's materialized libraries. The
+	// clone node (single, unmemoized) fills it; nothing aliases the buffers
+	// once Execute returns — verify values are scalar Results — so they are
+	// recycled on every exit path.
+	var cloneBufs [][]byte
+	defer func() {
+		for _, b := range cloneBufs {
+			bufpool.Put(b)
+		}
+	}()
 	if !opt.SkipVerify {
 		fresh := 0
 		for i := range workloads {
@@ -590,7 +619,14 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 			cloneNode := g.Node("clone", compacts, nil, func(deps []any) (any, error) {
 				debloated := make(map[string][]byte, len(deps))
 				for i, d := range deps {
-					debloated[names[i]] = d.(*negativa.LibDebloat).Report.Debloated()
+					// Materialize the verify clone's library images into
+					// pooled scratch: the clone only lives until the verify
+					// nodes finish, so the buffers go back to the pool at the
+					// end of this batch instead of becoming per-batch garbage.
+					sp := d.(*negativa.LibDebloat).Report.Sparse
+					buf := bufpool.Get(int(sp.Len()))
+					cloneBufs = append(cloneBufs, buf)
+					debloated[names[i]] = sp.MaterializeInto(buf)
 				}
 				clone, err := in.CloneWithLibs(debloated)
 				if err != nil {

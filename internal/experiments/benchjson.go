@@ -28,3 +28,16 @@ func WriteBenchJSON(path string, entries []BenchEntry) error {
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
+
+// ReadBenchJSON loads a trajectory file written by WriteBenchJSON.
+// Consumers (cmd/benchdiff, future comparisons) should treat missing
+// entries as "metric not measured", not as zero.
+func ReadBenchJSON(path string) (BenchDoc, error) {
+	var doc BenchDoc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	err = json.Unmarshal(raw, &doc)
+	return doc, err
+}

@@ -180,6 +180,11 @@ func (f *FatBin) Marshal() ([]byte, error) {
 // relative to the start of data (the section), so callers add the section's
 // file offset to obtain absolute file ranges.
 //
+// Element payloads alias data — Parse performs no payload copies. Callers
+// that mutate payload bytes in place (the compactor's zeroing paths) are
+// mutating the section they parsed, and callers must keep data alive (and
+// unrecycled) for as long as any Element is reachable.
+//
 // Parse is tolerant of *zeroed* regions: if compaction has zeroed a whole
 // region (magic destroyed), parsing stops at the first non-region bytes only
 // when they are non-zero; runs of zero bytes are skipped. Zeroed elements
@@ -214,7 +219,7 @@ func Parse(data []byte) (*FatBin, error) {
 		if regionEnd > int64(len(data)) {
 			return nil, fmt.Errorf("fatbin: region at %#x overruns section", off)
 		}
-		region := Region{}
+		region := Region{Elements: make([]Element, 0, countElements(data, off+hSize, regionEnd))}
 		eOff := off + hSize
 		for eOff < regionEnd {
 			if int(eOff)+elementHeaderSize > len(data) {
@@ -237,8 +242,9 @@ func Parse(data []byte) (*FatBin, error) {
 			if pStart+padded > regionEnd {
 				return nil, fmt.Errorf("fatbin: element at %#x overruns region", eOff)
 			}
-			payloadBytes := make([]byte, pSize)
-			copy(payloadBytes, data[pStart:pEnd])
+			// Zero-copy: the payload aliases the section, capacity-clamped
+			// so appends can never scribble past the element.
+			payloadBytes := data[pStart:pEnd:pEnd]
 			region.AddElement(Element{
 				Kind:         kind,
 				Arch:         arch,
@@ -255,6 +261,32 @@ func Parse(data []byte) (*FatBin, error) {
 		off = regionEnd
 	}
 	return f, nil
+}
+
+// countElements walks the element headers in [eOff, regionEnd) and returns
+// how many elements a well-formed region holds, so Parse can size the
+// Elements slice in one allocation. Malformed headers terminate the count
+// early — the full parse pass reports the error.
+func countElements(data []byte, eOff, regionEnd int64) int {
+	le := binary.LittleEndian
+	n := 0
+	for eOff < regionEnd {
+		if int(eOff)+elementHeaderSize > len(data) || le.Uint32(data[eOff:]) != ElementMagic {
+			break
+		}
+		ehSize := int64(le.Uint32(data[eOff+8:]))
+		padded := int64(le.Uint64(data[eOff+20:]))
+		if ehSize != elementHeaderSize || padded < 0 {
+			break
+		}
+		next := eOff + ehSize + padded
+		if next <= eOff {
+			break
+		}
+		n++
+		eOff = next
+	}
+	return n
 }
 
 // pad4 returns a 4-byte window at off, zero-padded past the end of data, so
@@ -290,14 +322,26 @@ func ExtractCubins(f *FatBin) map[int][]byte {
 	return out
 }
 
-// AnyNonZero reports whether b contains a non-zero byte. It reads 8 bytes
-// per step (early-exiting at the first live word) instead of byte-at-a-time,
-// so probing live payloads stays O(1)-ish and scanning zeroed ones is
-// word-wise. It lives here — the lowest layer owning byte ranges — so elfx
-// and cudasim share one implementation.
+// AnyNonZero reports whether b contains a non-zero byte. The main loop
+// scans 64 bytes per iteration as eight uint64 loads OR-combined before a
+// single branch — on zeroed payloads (the common scan target after
+// compaction) this cuts the branch count 8× versus the old word-at-a-time
+// loop and lets the compiler keep the whole stride in registers. Probing
+// live payloads still exits on the first live cache line. It lives here —
+// the lowest layer owning byte ranges — so elfx and cudasim share one
+// implementation. See BenchmarkAnyNonZero for the measured win.
 func AnyNonZero(b []byte) bool {
+	le := binary.LittleEndian
+	for len(b) >= 64 {
+		x := le.Uint64(b) | le.Uint64(b[8:]) | le.Uint64(b[16:]) | le.Uint64(b[24:]) |
+			le.Uint64(b[32:]) | le.Uint64(b[40:]) | le.Uint64(b[48:]) | le.Uint64(b[56:])
+		if x != 0 {
+			return true
+		}
+		b = b[64:]
+	}
 	for len(b) >= 8 {
-		if binary.LittleEndian.Uint64(b) != 0 {
+		if le.Uint64(b) != 0 {
 			return true
 		}
 		b = b[8:]

@@ -1,0 +1,65 @@
+package fatbin
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// anyNonZeroWordWise is the previous implementation — one uint64 load and
+// branch per 8 bytes — kept as the benchmark baseline for the unrolled scan.
+func anyNonZeroWordWise(b []byte) bool {
+	le := binary.LittleEndian
+	for len(b) >= 8 {
+		if le.Uint64(b) != 0 {
+			return true
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnyNonZeroMatchesWordWise(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		n := r.Intn(300)
+		buf := make([]byte, n)
+		// Mostly-zero buffers with an occasional live byte at a random
+		// position — including inside the 64-byte stride, the 8-byte tail,
+		// and the final byte loop.
+		if n > 0 && r.Intn(3) != 0 {
+			buf[r.Intn(n)] = byte(1 + r.Intn(255))
+		}
+		if got, want := AnyNonZero(buf), anyNonZeroWordWise(buf); got != want {
+			t.Fatalf("AnyNonZero(%d bytes) = %v, want %v (buf %v)", n, got, want, buf)
+		}
+	}
+}
+
+// The benchmark pair measures the scan over an all-zero page — the common
+// case: ResidentBytes walks compacted images page by page, and zeroed pages
+// are the ones scanned to the end.
+func BenchmarkAnyNonZero(b *testing.B) {
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if AnyNonZero(buf) {
+			b.Fatal("zero page scanned as live")
+		}
+	}
+}
+
+func BenchmarkAnyNonZeroWordWise(b *testing.B) {
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if anyNonZeroWordWise(buf) {
+			b.Fatal("zero page scanned as live")
+		}
+	}
+}

@@ -45,12 +45,14 @@ func twoTenants() []TenantConfig {
 // HTTP hop.)
 func heavyReq() dserve.JobRequest {
 	return dserve.JobRequest{
-		Framework: "pytorch", TailLibs: 20, MaxSteps: 4,
+		Framework: "pytorch", TailLibs: 24, MaxSteps: 6,
 		Workloads: []dserve.WorkloadSpec{
 			{Model: "MobileNetV2", Batch: 1},
 			{Model: "Transformer", Batch: 32},
-			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 3},
-			{Model: "Transformer", Train: true, Batch: 128, Epochs: 3},
+			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 8},
+			{Model: "Transformer", Train: true, Batch: 128, Epochs: 8},
+			{Model: "MobileNetV2", Train: true, Batch: 64, Epochs: 8},
+			{Model: "Transformer", Train: true, Batch: 256, Epochs: 8},
 		},
 	}
 }

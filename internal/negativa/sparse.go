@@ -69,6 +69,23 @@ func (s *SparseImage) Materialize() []byte {
 	return out
 }
 
+// MaterializeInto writes the eager compacted image into dst, which must be
+// at least Len() bytes, and returns the filled prefix. It is Materialize
+// with caller-owned memory, so hot paths (the verify clone, peer streaming)
+// can recycle scratch buffers via bufpool instead of allocating a full
+// library copy per call.
+func (s *SparseImage) MaterializeInto(dst []byte) []byte {
+	if int64(len(dst)) < s.Len() {
+		panic("negativa: MaterializeInto: dst smaller than image")
+	}
+	n := copy(dst, s.lib.Data)
+	out := dst[:n]
+	for _, r := range s.zeroed {
+		clear(out[r.Start:r.End])
+	}
+	return out
+}
+
 // zeroChunk is the shared scratch written for zeroed ranges by WriteTo.
 var zeroChunk [32 * 1024]byte
 
@@ -225,17 +242,26 @@ func (s *SparseImage) Encode() []byte {
 }
 
 // DecodeSparseImage reconstructs a sparse image over lib from an encoded
-// range set. Corrupt input — bad magic or version, a digest or size that
-// does not match lib, truncation, or ranges that are unsorted, overlapping,
-// empty, or out of bounds — is rejected with an error, never a panic: the
-// decoder is a fuzz target and persisted bytes are untrusted.
+// range set, accepting either codec version by magic: the fixed-width v1
+// encoding (persisted objects) or the compact delta/varint v2 wire codec
+// (negotiated peer responses). Corrupt input — bad magic or version, a
+// digest or size that does not match lib, truncation, or ranges that are
+// unsorted, overlapping, empty, or out of bounds — is rejected with an
+// error, never a panic: the decoder is a fuzz target and persisted bytes
+// are untrusted.
 func DecodeSparseImage(lib *elfx.Library, data []byte) (*SparseImage, error) {
 	le := binary.LittleEndian
-	if len(data) < sparseHeaderSize {
+	if len(data) < 4 {
 		return nil, fmt.Errorf("negativa: sparse image: truncated header (%d bytes)", len(data))
 	}
 	if m := le.Uint32(data[0:]); m != sparseMagic {
+		if m == sparseMagicV2 {
+			return decodeWireV2(lib, data)
+		}
 		return nil, fmt.Errorf("negativa: sparse image: bad magic %#x", m)
+	}
+	if len(data) < sparseHeaderSize {
+		return nil, fmt.Errorf("negativa: sparse image: truncated header (%d bytes)", len(data))
 	}
 	if v := le.Uint16(data[4:]); v != sparseVersion {
 		return nil, fmt.Errorf("negativa: sparse image: unsupported version %d", v)
