@@ -515,6 +515,54 @@ func TestBenchServeJSON(t *testing.T) {
 		t.Fatal("peer-warm cluster batch hit no peers")
 	}
 
+	// Node churn: kill node c, drop it from the survivors' rings (the
+	// failure-detection outcome, taken directly so the measurement isn't
+	// padded with probe timeouts), and boot an empty replacement that
+	// joins the ring. The survivors' anti-entropy sweeps heal it in
+	// place; recorded are the heal wall time (join → a full sweep streams
+	// nothing), the objects streamed, and the healed node's wall for the
+	// same batch — which must run zero local analysis, because every
+	// artifact it owns arrived through repair and the rest reads through
+	// its peers.
+	for _, n := range nodes {
+		n.svc.WaitReplication()
+	}
+	nodes["c"].stop()
+	delete(nodes, "c")
+	for _, id := range []string{"a", "b"} {
+		nodes[id].svc.Cluster().RemovePeer("c")
+	}
+	healStart := time.Now()
+	repl := startNode("d")
+	nodes["d"] = repl
+	repl.svc.AttachCluster(cluster.New("d",
+		map[string]string{"a": urls["a"], "b": urls["b"], "d": repl.srv.URL},
+		cluster.Options{Counters: repl.svc.Counters, Timings: repl.svc.Timings}))
+	if n := repl.svc.Cluster().Join(); n == 0 {
+		t.Fatal("replacement node join: no survivor acknowledged")
+	}
+	for {
+		moved := nodes["a"].svc.RepairNow() + nodes["b"].svc.RepairNow()
+		if moved == 0 {
+			break
+		}
+		if time.Since(healStart) > 2*time.Minute {
+			t.Fatal("repair did not converge on the replacement node")
+		}
+	}
+	healWall := time.Since(healStart)
+	churnStreamed := nodes["a"].svc.Counters.Get("repair.objects_streamed") +
+		nodes["b"].svc.Counters.Get("repair.objects_streamed")
+	if churnStreamed == 0 {
+		t.Fatal("healing an empty replacement streamed no objects")
+	}
+	runtime.GC()
+	churnAnalysisBefore := repl.svc.Counters.Get("analysis.computed")
+	churnPostWall := clusterBatch(repl)
+	if d := repl.svc.Counters.Get("analysis.computed") - churnAnalysisBefore; d != 0 {
+		t.Fatalf("healed replacement ran %d local locate/compacts", d)
+	}
+
 	// Gateway front door: the sustained-load storm from internal/gateway at
 	// full scale — thousands of concurrent submissions in a hostile mix of
 	// duplicates, supersets, and garbage across three tenants (one with a
@@ -590,6 +638,9 @@ func TestBenchServeJSON(t *testing.T) {
 		{Name: "serve/cluster3/peer_warm/wall", Value: clusterWarmWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/cluster3/peer_warm/peer-hits", Value: float64(peerHits), Unit: "count"},
 		{Name: "serve/cluster3/cold/remote-execs", Value: float64(remoteExecs), Unit: "count"},
+		{Name: "serve/cluster3/churn/heal-wall", Value: healWall.Seconds() * 1000, Unit: "ms"},
+		{Name: "serve/cluster3/churn/objects-streamed", Value: float64(churnStreamed), Unit: "count"},
+		{Name: "serve/cluster3/churn/post-heal-wall", Value: churnPostWall.Seconds() * 1000, Unit: "ms"},
 		{Name: "serve/gateway/storm/submits", Value: float64(gwRep.Submits), Unit: "count"},
 		{Name: "serve/gateway/storm/job-p50", Value: gwRep.Latency.P50, Unit: "ms"},
 		{Name: "serve/gateway/storm/job-p99", Value: gwRep.Latency.P99, Unit: "ms"},

@@ -132,6 +132,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "this node's name in the cluster (with -peers)")
 	peers := flag.String("peers", "", "cluster peers as id=base-url,... (the whole cluster's list; this node's own entry is ignored)")
 	peerSecret := flag.String("peer-secret", "", "shared cluster credential; peer requests carry and require it (with -peers)")
+	replicas := flag.Int("replicas", 2, "replica owners per stage key, R (with -peers)")
+	repairEvery := flag.Duration("repair-interval", time.Minute, "anti-entropy repair sweep period; 0 disables (with -peers and -data-dir)")
 	tenantsPath := flag.String("tenants", "", "tenant config JSON; enables the multi-tenant gateway (API keys, quotas, lanes)")
 	gwDispatch := flag.Int("gw-dispatch", 4, "gateway concurrent dispatch slots (with -tenants)")
 	gwQueue := flag.Int("gw-queue", 64, "gateway per-lane queue depth before load-shedding (with -tenants)")
@@ -172,6 +174,17 @@ func main() {
 	if *peerSecret != "" && *peers == "" {
 		log.Fatal("negativa-served: -peer-secret has no effect without -peers")
 	}
+	if *replicas < 1 {
+		log.Fatalf("negativa-served: -replicas must be positive (got %d)", *replicas)
+	}
+	if *repairEvery < 0 {
+		log.Fatalf("negativa-served: -repair-interval must not be negative (got %v)", *repairEvery)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if *peers == "" && (f.Name == "replicas" || f.Name == "repair-interval") {
+			log.Fatalf("negativa-served: -%s has no effect without -peers", f.Name)
+		}
+	})
 	for _, f := range []struct {
 		name string
 		val  int
@@ -198,6 +211,9 @@ func main() {
 		MaxSteps:            *steps,
 		DisableSparseWireV2: *sparseWire == "v1",
 	}
+	if peerMap != nil {
+		cfg.RepairInterval = *repairEvery
+	}
 	if *dataDir != "" {
 		store, err := castore.Open(*dataDir, castore.Options{MaxBytes: *diskMB << 20, DisableMmap: *mmap == "off"})
 		if err != nil {
@@ -214,9 +230,23 @@ func main() {
 			svc.Counters.Get("jobs.restored"), svc.Counters.Get("registry.replayed"))
 	}
 	if peerMap != nil {
-		c := cluster.New(*nodeID, peerMap, cluster.Options{Counters: svc.Counters, Timings: svc.Timings, Secret: *peerSecret})
+		c := cluster.New(*nodeID, peerMap, cluster.Options{
+			ReplicaSets:       *replicas,
+			HeartbeatInterval: 2 * time.Second,
+			Counters:          svc.Counters,
+			Timings:           svc.Timings,
+			Secret:            *peerSecret,
+		})
 		svc.AttachCluster(c)
-		log.Printf("negativa-served: node %s in a %d-node ring (%v)", *nodeID, len(c.Nodes()), c.Nodes())
+		log.Printf("negativa-served: node %s in a %d-node ring (%v), R=%d", *nodeID, len(c.Nodes()), c.Nodes(), *replicas)
+		// Announce ourselves: peers that already dropped a previous
+		// incarnation of this node (or never knew it) admit it immediately
+		// instead of discovering it through gossip.
+		go func() {
+			if n := c.Join(); n > 0 {
+				log.Printf("negativa-served: join acknowledged by %d peers", n)
+			}
+		}()
 	}
 	handler := http.Handler(dserve.NewHandler(svc))
 	var gw *gateway.Gateway
@@ -285,6 +315,13 @@ func main() {
 	}
 	if gw != nil {
 		gw.Close() // shed queued units, stop event pumps
+	}
+	if peerMap != nil {
+		// Graceful departure: hand primary-owned objects to the ring's next
+		// owners, announce the leave, stop the membership plane. Peers drop
+		// this node immediately instead of discovering the absence through
+		// failed requests.
+		svc.LeaveCluster()
 	}
 	svc.Close() // wait for running jobs
 	if cfg.Store != nil {

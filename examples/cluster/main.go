@@ -50,13 +50,18 @@ func startNode(id string) *node {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, dserve.NewHandler(svc))
+	hs := &http.Server{Handler: dserve.NewHandler(svc)}
+	go hs.Serve(ln)
 	return &node{
 		id:   id,
 		base: "http://" + ln.Addr().String(),
 		svc:  svc,
+		// hs.Close (not just ln.Close) so established keep-alive
+		// connections die with the node — peers must see a dead socket,
+		// like a real process kill, not a half-alive server answering
+		// over pooled connections.
 		stop: func() {
-			ln.Close()
+			hs.Close()
 			svc.Close()
 			store.Close()
 			os.RemoveAll(dataDir)

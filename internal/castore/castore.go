@@ -400,6 +400,20 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("castore: put %s/%s: %w", kind, key, werr)
 	}
+	return s.publishTemp(kind, key, tmp.Name(), int64(len(payload)))
+}
+
+// publishTemp promotes a fully staged temp file into a published object:
+// the crash-injection hook, the duplicate check, the atomic rename, and
+// the index/accounting update. It consumes the temp file — renamed on
+// success, removed when a concurrent writer already published the same
+// (content-addressed, so identical) object or the rename fails, and
+// deliberately left behind when the BeforeRename hook aborts: that is the
+// crash the hook simulates, and Open sweeps the tmp dir at boot. Shared
+// by Put (staging from memory) and Import (staging from a peer stream).
+func (s *Store) publishTemp(kind, key, tmpName string, size int64) error {
+	id := objKey{kind, key}
+	final := s.objectPath(kind, key)
 	if s.opt.BeforeRename != nil {
 		// Crash injection: abort with the staged temp file left behind,
 		// exactly the state a kill between staging and rename produces.
@@ -407,22 +421,21 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 			return fmt.Errorf("castore: put %s/%s: %w", kind, key, err)
 		}
 	}
-
 	s.mu.Lock()
 	if o, ok := s.objects[id]; ok {
-		// A concurrent Put published the same object while we staged ours;
-		// identical content, so drop the duplicate temp file.
+		// A concurrent writer published the same object while we staged
+		// ours; identical content, so drop the duplicate temp file.
 		s.lru.MoveToFront(o.el)
 		s.mu.Unlock()
-		os.Remove(tmp.Name())
+		os.Remove(tmpName)
 		return nil
 	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := os.Rename(tmpName, final); err != nil {
 		s.mu.Unlock()
-		os.Remove(tmp.Name())
+		os.Remove(tmpName)
 		return fmt.Errorf("castore: put %s/%s: %w", kind, key, err)
 	}
-	o := &object{id: id, size: int64(len(payload))}
+	o := &object{id: id, size: size}
 	o.el = s.lru.PushFront(o)
 	s.objects[id] = o
 	s.addBytes(o.size)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"negativaml/internal/bufpool"
 )
@@ -112,7 +113,19 @@ func (s *Store) Export(kind, key string, w io.Writer) (int64, error) {
 // means a peer transfer is end-to-end verified: a payload corrupted in
 // flight — or served corrupt by the exporter — is rejected here and never
 // enters the store. Returns the payload size.
+//
+// The payload streams straight into a temp file (hashing as it goes)
+// rather than buffering in memory, so an import costs one 64 KiB chunk
+// regardless of object size. Any mid-stream failure — short read,
+// checksum mismatch, write error — removes the temp file before
+// returning: an aborted import leaves no partial state anywhere, which
+// the anti-entropy repair plane depends on (a repair push severed by a
+// dying peer must not leave debris that the next repair round, or Open's
+// boot sweep, has to reason about).
 func (s *Store) Import(kind, key string, r io.Reader) (int64, error) {
+	if !validName(kind) || !validName(key) {
+		return 0, fmt.Errorf("castore: invalid object name %s/%s", kind, key)
+	}
 	var hdrBuf [headerSize]byte
 	if _, err := io.ReadFull(r, hdrBuf[:]); err != nil {
 		return 0, fmt.Errorf("castore: import %s/%s: header: %w", kind, key, err)
@@ -124,18 +137,44 @@ func (s *Store) Import(kind, key string, r io.Reader) (int64, error) {
 	if hdr.length > maxImportBytes {
 		return 0, fmt.Errorf("castore: import %s/%s: object of %d bytes exceeds the import bound", kind, key, hdr.length)
 	}
-	// Pooled staging: Put copies the payload to disk and retains nothing,
-	// so the buffer goes straight back to the pool — a burst of imports
-	// recycles one buffer per size class instead of allocating per object.
-	payload := bufpool.Get(int(hdr.length))
-	defer bufpool.Put(payload)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, fmt.Errorf("castore: import %s/%s: payload: %w", kind, key, err)
+	if err := s.ensureDir(filepath.Dir(s.objectPath(kind, key))); err != nil {
+		return 0, fmt.Errorf("castore: %w", err)
 	}
-	if sha256.Sum256(payload) != hdr.sum {
-		return 0, fmt.Errorf("castore: import %s/%s: checksum mismatch", kind, key)
+	tmp, err := os.CreateTemp(s.tmpDir(), key+".*")
+	if err != nil {
+		return 0, fmt.Errorf("castore: %w", err)
 	}
-	if err := s.Put(kind, key, payload); err != nil {
+	fail := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	// The temp file holds the durable layout — header then payload — so a
+	// verified stage publishes with a bare rename. The header was already
+	// parsed; write it back verbatim.
+	if _, err := tmp.Write(hdrBuf[:]); err != nil {
+		return fail(fmt.Errorf("castore: import %s/%s: %w", kind, key, err))
+	}
+	h := sha256.New()
+	buf := bufpool.Get(64 << 10)
+	n, cpErr := io.CopyBuffer(io.MultiWriter(tmp, h), io.LimitReader(r, hdr.length), buf)
+	bufpool.Put(buf)
+	if cpErr != nil {
+		return fail(fmt.Errorf("castore: import %s/%s: payload: %w", kind, key, cpErr))
+	}
+	if n != hdr.length {
+		return fail(fmt.Errorf("castore: import %s/%s: payload: %w", kind, key, io.ErrUnexpectedEOF))
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	if sum != hdr.sum {
+		return fail(fmt.Errorf("castore: import %s/%s: checksum mismatch", kind, key))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("castore: import %s/%s: %w", kind, key, err)
+	}
+	if err := s.publishTemp(kind, key, tmp.Name(), hdr.length); err != nil {
 		return 0, err
 	}
 	return hdr.length, nil

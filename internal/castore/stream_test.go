@@ -2,6 +2,7 @@ package castore
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,118 @@ func TestImportRejectsCorruption(t *testing.T) {
 	hdr[12] = 0x40 // > maxImportBytes
 	if _, err := dst.Import("lib", "k", bytes.NewReader(append(hdr, 'x'))); err == nil {
 		t.Fatal("import accepted an oversized header")
+	}
+}
+
+// tmpEntries lists what an aborted import may have left in the staging
+// directory.
+func tmpEntries(t *testing.T, s *Store) []string {
+	t.Helper()
+	ents, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestImportAbortLeavesNoPartialState is the repair-plane contract: an
+// import severed mid-stream — truncation, corruption, or a reader error —
+// must remove its temp file and publish nothing, and a clean retry of the
+// same object must then succeed.
+func TestImportAbortLeavesNoPartialState(t *testing.T) {
+	src, _ := Open(t.TempDir(), Options{})
+	defer src.Close()
+	dir := t.TempDir()
+	dst, _ := Open(dir, Options{})
+	defer dst.Close()
+
+	payload := bytes.Repeat([]byte("replica"), 4096)
+	if err := src.Put("lib", "obj1", payload); err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := src.Export("lib", "obj1", &wire); err != nil {
+		t.Fatal(err)
+	}
+	good := wire.Bytes()
+
+	// Sever the stream at several depths into the payload: after the
+	// header, mid-payload, and one byte short of complete.
+	for _, cut := range []int{headerSize, headerSize + 1, headerSize + len(payload)/2, len(good) - 1} {
+		if _, err := dst.Import("lib", "obj1", bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("import of a stream cut at %d bytes succeeded", cut)
+		}
+		if left := tmpEntries(t, dst); len(left) != 0 {
+			t.Fatalf("truncated import (cut %d) left temp debris: %v", cut, left)
+		}
+		if dst.Has("lib", "obj1") {
+			t.Fatalf("truncated import (cut %d) published the object", cut)
+		}
+	}
+
+	// Corrupt a byte mid-payload: full-length stream, checksum mismatch.
+	bad := append([]byte(nil), good...)
+	bad[headerSize+100] ^= 0x01
+	if _, err := dst.Import("lib", "obj1", bytes.NewReader(bad)); err == nil {
+		t.Fatal("import accepted a corrupt stream")
+	}
+	if left := tmpEntries(t, dst); len(left) != 0 {
+		t.Fatalf("corrupt import left temp debris: %v", left)
+	}
+
+	// Nothing partial may have reached the object tree either.
+	if p := dst.objectPath("lib", "obj1"); fileExists(p) {
+		t.Fatal("aborted imports published a file")
+	}
+
+	// After all those aborts, a clean retry succeeds and round-trips.
+	if _, err := dst.Import("lib", "obj1", bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := dst.Get("lib", "obj1")
+	if !ok || !bytes.Equal(back, payload) {
+		t.Fatal("retry after aborted imports does not round-trip")
+	}
+	if left := tmpEntries(t, dst); len(left) != 0 {
+		t.Fatalf("successful import left temp debris: %v", left)
+	}
+}
+
+func fileExists(p string) bool {
+	_, err := os.Stat(p)
+	return err == nil
+}
+
+// TestImportDuplicateDropsTemp: importing an object the store already
+// holds must consume the stream's temp state without disturbing the
+// existing object.
+func TestImportDuplicateDropsTemp(t *testing.T) {
+	src, _ := Open(t.TempDir(), Options{})
+	defer src.Close()
+	dst, _ := Open(t.TempDir(), Options{})
+	defer dst.Close()
+	payload := []byte("already-here")
+	if err := src.Put("lib", "dup", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Put("lib", "dup", payload); err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if _, err := src.Export("lib", "dup", &wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Import("lib", "dup", &wire); err != nil {
+		t.Fatal(err)
+	}
+	if left := tmpEntries(t, dst); len(left) != 0 {
+		t.Fatalf("duplicate import left temp debris: %v", left)
+	}
+	if back, ok := dst.Get("lib", "dup"); !ok || !bytes.Equal(back, payload) {
+		t.Fatal("duplicate import disturbed the stored object")
 	}
 }

@@ -20,18 +20,33 @@ type Options struct {
 	// Replicas is the number of virtual ring points per node (default
 	// DefaultReplicas).
 	Replicas int
+	// ReplicaSets is R, the number of distinct ring successors that own
+	// each key (default 2). The first owner is the primary — the shard that
+	// executes misses — and the rest are replicas the primary's artifacts
+	// are copied to, so one node's death loses no cached work.
+	ReplicaSets int
 	// FailureThreshold is the number of consecutive transport failures
 	// after which a peer is marked down and removed from the ring
-	// (default 2).
+	// (default 2). A peer with a shorter failure run is suspect: still on
+	// the ring, but the heartbeat plane probes it preferentially.
 	FailureThreshold int
-	// Probation is how long a downed peer stays off the ring before the
-	// next ownership lookup readmits it for another try (default 15s).
+	// Probation is the backoff between probes of a downed peer (default
+	// 15s). Expiry makes the peer eligible for a background probe; only a
+	// probe that succeeds readmits it to the ring.
 	Probation time.Duration
+	// HeartbeatInterval, when positive, starts the active failure-detection
+	// plane: a background loop that pings every peer each interval,
+	// piggybacking membership (so joins gossip through the cluster) and
+	// driving the suspect → down → readmitted transitions without waiting
+	// for request traffic. Zero disables the loop; health then updates only
+	// from request outcomes and lookup-triggered probes.
+	HeartbeatInterval time.Duration
 	// Timeout bounds each peer request (default 10s).
 	Timeout time.Duration
 	// Counters, when non-nil, mirrors transport-level series:
 	// peer.requests, peer.transport_errors, peer.marked_down,
-	// peer.readmitted.
+	// peer.readmitted, peer.probes, peer.probe_failures,
+	// peer.gossip_learned.
 	Counters *metrics.CounterSet
 	// Timings, when non-nil, records per-peer request latency under
 	// peer.<node-id>.
@@ -60,6 +75,53 @@ type Options struct {
 // requests (see Options.Secret).
 const PeerSecretHeader = "X-Peer-Secret"
 
+// Membership-plane paths. The serving layer mounts handlers at these
+// routes (wired to HandleHeartbeat, AddPeer, RemovePeer); the cluster's
+// own probes, Join, and Leave post to them on peers.
+const (
+	// PingPath is the heartbeat/probe route: a HeartbeatRequest in, a
+	// HeartbeatResponse out. Answering 2xx is what readmits a downed peer.
+	PingPath = "/v1/peer/ping"
+	// JoinPath announces a node (JoinRequest) to a peer, which adds it to
+	// its membership and answers with its own (JoinResponse).
+	JoinPath = "/v1/peer/join"
+	// LeavePath retires a node (LeaveRequest): the receiver removes it and
+	// tombstones the ID so gossip cannot resurrect it.
+	LeavePath = "/v1/peer/leave"
+)
+
+// HeartbeatRequest is one piggybacked heartbeat: the sender identifies
+// itself and shares its live-member view, so membership gossips along the
+// ping plane.
+type HeartbeatRequest struct {
+	From string `json:"from"`
+	URL  string `json:"url,omitempty"`
+	// Nodes is the sender's live membership (id → base URL), self included.
+	Nodes map[string]string `json:"nodes,omitempty"`
+}
+
+// HeartbeatResponse carries the receiver's live membership back.
+type HeartbeatResponse struct {
+	Nodes map[string]string `json:"nodes,omitempty"`
+}
+
+// JoinRequest announces a node to a peer.
+type JoinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// JoinResponse is the receiver's live membership, so a joiner learns the
+// whole cluster from any one member.
+type JoinResponse struct {
+	Nodes map[string]string `json:"nodes,omitempty"`
+}
+
+// LeaveRequest retires a node by ID.
+type LeaveRequest struct {
+	ID string `json:"id"`
+}
+
 // PeerError is an application-level error returned by a peer's HTTP API
 // (status >= 400 with a JSON error body). It does not count against the
 // peer's transport health — the peer is alive and answering.
@@ -79,6 +141,9 @@ type PeerStatus struct {
 	ID   string `json:"id"`
 	URL  string `json:"url"`
 	Down bool   `json:"down"`
+	// Suspect marks a peer inside a failure run that has not yet reached
+	// the down threshold: still on the ring, probed preferentially.
+	Suspect bool `json:"suspect"`
 	// ConsecutiveFailures is the current unbroken failure run; Requests and
 	// TransportErrors are lifetime totals.
 	ConsecutiveFailures int   `json:"consecutive_failures"`
@@ -91,6 +156,8 @@ type PeerStatus struct {
 // Stats is a point-in-time view of cluster membership and peer health.
 type Stats struct {
 	Self string `json:"self"`
+	// ReplicaSets is R — how many ring successors own each key.
+	ReplicaSets int `json:"replica_sets"`
 	// RingNodes are the nodes currently on the ring (self plus live peers).
 	RingNodes []string     `json:"ring_nodes"`
 	Peers     []PeerStatus `json:"peers"`
@@ -110,21 +177,41 @@ type peerState struct {
 // ring over the live nodes (self included), per-peer health, and the HTTP
 // transport the serving plane's peer tier rides on.
 //
-// Failure handling is deliberately local and lazy — there is no gossip or
-// heartbeat plane. A peer that fails FailureThreshold consecutive requests
-// is marked down and the ring shrinks around it (its keys redistribute to
-// the survivors); after Probation the next ownership lookup readmits it
-// for another try. Application-level errors (a peer answering 4xx/5xx) are
-// not transport failures: the peer is alive, only the request was bad.
+// Each key has ReplicaSets owners — the primary executes misses, the rest
+// replicate its artifacts. Health runs in three states: a peer inside a
+// failure run shorter than FailureThreshold is suspect (on the ring,
+// probed preferentially by the heartbeat plane); at the threshold it is
+// down and the ring shrinks around it (its keys redistribute to the
+// survivors). A downed peer is readmitted only after a background probe of
+// PingPath succeeds — never synchronously at a lookup — so a dead peer
+// cannot thrash the ring by being optimistically retried on every key.
+// Membership is dynamic: Join/Leave announce explicit transitions, and
+// heartbeats piggyback each side's live-member view so additions gossip
+// through the cluster; an ID retired via Leave is tombstoned and gossip
+// cannot resurrect it. Application-level errors (a peer answering
+// 4xx/5xx) are not transport failures: the peer is alive, only the
+// request was bad.
 type Cluster struct {
-	self string
-	opt  Options
+	self    string
+	selfURL string
+	opt     Options
 
 	client *http.Client
+
+	stop      chan struct{}
+	closeOnce sync.Once
 
 	mu    sync.Mutex
 	peers map[string]*peerState
 	ring  *Ring
+	// probing tracks in-flight background probes (single-flight per peer).
+	probing map[string]bool
+	// tombstones are IDs retired via Leave/RemovePeer: gossip and
+	// heartbeats cannot re-add them; only an explicit join clears one.
+	tombstones map[string]struct{}
+	// exRings caches rings with one node excluded (the post-leave
+	// ownership view handoff routes by); invalidated on every rebuild.
+	exRings map[string]*Ring
 	// headers are the static per-request headers (Options.Headers plus
 	// anything set later via SetHeader) — the capability advertisement
 	// channel.
@@ -132,10 +219,16 @@ type Cluster struct {
 }
 
 // New builds a cluster for node `self` over the peer set (node ID → base
-// URL). A peers entry for self is ignored, so every node of a symmetric
-// deployment can share one -peers string. The ring initially contains self
-// and every peer.
+// URL). A peers entry for self is not a peer but does teach the node its
+// own advertised URL (what Join announces and heartbeats piggyback), so
+// every node of a symmetric deployment can share one -peers string. The
+// ring initially contains self and every peer. With HeartbeatInterval set
+// the active failure-detection loop starts immediately; stop it with
+// Close.
 func New(self string, peers map[string]string, opt Options) *Cluster {
+	if opt.ReplicaSets < 1 {
+		opt.ReplicaSets = 2
+	}
 	if opt.FailureThreshold < 1 {
 		opt.FailureThreshold = 2
 	}
@@ -145,7 +238,14 @@ func New(self string, peers map[string]string, opt Options) *Cluster {
 	if opt.Timeout <= 0 {
 		opt.Timeout = 10 * time.Second
 	}
-	c := &Cluster{self: self, opt: opt, peers: map[string]*peerState{}}
+	c := &Cluster{
+		self:       self,
+		opt:        opt,
+		peers:      map[string]*peerState{},
+		probing:    map[string]bool{},
+		tombstones: map[string]struct{}{},
+		stop:       make(chan struct{}),
+	}
 	c.client = opt.Client
 	if c.client == nil {
 		// Dedicated transport: the peer tier fans a batch's stages out
@@ -166,13 +266,26 @@ func New(self string, peers map[string]string, opt Options) *Cluster {
 		c.headers[k] = v
 	}
 	for id, url := range peers {
-		if id == self || id == "" {
+		if id == "" {
+			continue
+		}
+		if id == self {
+			c.selfURL = strings.TrimRight(url, "/")
 			continue
 		}
 		c.peers[id] = &peerState{id: id, url: strings.TrimRight(url, "/")}
 	}
 	c.rebuildRingLocked()
+	if opt.HeartbeatInterval > 0 {
+		go c.heartbeatLoop()
+	}
 	return c
+}
+
+// Close stops the heartbeat loop (if any). Idempotent; in-flight probes
+// finish on their own.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
 }
 
 // SetHeader adds (or, with an empty value, removes) a static header sent
@@ -231,6 +344,9 @@ func (c *Cluster) Self() string { return c.self }
 // to verify incoming node-to-node requests.
 func (c *Cluster) Secret() string { return c.opt.Secret }
 
+// ReplicaSets returns R, the per-key owner count.
+func (c *Cluster) ReplicaSets() int { return c.opt.ReplicaSets }
+
 // rebuildRingLocked recomputes the ring from self plus every live peer.
 // Callers hold c.mu.
 func (c *Cluster) rebuildRingLocked() {
@@ -241,36 +357,71 @@ func (c *Cluster) rebuildRingLocked() {
 		}
 	}
 	c.ring = NewRing(nodes, c.opt.Replicas)
+	c.exRings = nil
 }
 
-// Owner returns the live node owning the key. remote is true when the
-// owner is a peer rather than this node — the caller should route the
-// stage there. Downed peers whose probation has expired are readmitted to
-// the ring here, so recovery needs no background goroutine: the next
-// lookup that would have involved them tries them again.
+// Owner returns the live node owning the key — the primary of its replica
+// set. remote is true when the owner is a peer rather than this node — the
+// caller should route the stage there.
 func (c *Cluster) Owner(key string) (node string, remote bool) {
-	c.mu.Lock()
-	changed := false
-	now := time.Now()
-	for _, p := range c.peers {
-		if p.down && now.After(p.downUntil) {
-			p.down = false
-			p.fails = 0
-			changed = true
-			c.count("peer.readmitted", 1)
-		}
-	}
-	if changed {
-		c.rebuildRingLocked()
-	}
-	ring := c.ring
-	c.mu.Unlock()
-
-	owner, ok := ring.Owner(key)
-	if !ok || owner == c.self {
+	owners := c.Owners(key)
+	if len(owners) == 0 || owners[0] == c.self {
 		return c.self, false
 	}
-	return owner, true
+	return owners[0], true
+}
+
+// Owners returns the key's live replica set in ring order: up to
+// ReplicaSets distinct nodes, the primary first. Downed peers whose
+// probation has expired get a background probe kicked here (single-flight,
+// never blocking the lookup) — the lazy complement of the heartbeat plane,
+// so heartbeat-less deployments still converge.
+func (c *Cluster) Owners(key string) []string {
+	c.mu.Lock()
+	c.kickProbesLocked(time.Now())
+	ring := c.ring
+	r := c.opt.ReplicaSets
+	c.mu.Unlock()
+	return ring.Owners(key, r)
+}
+
+// OwnersExcluding returns the key's owners on the ring as it will be once
+// the named node has left — the ownership view a leaving node hands its
+// keys off to. The excluded ring is cached until membership changes.
+func (c *Cluster) OwnersExcluding(id, key string) []string {
+	c.mu.Lock()
+	ring := c.exRings[id]
+	if ring == nil {
+		nodes := make([]string, 0, c.ring.Len())
+		for _, n := range c.ring.Nodes() {
+			if n != id {
+				nodes = append(nodes, n)
+			}
+		}
+		ring = NewRing(nodes, c.opt.Replicas)
+		if c.exRings == nil {
+			c.exRings = map[string]*Ring{}
+		}
+		c.exRings[id] = ring
+	}
+	r := c.opt.ReplicaSets
+	c.mu.Unlock()
+	return ring.Owners(key, r)
+}
+
+// SortByLatency orders peer IDs in place by observed mean request latency,
+// ascending — the replica read-through order. Unknown peers (no requests
+// yet) sort first: optimistic, and self-correcting after one request.
+func (c *Cluster) SortByLatency(ids []string) {
+	c.mu.Lock()
+	means := make(map[string]time.Duration, len(ids))
+	for _, id := range ids {
+		if p, ok := c.peers[id]; ok && p.requests > 0 {
+			means[id] = p.totalLatency / time.Duration(p.requests)
+		}
+	}
+	c.mu.Unlock()
+	sort.SliceStable(ids, func(i, j int) bool { return means[ids[i]] < means[ids[j]] })
 }
 
 // Nodes returns the ring's current members (self plus live peers).
@@ -280,11 +431,260 @@ func (c *Cluster) Nodes() []string {
 	return c.ring.Nodes()
 }
 
+// Membership snapshots the live member set (id → base URL), self included
+// when its URL is known — what heartbeats piggyback and joins answer with.
+// Downed peers are excluded: gossiping a dead address around the cluster
+// would make every member probe it independently.
+func (c *Cluster) Membership() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.membershipLocked()
+}
+
+func (c *Cluster) membershipLocked() map[string]string {
+	out := make(map[string]string, len(c.peers)+1)
+	if c.selfURL != "" {
+		out[c.self] = c.selfURL
+	}
+	for id, p := range c.peers {
+		if !p.down {
+			out[id] = p.url
+		}
+	}
+	return out
+}
+
+// AddPeer adds a node to the membership (or refreshes its URL), clearing
+// any tombstone — an explicit join overrides a past leave — and readmits
+// it if it was down: a join announcement is the node itself claiming
+// liveness, the same evidence a successful probe provides.
+func (c *Cluster) AddPeer(id, url string) {
+	if id == "" || id == c.self {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tombstones, id)
+	if p, ok := c.peers[id]; ok {
+		if url != "" {
+			p.url = strings.TrimRight(url, "/")
+		}
+		if p.down {
+			p.down = false
+			p.fails = 0
+			c.count("peer.readmitted", 1)
+		}
+		c.rebuildRingLocked()
+		return
+	}
+	c.peers[id] = &peerState{id: id, url: strings.TrimRight(url, "/")}
+	c.rebuildRingLocked()
+}
+
+// RemovePeer drops a node from the membership and tombstones its ID so
+// gossip cannot re-add it. Only an explicit join clears the tombstone.
+func (c *Cluster) RemovePeer(id string) {
+	if id == "" || id == c.self {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tombstones[id] = struct{}{}
+	if _, ok := c.peers[id]; !ok {
+		return
+	}
+	delete(c.peers, id)
+	c.rebuildRingLocked()
+}
+
+// learnPeers merges a gossiped membership view: unknown, untombstoned IDs
+// are added as live peers. Known peers are left alone — their health is
+// this node's own observation, not the gossiper's.
+func (c *Cluster) learnPeers(nodes map[string]string) {
+	if len(nodes) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := false
+	for id, url := range nodes {
+		if id == "" || id == c.self || url == "" {
+			continue
+		}
+		if _, dead := c.tombstones[id]; dead {
+			continue
+		}
+		if _, known := c.peers[id]; known {
+			continue
+		}
+		c.peers[id] = &peerState{id: id, url: strings.TrimRight(url, "/")}
+		c.count("peer.gossip_learned", 1)
+		added = true
+	}
+	if added {
+		c.rebuildRingLocked()
+	}
+}
+
+// HandleHeartbeat processes one inbound heartbeat: the sender's membership
+// view is merged (gossip), its URL refreshed, and — if this node had
+// marked the sender down — an immediate background probe is kicked, since
+// inbound traffic is strong evidence the peer is back but only our own
+// successful probe proves the return path works. The response carries this
+// node's live membership.
+func (c *Cluster) HandleHeartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.learnPeers(req.Nodes)
+	c.mu.Lock()
+	if p, ok := c.peers[req.From]; ok {
+		if req.URL != "" {
+			p.url = strings.TrimRight(req.URL, "/")
+		}
+		if p.down && !c.probing[req.From] {
+			p.downUntil = time.Now()
+			c.probing[req.From] = true
+			go c.probeAndSettle(req.From)
+		}
+	} else if req.From != "" && req.From != c.self && req.URL != "" {
+		if _, dead := c.tombstones[req.From]; !dead {
+			c.peers[req.From] = &peerState{id: req.From, url: strings.TrimRight(req.URL, "/")}
+			c.rebuildRingLocked()
+			c.count("peer.gossip_learned", 1)
+		}
+	}
+	resp := HeartbeatResponse{Nodes: c.membershipLocked()}
+	c.mu.Unlock()
+	return resp
+}
+
+// Join announces this node to every known peer (JoinPath) and merges each
+// answer's membership, so one reachable member is enough to learn the
+// whole cluster. Returns how many peers acknowledged; failures are normal
+// during a rolling start and the heartbeat plane finishes the job.
+func (c *Cluster) Join() int {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.peers))
+	for id := range c.peers {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	acked := 0
+	for _, id := range ids {
+		var jr JoinResponse
+		if err := c.PostJSON(id, JoinPath, JoinRequest{ID: c.self, URL: c.selfURL}, &jr); err != nil {
+			continue
+		}
+		acked++
+		c.learnPeers(jr.Nodes)
+	}
+	return acked
+}
+
+// Leave announces this node's retirement to every live peer (LeavePath),
+// best-effort. Callers that hold replicated state hand it off first (the
+// serving plane's LeaveCluster does).
+func (c *Cluster) Leave() {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.peers))
+	for id, p := range c.peers {
+		if !p.down {
+			ids = append(ids, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.PostJSON(id, LeavePath, LeaveRequest{ID: c.self}, nil)
+	}
+}
+
+// ---- Failure detection: heartbeats, probes, readmission ----
+
+// heartbeatLoop is the active failure-detection plane: each tick probes
+// every peer not already being probed and not inside probation backoff,
+// piggybacking membership both ways.
+func (c *Cluster) heartbeatLoop() {
+	t := time.NewTicker(c.opt.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			now := time.Now()
+			var targets []string
+			for id, p := range c.peers {
+				if c.probing[id] || (p.down && now.Before(p.downUntil)) {
+					continue
+				}
+				c.probing[id] = true
+				targets = append(targets, id)
+			}
+			c.mu.Unlock()
+			for _, id := range targets {
+				go c.probeAndSettle(id)
+			}
+		}
+	}
+}
+
+// kickProbesLocked launches a background probe for every downed peer whose
+// probation has expired. Readmission only ever follows a successful probe —
+// a lookup merely triggers the attempt, so a still-dead peer can never
+// rejoin the ring and charge a stage another failure run (the flapping-
+// peer fix). Callers hold c.mu.
+func (c *Cluster) kickProbesLocked(now time.Time) {
+	for id, p := range c.peers {
+		if p.down && now.After(p.downUntil) && !c.probing[id] {
+			c.probing[id] = true
+			go c.probeAndSettle(id)
+		}
+	}
+}
+
+// probeAndSettle runs one background probe (the caller has claimed the
+// peer's probing slot) and settles a downed peer's fate: success readmits
+// it to the ring, failure extends its probation. Probes of live peers need
+// no settling — the transport's observe already drove any state change.
+func (c *Cluster) probeAndSettle(id string) {
+	ok := c.probe(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.probing, id)
+	p, exists := c.peers[id]
+	if !exists || !p.down {
+		return
+	}
+	if ok {
+		p.down = false
+		p.fails = 0
+		c.rebuildRingLocked()
+		c.count("peer.readmitted", 1)
+	} else {
+		p.downUntil = time.Now().Add(c.opt.Probation)
+	}
+}
+
+// probe sends one heartbeat to the peer. Only a 2xx PingPath answer counts
+// as success: a transport failure means the peer is unreachable, and an
+// application error (a node up but refusing its peer surface) is not a
+// peer worth routing stages to either.
+func (c *Cluster) probe(id string) bool {
+	c.count("peer.probes", 1)
+	req := HeartbeatRequest{From: c.self, URL: c.selfURL, Nodes: c.Membership()}
+	var resp HeartbeatResponse
+	if err := c.PostJSON(id, PingPath, req, &resp); err != nil {
+		c.count("peer.probe_failures", 1)
+		return false
+	}
+	c.learnPeers(resp.Nodes)
+	return true
+}
+
 // Stats snapshots membership and per-peer health for /v1/metrics.
 func (c *Cluster) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := Stats{Self: c.self, RingNodes: c.ring.Nodes()}
+	st := Stats{Self: c.self, ReplicaSets: c.opt.ReplicaSets, RingNodes: c.ring.Nodes()}
 	ids := make([]string, 0, len(c.peers))
 	for id := range c.peers {
 		ids = append(ids, id)
@@ -294,6 +694,7 @@ func (c *Cluster) Stats() Stats {
 		p := c.peers[id]
 		ps := PeerStatus{
 			ID: p.id, URL: p.url, Down: p.down,
+			Suspect:             !p.down && p.fails > 0,
 			ConsecutiveFailures: p.fails,
 			Requests:            p.requests,
 			TransportErrors:     p.transportErrs,
@@ -416,6 +817,50 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 			return fmt.Errorf("cluster: peer %s: decode %s response: %w", peer, path, err)
 		}
 	}
+	c.observe(peer, time.Since(start), false)
+	return nil
+}
+
+// PutStream PUTs a raw octet stream to a peer path — the replication and
+// repair push path (the wire mirror of GetStream). length sets
+// Content-Length when known (>= 0); -1 streams chunked. A non-2xx status
+// is returned as *PeerError.
+func (c *Cluster) PutStream(peer, path string, body io.Reader, length int64) error {
+	url, err := c.peerURL(peer)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, url+path, body)
+	if err != nil {
+		return fmt.Errorf("cluster: build %s request: %w", path, err)
+	}
+	if length >= 0 {
+		req.ContentLength = length
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if c.opt.Secret != "" {
+		req.Header.Set(PeerSecretHeader, c.opt.Secret)
+	}
+	c.applyHeaders(req)
+	start := time.Now()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observe(peer, time.Since(start), true)
+		return fmt.Errorf("cluster: peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		perr := &PeerError{Peer: peer, Status: resp.StatusCode}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
+			perr.Msg = eb.Error
+		}
+		c.observe(peer, time.Since(start), false)
+		return perr
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	c.observe(peer, time.Since(start), false)
 	return nil
 }

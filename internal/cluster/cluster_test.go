@@ -2,9 +2,13 @@ package cluster
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"slices"
+	"strings"
 	"testing"
 	"time"
 
@@ -59,18 +63,29 @@ func TestOwnerSelfVsRemote(t *testing.T) {
 	}
 }
 
-// TestPeerFailureShrinksRingAndProbationReadmits drives the degradation
-// cycle: transport failures mark the peer down (ring shrinks to self),
-// probation expiry readmits it.
+// TestPeerFailureShrinksRingAndProbationReadmits drives the full
+// degradation cycle: transport failures mark the peer down (ring shrinks
+// to self), probation expiry alone does NOT readmit it — only a
+// successful background probe of PingPath does, once the peer is actually
+// back.
 func TestPeerFailureShrinksRingAndProbationReadmits(t *testing.T) {
+	// Reserve a port, then close the listener: the peer address is real
+	// but dead, and can be revived later on the same address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
 	counters := metrics.NewCounterSet()
-	// An address nothing listens on: every request is a transport error.
-	c := New("a", map[string]string{"b": "http://127.0.0.1:1"}, Options{
+	c := New("a", map[string]string{"b": "http://" + addr}, Options{
 		FailureThreshold: 2,
-		Probation:        50 * time.Millisecond,
-		Timeout:          200 * time.Millisecond,
+		Probation:        30 * time.Millisecond,
+		Timeout:          500 * time.Millisecond,
 		Counters:         counters,
 	})
+	defer c.Close()
 	for i := 0; i < 2; i++ {
 		if err := c.PostJSON("b", "/x", map[string]int{}, nil); err == nil {
 			t.Fatal("expected transport error")
@@ -86,17 +101,79 @@ func TestPeerFailureShrinksRingAndProbationReadmits(t *testing.T) {
 	if counters.Get("peer.marked_down") != 1 {
 		t.Fatalf("marked_down = %d", counters.Get("peer.marked_down"))
 	}
-	// Before probation expires every key is self-owned.
-	if owner, remote := c.Owner("anything"); remote || owner != "a" {
-		t.Fatalf("downed peer still owns keys: %s", owner)
+	// While the peer is still dead, probation expiry plus lookups must
+	// never readmit it: lookups only kick background probes, and those
+	// probes keep failing.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if owner, remote := c.Owner("anything"); remote || owner != "a" {
+			t.Fatalf("dead peer readmitted to ring: owner %s", owner)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	time.Sleep(60 * time.Millisecond)
-	c.Owner("poke") // readmission happens on lookup
+	if got := counters.Get("peer.readmitted"); got != 0 {
+		t.Fatalf("readmitted a dead peer %d times", got)
+	}
+	if counters.Get("peer.probes") == 0 {
+		t.Fatal("no background probes were attempted")
+	}
+
+	// Revive the peer on the same address, answering the ping route; the
+	// next probe succeeds and readmits it.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PingPath, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(HeartbeatResponse{})
+	})
+	go http.Serve(ln2, mux)
+
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Owner("poke") // kicks a background probe once probation expires
+		if len(c.Nodes()) == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if nodes := c.Nodes(); len(nodes) != 2 {
-		t.Fatalf("peer not readmitted after probation: %v", nodes)
+		t.Fatalf("revived peer not readmitted: %v", nodes)
 	}
 	if counters.Get("peer.readmitted") != 1 {
 		t.Fatalf("readmitted = %d", counters.Get("peer.readmitted"))
+	}
+}
+
+// TestFlappingPeerCannotThrashRing is the regression for the old
+// lookup-time readmission: with a dead peer and tiny probation, hammering
+// ownership lookups must never put the peer back on the ring, no matter
+// how many probation windows expire.
+func TestFlappingPeerCannotThrashRing(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	c := New("a", map[string]string{"b": "http://127.0.0.1:1"}, Options{
+		FailureThreshold: 1,
+		Probation:        2 * time.Millisecond,
+		Timeout:          200 * time.Millisecond,
+		Counters:         counters,
+	})
+	defer c.Close()
+	if err := c.PostJSON("b", "/x", map[string]int{}, nil); err == nil {
+		t.Fatal("expected transport error")
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if owners := c.Owners(fmt.Sprintf("key-%d", i)); len(owners) != 1 || owners[0] != "a" {
+			t.Fatalf("flapping peer thrashed back onto the ring: %v", owners)
+		}
+	}
+	if got := counters.Get("peer.readmitted"); got != 0 {
+		t.Fatalf("dead peer readmitted %d times", got)
+	}
+	if counters.Get("peer.probes") == 0 {
+		t.Fatal("lookups should have kicked background probes")
 	}
 }
 
@@ -144,6 +221,170 @@ func TestPostJSONRoundTripAndLatency(t *testing.T) {
 	}
 	if err := c.PostJSON("ghost", "/x", nil, nil); err == nil {
 		t.Fatal("unknown peer must error")
+	}
+}
+
+func TestRingOwners(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) = %v", key, owners)
+		}
+		primary, _ := r.Owner(key)
+		if owners[0] != primary {
+			t.Fatalf("Owners[0] %q != Owner %q", owners[0], primary)
+		}
+		// Asking for more owners than nodes returns every node once.
+		all := r.Owners(key, 5)
+		if len(all) != 3 {
+			t.Fatalf("Owners(%q, 5) = %v", key, all)
+		}
+		seen := map[string]bool{}
+		for _, n := range all {
+			seen[n] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("Owners returned duplicates: %v", all)
+		}
+	}
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v", got)
+	}
+}
+
+func TestSortByLatency(t *testing.T) {
+	c := New("a", map[string]string{"b": "http://h2", "c": "http://h3"}, Options{})
+	defer c.Close()
+	c.observe("b", 10*time.Millisecond, false)
+	c.observe("c", 1*time.Millisecond, false)
+	ids := []string{"b", "c"}
+	c.SortByLatency(ids)
+	if ids[0] != "c" || ids[1] != "b" {
+		t.Fatalf("latency order %v", ids)
+	}
+	// A peer with no history sorts first (optimistic).
+	ids = []string{"b", "d", "c"}
+	c.SortByLatency(ids)
+	if ids[0] != "d" {
+		t.Fatalf("unknown peer should sort first: %v", ids)
+	}
+}
+
+// membershipServer wires a test HTTP server to a late-bound cluster's
+// membership handlers, mirroring what the serving plane mounts.
+func membershipServer(t *testing.T, cp **Cluster) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PingPath, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode((*cp).HandleHeartbeat(req))
+	})
+	mux.HandleFunc("POST "+JoinPath, func(w http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		(*cp).AddPeer(req.ID, req.URL)
+		json.NewEncoder(w).Encode(JoinResponse{Nodes: (*cp).Membership()})
+	})
+	mux.HandleFunc("POST "+LeavePath, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaveRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		(*cp).RemovePeer(req.ID)
+		json.NewEncoder(w).Encode(map[string]bool{"removed": true})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func waitNodes(t *testing.T, c *Cluster, want []string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if slices.Equal(c.Nodes(), want) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("nodes = %v, want %v", c.Nodes(), want)
+}
+
+// TestJoinLeaveGossip exercises the membership plane end to end: an
+// explicit join spreads through heartbeat gossip to members the joiner
+// never contacted, and a leave tombstones the ID so gossip cannot
+// resurrect it.
+func TestJoinLeaveGossip(t *testing.T) {
+	var ca, cb, cc *Cluster
+	srvA := membershipServer(t, &ca)
+	srvB := membershipServer(t, &cb)
+	srvC := membershipServer(t, &cc)
+	opt := Options{HeartbeatInterval: 20 * time.Millisecond, Timeout: time.Second}
+
+	// a boots alone, knowing only its own URL.
+	ca = New("a", map[string]string{"a": srvA.URL}, opt)
+	defer ca.Close()
+	// b joins via a.
+	cb = New("b", map[string]string{"b": srvB.URL, "a": srvA.URL}, opt)
+	defer cb.Close()
+	if acked := cb.Join(); acked != 1 {
+		t.Fatalf("b.Join acked %d", acked)
+	}
+	waitNodes(t, ca, []string{"a", "b"})
+
+	// c joins via b only; a must learn c through gossip.
+	cc = New("c", map[string]string{"c": srvC.URL, "b": srvB.URL}, opt)
+	defer cc.Close()
+	cc.Join()
+	waitNodes(t, ca, []string{"a", "b", "c"})
+	waitNodes(t, cc, []string{"a", "b", "c"})
+
+	// b leaves: a and c drop it, and its ID is tombstoned — heartbeats
+	// from the departed node must not re-add it.
+	cb.Leave()
+	cb.Close()
+	waitNodes(t, ca, []string{"a", "c"})
+	waitNodes(t, cc, []string{"a", "c"})
+	time.Sleep(100 * time.Millisecond) // several gossip rounds
+	if nodes := ca.Nodes(); !slices.Equal(nodes, []string{"a", "c"}) {
+		t.Fatalf("tombstoned peer resurrected: %v", nodes)
+	}
+}
+
+func TestPutStream(t *testing.T) {
+	var gotBody string
+	var gotLen int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			t.Errorf("method %s", r.Method)
+		}
+		if r.URL.Path == "/reject" {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad object"})
+			return
+		}
+		b, _ := io.ReadAll(r.Body)
+		gotBody, gotLen = string(b), r.ContentLength
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	c := New("a", map[string]string{"b": srv.URL}, Options{})
+	defer c.Close()
+	payload := "framed-object-bytes"
+	if err := c.PutStream("b", "/obj", strings.NewReader(payload), int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if gotBody != payload || gotLen != int64(len(payload)) {
+		t.Fatalf("peer saw body %q len %d", gotBody, gotLen)
+	}
+	err := c.PutStream("b", "/reject", strings.NewReader("x"), 1)
+	perr, ok := err.(*PeerError)
+	if !ok || perr.Status != http.StatusBadRequest || perr.Msg != "bad object" {
+		t.Fatalf("err = %v", err)
 	}
 }
 

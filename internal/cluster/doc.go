@@ -6,38 +6,54 @@
 // Every expensive stage of the analysis pipeline (detect, locate, compact)
 // already has a content-derived cache key (internal/negativa stage keys),
 // and every stage value is immutable once computed. Hashing those keys
-// onto a ring gives each stage exactly one owning node, which makes the
-// owner's memo the cluster-wide point of reuse: any node may accept a
-// batch, but a stage is executed — and memoized — on its owning shard, so
-// N nodes share one logical cache without coordination, invalidation, or
-// consensus. Replication happens by demand: a node that reads a stage
-// value through its owner keeps a local copy (memory + castore), so hot
-// artifacts migrate toward the traffic that wants them.
+// onto a ring gives each stage a small, deterministic owner set, which
+// makes the owners' memos the cluster-wide points of reuse: any node may
+// accept a batch, but a stage is executed — and memoized — on its owning
+// shard, so N nodes share one logical cache without coordination,
+// invalidation, or consensus. Replication happens by demand and by
+// write-back: a node that reads a stage value through an owner keeps a
+// local copy (memory + castore), and a freshly computed value is pushed to
+// the other owners of its key (internal/dserve's replication plane).
 //
 // # What this package provides
 //
 //   - Ring: an immutable consistent-hash ring (virtual nodes, 64-bit
 //     SHA-256 positions). Membership changes build a new ring; lookups are
-//     lock-free.
-//   - Cluster: live membership over a Ring — self plus a fixed peer set —
-//     with per-peer health tracking and the HTTP transport the serving
-//     plane's peer tier uses (PostJSON for stage lookups and remote
-//     execution, GetStream for castore object transfer).
+//     lock-free. Owners(key, n) returns the n distinct clockwise
+//     successors of a key — its replica set, primary first.
+//   - Cluster: live membership over a Ring — self plus a peer set that can
+//     grow (join, gossip) and shrink (leave, failure) at runtime — with
+//     per-peer health tracking and the HTTP transport the serving plane's
+//     peer tier uses (PostJSON for stage lookups and remote execution,
+//     GetStream/PutStream for castore object transfer).
 //
 // # Failure model
 //
-// There is no gossip or heartbeat plane; health is observed from the
-// requests the serving plane was making anyway. A peer that fails
-// FailureThreshold consecutive transport-level requests is marked down and
-// the ring shrinks around it — its keys redistribute to the survivors, and
-// stages whose owner is unreachable simply fall back to local compute
-// (correctness never depends on a peer; the peer tier is an optimization
-// layered over a node that is fully capable alone). After a probation
-// period the next ownership lookup readmits the peer for another try.
-// Application-level errors (4xx/5xx with a JSON error body) do not count
-// against health: the peer is alive, the request was just refused.
+// Health is observed from two sources: the requests the serving plane was
+// making anyway, and (when Options.HeartbeatInterval is set) a periodic
+// heartbeat probe to every peer. A peer that fails FailureThreshold
+// consecutive transport-level requests is marked down and the ring shrinks
+// around it — its keys redistribute to the survivors, and stages whose
+// owners are unreachable simply fall back to local compute (correctness
+// never depends on a peer; the peer tier is an optimization layered over a
+// node that is fully capable alone). A peer partway into a failure run is
+// reported as suspect but stays on the ring. After a probation period the
+// peer is probed in the background; only a successful probe readmits it —
+// an ownership lookup never does — so a flapping peer cannot thrash the
+// ring. Application-level errors (4xx/5xx with a JSON error body) do not
+// count against health: the peer is alive, the request was just refused.
 //
-// The serving-plane integration — the /v1/peer/* routes, the three-tier
-// stage memo (memory → castore → owning peer), and the peer.* metrics —
-// lives in internal/dserve.
+// # Membership plane
+//
+// Heartbeats piggyback the sender's live membership view and answer with
+// the receiver's, so additions spread by gossip. Membership changes can
+// also be explicit: Join announces this node to every configured peer
+// (merging their views back), and Leave retires it. A removed or departed
+// peer ID is tombstoned so stale gossip cannot resurrect it; only a fresh
+// explicit AddPeer/join admits it again.
+//
+// The serving-plane integration — the /v1/peer/* routes, the replica-read
+// stage memo (memory → castore → replica owners), write-back replication,
+// anti-entropy repair, and the peer.*/repair.* metrics — lives in
+// internal/dserve.
 package cluster

@@ -86,6 +86,31 @@ func (r *Ring) Owner(key string) (node string, ok bool) {
 	return r.points[i].node, true
 }
 
+// Owners returns up to n distinct nodes owning the key, in ring order: the
+// first is the primary (what Owner returns), the rest are the successor
+// nodes clockwise from it — the replica set a key's artifacts live on. A
+// ring with fewer than n nodes returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
 // Nodes returns the ring's distinct member names, sorted.
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)

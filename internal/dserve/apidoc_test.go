@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"negativaml/internal/cluster"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/negativa"
 )
@@ -263,6 +264,39 @@ func TestAPIDocExamples(t *testing.T) {
 	}
 	actual["peer-compact request"] = compactBody
 	actual["peer-compact response"] = httpJSON(http.MethodPost, "/v1/peer/compact", compactBody, http.StatusOK)
+
+	// ---- membership plane ----
+	// The ping/join/leave requests are built live (real URLs) so the doc
+	// examples are shape-checked without poisoning node A's membership view
+	// with unreachable placeholder addresses.
+	liveNodes := map[string]string{"a": nodes["a"].srv.URL, "b": nodes["b"].srv.URL}
+	pingBody, err := json.Marshal(cluster.HeartbeatRequest{From: "b", URL: nodes["b"].srv.URL, Nodes: liveNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-ping request"] = pingBody
+	actual["peer-ping response"] = httpJSON(http.MethodPost, "/v1/peer/ping", pingBody, http.StatusOK)
+
+	joinBody, err := json.Marshal(cluster.JoinRequest{ID: "c", URL: nodes["b"].srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-join request"] = joinBody
+	actual["peer-join response"] = httpJSON(http.MethodPost, "/v1/peer/join", joinBody, http.StatusOK)
+
+	leaveBody, err := json.Marshal(cluster.LeaveRequest{ID: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-leave request"] = leaveBody
+	actual["peer-leave response"] = httpJSON(http.MethodPost, "/v1/peer/leave", leaveBody, http.StatusOK)
+
+	statBody, err := json.Marshal(peerStatRequest{Objects: []peerObjectRef{{Kind: "lib", Key: "absent0"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual["peer-stat request"] = statBody
+	actual["peer-stat response"] = httpJSON(http.MethodPost, "/v1/peer/stat", statBody, http.StatusOK)
 
 	// ---- shape comparison, both completeness directions ----
 	var keys []string

@@ -68,6 +68,13 @@ type ResultCache struct {
 	// worker unboundedly. Guarded by mu; nil once CloseSpill has run.
 	spillCh chan spillJob
 	spillWG sync.WaitGroup
+	// inlineSpills counts backpressure spills currently running outside
+	// the worker (queue full, or worker stopped). They are invisible to
+	// the channel's barrier ordering, so Flush and CloseSpill wait on this
+	// count — via inlineDone, signalled at zero — in addition to the
+	// worker's ack. Guarded by mu.
+	inlineSpills int
+	inlineDone   *sync.Cond
 }
 
 // spillJob is one queued write-behind spill; a job with ack set is a
@@ -105,12 +112,14 @@ func NewResultCache(maxBytes int64, counters *metrics.CounterSet) *ResultCache {
 	if maxBytes < 1 {
 		maxBytes = 1
 	}
-	return &ResultCache{
+	c := &ResultCache{
 		maxBytes: maxBytes,
 		entries:  map[string]*list.Element{},
 		libRefs:  map[[sha256.Size]byte]int{},
 		counters: counters,
 	}
+	c.inlineDone = sync.NewCond(&c.mu)
+	return c
 }
 
 func (c *ResultCache) count(name string, p *int64) {
@@ -176,26 +185,34 @@ func (c *ResultCache) spillLoop(st *castore.Store, ch chan spillJob) {
 }
 
 // Flush blocks until every spill queued before the call has reached the
-// store. Shutdown and tests use it; the serving path never waits on disk.
-// Must not race CloseSpill.
+// store — including inline backpressure spills that bypassed the worker
+// queue, which the channel barrier alone cannot see. Shutdown and tests
+// use it; the serving path never waits on disk. Must not race CloseSpill.
 func (c *ResultCache) Flush() {
 	c.mu.Lock()
-	if c.spillCh == nil {
+	if c.spillCh != nil {
+		// The barrier send happens under mu so CloseSpill cannot close the
+		// channel out from under it; the worker never takes mu, so the
+		// send always drains even when the queue is momentarily full.
+		ack := make(chan struct{})
+		c.spillCh <- spillJob{ack: ack}
 		c.mu.Unlock()
-		return
+		<-ack
+		c.mu.Lock()
 	}
-	// The barrier send happens under mu so CloseSpill cannot close the
-	// channel out from under it; the worker never takes mu, so the send
-	// always drains even when the queue is momentarily full.
-	ack := make(chan struct{})
-	c.spillCh <- spillJob{ack: ack}
+	// Inline spills started before this call hold the count; waiting for
+	// zero closes the barrier's blind spot. Inline spills that start
+	// after Flush was called may also be waited on — stricter than
+	// required, and harmless.
+	for c.inlineSpills > 0 {
+		c.inlineDone.Wait()
+	}
 	c.mu.Unlock()
-	<-ack
 }
 
-// CloseSpill drains the spill queue and stops the worker. The cache
-// remains usable afterwards — later Puts spill inline, as they do when
-// the queue is full.
+// CloseSpill drains the spill queue — and any inline backpressure spills
+// in flight — then stops the worker. The cache remains usable afterwards:
+// later Puts spill inline, as they do when the queue is full.
 func (c *ResultCache) CloseSpill() {
 	c.mu.Lock()
 	ch := c.spillCh
@@ -205,6 +222,11 @@ func (c *ResultCache) CloseSpill() {
 		close(ch)
 		c.spillWG.Wait()
 	}
+	c.mu.Lock()
+	for c.inlineSpills > 0 {
+		c.inlineDone.Wait()
+	}
+	c.mu.Unlock()
 }
 
 // Get returns the cached result for the key, refreshing its recency.
@@ -302,6 +324,9 @@ func (c *ResultCache) Put(key string, ld *negativa.LibDebloat) {
 // happens under mu (non-blocking) so it cannot race CloseSpill closing
 // the channel; a full queue or a stopped worker falls back to an inline
 // spill outside the lock — castore does its own locking and file I/O.
+// The inline path registers itself in inlineSpills before dropping mu, so
+// a Flush or CloseSpill barrier taken at any point after the fallback
+// decision cannot ack until this spill has landed.
 func (c *ResultCache) enqueueSpill(key string, ld *negativa.LibDebloat) {
 	c.mu.Lock()
 	st := c.store
@@ -313,13 +338,21 @@ func (c *ResultCache) enqueueSpill(key string, ld *negativa.LibDebloat) {
 		default:
 		}
 	}
-	c.mu.Unlock()
 	if st == nil || enqueued {
+		c.mu.Unlock()
 		return
 	}
+	c.inlineSpills++
+	c.mu.Unlock()
 	if err := spillResult(st, key, ld); err != nil && c.counters != nil {
 		c.counters.Add("cache.spill_errors", 1)
 	}
+	c.mu.Lock()
+	c.inlineSpills--
+	if c.inlineSpills == 0 {
+		c.inlineDone.Broadcast()
+	}
+	c.mu.Unlock()
 }
 
 func (c *ResultCache) put(key string, ld *negativa.LibDebloat, spill bool) {

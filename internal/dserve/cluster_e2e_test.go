@@ -194,7 +194,10 @@ func TestClusterThreeNodeE2E(t *testing.T) {
 	}
 
 	// A second degraded submit exercises the shrunken ring: C-owned keys
-	// now route to the survivors (or self) without touching C.
+	// now route to the survivors (or self) without touching C. Write-back
+	// replication from the batch above raced the kill, so drain it before
+	// snapshotting the transport-error count.
+	a.svc.WaitReplication()
 	transportErrs := a.svc.Counters.Get("peer.transport_errors")
 	stA3 := postJob(t, a.srv, freshReq)
 	if doneA3 := pollDone(t, a.srv, stA3.ID); doneA3.State != JobDone {

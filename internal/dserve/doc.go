@@ -66,24 +66,35 @@
 // With a cluster attached (AttachCluster, fed by negativa-served's
 // -peers/-node-id flags), the stage content keys double as the sharding
 // unit: a consistent-hash ring (internal/cluster) assigns each detect and
-// compact key one owning node, and the stage memo gains a third tier. Any
-// node accepts any batch; a stage whose owner is a peer is first looked
-// up there (POST /v1/peer/lookup — the read-through path) and, on a miss,
-// executed there (POST /v1/peer/detect with the workload spec, POST
-// /v1/peer/compact with the library image inline), so the owning shard
-// memoizes what it executed and the whole cluster shares one logical
-// cache. Peer-served values are written into the local tiers — memory,
-// and the castore when attached — so hot artifacts replicate toward
-// demand; GET /v1/peer/objects/{kind}/{key} additionally streams raw
-// castore objects in their integrity-framed wire format. Locate needs no
-// peer tier: its memoized value is a lazy handle that only resolves under
-// a compact miss, and compact misses route to the owner.
+// compact key an R-way replica set of owning nodes (default R=2), and the
+// stage memo gains a third tier. Any node accepts any batch; a stage
+// whose local tiers miss is read through its remote owners in measured-
+// latency order (POST /v1/peer/lookup) and, when every replica misses,
+// executed on the primary shard (POST /v1/peer/detect with the workload
+// spec, POST /v1/peer/compact with the library image inline), so the
+// owning shard memoizes what it executed and the whole cluster shares one
+// logical cache. Peer-served values are written into the local tiers —
+// memory, and the castore when attached — so hot artifacts replicate
+// toward demand; freshly computed values are additionally pushed back to
+// the other live owners of their key (write-back replication, repair.go),
+// and a periodic anti-entropy sweep (Config.RepairInterval / RepairNow)
+// stat-probes the remote owners of every locally held artifact and
+// streams what they are missing through the castore's checksummed frames
+// (GET/PUT /v1/peer/objects/{kind}/{key}, POST /v1/peer/stat). Locate
+// needs no peer tier: its memoized value is a lazy handle that only
+// resolves under a compact miss, and compact misses route to the owners.
 //
 // Every peer failure degrades gracefully — transport errors shrink the
 // ring around the dead node and the stage computes locally; correctness
-// never depends on a peer. /v1/metrics gains a peer section
-// (hits/misses/fallbacks/remote_execs plus per-peer health) and per-peer
-// latency timings. docs/ARCHITECTURE.md draws the full picture.
+// never depends on a peer. Membership is active where it matters:
+// heartbeats gossip the member set and detect silent failures, explicit
+// join/leave (POST /v1/peer/join|leave) makes planned changes immediate,
+// and LeaveCluster hands a departing node's primary-owned objects to the
+// ring's next owners first. /v1/metrics gains a peer section
+// (hits/misses/fallbacks/remote_execs/replica_reads plus per-peer health)
+// and per-peer latency timings, and the counters map carries the
+// replication plane's peer.replica_* / repair.* series.
+// docs/ARCHITECTURE.md draws the full picture.
 //
 // # Incremental re-submit
 //

@@ -92,6 +92,12 @@ type StageMemo struct {
 	// stages under; peer round trips yield their slot through it (see
 	// postJSON).
 	exec plan.Executor
+	// replicate, when non-nil, pushes a freshly produced compact result's
+	// objects to the named replica peers in the background (the service's
+	// replication plane). The memo calls it after a local compute or a
+	// remote execution, so every new artifact reaches all live owners of
+	// its key without waiting for the repair loop.
+	replicate func(hash string, ld *negativa.LibDebloat, peers []string)
 }
 
 // NewStageMemo wires the service's reuse layers into one stage memo.
@@ -109,6 +115,12 @@ func NewStageMemo(registry *Registry, cache *ResultCache, counters *metrics.Coun
 // AttachCluster adds the owning-peer tier. Call before serving; the memo
 // never detaches a cluster.
 func (m *StageMemo) AttachCluster(c *cluster.Cluster) { m.cluster = c }
+
+// AttachReplicator installs the write-back hook that pushes new compact
+// results to their replica owners. Call before serving.
+func (m *StageMemo) AttachReplicator(fn func(hash string, ld *negativa.LibDebloat, peers []string)) {
+	m.replicate = fn
+}
 
 // AttachExecutor hands the memo the executor its callers hold slots of.
 // Every GetOrCompute happens inside a plan node that has Acquired ex, so
@@ -132,13 +144,44 @@ func (m *StageMemo) postJSON(owner, path string, req, resp any) error {
 	return m.cluster.PostJSON(owner, path, req, resp)
 }
 
-// owner returns the peer owning a stage key, when that peer is not this
-// node.
-func (m *StageMemo) owner(key plan.Key) (string, bool) {
+// replicaOwners returns the stage key's replica set (ring order, primary
+// first) and this node's ID, when a cluster is attached.
+func (m *StageMemo) replicaOwners(key plan.Key) (owners []string, self string) {
 	if m.cluster == nil {
-		return "", false
+		return nil, ""
 	}
-	return m.cluster.Owner(key.String())
+	return m.cluster.Owners(key.String()), m.cluster.Self()
+}
+
+// remotesOf filters self out of a replica set.
+func remotesOf(owners []string, self string) []string {
+	out := make([]string, 0, len(owners))
+	for _, id := range owners {
+		if id != self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// without filters one peer out of a slice.
+func without(peers []string, id string) []string {
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p != id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replicateTo hands a freshly produced compact result to the background
+// replication plane, when one is attached and the result is spillable.
+func (m *StageMemo) replicateTo(hash string, ld *negativa.LibDebloat, peers []string) {
+	if m.replicate == nil || len(peers) == 0 || ld == nil || ld.Report == nil || ld.Report.Sparse == nil {
+		return
+	}
+	m.replicate(hash, ld, peers)
 }
 
 // GetOrCompute implements plan.Memo.
@@ -161,11 +204,33 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 			m.count("registry.hits")
 			return p, plan.SourceMemory, nil
 		}
-		if owner, remote := m.owner(key); remote {
+		if owners, self := m.replicaOwners(key); len(owners) > 0 {
 			dh, _ := hint.(*detectHint)
-			if p, ok := m.peerDetect(owner, key.Hash, dh); ok {
-				m.registry.Put(pk, p)
-				return p, plan.SourcePeer, nil
+			remotes := remotesOf(owners, self)
+			m.cluster.SortByLatency(remotes)
+			primary := owners[0]
+			// Read through every remote replica in latency order — even
+			// when this node is itself an owner whose local tiers missed
+			// (a fresh replacement node is primary for keys whose history
+			// lives only on the surviving replicas).
+			for _, r := range remotes {
+				var p *negativa.Profile
+				var ok bool
+				if r == primary && dh != nil {
+					// One round trip: the execute route starts with the
+					// owner's registry probe, so a separate lookup would
+					// only add latency.
+					p, ok = m.peerDetect(r, key.Hash, dh)
+				} else {
+					p, ok = m.peerDetect(r, key.Hash, nil)
+				}
+				if ok {
+					if r != primary {
+						m.count("peer.replica_reads")
+					}
+					m.registry.Put(pk, p)
+					return p, plan.SourcePeer, nil
+				}
 			}
 		}
 		v, err := compute()
@@ -183,20 +248,43 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 		if ld, ok := m.cache.LoadStored(key.Hash, lib); ok {
 			return ld, plan.SourceDisk, nil
 		}
-		if owner, remote := m.owner(key); remote && lib != nil {
-			if ld, ok := m.peerCompact(owner, key.Hash, lib, ch); ok {
-				// Replicate toward demand: the local Put spills the result
-				// into this node's castore, so the next miss here is a disk
-				// hit, not another network hop.
-				m.cache.Put(key.Hash, ld)
-				return ld, plan.SourcePeer, nil
+		owners, self := m.replicaOwners(key)
+		remotes := remotesOf(owners, self)
+		if lib != nil && len(remotes) > 0 {
+			m.cluster.SortByLatency(remotes)
+			primary := owners[0]
+			for _, r := range remotes {
+				ld, found, ok := m.peerCompactLookup(r, key.Hash, lib)
+				if ok && found {
+					// Replicate toward demand: the local Put spills the
+					// result into this node's castore, so the next miss
+					// here is a disk hit, not another network hop.
+					if r != primary {
+						m.count("peer.replica_reads")
+					}
+					m.cache.Put(key.Hash, ld)
+					return ld, plan.SourcePeer, nil
+				}
+			}
+			// Every replica missed: execute on the primary shard (it owns
+			// the memoization), then write the result back to the other
+			// live owners so the whole replica set converges immediately.
+			if ch != nil && primary != self {
+				if ld, ok := m.peerCompactExec(primary, key.Hash, lib, ch); ok {
+					m.cache.Put(key.Hash, ld)
+					m.replicateTo(key.Hash, ld, without(remotes, primary))
+					return ld, plan.SourcePeer, nil
+				}
 			}
 		}
 		v, err := compute()
 		if err != nil {
 			return nil, plan.SourceComputed, err
 		}
-		m.cache.Put(key.Hash, v.(*negativa.LibDebloat))
+		ld := v.(*negativa.LibDebloat)
+		m.cache.Put(key.Hash, ld)
+		// Local compute writes back to every live remote owner of the key.
+		m.replicateTo(key.Hash, ld, remotes)
 		return v, plan.SourceComputed, nil
 	}
 	v, hit, err := m.mem.GetOrCompute(key, hint, compute)

@@ -163,6 +163,11 @@ func registerPeerRoutes(mux *http.ServeMux, s *Service) {
 	mux.HandleFunc("POST /v1/peer/detect", s.peerAuth(s.handlePeerDetect))
 	mux.HandleFunc("POST /v1/peer/compact", s.peerAuth(s.handlePeerCompact))
 	mux.HandleFunc("GET /v1/peer/objects/{kind}/{key}", s.peerAuth(s.handlePeerObject))
+	mux.HandleFunc("PUT /v1/peer/objects/{kind}/{key}", s.peerAuth(s.handlePeerObjectPut))
+	mux.HandleFunc("POST /v1/peer/stat", s.peerAuth(s.handlePeerStat))
+	mux.HandleFunc("POST "+cluster.PingPath, s.peerAuth(s.handlePeerPing))
+	mux.HandleFunc("POST "+cluster.JoinPath, s.peerAuth(s.handlePeerJoin))
+	mux.HandleFunc("POST "+cluster.LeavePath, s.peerAuth(s.handlePeerLeave))
 }
 
 // peerAuth guards one node-to-node route. The peer surface exists only on
@@ -428,6 +433,147 @@ func (s *Service) handlePeerObject(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// peerObjectRef names one castore object on the stat wire.
+type peerObjectRef struct {
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+}
+
+// peerStatRequest asks which of a batch of objects the peer holds — the
+// repair plane's probe. Batched so one round trip covers a whole repair
+// round's candidate set (or a chunk of it).
+type peerStatRequest struct {
+	Objects []peerObjectRef `json:"objects"`
+}
+
+// peerStatResponse answers presence per requested object, index-aligned.
+type peerStatResponse struct {
+	Present []bool `json:"present"`
+}
+
+// maxStatObjects bounds one stat probe. Repair chunks its candidate sets
+// under this, and a hostile request cannot make the node do unbounded
+// work in one call.
+const maxStatObjects = 4096
+
+// handlePeerPing answers the heartbeat/probe route: membership gossip in
+// both directions, and the liveness signal that readmits this node on
+// peers that had marked it down.
+func (s *Service) handlePeerPing(w http.ResponseWriter, r *http.Request) {
+	var req cluster.HeartbeatRequest
+	if !decodePeerBody(w, r, maxRequestBytes, &req) {
+		return
+	}
+	s.Counters.Add("peer.served_pings", 1)
+	writeJSON(w, http.StatusOK, s.Cluster().HandleHeartbeat(req))
+}
+
+// handlePeerJoin admits a node into this node's membership view and
+// answers with the full live member set, so a joiner learns the cluster
+// from any one member. Gossip spreads the addition to everyone else.
+func (s *Service) handlePeerJoin(w http.ResponseWriter, r *http.Request) {
+	var req cluster.JoinRequest
+	if !decodePeerBody(w, r, maxRequestBytes, &req) {
+		return
+	}
+	c := s.Cluster()
+	if req.ID == "" || req.URL == "" {
+		httpError(w, http.StatusBadRequest, errors.New("join requires id and url"))
+		return
+	}
+	if req.ID == c.Self() {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("node %q cannot join itself", req.ID))
+		return
+	}
+	c.AddPeer(req.ID, req.URL)
+	s.Counters.Add("peer.served_joins", 1)
+	writeJSON(w, http.StatusOK, cluster.JoinResponse{Nodes: c.Membership()})
+}
+
+// handlePeerLeave retires a node from this node's membership view and
+// tombstones its ID against gossip resurrection. The leaving node calls
+// this on every peer after handing its primary-owned objects off.
+func (s *Service) handlePeerLeave(w http.ResponseWriter, r *http.Request) {
+	var req cluster.LeaveRequest
+	if !decodePeerBody(w, r, maxRequestBytes, &req) {
+		return
+	}
+	if req.ID == "" {
+		httpError(w, http.StatusBadRequest, errors.New("leave requires id"))
+		return
+	}
+	s.Cluster().RemovePeer(req.ID)
+	s.Counters.Add("peer.served_leaves", 1)
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": true})
+}
+
+// handlePeerStat answers a batched presence probe against the local
+// castore — the cheap half of anti-entropy repair (the expensive half,
+// streaming, only runs for objects this route reports absent).
+func (s *Service) handlePeerStat(w http.ResponseWriter, r *http.Request) {
+	st := s.Store()
+	if st == nil {
+		httpError(w, http.StatusNotFound, errors.New("no data dir configured"))
+		return
+	}
+	var req peerStatRequest
+	if !decodePeerBody(w, r, peerBodyLimit, &req) {
+		return
+	}
+	if len(req.Objects) > maxStatObjects {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("stat of %d objects exceeds the %d bound", len(req.Objects), maxStatObjects))
+		return
+	}
+	s.Counters.Add("peer.served_stats", 1)
+	present := make([]bool, len(req.Objects))
+	for i, o := range req.Objects {
+		present[i] = st.Has(o.Kind, o.Key)
+	}
+	writeJSON(w, http.StatusOK, peerStatResponse{Present: present})
+}
+
+// handlePeerObjectPut receives one pushed object in its integrity-framed
+// wire format — the replication / repair / handoff ingest path, the wire
+// mirror of handlePeerObject. Import verifies the end-to-end checksum and
+// cleans up after truncated or corrupt streams, so a dying pusher leaves
+// no partial state here. Pushed kinds are restricted to the replication
+// set. A pushed profile snapshot is additionally ingested into the live
+// registry (imports land in the store, but detect lookups are served from
+// memory); a snapshot that does not parse as a usable profile is removed
+// again and refused.
+func (s *Service) handlePeerObjectPut(w http.ResponseWriter, r *http.Request) {
+	st := s.Store()
+	if st == nil {
+		httpError(w, http.StatusNotFound, errors.New("no data dir configured"))
+		return
+	}
+	kind, key := r.PathValue("kind"), r.PathValue("key")
+	switch kind {
+	case kindLib, kindSparse, kindResult, kindProfile:
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("kind %q is not replicated", kind))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, peerBodyLimit+castore.HeaderSize)
+	n, err := st.Import(kind, key, r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("import %s/%s: %w", kind, key, err))
+		return
+	}
+	if kind == kindProfile {
+		raw, ok := st.Get(kind, key)
+		var sp storedProfile
+		if !ok || json.Unmarshal(raw, &sp) != nil || sp.Profile == nil || sp.Profile.RunResult == nil {
+			st.Delete(kind, key)
+			httpError(w, http.StatusBadRequest, errors.New("pushed profile snapshot is not usable"))
+			return
+		}
+		s.Registry.Put(ProfileKey{Install: sp.Install, Workload: sp.Workload}, sp.Profile)
+	}
+	s.Counters.Add("peer.objects_received", 1)
+	writeJSON(w, http.StatusOK, map[string]int64{"bytes": n})
+}
+
 // ---- Requester side: the stage memo's peer tier ----
 
 // detectHint carries what the peer tier needs to execute a detect stage on
@@ -508,29 +654,34 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 	return dr.Profile, true
 }
 
-// peerCompact resolves a compact stage through its owning peer: lookup
-// first (no image on the wire), then remote execution with the library
-// shipped inline. The returned result has been decoded against the live
-// library — the digest-bound sparse codec rejects any payload that does
-// not reproduce this library's bytes.
-func (m *StageMemo) peerCompact(owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
+// peerCompactLookup probes one replica owner for an already-memoized
+// compact result (no image on the wire). found=false with ok=true is a
+// clean miss — the replica answered, it just has nothing; ok=false is a
+// transport or decode failure, already counted. A found result has been
+// decoded against the live library — the digest-bound sparse codec
+// rejects any payload that does not reproduce this library's bytes.
+func (m *StageMemo) peerCompactLookup(owner, hash string, lib *elfx.Library) (ld *negativa.LibDebloat, found, ok bool) {
 	var lr peerLookupResponse
 	if err := m.postJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: hash}, &lr); err != nil {
 		m.count("peer.fallbacks")
-		return nil, false
+		return nil, false, false
 	}
-	if lr.Found {
-		if ld, ok := decodePeerResult(lib, lr.Result, lr.Sparse); ok {
-			m.count("peer.hits")
-			return ld, true
-		}
+	if !lr.Found {
+		m.count("peer.misses")
+		return nil, false, true
+	}
+	ld, decOK := decodePeerResult(lib, lr.Result, lr.Sparse)
+	if !decOK {
 		m.count("peer.fallbacks")
-		return nil, false
+		return nil, false, false
 	}
-	m.count("peer.misses")
-	if hint == nil {
-		return nil, false
-	}
+	m.count("peer.hits")
+	return ld, true, true
+}
+
+// peerCompactExec executes a compact stage on its owning shard, shipping
+// the library image inline (the owner may have never seen it).
+func (m *StageMemo) peerCompactExec(owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
 	if base64.StdEncoding.EncodedLen(len(lib.Data)) > peerBodyLimit-(64<<10) {
 		// The owner's body cap would bounce the request after we shipped
 		// the whole image; don't marshal it just to be rejected — compute

@@ -1,0 +1,283 @@
+package dserve
+
+// The replication plane: keeps every stage artifact present on all R
+// owners of its ring key. Two mechanisms cooperate:
+//
+//   - Write-back replication (replicateResult): the stage memo hands every
+//     freshly produced compact result here, and a background goroutine
+//     pushes its objects (library image, sparse range set, report) to the
+//     other live owners — new artifacts converge without waiting for a
+//     repair sweep.
+//   - Anti-entropy repair (RepairNow, driven by the RepairInterval loop):
+//     each sweep walks the locally held replicable objects, derives each
+//     group's ring key, stat-probes the remote owners in chunks, and
+//     streams whatever they are missing via checksummed Export/Import.
+//     This is what heals a replacement node that joined empty, or a
+//     replica that missed write-backs while it was down.
+//
+// Both paths ride the same peer object routes (POST /v1/peer/stat,
+// PUT /v1/peer/objects/{kind}/{key}); every transfer is verified by the
+// castore stream checksum on the receiving side, so a severed or corrupt
+// push publishes nothing there. LeaveCluster reuses the sweep machinery
+// for graceful departure: primary-owned objects are handed to the owners
+// the ring resolves to once this node is gone, then the node announces its
+// leave and stops its membership plane.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/negativa"
+	"negativaml/internal/plan"
+)
+
+// repairStatChunk bounds one stat probe's object list — well under the
+// handler's maxStatObjects so mixed-version peers with a smaller bound
+// still answer.
+const repairStatChunk = 256
+
+// replicateResult is the stage memo's write-back hook: push one freshly
+// produced compact result's objects to the named replica peers in the
+// background. Push order is image, range set, then report, so an
+// interrupted push never leaves a report whose referenced objects are
+// absent. Every object is stat-probed first — the library image dominates
+// the payload and is shared across many keys, so it is usually already
+// there.
+func (s *Service) replicateResult(hash string, ld *negativa.LibDebloat, peers []string) {
+	if s.cluster == nil || len(peers) == 0 || ld == nil || ld.Report == nil || ld.Report.Sparse == nil {
+		return
+	}
+	meta, err := json.Marshal(storedResultOf(ld))
+	if err != nil {
+		s.Counters.Add("peer.replica_write_errors", 1)
+		return
+	}
+	lib := ld.Report.Sparse.Lib()
+	objects := []struct {
+		kind, key string
+		payload   []byte
+	}{
+		{kindLib, digestHex(lib), lib.Data},
+		{kindSparse, hash, ld.Report.Sparse.Encode()},
+		{kindResult, hash, meta},
+	}
+	s.replWG.Add(1)
+	go func() {
+		defer s.replWG.Done()
+		framed := make([][]byte, len(objects))
+		refs := make([]peerObjectRef, len(objects))
+		for i, o := range objects {
+			framed[i] = castore.Frame(o.payload)
+			refs[i] = peerObjectRef{Kind: o.kind, Key: o.key}
+		}
+		for _, peer := range peers {
+			skip := make([]bool, len(objects))
+			var resp peerStatResponse
+			if err := s.cluster.PostJSON(peer, "/v1/peer/stat", peerStatRequest{Objects: refs}, &resp); err == nil && len(resp.Present) == len(objects) {
+				copy(skip, resp.Present)
+			}
+			for i, o := range objects {
+				if skip[i] {
+					continue
+				}
+				err := s.cluster.PutStream(peer, "/v1/peer/objects/"+o.kind+"/"+o.key, bytes.NewReader(framed[i]), int64(len(framed[i])))
+				if err != nil {
+					s.Counters.Add("peer.replica_write_errors", 1)
+					break // the peer is struggling; repair will retry later
+				}
+				s.Counters.Add("peer.replica_writes", 1)
+			}
+		}
+	}()
+}
+
+// WaitReplication blocks until every write-back replication enqueued so
+// far has finished (succeeded or given up). Tests use it to make the
+// asynchronous push plane deterministic.
+func (s *Service) WaitReplication() { s.replWG.Wait() }
+
+// forEachOwnedGroup walks the store's replicable object kinds and hands
+// each replication group — a ring key plus the locally present objects
+// that must live wherever that key's owners are — to fn. Compact results
+// group their report, range set, and shared library image under the
+// compact stage key; profile snapshots ride the detect stage key recovered
+// from their own identity fields.
+func (s *Service) forEachOwnedGroup(fn func(ringKey string, refs []peerObjectRef)) {
+	st := s.store
+	st.Walk(kindResult, func(key string, _ int64) error {
+		refs := []peerObjectRef{{Kind: kindResult, Key: key}}
+		if st.Has(kindSparse, key) {
+			refs = append(refs, peerObjectRef{Kind: kindSparse, Key: key})
+		}
+		if raw, ok := st.Get(kindResult, key); ok {
+			var sr storedResult
+			if json.Unmarshal(raw, &sr) == nil && sr.LibDigest != "" && st.Has(kindLib, sr.LibDigest) {
+				refs = append(refs, peerObjectRef{Kind: kindLib, Key: sr.LibDigest})
+			}
+		}
+		fn(plan.Key{Stage: negativa.StageCompact, Hash: key}.String(), refs)
+		return nil
+	})
+	st.Walk(kindProfile, func(key string, _ int64) error {
+		raw, ok := st.Get(kindProfile, key)
+		if !ok {
+			return nil
+		}
+		var sp storedProfile
+		if json.Unmarshal(raw, &sp) != nil || sp.Install == "" {
+			return nil
+		}
+		fn(negativa.DetectKey(sp.Install, sp.Workload).String(), []peerObjectRef{{Kind: kindProfile, Key: key}})
+		return nil
+	})
+}
+
+// repairPlan accumulates the per-peer deduplicated object sets one sweep
+// intends to probe and, where absent, push.
+type repairPlan struct {
+	byPeer map[string][]peerObjectRef
+	seen   map[plannedPush]struct{}
+}
+
+type plannedPush struct{ peer, kind, key string }
+
+func newRepairPlan() *repairPlan {
+	return &repairPlan{byPeer: map[string][]peerObjectRef{}, seen: map[plannedPush]struct{}{}}
+}
+
+func (p *repairPlan) add(peer string, refs []peerObjectRef) {
+	for _, r := range refs {
+		id := plannedPush{peer, r.Kind, r.Key}
+		if _, dup := p.seen[id]; dup {
+			continue
+		}
+		p.seen[id] = struct{}{}
+		p.byPeer[peer] = append(p.byPeer[peer], r)
+	}
+}
+
+// RepairNow runs one synchronous anti-entropy sweep and returns the number
+// of objects it streamed to peers. Zero means every remote owner already
+// held everything this node thinks it should — the converged state. Safe
+// to call concurrently with serving; a standalone or storeless node
+// returns 0 immediately.
+func (s *Service) RepairNow() int {
+	c := s.cluster
+	if c == nil || s.store == nil {
+		return 0
+	}
+	s.Counters.Add("repair.rounds", 1)
+	self := c.Self()
+	rp := newRepairPlan()
+	s.forEachOwnedGroup(func(ringKey string, refs []peerObjectRef) {
+		for _, owner := range c.Owners(ringKey) {
+			if owner != self {
+				rp.add(owner, refs)
+			}
+		}
+	})
+	return s.executeRepairPlan(rp)
+}
+
+// executeRepairPlan stat-probes each peer's planned set in chunks and
+// streams the objects the peer reports absent. A failed probe skips the
+// rest of that peer for this sweep (the peer is likely down; the next
+// sweep retries).
+func (s *Service) executeRepairPlan(rp *repairPlan) int {
+	streamed := 0
+	for peer, refs := range rp.byPeer {
+		for start := 0; start < len(refs); start += repairStatChunk {
+			chunk := refs[start:min(start+repairStatChunk, len(refs))]
+			var resp peerStatResponse
+			err := s.cluster.PostJSON(peer, "/v1/peer/stat", peerStatRequest{Objects: chunk}, &resp)
+			if err != nil || len(resp.Present) != len(chunk) {
+				s.Counters.Add("repair.probe_errors", 1)
+				break
+			}
+			for i, ref := range chunk {
+				if resp.Present[i] {
+					continue
+				}
+				if err := s.pushStoredObject(peer, ref.Kind, ref.Key); err != nil {
+					s.Counters.Add("repair.stream_errors", 1)
+					continue
+				}
+				streamed++
+			}
+		}
+	}
+	if streamed > 0 {
+		s.Counters.Add("repair.objects_streamed", int64(streamed))
+	}
+	return streamed
+}
+
+// pushStoredObject streams one local castore object to a peer through the
+// checksummed Export frame, pinning it against eviction for the duration.
+func (s *Service) pushStoredObject(peer, kind, key string) error {
+	st := s.store
+	size, ok := st.Stat(kind, key)
+	if !ok || !st.Retain(kind, key) {
+		return fmt.Errorf("dserve: repair push of absent object %s/%s", kind, key)
+	}
+	defer st.Release(kind, key)
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := st.Export(kind, key, pw)
+		pw.CloseWithError(err)
+	}()
+	err := s.cluster.PutStream(peer, "/v1/peer/objects/"+kind+"/"+key, pr, size+castore.HeaderSize)
+	pr.CloseWithError(err)
+	return err
+}
+
+// repairLoop drives periodic anti-entropy sweeps until stop closes.
+func (s *Service) repairLoop(stop chan struct{}) {
+	defer s.repairWG.Done()
+	t := time.NewTicker(s.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.RepairNow()
+		}
+	}
+}
+
+// LeaveCluster gracefully departs the peer group: objects whose ring key
+// this node currently owns as primary are handed to the owners the ring
+// resolves to once this node is gone, the node announces its leave to
+// every live peer (they drop it immediately instead of discovering the
+// absence through failures), and the membership plane shuts down. Call
+// during shutdown, before closing the HTTP listener is fine — handoff only
+// makes outbound requests. A standalone service is a no-op.
+func (s *Service) LeaveCluster() {
+	c := s.cluster
+	if c == nil {
+		return
+	}
+	if s.store != nil {
+		self := c.Self()
+		rp := newRepairPlan()
+		s.forEachOwnedGroup(func(ringKey string, refs []peerObjectRef) {
+			owners := c.Owners(ringKey)
+			if len(owners) == 0 || owners[0] != self {
+				return
+			}
+			for _, o := range c.OwnersExcluding(self, ringKey) {
+				rp.add(o, refs)
+			}
+		})
+		if n := s.executeRepairPlan(rp); n > 0 {
+			s.Counters.Add("repair.handoff_streamed", int64(n))
+		}
+	}
+	c.Leave()
+	c.Close()
+}

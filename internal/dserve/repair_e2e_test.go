@@ -1,0 +1,422 @@
+package dserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"negativaml/internal/castore"
+	"negativaml/internal/cluster"
+)
+
+// bootNode starts one service+server with its own fresh store; the cluster
+// is attached separately so membership can vary per test.
+func bootNode(t *testing.T, id string, mutate func(*Config)) *testNode {
+	t.Helper()
+	st, err := castore.Open(t.TempDir(), castore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 4, MaxSteps: 2, Store: st}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc := NewService(cfg)
+	srv := httptest.NewServer(NewHandler(svc))
+	return &testNode{id: id, svc: svc, srv: srv, store: st}
+}
+
+// attachNode joins a booted node to the peer set under the given options
+// (counters and timings are wired to the node's own sets).
+func attachNode(n *testNode, urls map[string]string, opt cluster.Options) {
+	opt.Counters = n.svc.Counters
+	opt.Timings = n.svc.Timings
+	n.svc.AttachCluster(cluster.New(n.id, urls, opt))
+}
+
+// submitBatch posts one job and polls it to completion, returning an error
+// instead of failing the test — safe to call from non-test goroutines.
+func submitBatch(srv *httptest.Server, req JobRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st jobStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	code := resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d", code)
+	}
+	if decErr != nil {
+		return decErr
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return err
+		}
+		var cur jobStatus
+		decErr = json.NewDecoder(r.Body).Decode(&cur)
+		r.Body.Close()
+		if decErr != nil {
+			return decErr
+		}
+		switch cur.State {
+		case JobDone:
+			if cur.Verified != nil && !*cur.Verified {
+				return fmt.Errorf("job %s completed unverified", st.ID)
+			}
+			return nil
+		case JobFailed:
+			return fmt.Errorf("job %s failed: %s", st.ID, cur.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after 60s", st.ID, cur.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitRingSize polls until every listed node's ring settles on want nodes.
+func waitRingSize(t *testing.T, nodes []*testNode, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		ok := true
+		for _, n := range nodes {
+			if len(n.svc.Cluster().Nodes()) != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, n := range nodes {
+				t.Logf("node %s sees ring %v", n.id, n.svc.Cluster().Nodes())
+			}
+			t.Fatalf("rings did not converge on %d nodes", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRepairSweepHealsEmptyReplica: a node that computed everything
+// standalone joins a ring with an empty peer; one anti-entropy sweep must
+// stream every replica-owned object over (profiles included), a second
+// sweep must find nothing left to move, and the healed peer must then
+// serve the same batch without recomputing any analysis.
+func TestRepairSweepHealsEmptyReplica(t *testing.T) {
+	a := bootNode(t, "a", nil)
+	b := bootNode(t, "b", nil)
+	defer a.close()
+	defer b.close()
+
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  8,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Batch: 32},
+		},
+		MaxSteps: 2,
+	}
+	// Standalone compute: no cluster attached, so nothing replicates.
+	if err := submitBatch(a.srv, req); err != nil {
+		t.Fatal(err)
+	}
+	a.svc.Cache.Flush()
+
+	urls := map[string]string{"a": a.srv.URL, "b": b.srv.URL}
+	opt := cluster.Options{ReplicaSets: 2, FailureThreshold: 1, Probation: time.Hour, Timeout: 30 * time.Second}
+	attachNode(a, urls, opt)
+	attachNode(b, urls, opt)
+
+	moved := a.svc.RepairNow()
+	if moved == 0 {
+		t.Fatal("the first sweep against an empty replica must stream objects")
+	}
+	if got := a.svc.Counters.Get("repair.objects_streamed"); got != int64(moved) {
+		t.Fatalf("repair.objects_streamed=%d, sweep reported %d", got, moved)
+	}
+	if errs := a.svc.Counters.Get("repair.stream_errors") + a.svc.Counters.Get("repair.probe_errors"); errs != 0 {
+		t.Fatalf("healthy-peer sweep reported %d errors", errs)
+	}
+	if again := a.svc.RepairNow(); again != 0 {
+		t.Fatalf("second sweep moved %d objects; the first should have converged", again)
+	}
+	if b.store.Stats().Objects == 0 {
+		t.Fatal("repair streamed objects but none landed in the replica's store")
+	}
+
+	// The healed replica serves the batch with zero local analysis: results
+	// come off its own disk, profiles were ingested into its registry by
+	// the push handler.
+	before := b.svc.Counters.Get("analysis.computed")
+	if err := submitBatch(b.srv, req); err != nil {
+		t.Fatal(err)
+	}
+	if delta := b.svc.Counters.Get("analysis.computed") - before; delta != 0 {
+		t.Fatalf("healed replica recomputed %d analysis stages", delta)
+	}
+}
+
+// TestReplicaReadSparseWireInterop mixes wire generations in one replica
+// set: node b is pinned to the v1 sparse encoding (a pre-v2 node on the
+// wire), node a speaks v2. Replication pushes always carry the canonical
+// v1 object encoding, so the batch computed through a must be fully
+// reusable on b — and the served libraries byte-identical across both.
+func TestReplicaReadSparseWireInterop(t *testing.T) {
+	a := bootNode(t, "a", nil)
+	b := bootNode(t, "b", func(c *Config) { c.DisableSparseWireV2 = true })
+	defer a.close()
+	defer b.close()
+	urls := map[string]string{"a": a.srv.URL, "b": b.srv.URL}
+	opt := cluster.Options{ReplicaSets: 2, FailureThreshold: 1, Probation: time.Hour, Timeout: 30 * time.Second}
+	attachNode(a, urls, opt)
+	attachNode(b, urls, opt)
+
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  8,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "MobileNetV2", Train: true, Batch: 16, Epochs: 1},
+		},
+		MaxSteps: 2,
+	}
+	stA := postJob(t, a.srv, req)
+	if doneA := pollDone(t, a.srv, stA.ID); doneA.State != JobDone {
+		t.Fatalf("node A job failed: %s", doneA.Error)
+	}
+	a.svc.WaitReplication()
+	b.svc.WaitReplication()
+	a.svc.Cache.Flush()
+	b.svc.Cache.Flush()
+
+	// With R=2 over two nodes, both own every key: between remote
+	// execution and write-back replication, b now holds every artifact.
+	before := b.svc.Counters.Get("analysis.computed")
+	stB := postJob(t, b.srv, req)
+	if doneB := pollDone(t, b.srv, stB.ID); doneB.State != JobDone {
+		t.Fatalf("node B job failed: %s", doneB.Error)
+	}
+	if delta := b.svc.Counters.Get("analysis.computed") - before; delta != 0 {
+		t.Fatalf("v1 peer recomputed %d analysis stages; replication should have covered them", delta)
+	}
+
+	var repA jobReport
+	if code := getJSON(t, a.srv.URL+"/v1/jobs/"+stA.ID+"/report", &repA); code != http.StatusOK {
+		t.Fatalf("node A report status %d", code)
+	}
+	for _, lr := range repA.Libs {
+		la := fetchPeerJobLib(t, a.srv, stA.ID, lr.Name)
+		lb := fetchPeerJobLib(t, b.srv, stB.ID, lr.Name)
+		if !bytes.Equal(la, lb) {
+			t.Fatalf("library %s differs between the v2 and v1 nodes", lr.Name)
+		}
+	}
+}
+
+// TestClusterRollingRestartE2E is the replication plane's acceptance test:
+// three nodes under continuous batch traffic survive a rolling restart in
+// which every original node is killed and replaced by a fresh, empty node
+// under a new identity. Zero batches may fail, anti-entropy must stream
+// the replacements' replica sets over, and the warm cluster must keep
+// absorbing analysis (bounded analysis.computed growth) throughout.
+func TestClusterRollingRestartE2E(t *testing.T) {
+	req := JobRequest{
+		Framework: "pytorch",
+		TailLibs:  8,
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Batch: 32},
+		},
+		MaxSteps: 2,
+	}
+	opt := cluster.Options{
+		ReplicaSets:       2,
+		FailureThreshold:  2,
+		Probation:         200 * time.Millisecond,
+		HeartbeatInterval: 100 * time.Millisecond,
+		Timeout:           10 * time.Second,
+	}
+
+	// topo guards the live set: the submitter holds it shared for a whole
+	// batch, so a node is only ever killed between batches — but the ring
+	// stays degraded (and traffic keeps flowing) for the entire window
+	// between a kill and its replacement's repair convergence.
+	var topo sync.RWMutex
+	var live []*testNode
+	var retired []*testNode
+
+	urls := map[string]string{}
+	for _, id := range []string{"a", "b", "c"} {
+		n := bootNode(t, id, nil)
+		live = append(live, n)
+		urls[id] = n.srv.URL
+	}
+	for _, n := range live {
+		attachNode(n, urls, opt)
+	}
+	defer func() {
+		topo.Lock()
+		defer topo.Unlock()
+		for _, n := range live {
+			n.close()
+		}
+	}()
+
+	// Warm-up: one batch computes and replicates everything.
+	if err := submitBatch(live[0].srv, req); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range live {
+		n.svc.WaitReplication()
+		n.svc.Cache.Flush()
+	}
+	allNodes := func() []*testNode {
+		topo.RLock()
+		defer topo.RUnlock()
+		return append(append([]*testNode{}, live...), retired...)
+	}
+	computedTotal := func() int64 {
+		var sum int64
+		for _, n := range allNodes() {
+			sum += n.svc.Counters.Get("analysis.computed")
+		}
+		return sum
+	}
+	baseline := computedTotal()
+
+	// Continuous traffic: round-robin batches over whatever is live.
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var batches atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			topo.RLock()
+			n := live[i%len(live)]
+			err := submitBatch(n.srv, req)
+			topo.RUnlock()
+			if err != nil {
+				select {
+				case errc <- fmt.Errorf("batch on %s: %w", n.id, err):
+				default:
+				}
+				return
+			}
+			batches.Add(1)
+		}
+	}()
+
+	victims := 3
+	if testing.Short() {
+		victims = 1
+	}
+	for k := 0; k < victims; k++ {
+		// Kill the oldest node. Taking topo exclusively serializes the kill
+		// with any in-flight batch; everything after runs under live load.
+		topo.Lock()
+		v := live[0]
+		live = append([]*testNode{}, live[1:]...)
+		topo.Unlock()
+		v.close()
+		topo.Lock()
+		retired = append(retired, v)
+		topo.Unlock()
+
+		// The degraded ring still completes batches.
+		topo.RLock()
+		survivor := live[0]
+		topo.RUnlock()
+		if err := submitBatch(survivor.srv, req); err != nil {
+			t.Fatalf("post-kill batch after losing %s: %v", v.id, err)
+		}
+
+		// Replacement: a brand-new identity with an empty store joins.
+		peerURLs := map[string]string{}
+		topo.RLock()
+		for _, n := range live {
+			peerURLs[n.id] = n.srv.URL
+		}
+		survivors := append([]*testNode{}, live...)
+		topo.RUnlock()
+		r := bootNode(t, v.id+"r", nil)
+		peerURLs[r.id] = r.srv.URL
+		attachNode(r, peerURLs, opt)
+		if acked := r.svc.Cluster().Join(); acked == 0 {
+			t.Fatalf("replacement %s joined but no peer acknowledged", r.id)
+		}
+		waitRingSize(t, append(survivors, r), 3)
+
+		// Anti-entropy: sweep the survivors until one full pass moves
+		// nothing — the replacement then holds every replica it owns.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			moved := 0
+			for _, n := range survivors {
+				moved += n.svc.RepairNow()
+			}
+			if moved == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("anti-entropy did not converge after the replacement joined")
+			}
+		}
+		if r.store.Stats().Objects == 0 {
+			t.Fatalf("replacement %s converged with an empty store", r.id)
+		}
+
+		topo.Lock()
+		live = append(live, r)
+		topo.Unlock()
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatalf("a batch failed during the rolling restart: %v", err)
+	default:
+	}
+	if got := batches.Load(); got < int64(victims) {
+		t.Fatalf("only %d background batches completed across %d restarts", got, victims)
+	}
+
+	var streamed int64
+	for _, n := range allNodes() {
+		streamed += n.svc.Counters.Get("repair.objects_streamed")
+	}
+	if streamed == 0 {
+		t.Fatal("rolling restart must stream repair objects to the replacements")
+	}
+	// Bounded analysis growth: the replica tier absorbs the restarts. The
+	// slack covers read-through races against a node mid-kill; wholesale
+	// recomputation (libs × batches) would blow far past it.
+	if delta := computedTotal() - baseline; delta > 2*baseline+4 {
+		t.Fatalf("analysis.computed grew by %d during the rolling restart (baseline %d)", delta, baseline)
+	}
+}

@@ -48,13 +48,15 @@ func peerStats(s *Service) map[string]any {
 	}
 	st := c.Stats()
 	return map[string]any{
-		"self":         st.Self,
-		"ring_nodes":   st.RingNodes,
-		"hits":         s.Counters.Get("peer.hits"),
-		"misses":       s.Counters.Get("peer.misses"),
-		"fallbacks":    s.Counters.Get("peer.fallbacks"),
-		"remote_execs": s.Counters.Get("peer.remote_execs"),
-		"peers":        st.Peers,
+		"self":          st.Self,
+		"ring_nodes":    st.RingNodes,
+		"replica_sets":  st.ReplicaSets,
+		"hits":          s.Counters.Get("peer.hits"),
+		"misses":        s.Counters.Get("peer.misses"),
+		"fallbacks":     s.Counters.Get("peer.fallbacks"),
+		"remote_execs":  s.Counters.Get("peer.remote_execs"),
+		"replica_reads": s.Counters.Get("peer.replica_reads"),
+		"peers":         st.Peers,
 	}
 }
 

@@ -80,6 +80,12 @@ type Config struct {
 	// detection profiles snapshot on Put and replay on boot, and completed
 	// jobs spill their manifests and images so a restart serves them warm.
 	Store *castore.Store
+	// RepairInterval, when positive on a store-backed clustered node, runs
+	// a background anti-entropy sweep (RepairNow) at that period: locally
+	// held stage artifacts are stat-probed on their remote replica owners
+	// and streamed wherever absent. Zero disables the loop; RepairNow stays
+	// callable either way.
+	RepairInterval time.Duration
 	// DisableSparseWireV2 stops this node from advertising the compact v2
 	// sparse wire codec on outgoing peer requests, so every response it
 	// receives arrives in the v1 encoding. Responding in v2 is driven
@@ -125,6 +131,11 @@ type Service struct {
 	installOrder []string
 	closed       bool
 	wg           sync.WaitGroup
+	// replWG tracks in-flight write-back replication pushes (repair.go);
+	// repairStop/repairWG manage the periodic anti-entropy loop.
+	replWG     sync.WaitGroup
+	repairStop chan struct{}
+	repairWG   sync.WaitGroup
 
 	// fingerprints memoizes InstallFingerprint per immutable *Install.
 	fingerprints *boundedMemo
@@ -202,11 +213,17 @@ func (s *Service) Store() *castore.Store { return s.store }
 func (s *Service) AttachCluster(c *cluster.Cluster) {
 	s.cluster = c
 	s.stages.AttachCluster(c)
+	s.stages.AttachReplicator(s.replicateResult)
 	// Advertise the compact sparse wire codec on every outgoing peer
 	// request. Decoding is unconditional (DecodeSparseImage sniffs the
 	// magic), so the knob only controls what peers are invited to send.
 	if !s.cfg.DisableSparseWireV2 {
 		c.SetHeader(SparseCodecHeader, sparseCodecV2)
+	}
+	if s.store != nil && s.cfg.RepairInterval > 0 {
+		s.repairStop = make(chan struct{})
+		s.repairWG.Add(1)
+		go s.repairLoop(s.repairStop)
 	}
 }
 
@@ -217,15 +234,28 @@ func (s *Service) Cluster() *cluster.Cluster { return s.cluster }
 func (s *Service) Workers() int { return s.pool.Workers() }
 
 // Close drains the service: no new submissions are accepted and Close
-// returns once every running job has finished and every write-behind
-// cache spill has reached the store — so a store closed after Close holds
-// everything the memory tier ever took.
+// returns once every running job has finished, every write-back
+// replication push has settled, and every write-behind cache spill has
+// reached the store — so a store closed after Close holds everything the
+// memory tier ever took. An attached cluster's membership plane stops too
+// (without announcing a leave; use LeaveCluster first for graceful
+// departure).
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
+	stop := s.repairStop
+	s.repairStop = nil
 	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	s.repairWG.Wait()
 	s.wg.Wait()
+	s.replWG.Wait()
 	s.Cache.CloseSpill()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // WorkloadIdentity canonically identifies a workload configuration for
