@@ -134,6 +134,7 @@ func main() {
 	peerSecret := flag.String("peer-secret", "", "shared cluster credential; peer requests carry and require it (with -peers)")
 	replicas := flag.Int("replicas", 2, "replica owners per stage key, R (with -peers)")
 	repairEvery := flag.Duration("repair-interval", time.Minute, "anti-entropy repair sweep period; 0 disables (with -peers and -data-dir)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedged replica reads: 0 = adaptive (p95 of the target peer's latency, 2ms floor), >0 raises the floor, negative disables hedging (with -peers)")
 	tenantsPath := flag.String("tenants", "", "tenant config JSON; enables the multi-tenant gateway (API keys, quotas, lanes)")
 	gwDispatch := flag.Int("gw-dispatch", 4, "gateway concurrent dispatch slots (with -tenants)")
 	gwQueue := flag.Int("gw-queue", 64, "gateway per-lane queue depth before load-shedding (with -tenants)")
@@ -181,7 +182,7 @@ func main() {
 		log.Fatalf("negativa-served: -repair-interval must not be negative (got %v)", *repairEvery)
 	}
 	flag.Visit(func(f *flag.Flag) {
-		if *peers == "" && (f.Name == "replicas" || f.Name == "repair-interval") {
+		if *peers == "" && (f.Name == "replicas" || f.Name == "repair-interval" || f.Name == "hedge-delay") {
 			log.Fatalf("negativa-served: -%s has no effect without -peers", f.Name)
 		}
 	})
@@ -233,6 +234,7 @@ func main() {
 		c := cluster.New(*nodeID, peerMap, cluster.Options{
 			ReplicaSets:       *replicas,
 			HeartbeatInterval: 2 * time.Second,
+			HedgeDelay:        *hedgeDelay,
 			Counters:          svc.Counters,
 			Timings:           svc.Timings,
 			Secret:            *peerSecret,

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"negativaml/internal/bufpool"
 	"negativaml/internal/metrics"
@@ -110,6 +111,13 @@ type Store struct {
 	// paying two blocking fsyncs per object. Guarded by mu.
 	dirtyFiles map[string]struct{}
 	dirtyDirs  map[string]struct{}
+	// syncMu serializes the actual fsync sweeps: a background sweep
+	// (maybeBackgroundSync) may be mid-flight when a commit point calls
+	// SyncDirs, and the barrier must not return until that sweep's files
+	// are durable too — a manifest may reference them.
+	syncMu sync.Mutex
+	// bgSyncing gates at most one background sweep at a time.
+	bgSyncing atomic.Bool
 	// orphanRefs holds the reference counts of objects that were removed
 	// while retained (corruption forces removal regardless of pins). The
 	// holders' eventual Releases drain this map instead of touching a
@@ -447,9 +455,34 @@ func (s *Store) publishTemp(kind, key, tmpName string, size int64) error {
 	// blocking fsyncs per object.
 	s.dirtyFiles[final] = struct{}{}
 	s.dirtyDirs[filepath.Dir(final)] = struct{}{}
+	dirty := len(s.dirtyFiles) + len(s.dirtyDirs)
 	s.evictOverLocked()
 	s.mu.Unlock()
+	if dirty >= backgroundSyncThreshold {
+		s.maybeBackgroundSync()
+	}
 	return nil
+}
+
+// backgroundSyncThreshold is the dirty-set size past which a Put kicks an
+// opportunistic background group-commit, so durability I/O overlaps the
+// batch that is still producing objects instead of accumulating into the
+// terminal SyncDirs sweep on the job's critical path.
+const backgroundSyncThreshold = 24
+
+// maybeBackgroundSync starts one asynchronous group-commit sweep unless
+// one is already running. Strictly an advance of work SyncDirs would do:
+// the dirty snapshot is taken under mu and synced under syncMu, so a
+// concurrent commit-point SyncDirs still returns only after every
+// already-snapshotted file is durable.
+func (s *Store) maybeBackgroundSync() {
+	if !s.bgSyncing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.bgSyncing.Store(false)
+		s.SyncDirs()
+	}()
 }
 
 // SyncDirs flushes every fsync Put deferred — the group-commit barrier.
@@ -472,6 +505,14 @@ func (s *Store) SyncDirs() {
 	}
 	clear(s.dirtyDirs)
 	s.mu.Unlock()
+	// Serialize the sweep itself: returning while a background sweep still
+	// holds unsynced files would let a caller publish a manifest referencing
+	// objects whose fsyncs are in flight.
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if len(files)+len(dirs) == 0 {
+		return
+	}
 	// A large dirty set is cheaper to flush wholesale than path by path:
 	// one sync(2) is a single journal commit covering every deferred file
 	// and rename, where per-path fsync pays a commit each. Small sets stay

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"negativaml/internal/bufpool"
@@ -69,7 +71,24 @@ type Options struct {
 	// secret the peer surface is unauthenticated and must be network-
 	// isolated from client traffic.
 	Secret string
+	// HedgeDelay tunes hedged replica reads (HedgedCall). Zero means
+	// adaptive with the DefaultHedgeFloor floor: the hedge fires after the
+	// primary replica's observed p95 latency. Positive raises that floor
+	// (and is the whole delay for peers with no latency history yet).
+	// Negative disables hedging entirely.
+	HedgeDelay time.Duration
+	// HedgeMaxPct caps hedges at this percentage of in-flight hedged reads
+	// (default 25): under fan-out, at most one read in four may carry a
+	// second outstanding request, so hedging cannot double cluster load
+	// exactly when the cluster is busiest. At least one hedge is always
+	// allowed.
+	HedgeMaxPct int
 }
+
+// DefaultHedgeFloor is the minimum hedge delay when Options.HedgeDelay is
+// zero: short enough to rescue a stalled read, long enough that a healthy
+// same-rack round trip wins first and the hedge never fires.
+const DefaultHedgeFloor = 2 * time.Millisecond
 
 // PeerSecretHeader carries the cluster's shared secret on node-to-node
 // requests (see Options.Secret).
@@ -163,6 +182,12 @@ type Stats struct {
 	Peers     []PeerStatus `json:"peers"`
 }
 
+// latWindow is how many recent successful-request latencies each peer
+// retains for quantile estimation (the hedge-delay source). Small on
+// purpose: the hedge should track the peer's current behavior, not its
+// lifetime average.
+const latWindow = 64
+
 type peerState struct {
 	id, url   string
 	fails     int
@@ -171,6 +196,36 @@ type peerState struct {
 
 	requests, transportErrs int64
 	totalLatency            time.Duration
+	// latSamples is a ring of the last latWindow successful-request
+	// latencies; latN counts how many slots are filled (saturating at
+	// latWindow), latIdx is the next write position.
+	latSamples [latWindow]time.Duration
+	latN       int
+	latIdx     int
+}
+
+// recordLatency appends one successful-request latency to the ring.
+func (p *peerState) recordLatency(d time.Duration) {
+	p.latSamples[p.latIdx] = d
+	p.latIdx = (p.latIdx + 1) % latWindow
+	if p.latN < latWindow {
+		p.latN++
+	}
+}
+
+// latencyP95 estimates the 95th percentile of the ring (0 when empty).
+func (p *peerState) latencyP95() time.Duration {
+	if p.latN == 0 {
+		return 0
+	}
+	samples := make([]time.Duration, p.latN)
+	copy(samples, p.latSamples[:p.latN])
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := (p.latN*95 + 99) / 100 // ceil(n * 0.95)
+	if idx > 0 {
+		idx--
+	}
+	return samples[idx]
 }
 
 // Cluster tracks the membership of a dserve peer group: a consistent-hash
@@ -216,6 +271,12 @@ type Cluster struct {
 	// anything set later via SetHeader) — the capability advertisement
 	// channel.
 	headers map[string]string
+
+	// inflightReads / inflightHedges back the hedge budget: hedges are
+	// admitted only while they stay under HedgeMaxPct of in-flight hedged
+	// reads, so tail-chasing cannot double cluster load under fan-out.
+	inflightReads  atomic.Int64
+	inflightHedges atomic.Int64
 }
 
 // New builds a cluster for node `self` over the peer set (node ID → base
@@ -237,6 +298,9 @@ func New(self string, peers map[string]string, opt Options) *Cluster {
 	}
 	if opt.Timeout <= 0 {
 		opt.Timeout = 10 * time.Second
+	}
+	if opt.HedgeMaxPct <= 0 {
+		opt.HedgeMaxPct = 25
 	}
 	c := &Cluster{
 		self:       self,
@@ -409,19 +473,49 @@ func (c *Cluster) OwnersExcluding(id, key string) []string {
 	return ring.Owners(key, r)
 }
 
-// SortByLatency orders peer IDs in place by observed mean request latency,
-// ascending — the replica read-through order. Unknown peers (no requests
-// yet) sort first: optimistic, and self-correcting after one request.
+// SortByLatency orders peer IDs in place into the replica read-through
+// order: healthy peers with latency history first (by mean, ascending),
+// then healthy-but-unmeasured peers, then suspects (mid failure run), then
+// downed peers. Health outranks speed — a suspect replica, however fast it
+// used to be, must never be the first read target while a healthy one
+// exists, or a single stalled peer charges every read its full timeout
+// before the fallback. IDs not in the peer table (self) sort as healthy
+// and instant.
 func (c *Cluster) SortByLatency(ids []string) {
+	type rank struct {
+		class int // 0 healthy-measured (or self), 1 healthy-unmeasured, 2 suspect, 3 down
+		mean  time.Duration
+	}
 	c.mu.Lock()
-	means := make(map[string]time.Duration, len(ids))
+	ranks := make(map[string]rank, len(ids))
 	for _, id := range ids {
-		if p, ok := c.peers[id]; ok && p.requests > 0 {
-			means[id] = p.totalLatency / time.Duration(p.requests)
+		p, ok := c.peers[id]
+		if !ok {
+			ranks[id] = rank{class: 0}
+			continue
 		}
+		r := rank{}
+		switch {
+		case p.down:
+			r.class = 3
+		case p.fails > 0:
+			r.class = 2
+		case p.requests > 0:
+			r.class = 0
+			r.mean = p.totalLatency / time.Duration(p.requests)
+		default:
+			r.class = 1
+		}
+		ranks[id] = r
 	}
 	c.mu.Unlock()
-	sort.SliceStable(ids, func(i, j int) bool { return means[ids[i]] < means[ids[j]] })
+	sort.SliceStable(ids, func(i, j int) bool {
+		a, b := ranks[ids[i]], ranks[ids[j]]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		return a.mean < b.mean
+	})
 }
 
 // Nodes returns the ring's current members (self plus live peers).
@@ -743,6 +837,7 @@ func (c *Cluster) observe(id string, dur time.Duration, transportErr bool) {
 	p.totalLatency += dur
 	if !transportErr {
 		p.fails = 0
+		p.recordLatency(dur)
 		return
 	}
 	p.transportErrs++
@@ -767,6 +862,15 @@ func (c *Cluster) observe(id string, dur time.Duration, transportErr bool) {
 // buffer returns to the pool when the exchange finishes — steady-state
 // peer traffic produces no per-call encoding garbage.
 func (c *Cluster) PostJSON(peer, path string, in, out any) error {
+	return c.PostJSONCtx(context.Background(), peer, path, in, out)
+}
+
+// PostJSONCtx is PostJSON under a caller context — the hedged-read path's
+// cancellation channel. A request whose context was cancelled does not
+// touch the peer's health or latency accounting: losing a hedge race says
+// nothing about the peer, and charging it a transport failure would let
+// hedging itself mark healthy peers down.
+func (c *Cluster) PostJSONCtx(ctx context.Context, peer, path string, in, out any) error {
 	buf := bufpool.GetBuffer()
 	defer bufpool.PutBuffer(buf)
 	if err := json.NewEncoder(buf).Encode(in); err != nil {
@@ -777,7 +881,7 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("cluster: build %s request: %w", path, err)
 	}
@@ -793,6 +897,9 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	start := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("cluster: peer %s: %w", peer, ctx.Err())
+		}
 		c.observe(peer, time.Since(start), true)
 		return fmt.Errorf("cluster: peer %s: %w", peer, err)
 	}
@@ -810,6 +917,9 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("cluster: peer %s: %w", peer, ctx.Err())
+			}
 			// An unparsable success body means the peer is misbehaving at
 			// the protocol level; treat it like a transport failure so a
 			// wedged peer eventually leaves the ring.
@@ -819,6 +929,147 @@ func (c *Cluster) PostJSON(peer, path string, in, out any) error {
 	}
 	c.observe(peer, time.Since(start), false)
 	return nil
+}
+
+// ---- Hedged replica reads ----
+
+// hedgeDelayFor derives the delay before a read against the peer grows a
+// hedge: the peer's observed p95 latency (a request slower than 19 of 20
+// recent ones is likely stalled), floored by Options.HedgeDelay or
+// DefaultHedgeFloor so a sub-millisecond-fast ring doesn't hedge every
+// read on scheduling jitter.
+func (c *Cluster) hedgeDelayFor(peer string) time.Duration {
+	floor := c.opt.HedgeDelay
+	if floor == 0 {
+		floor = DefaultHedgeFloor
+	}
+	c.mu.Lock()
+	p, ok := c.peers[peer]
+	var p95 time.Duration
+	if ok {
+		p95 = p.latencyP95()
+	}
+	c.mu.Unlock()
+	if p95 < floor {
+		return floor
+	}
+	return p95
+}
+
+// hedgeAdmit reports whether a new hedge fits the budget: hedges may not
+// exceed HedgeMaxPct of in-flight hedged reads (always admitting at least
+// one). The caller must release the slot via inflightHedges.Add(-1) when
+// the hedge completes.
+func (c *Cluster) hedgeAdmit() bool {
+	limit := c.inflightReads.Load() * int64(c.opt.HedgeMaxPct) / 100
+	if limit < 1 {
+		limit = 1
+	}
+	for {
+		cur := c.inflightHedges.Load()
+		if cur >= limit {
+			return false
+		}
+		if c.inflightHedges.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// hedgeResult carries one attempt's outcome back to HedgedCall.
+type hedgeResult struct {
+	v      any
+	ok     bool
+	err    error
+	peer   string
+	hedged bool
+}
+
+// HedgedCall runs attempt against peers[0] and, if no answer lands within
+// a latency-derived hedge delay (hedgeDelayFor), races a second attempt
+// against peers[1] — the tail-at-scale defense: a stalled primary costs
+// the hedge delay plus the replica's round trip, not the full timeout.
+// The first attempt to return ok wins and the loser's context is
+// cancelled. attempt must honor ctx (route reads through PostJSONCtx) and
+// report ok=false for an application-level miss; a miss or error returns
+// without hedging further — replica iteration beyond the first two peers
+// stays the caller's loop. Metrics: peer.hedge_fired / peer.hedge_won /
+// peer.hedge_cancelled. Returns the winning value and peer, or ok=false
+// when neither attempt satisfied.
+func (c *Cluster) HedgedCall(peers []string, attempt func(ctx context.Context, peer string) (any, bool, error)) (v any, peer string, ok bool) {
+	if len(peers) == 0 {
+		return nil, "", false
+	}
+	c.inflightReads.Add(1)
+	defer c.inflightReads.Add(-1)
+
+	results := make(chan hedgeResult, 2)
+	var cancels []context.CancelFunc
+	launch := func(p string, hedged bool) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		go func() {
+			v, ok, err := attempt(ctx, p)
+			if hedged {
+				// Release the budget slot here, not in the reader: a hedge
+				// abandoned after the primary wins is never read.
+				c.inflightHedges.Add(-1)
+			}
+			results <- hedgeResult{v: v, ok: ok, err: err, peer: p, hedged: hedged}
+		}()
+	}
+	// Cancel every launched context on the way out — the winner's (a no-op
+	// once its attempt returned) and the loser's, which aborts its in-flight
+	// request.
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	launch(peers[0], false)
+
+	canHedge := c.opt.HedgeDelay >= 0 && len(peers) > 1
+	var timer *time.Timer
+	var fire <-chan time.Time
+	if canHedge {
+		timer = time.NewTimer(c.hedgeDelayFor(peers[0]))
+		defer timer.Stop()
+		fire = timer.C
+	}
+
+	outstanding := 1
+	hedgeLaunched := false
+	for {
+		select {
+		case <-fire:
+			fire = nil
+			if c.hedgeAdmit() {
+				hedgeLaunched = true
+				c.count("peer.hedge_fired", 1)
+				launch(peers[1], true)
+				outstanding++
+			}
+		case r := <-results:
+			outstanding--
+			if r.ok {
+				if outstanding > 0 {
+					c.count("peer.hedge_cancelled", 1)
+				}
+				if r.hedged {
+					c.count("peer.hedge_won", 1)
+				}
+				return r.v, r.peer, true
+			}
+			if !hedgeLaunched {
+				// Primary answered (miss or error) before any hedge fired:
+				// return immediately, the caller's replica loop continues.
+				return nil, r.peer, false
+			}
+			if outstanding == 0 {
+				return nil, r.peer, false
+			}
+		}
+	}
 }
 
 // PutStream PUTs a raw octet stream to a peer path — the replication and

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"slices"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -413,5 +415,132 @@ func TestGetStream(t *testing.T) {
 		t.Fatal("missing object must error")
 	} else if perr, ok := err.(*PeerError); !ok || perr.Status != 404 {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSortByLatencyHealthOutranksSpeed is the suspect-ordering regression
+// test: a suspect peer (mid failure run, not yet down), however fast its
+// history, must never sort ahead of a healthy replica — and an unmeasured
+// healthy peer still outranks it too, because "no history" beats "currently
+// failing". Downed peers sort last of all.
+func TestSortByLatencyHealthOutranksSpeed(t *testing.T) {
+	c := New("self", map[string]string{
+		"slowhealthy": "http://h1", "fastsuspect": "http://h2",
+		"unmeasured": "http://h3", "dead": "http://h4",
+	}, Options{FailureThreshold: 3})
+	defer c.Close()
+
+	// A slow but healthy peer; a fast peer mid failure run; a dead one.
+	c.observe("slowhealthy", 50*time.Millisecond, false)
+	c.observe("fastsuspect", 1*time.Millisecond, false)
+	c.observe("fastsuspect", 1*time.Millisecond, true)
+	for i := 0; i < 3; i++ {
+		c.observe("dead", 1*time.Millisecond, true)
+	}
+
+	ids := []string{"dead", "fastsuspect", "slowhealthy", "unmeasured"}
+	c.SortByLatency(ids)
+	want := []string{"slowhealthy", "unmeasured", "fastsuspect", "dead"}
+	if !slices.Equal(ids, want) {
+		t.Fatalf("order %v, want %v", ids, want)
+	}
+	// The regression in one line: while any healthy replica exists, no
+	// suspect is the first read target.
+	if ids[0] == "fastsuspect" || ids[0] == "dead" {
+		t.Fatalf("suspect peer ranked first: %v", ids)
+	}
+}
+
+// TestHedgedCallRescuesStalledPrimary: the hedge fires after the delay,
+// the fast replica wins, and the stalled primary's context is cancelled.
+func TestHedgedCallRescuesStalledPrimary(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	c := New("self", map[string]string{"slow": "http://h1", "fast": "http://h2"},
+		Options{HedgeDelay: 5 * time.Millisecond, Counters: counters})
+	defer c.Close()
+
+	primaryCancelled := make(chan bool, 1)
+	attempt := func(ctx context.Context, peer string) (any, bool, error) {
+		if peer == "fast" {
+			return "fast-value", true, nil
+		}
+		select {
+		case <-ctx.Done():
+			primaryCancelled <- true
+			return nil, false, ctx.Err()
+		case <-time.After(2 * time.Second):
+			primaryCancelled <- false
+			return "slow-value", true, nil
+		}
+	}
+	start := time.Now()
+	v, peer, ok := c.HedgedCall([]string{"slow", "fast"}, attempt)
+	if !ok || peer != "fast" || v != "fast-value" {
+		t.Fatalf("HedgedCall = %v, %q, %v", v, peer, ok)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("hedged read took %v; the stalled primary charged its full wait", wall)
+	}
+	if got := counters.Get("peer.hedge_fired"); got != 1 {
+		t.Fatalf("hedge_fired = %d, want 1", got)
+	}
+	if got := counters.Get("peer.hedge_won"); got != 1 {
+		t.Fatalf("hedge_won = %d, want 1", got)
+	}
+	if got := counters.Get("peer.hedge_cancelled"); got != 1 {
+		t.Fatalf("hedge_cancelled = %d, want 1", got)
+	}
+	select {
+	case cancelled := <-primaryCancelled:
+		if !cancelled {
+			t.Fatal("stalled primary ran to completion instead of being cancelled")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled primary never observed its cancellation")
+	}
+}
+
+// TestHedgedCallPrimaryMissReturnsWithoutHedging: an application-level
+// miss from the primary comes back before the hedge delay — the caller's
+// replica loop handles the next peer, no hedge fires.
+func TestHedgedCallPrimaryMissReturnsWithoutHedging(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	c := New("self", map[string]string{"a": "http://h1", "b": "http://h2"},
+		Options{HedgeDelay: 50 * time.Millisecond, Counters: counters})
+	defer c.Close()
+
+	var calls atomic.Int64
+	_, _, ok := c.HedgedCall([]string{"a", "b"}, func(ctx context.Context, peer string) (any, bool, error) {
+		calls.Add(1)
+		return nil, false, nil
+	})
+	if ok {
+		t.Fatal("miss reported as a win")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("primary miss launched %d attempts, want 1", n)
+	}
+	if got := counters.Get("peer.hedge_fired"); got != 0 {
+		t.Fatalf("hedge_fired = %d, want 0", got)
+	}
+}
+
+// TestHedgedCallDisabled: a negative HedgeDelay turns hedging off — the
+// slow primary is simply awaited.
+func TestHedgedCallDisabled(t *testing.T) {
+	counters := metrics.NewCounterSet()
+	c := New("self", map[string]string{"a": "http://h1", "b": "http://h2"},
+		Options{HedgeDelay: -1, Counters: counters})
+	defer c.Close()
+
+	v, peer, ok := c.HedgedCall([]string{"a", "b"}, func(ctx context.Context, peer string) (any, bool, error) {
+		time.Sleep(20 * time.Millisecond)
+		return "v", true, nil
+	})
+	if !ok || peer != "a" || v != "v" {
+		t.Fatalf("HedgedCall = %v, %q, %v", v, peer, ok)
+	}
+	if got := counters.Get("peer.hedge_fired"); got != 0 {
+		t.Fatalf("hedging disabled but hedge_fired = %d", got)
 	}
 }

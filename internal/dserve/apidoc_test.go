@@ -220,6 +220,13 @@ func TestAPIDocExamples(t *testing.T) {
 	actual["peer-lookup request"] = lookupReq.json
 	actual["peer-lookup response"] = httpJSON(http.MethodPost, "/v1/peer/lookup", lookupReq.json, http.StatusOK)
 
+	batchLookupReq, ok := blocks["peer-lookup-batch request"]
+	if !ok {
+		t.Fatal("docs/API.md lacks the peer-lookup-batch request example")
+	}
+	actual["peer-lookup-batch request"] = batchLookupReq.json
+	actual["peer-lookup-batch response"] = httpJSON(http.MethodPost, "/v1/peer/lookup-batch", batchLookupReq.json, http.StatusOK)
+
 	// peer-detect and peer-compact need content-correct inputs (the server
 	// verifies fingerprints and stage keys), so the test builds the real
 	// request and the doc example is shape-checked against what was sent.

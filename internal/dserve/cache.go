@@ -243,6 +243,32 @@ func (c *ResultCache) Get(key string) (*negativa.LibDebloat, bool) {
 	return el.Value.(*cacheEntry).ld, true
 }
 
+// Contains reports whether the key is resident in the memory tier,
+// without touching recency or the hit/miss counters — the batch
+// prefetch's local-presence probe must not skew the cache's observed
+// behavior.
+func (c *ResultCache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// HasStored reports whether the attached store holds the key's persisted
+// result (metadata plus the encoded sparse range set), without decoding
+// anything. Keys replication pushed to this node probe true, so the batch
+// prefetch skips re-fetching what LoadStored will serve without a round
+// trip.
+func (c *ResultCache) HasStored(key string) bool {
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	return st.Has(kindResult, key) && st.Has(kindSparse, key)
+}
+
 // GetOrLoad is the two-tier lookup: memory first, then the attached store
 // (decoding the persisted range set against the caller's live library),
 // then a miss. Disk hits are promoted into the memory tier. lib anchors the

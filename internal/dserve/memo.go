@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"negativaml/internal/cluster"
+	"negativaml/internal/elfx"
 	"negativaml/internal/metrics"
 	"negativaml/internal/negativa"
 	"negativaml/internal/plan"
@@ -98,6 +99,21 @@ type StageMemo struct {
 	// remote execution, so every new artifact reaches all live owners of
 	// its key without waiting for the repair loop.
 	replicate func(hash string, ld *negativa.LibDebloat, peers []string)
+
+	// The batch-prefetch hot path (hotpath.go). flights is the singleflight
+	// table spanning prefetch and on-demand reads of one stage key;
+	// prefetched marks keys whose local-tier value a batch lookup planted
+	// (read back as SourcePeer), missed marks keys a live replica answered
+	// found=false for (on-demand skips its own lookup round trip); noBatch
+	// remembers peers that 404 the lookup-batch route (old nodes), and
+	// disableBatch turns requester-side batching off entirely.
+	flightMu     sync.Mutex
+	flights      map[plan.Key]chan struct{}
+	hotMu        sync.Mutex
+	prefetched   map[plan.Key]bool
+	missed       map[plan.Key]bool
+	noBatch      map[string]bool
+	disableBatch bool
 }
 
 // NewStageMemo wires the service's reuse layers into one stage memo.
@@ -128,6 +144,11 @@ func (m *StageMemo) AttachReplicator(fn func(hash string, ld *negativa.LibDebloa
 // before serving, with the same executor passed to Graph.Execute.
 func (m *StageMemo) AttachExecutor(ex plan.Executor) { m.exec = ex }
 
+// DisableBatching turns the requester-side batch-prefetch path off —
+// the operator escape hatch mirroring Config.DisablePeerBatch on the
+// serving side. Call before serving.
+func (m *StageMemo) DisableBatching() { m.disableBatch = true }
+
 // postJSON runs one peer round trip with the caller's executor slot
 // yielded. Plan nodes hold a worker slot while resolving their memo, but
 // a peer lookup is pure network wait — holding a CPU-sized slot across it
@@ -137,6 +158,7 @@ func (m *StageMemo) AttachExecutor(ex plan.Executor) { m.exec = ex }
 // compute after the wire — decode, verify, local compute on fallback —
 // still runs under the pool's bound.
 func (m *StageMemo) postJSON(owner, path string, req, resp any) error {
+	m.countRoundTrip()
 	if m.exec != nil {
 		m.exec.Release()
 		defer m.exec.Acquire()
@@ -191,7 +213,11 @@ func (m *StageMemo) GetOrCompute(key plan.Key, hint any, compute func() (any, er
 }
 
 // GetOrComputeSourced implements plan.SourcedMemo, attributing each value
-// to the tier that produced it.
+// to the tier that produced it. Detect and compact keys run under the
+// hot path's singleflight table: local-tier probes loop until the caller
+// either hits (possibly on a value a concurrent prefetch or reader just
+// planted) or becomes the key's flight leader, so one key never has two
+// remote reads or two local computes in flight at once.
 func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (any, error)) (any, plan.Source, error) {
 	switch key.Stage {
 	case negativa.StageDetect:
@@ -200,92 +226,34 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 			break
 		}
 		pk := ProfileKey{Install: fp, Workload: wid}
-		if p, ok := m.registry.Get(pk); ok {
-			m.count("registry.hits")
-			return p, plan.SourceMemory, nil
-		}
-		if owners, self := m.replicaOwners(key); len(owners) > 0 {
-			dh, _ := hint.(*detectHint)
-			remotes := remotesOf(owners, self)
-			m.cluster.SortByLatency(remotes)
-			primary := owners[0]
-			// Read through every remote replica in latency order — even
-			// when this node is itself an owner whose local tiers missed
-			// (a fresh replacement node is primary for keys whose history
-			// lives only on the surviving replicas).
-			for _, r := range remotes {
-				var p *negativa.Profile
-				var ok bool
-				if r == primary && dh != nil {
-					// One round trip: the execute route starts with the
-					// owner's registry probe, so a separate lookup would
-					// only add latency.
-					p, ok = m.peerDetect(r, key.Hash, dh)
-				} else {
-					p, ok = m.peerDetect(r, key.Hash, nil)
-				}
-				if ok {
-					if r != primary {
-						m.count("peer.replica_reads")
-					}
-					m.registry.Put(pk, p)
-					return p, plan.SourcePeer, nil
-				}
+		for {
+			if p, ok := m.registry.Get(pk); ok {
+				m.count("registry.hits")
+				return p, m.consumeSource(key, plan.SourceMemory), nil
 			}
+			if m.beginFlight(key) {
+				break
+			}
+			m.awaitFlight(key)
 		}
-		v, err := compute()
-		if err != nil {
-			return nil, plan.SourceComputed, err
-		}
-		m.registry.Put(pk, v.(*negativa.Profile))
-		m.count("registry.misses")
-		return v, plan.SourceComputed, nil
+		defer m.endFlight(key)
+		return m.detectLeader(key, pk, hint, compute)
 	case negativa.StageCompact:
 		lib, ch := compactHintOf(hint)
-		if ld, ok := m.cache.Get(key.Hash); ok {
-			return ld, plan.SourceMemory, nil
-		}
-		if ld, ok := m.cache.LoadStored(key.Hash, lib); ok {
-			return ld, plan.SourceDisk, nil
-		}
-		owners, self := m.replicaOwners(key)
-		remotes := remotesOf(owners, self)
-		if lib != nil && len(remotes) > 0 {
-			m.cluster.SortByLatency(remotes)
-			primary := owners[0]
-			for _, r := range remotes {
-				ld, found, ok := m.peerCompactLookup(r, key.Hash, lib)
-				if ok && found {
-					// Replicate toward demand: the local Put spills the
-					// result into this node's castore, so the next miss
-					// here is a disk hit, not another network hop.
-					if r != primary {
-						m.count("peer.replica_reads")
-					}
-					m.cache.Put(key.Hash, ld)
-					return ld, plan.SourcePeer, nil
-				}
+		for {
+			if ld, ok := m.cache.Get(key.Hash); ok {
+				return ld, m.consumeSource(key, plan.SourceMemory), nil
 			}
-			// Every replica missed: execute on the primary shard (it owns
-			// the memoization), then write the result back to the other
-			// live owners so the whole replica set converges immediately.
-			if ch != nil && primary != self {
-				if ld, ok := m.peerCompactExec(primary, key.Hash, lib, ch); ok {
-					m.cache.Put(key.Hash, ld)
-					m.replicateTo(key.Hash, ld, without(remotes, primary))
-					return ld, plan.SourcePeer, nil
-				}
+			if ld, ok := m.cache.LoadStored(key.Hash, lib); ok {
+				return ld, m.consumeSource(key, plan.SourceDisk), nil
 			}
+			if m.beginFlight(key) {
+				break
+			}
+			m.awaitFlight(key)
 		}
-		v, err := compute()
-		if err != nil {
-			return nil, plan.SourceComputed, err
-		}
-		ld := v.(*negativa.LibDebloat)
-		m.cache.Put(key.Hash, ld)
-		// Local compute writes back to every live remote owner of the key.
-		m.replicateTo(key.Hash, ld, remotes)
-		return v, plan.SourceComputed, nil
+		defer m.endFlight(key)
+		return m.compactLeader(key, lib, ch, compute)
 	}
 	v, hit, err := m.mem.GetOrCompute(key, hint, compute)
 	src := plan.SourceComputed
@@ -293,6 +261,105 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 		src = plan.SourceMemory
 	}
 	return v, src, err
+}
+
+// detectLeader is the flight leader's read-through for one detect key:
+// hedged replica lookup (skipped when a batch lookup already saw the
+// replica set clean-miss), hinted remote execution on the primary shard,
+// then local compute.
+func (m *StageMemo) detectLeader(key plan.Key, pk ProfileKey, hint any, compute func() (any, error)) (any, plan.Source, error) {
+	if owners, self := m.replicaOwners(key); len(owners) > 0 {
+		dh, _ := hint.(*detectHint)
+		remotes := remotesOf(owners, self)
+		primary := owners[0]
+		// Read through the remote replicas, hedged — even when this node
+		// is itself an owner whose local tiers missed (a fresh replacement
+		// node is primary for keys whose history lives only on the
+		// surviving replicas).
+		if len(remotes) > 0 && !m.consumeMiss(key) {
+			m.cluster.SortByLatency(remotes)
+			targets := remotes
+			if dh != nil {
+				// The hinted escalation below starts with the primary's own
+				// registry probe, so a separate primary lookup would only
+				// add a round trip.
+				targets = without(remotes, primary)
+			}
+			if lr, peer, ok := m.hedgedLookup(targets, peerLookupRequest{Stage: negativa.StageDetect, Hash: key.Hash}); ok {
+				if lr.Profile != nil && lr.Profile.RunResult != nil {
+					if peer != primary {
+						m.count("peer.replica_reads")
+					}
+					m.count("peer.hits")
+					m.registry.Put(pk, lr.Profile)
+					return lr.Profile, plan.SourcePeer, nil
+				}
+				m.count("peer.fallbacks")
+			}
+		}
+		// One round trip: the execute route starts with the owner's
+		// registry probe, and the owner memoizes what it executes.
+		if dh != nil && primary != self {
+			if p, ok := m.peerDetect(primary, key.Hash, dh); ok {
+				m.registry.Put(pk, p)
+				return p, plan.SourcePeer, nil
+			}
+		}
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, plan.SourceComputed, err
+	}
+	m.registry.Put(pk, v.(*negativa.Profile))
+	m.count("registry.misses")
+	return v, plan.SourceComputed, nil
+}
+
+// compactLeader is the flight leader's read-through for one compact key:
+// hedged replica lookup, remote execution on the primary shard, local
+// compute — each step writing back so the replica set converges.
+func (m *StageMemo) compactLeader(key plan.Key, lib *elfx.Library, ch *compactHint, compute func() (any, error)) (any, plan.Source, error) {
+	owners, self := m.replicaOwners(key)
+	remotes := remotesOf(owners, self)
+	if lib != nil && len(remotes) > 0 {
+		primary := owners[0]
+		if !m.consumeMiss(key) {
+			m.cluster.SortByLatency(remotes)
+			if lr, peer, ok := m.hedgedLookup(remotes, peerLookupRequest{Stage: negativa.StageCompact, Hash: key.Hash}); ok {
+				if ld, decOK := decodePeerResult(lib, lr.Result, lr.Sparse); decOK {
+					// Replicate toward demand: the local Put spills the
+					// result into this node's castore, so the next miss
+					// here is a disk hit, not another network hop.
+					if peer != primary {
+						m.count("peer.replica_reads")
+					}
+					m.count("peer.hits")
+					m.cache.Put(key.Hash, ld)
+					return ld, plan.SourcePeer, nil
+				}
+				m.count("peer.fallbacks")
+			}
+		}
+		// Every replica missed: execute on the primary shard (it owns
+		// the memoization), then write the result back to the other
+		// live owners so the whole replica set converges immediately.
+		if ch != nil && primary != self {
+			if ld, ok := m.peerCompactExec(primary, key.Hash, lib, ch); ok {
+				m.cache.Put(key.Hash, ld)
+				m.replicateTo(key.Hash, ld, without(remotes, primary))
+				return ld, plan.SourcePeer, nil
+			}
+		}
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, plan.SourceComputed, err
+	}
+	ld := v.(*negativa.LibDebloat)
+	m.cache.Put(key.Hash, ld)
+	// Local compute writes back to every live remote owner of the key.
+	m.replicateTo(key.Hash, ld, remotes)
+	return v, plan.SourceComputed, nil
 }
 
 func (m *StageMemo) count(name string) {

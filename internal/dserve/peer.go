@@ -60,6 +60,25 @@ type peerLookupResponse struct {
 	Sparse  []byte            `json:"sparse,omitempty"`
 }
 
+// peerBatchLookupRequest asks a peer for many stage values in one round
+// trip — the scatter half of the batch-prefetch path. Keys are capped at
+// maxBatchLookupKeys per request; requesters chunk above that.
+type peerBatchLookupRequest struct {
+	Keys []peerLookupRequest `json:"keys"`
+}
+
+// peerBatchLookupResponse answers index-aligned with the request's keys.
+// A key the peer does not hold (or cannot parse) is found=false — a batch
+// lookup never fails because one key was bad.
+type peerBatchLookupResponse struct {
+	Results []peerLookupResponse `json:"results"`
+}
+
+// maxBatchLookupKeys bounds one batch lookup, so a single request cannot
+// make a peer do unbounded memo reads (mirrors maxStatObjects on the
+// repair plane).
+const maxBatchLookupKeys = 256
+
 // peerDetectRequest executes one detect stage on its owning shard. The
 // spec (plus framework and tail-libs) is everything the owner needs to
 // regenerate the install — installs are deterministic functions of their
@@ -160,6 +179,7 @@ func (s *Service) transcodeSparseFor(r *http.Request, enc []byte) []byte {
 // requests that do not present it.
 func registerPeerRoutes(mux *http.ServeMux, s *Service) {
 	mux.HandleFunc("POST /v1/peer/lookup", s.peerAuth(s.handlePeerLookup))
+	mux.HandleFunc("POST /v1/peer/lookup-batch", s.peerAuth(s.handlePeerLookupBatch))
 	mux.HandleFunc("POST /v1/peer/detect", s.peerAuth(s.handlePeerDetect))
 	mux.HandleFunc("POST /v1/peer/compact", s.peerAuth(s.handlePeerCompact))
 	mux.HandleFunc("GET /v1/peer/objects/{kind}/{key}", s.peerAuth(s.handlePeerObject))
@@ -211,6 +231,44 @@ func decodePeerBody(w http.ResponseWriter, r *http.Request, limit int64, into an
 	return true
 }
 
+// lookupStage resolves one read-through key against this node's local
+// tiers (memory, then castore), answering in durable wire form. The error
+// names an unservable key (unknown stage, malformed hash); a clean miss is
+// found=false with no error.
+func (s *Service) lookupStage(r *http.Request, key peerLookupRequest) (peerLookupResponse, error) {
+	resp := peerLookupResponse{}
+	switch key.Stage {
+	case negativa.StageDetect:
+		fp, wid, ok := negativa.SplitDetectHash(key.Hash)
+		if !ok {
+			return resp, errors.New("malformed detect hash")
+		}
+		if p, ok := s.Registry.Get(ProfileKey{Install: fp, Workload: wid}); ok {
+			resp.Found, resp.Profile = true, p
+		}
+	case negativa.StageCompact:
+		if ld, ok := s.Cache.Get(key.Hash); ok && ld.Report != nil && ld.Report.Sparse != nil {
+			sr := storedResultOf(ld)
+			resp.Found, resp.Result, resp.Sparse = true, &sr, s.encodeSparseFor(r, ld.Report.Sparse)
+		} else if s.store != nil {
+			raw, ok1 := s.store.Get(kindResult, key.Hash)
+			enc, ok2 := s.store.Get(kindSparse, key.Hash)
+			if ok1 && ok2 {
+				var sr storedResult
+				if err := json.Unmarshal(raw, &sr); err == nil {
+					resp.Found, resp.Result, resp.Sparse = true, &sr, s.transcodeSparseFor(r, enc)
+				}
+			}
+		}
+	default:
+		return resp, fmt.Errorf("stage %q has no peer lookup", key.Stage)
+	}
+	if resp.Found {
+		s.Counters.Add("peer.served_hits", 1)
+	}
+	return resp, nil
+}
+
 // handlePeerLookup serves the read-through tier: a stage value this node
 // already holds in memory or in its castore, in durable wire form. A miss
 // is a found=false success, never an error — the requester decides whether
@@ -221,37 +279,44 @@ func (s *Service) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.Counters.Add("peer.served_lookups", 1)
-	resp := peerLookupResponse{}
-	switch req.Stage {
-	case negativa.StageDetect:
-		fp, wid, ok := negativa.SplitDetectHash(req.Hash)
-		if !ok {
-			httpError(w, http.StatusBadRequest, errors.New("malformed detect hash"))
-			return
-		}
-		if p, ok := s.Registry.Get(ProfileKey{Install: fp, Workload: wid}); ok {
-			resp.Found, resp.Profile = true, p
-		}
-	case negativa.StageCompact:
-		if ld, ok := s.Cache.Get(req.Hash); ok && ld.Report != nil && ld.Report.Sparse != nil {
-			sr := storedResultOf(ld)
-			resp.Found, resp.Result, resp.Sparse = true, &sr, s.encodeSparseFor(r, ld.Report.Sparse)
-		} else if s.store != nil {
-			raw, ok1 := s.store.Get(kindResult, req.Hash)
-			enc, ok2 := s.store.Get(kindSparse, req.Hash)
-			if ok1 && ok2 {
-				var sr storedResult
-				if err := json.Unmarshal(raw, &sr); err == nil {
-					resp.Found, resp.Result, resp.Sparse = true, &sr, s.transcodeSparseFor(r, enc)
-				}
-			}
-		}
-	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("stage %q has no peer lookup", req.Stage))
+	resp, err := s.lookupStage(r, req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if resp.Found {
-		s.Counters.Add("peer.served_hits", 1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePeerLookupBatch is the scatter-gather read-through route: many
+// keys in, index-aligned answers out, one round trip — the batch-prefetch
+// path that collapses a peer-warm batch's per-stage lookups into one
+// request per replica group. An unservable key answers found=false in
+// place instead of failing its neighbors. Config.DisablePeerBatch makes
+// the route answer a plain 404, indistinguishable from a node predating
+// it — the mixed-version stand-in; requesters then degrade to per-key
+// lookups.
+func (s *Service) handlePeerLookupBatch(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisablePeerBatch {
+		http.NotFound(w, r)
+		return
+	}
+	var req peerBatchLookupRequest
+	if !decodePeerBody(w, r, peerBodyLimit, &req) {
+		return
+	}
+	if len(req.Keys) > maxBatchLookupKeys {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch of %d keys exceeds the %d bound", len(req.Keys), maxBatchLookupKeys))
+		return
+	}
+	s.Counters.Add("peer.served_batches", 1)
+	s.Counters.Add("peer.served_lookups", int64(len(req.Keys)))
+	resp := peerBatchLookupResponse{Results: make([]peerLookupResponse, len(req.Keys))}
+	for i, key := range req.Keys {
+		lr, err := s.lookupStage(r, key)
+		if err != nil {
+			continue // found=false in place
+		}
+		resp.Results[i] = lr
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -652,31 +717,6 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 	}
 	m.count("peer.hits")
 	return dr.Profile, true
-}
-
-// peerCompactLookup probes one replica owner for an already-memoized
-// compact result (no image on the wire). found=false with ok=true is a
-// clean miss — the replica answered, it just has nothing; ok=false is a
-// transport or decode failure, already counted. A found result has been
-// decoded against the live library — the digest-bound sparse codec
-// rejects any payload that does not reproduce this library's bytes.
-func (m *StageMemo) peerCompactLookup(owner, hash string, lib *elfx.Library) (ld *negativa.LibDebloat, found, ok bool) {
-	var lr peerLookupResponse
-	if err := m.postJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageCompact, Hash: hash}, &lr); err != nil {
-		m.count("peer.fallbacks")
-		return nil, false, false
-	}
-	if !lr.Found {
-		m.count("peer.misses")
-		return nil, false, true
-	}
-	ld, decOK := decodePeerResult(lib, lr.Result, lr.Sparse)
-	if !decOK {
-		m.count("peer.fallbacks")
-		return nil, false, false
-	}
-	m.count("peer.hits")
-	return ld, true, true
 }
 
 // peerCompactExec executes a compact stage on its owning shard, shipping

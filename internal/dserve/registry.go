@@ -144,6 +144,15 @@ func (r *Registry) Get(key ProfileKey) (*negativa.Profile, bool) {
 	return p, ok
 }
 
+// Has reports whether a profile for the key is resident, without
+// returning it — the batch prefetch's local-presence probe.
+func (r *Registry) Has(key ProfileKey) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.profiles[key]
+	return ok
+}
+
 // Len returns the number of stored profiles.
 func (r *Registry) Len() int {
 	r.mu.RLock()

@@ -38,9 +38,10 @@ func stageStats(c *metrics.CounterSet) map[string]map[string]int64 {
 }
 
 // peerStats assembles the peer section of /v1/metrics: the memo tier's
-// hit/miss/fallback counters plus the cluster's membership and per-peer
-// health (per-peer latency distributions live in the timings section
-// under peer.<node-id>).
+// hit/miss/fallback counters, the hot path's round-trip and hedging
+// counters, plus the cluster's membership and per-peer health (per-peer
+// latency distributions live in the timings section under
+// peer.<node-id>).
 func peerStats(s *Service) map[string]any {
 	c := s.Cluster()
 	if c == nil {
@@ -48,15 +49,19 @@ func peerStats(s *Service) map[string]any {
 	}
 	st := c.Stats()
 	return map[string]any{
-		"self":          st.Self,
-		"ring_nodes":    st.RingNodes,
-		"replica_sets":  st.ReplicaSets,
-		"hits":          s.Counters.Get("peer.hits"),
-		"misses":        s.Counters.Get("peer.misses"),
-		"fallbacks":     s.Counters.Get("peer.fallbacks"),
-		"remote_execs":  s.Counters.Get("peer.remote_execs"),
-		"replica_reads": s.Counters.Get("peer.replica_reads"),
-		"peers":         st.Peers,
+		"self":            st.Self,
+		"ring_nodes":      st.RingNodes,
+		"replica_sets":    st.ReplicaSets,
+		"hits":            s.Counters.Get("peer.hits"),
+		"misses":          s.Counters.Get("peer.misses"),
+		"fallbacks":       s.Counters.Get("peer.fallbacks"),
+		"remote_execs":    s.Counters.Get("peer.remote_execs"),
+		"replica_reads":   s.Counters.Get("peer.replica_reads"),
+		"round_trips":     s.Counters.Get("peer.round_trips"),
+		"hedge_fired":     s.Counters.Get("peer.hedge_fired"),
+		"hedge_won":       s.Counters.Get("peer.hedge_won"),
+		"hedge_cancelled": s.Counters.Get("peer.hedge_cancelled"),
+		"peers":           st.Peers,
 	}
 }
 

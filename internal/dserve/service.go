@@ -94,6 +94,13 @@ type Config struct {
 	// interop test's old-node stand-in) if a mixed-version cluster
 	// misbehaves.
 	DisableSparseWireV2 bool
+	// DisablePeerBatch turns the batched peer-lookup path off on both
+	// sides of the wire: the node stops serving /v1/peer/lookup-batch
+	// (answering the plain 404 an old node would) and stops issuing batch
+	// prefetches of its own, degrading to per-key lookups. The escape
+	// hatch (and the interop test's old-node stand-in) if a mixed-version
+	// cluster misbehaves.
+	DisablePeerBatch bool
 }
 
 // Service is the batch-debloat service core: the profile registry, the
@@ -122,6 +129,10 @@ type Service struct {
 	// outcomes into the counter and timing sets.
 	stages   *StageMemo
 	observer plan.Observer
+
+	// costMu/costs cache StageCost's per-stage medians (see StageCost).
+	costMu sync.Mutex
+	costs  map[string]stageCostEntry
 
 	mu           sync.Mutex
 	jobs         map[string]*Job
@@ -181,6 +192,7 @@ func NewService(cfg Config) *Service {
 		pool:         NewPool(cfg.Workers),
 		jobs:         map[string]*Job{},
 		installs:     map[string]*installSlot{},
+		costs:        map[string]stageCostEntry{},
 		fingerprints: newBoundedMemo(64),
 		restoredLibs: newBoundedMemo(64),
 		peerSem:      make(chan struct{}, cfg.Workers),
@@ -214,6 +226,9 @@ func (s *Service) AttachCluster(c *cluster.Cluster) {
 	s.cluster = c
 	s.stages.AttachCluster(c)
 	s.stages.AttachReplicator(s.replicateResult)
+	if s.cfg.DisablePeerBatch {
+		s.stages.DisableBatching()
+	}
 	// Advertise the compact sparse wire codec on every outgoing peer
 	// request. Decoding is unconditional (DecodeSparseImage sniffs the
 	// magic), so the knob only controls what peers are invited to send.
@@ -379,6 +394,11 @@ type BatchResult struct {
 	VerifySkipped bool
 	// WallTime is the real elapsed time of the batch.
 	WallTime time.Duration
+	// PeerRoundTrips counts the peer read-path round trips this batch's
+	// execution window observed (taken from the peer.round_trips counter
+	// delta, so concurrent batches on one node see each other's trips).
+	// Zero for standalone nodes and fully local batches.
+	PeerRoundTrips int64
 }
 
 // EndToEnd is the batch's virtual debloating time (the paper's Table 8
@@ -519,6 +539,26 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	// ---- Stage graph ----
 	g := plan.New()
 
+	// Hot-path prefetch: with a cluster attached, a single unkeyed node
+	// batches every detect key the graph will need into grouped
+	// lookup-batch round trips (one per remote replica set) before the
+	// detect nodes consult the memo — collapsing the peer-warm batch's
+	// per-key lookups into a handful of scatter-gather calls. The node is
+	// glue, not a stage: found profiles land in the registry, clean misses
+	// are marked so detect nodes skip their own probe.
+	var detectDeps []*plan.Node
+	if s.cluster != nil {
+		items := make([]prefetchItem, len(workloads))
+		for i := range workloads {
+			items[i] = prefetchItem{key: negativa.DetectKey(fp, ids[i])}
+		}
+		pf := g.Node("prefetch", nil, nil, func([]any) (any, error) {
+			s.stages.PrefetchLookups(items)
+			return nil, nil
+		})
+		detectDeps = []*plan.Node{pf}
+	}
+
 	// Detection: one node per member, memoized in the profile registry.
 	// With specs attached, each node also carries the hint the cluster
 	// tier needs to execute the stage on its owning shard.
@@ -526,7 +566,7 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	for i := range workloads {
 		i := i
 		w := workloads[i]
-		detects[i] = g.Node(negativa.StageDetect, nil, plan.StaticKey(negativa.DetectKey(fp, ids[i])), func([]any) (any, error) {
+		detects[i] = g.Node(negativa.StageDetect, detectDeps, plan.StaticKey(negativa.DetectKey(fp, ids[i])), func([]any) (any, error) {
 			p, err := negativa.DetectUsage(w, maxSteps)
 			if err != nil {
 				return nil, fmt.Errorf("dserve: detect %s: %w", w.Name, err)
@@ -567,6 +607,29 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		return union, nil
 	})
 
+	// Compact-key prefetch: compact keys are derivable from the union
+	// alone (CompactKey is its locate key's image), so as soon as the
+	// union resolves one glue node batches every compact key into grouped
+	// lookup-batch round trips — overlapping the network reads with the
+	// local lib-index/locate work the compact nodes also wait on.
+	compactPrefetchDeps := []*plan.Node(nil)
+	if s.cluster != nil {
+		pfc := g.Node("prefetch", []*plan.Node{unionNode}, nil, func(deps []any) (any, error) {
+			u := deps[0].(*negativa.Profile)
+			items := make([]prefetchItem, 0, len(names))
+			for _, name := range names {
+				lib := in.Library(name)
+				items = append(items, prefetchItem{
+					key:  negativa.CompactKey(negativa.LocateKey(lib, u.UsedFuncs[name], u.UsedKernels[name], archs)),
+					hint: lib,
+				})
+			}
+			s.stages.PrefetchLookups(items)
+			return nil, nil
+		})
+		compactPrefetchDeps = []*plan.Node{pfc}
+	}
+
 	// Location + compaction: per-library node pairs. Locate keys resolve
 	// late from the union's used-symbol sets; compact keys derive from
 	// their locate key, landing in the two-tier result cache (memory, then
@@ -605,7 +668,7 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 		// is consulted — fills in the union-derived inputs the cluster
 		// tier needs to re-execute the stage on its owning shard.
 		ch := &compactHint{lib: lib, archs: archs}
-		compacts[i] = g.Node(negativa.StageCompact, []*plan.Node{unionNode, locates[i]}, func(deps []any) (plan.Key, error) {
+		compacts[i] = g.Node(negativa.StageCompact, append([]*plan.Node{unionNode, locates[i]}, compactPrefetchDeps...), func(deps []any) (plan.Key, error) {
 			u := deps[0].(*negativa.Profile)
 			ch.usedFuncs, ch.usedKernels = u.UsedFuncs[name], u.UsedKernels[name]
 			return negativa.CompactKey(locates[i].ResolvedKey()), nil
@@ -685,7 +748,8 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	if opt.OnPlanned != nil {
 		opt.OnPlanned(g.Len())
 	}
-	if err := g.Execute(s.pool, s.stages, plan.MultiObserver(s.observer, opt.Observer)); err != nil {
+	rt0 := s.Counters.Get("peer.round_trips")
+	if err := g.ExecuteWith(s.pool, s.stages, plan.MultiObserver(s.observer, opt.Observer), plan.ExecOptions{Costs: s}); err != nil {
 		return nil, err
 	}
 
@@ -763,9 +827,45 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	}
 
 	res.WallTime = time.Since(start)
+	res.PeerRoundTrips = s.Counters.Get("peer.round_trips") - rt0
 	s.Counters.Add("batches.completed", 1)
 	s.Timings.Observe("batch.wall", res.WallTime)
 	return res, nil
+}
+
+// StageCost implements plan.CostModel from the service's measured
+// stage-timing history: a stage's expected cost is the median of its
+// recent wall times, so critical-path dispatch weights nodes by what this
+// node actually observed, not a static guess. Unmeasured stages return
+// zero (unit weight — chain depth still orders them).
+//
+// Summary sorts the series' whole sample window, and the DAG scheduler
+// asks per node per batch, so the median is cached and recomputed only
+// after the series has grown by stageCostRefresh observations — dispatch
+// priorities need the right order of magnitude, not the latest sample.
+func (s *Service) StageCost(stage string) time.Duration {
+	name := "stage." + stage
+	n := s.Timings.Total(name)
+	s.costMu.Lock()
+	e, ok := s.costs[name]
+	s.costMu.Unlock()
+	if ok && n-e.at < stageCostRefresh {
+		return e.cost
+	}
+	cost := time.Duration(s.Timings.Summary(name).P50 * float64(time.Millisecond))
+	s.costMu.Lock()
+	s.costs[name] = stageCostEntry{at: n, cost: cost}
+	s.costMu.Unlock()
+	return cost
+}
+
+// stageCostRefresh is how many new observations a stage-timing series
+// accumulates before StageCost re-derives its cached median.
+const stageCostRefresh = 64
+
+type stageCostEntry struct {
+	at   int64
+	cost time.Duration
 }
 
 // install returns the generated install for (framework, tailLibs),

@@ -133,11 +133,11 @@ func gwShapeDiff(path string, doc, live any, subset bool, probs *[]string) {
 // gw- block the test does not exercise fails.
 func TestGatewayAPIDocExamples(t *testing.T) {
 	blocks := parseGatewayAPIDoc(t)
-	// A single dispatch slot pins a heavy blocker in flight so the doc
-	// example's duplicate deterministically coalesces while queued; the
-	// "limited" tenant's 1-byte result quota makes the shed example
+	// A single dispatch slot plus a gated blocker holds the queue still so
+	// the doc example's duplicate deterministically coalesces while queued;
+	// the "limited" tenant's 1-byte result quota makes the shed example
 	// deterministic too (charged at its coalesced job's completion).
-	ts, g, _ := newFrontDoor(t, Config{DispatchSlots: 1}, []TenantConfig{
+	ts, g, _, release := newGatedFrontDoor(t, Config{DispatchSlots: 1}, []TenantConfig{
 		{Name: "acme", Keys: []string{"key-acme"}},
 		{Name: "limited", Keys: []string{"key-limited"},
 			Quota: QuotaConfig{MaxResultBytes: 1}},
@@ -201,6 +201,7 @@ func TestGatewayAPIDocExamples(t *testing.T) {
 	if !dup.Coalesced {
 		t.Fatal("duplicate of a queued batch did not coalesce")
 	}
+	release()
 
 	// ---- gw-job-status: the documented job, completed ----
 	if done := pollGwDone(t, ts.URL, "key-acme", st.ID); done.State != JobDone {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -19,15 +20,41 @@ import (
 // newFrontDoor stands up a real dserve service behind a gateway handler.
 func newFrontDoor(t *testing.T, cfg Config, tenants []TenantConfig) (*httptest.Server, *Gateway, *dserve.Service) {
 	t.Helper()
+	ts, g, svc, _ := newGatedFrontDoor(t, cfg, tenants)
+	return ts, g, svc
+}
+
+// gatedBackend parks the blocker submission (recognised by heavyReq's tail
+// width) until released, so tests that pin the only dispatch slot with a
+// blocker hold it deterministically instead of racing the backend's speed.
+type gatedBackend struct {
+	*dserve.Service
+	release chan struct{}
+}
+
+func (b *gatedBackend) SubmitWith(req dserve.JobRequest, opts dserve.SubmitOptions) (*dserve.Job, error) {
+	if req.TailLibs == heavyTailLibs {
+		<-b.release
+	}
+	return b.Service.SubmitWith(req, opts)
+}
+
+// newGatedFrontDoor is newFrontDoor plus a release func that lets a gated
+// heavyReq blocker proceed. Cleanup releases too, so a test that fails
+// before releasing still shuts down.
+func newGatedFrontDoor(t *testing.T, cfg Config, tenants []TenantConfig) (*httptest.Server, *Gateway, *dserve.Service, func()) {
+	t.Helper()
 	svc := dserve.NewService(dserve.Config{Workers: 4, MaxSteps: 2})
-	g, err := New(svc, cfg, tenants)
+	gb := &gatedBackend{Service: svc, release: make(chan struct{})}
+	g, err := New(gb, cfg, tenants)
 	if err != nil {
 		svc.Close()
 		t.Fatal(err)
 	}
+	release := sync.OnceFunc(func() { close(gb.release) })
 	ts := httptest.NewServer(NewHandler(g, dserve.NewHandler(svc)))
-	t.Cleanup(func() { ts.Close(); g.Close(); svc.Close() })
-	return ts, g, svc
+	t.Cleanup(func() { release(); ts.Close(); g.Close(); svc.Close() })
+	return ts, g, svc, release
 }
 
 func twoTenants() []TenantConfig {
@@ -37,15 +64,16 @@ func twoTenants() []TenantConfig {
 	}
 }
 
-// heavyReq is a deliberately expensive cold batch (wide tail, deep steps,
-// training epochs): tests that need a job to still be in flight while a
-// few localhost round trips land use it to keep the window wide even on a
-// saturated machine. (A job's wall time scales with load the same way the
-// competing round trips do; a small warm job can finish inside one delayed
-// HTTP hop.)
+// heavyTailLibs marks heavyReq batches; gatedBackend keys on it.
+const heavyTailLibs = 24
+
+// heavyReq is an expensive cold batch (wide tail, deep steps, training
+// epochs) used as a dispatch-slot blocker. Tests that need it to still be
+// in flight while other submissions land should hold it with a gated
+// front door rather than racing the backend's speed.
 func heavyReq() dserve.JobRequest {
 	return dserve.JobRequest{
-		Framework: "pytorch", TailLibs: 24, MaxSteps: 6,
+		Framework: "pytorch", TailLibs: heavyTailLibs, MaxSteps: 6,
 		Workloads: []dserve.WorkloadSpec{
 			{Model: "MobileNetV2", Batch: 1},
 			{Model: "Transformer", Batch: 32},
@@ -278,9 +306,9 @@ func TestSubmitStreamReport(t *testing.T) {
 // TestCoalescingAcrossTenants: identical concurrent submissions from two
 // tenants share one backend execution; both riders complete with results.
 func TestCoalescingAcrossTenants(t *testing.T) {
-	ts, g, svc := newFrontDoor(t, Config{DispatchSlots: 1}, twoTenants())
+	ts, g, svc, release := newGatedFrontDoor(t, Config{DispatchSlots: 1}, twoTenants())
 
-	// A slow blocker pins the dispatch slot so the two identical requests
+	// A gated blocker pins the dispatch slot so the two identical requests
 	// demonstrably coalesce while queued.
 	var blocker gwStatus
 	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", heavyReq(), &blocker)
@@ -294,6 +322,7 @@ func TestCoalescingAcrossTenants(t *testing.T) {
 	if !b.Coalesced {
 		t.Fatal("identical queued request must coalesce")
 	}
+	release()
 
 	fa := pollGwDone(t, ts.URL, "key-acme", a.ID)
 	fb := pollGwDone(t, ts.URL, "key-beta", b.ID)
@@ -349,9 +378,10 @@ func TestCoalescingAcrossTenants(t *testing.T) {
 func TestShedOverQuota(t *testing.T) {
 	tenants := twoTenants()
 	tenants[0].Quota = QuotaConfig{MaxConcurrent: 1}
-	ts, _, _ := newFrontDoor(t, Config{}, tenants)
+	ts, _, _, release := newGatedFrontDoor(t, Config{}, tenants)
 
-	// The in-flight job must outlive the next round trip, so it is heavy.
+	// The gated blocker stays in flight until released, so the over-quota
+	// submission below is guaranteed to land while the tenant is at cap.
 	var first gwStatus
 	doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", heavyReq(), &first)
 
@@ -374,6 +404,7 @@ func TestShedOverQuota(t *testing.T) {
 		t.Fatalf("other tenant: status %d", oresp.StatusCode)
 	}
 
+	release()
 	pollGwDone(t, ts.URL, "key-acme", first.ID)
 	rresp := doJSON(t, "POST", ts.URL+"/v1/jobs", "key-acme", LoadRequest(2, 6, 2), nil)
 	if rresp.StatusCode != http.StatusAccepted {

@@ -125,12 +125,25 @@ type Observer interface {
 // first error in node insertion order (nodes downstream of a failed node
 // do not run; they inherit the failure).
 func (g *Graph) Execute(ex Executor, memo Memo, obs Observer) error {
-	for _, n := range g.nodes {
-		go n.exec(ex, memo, obs)
+	return g.ExecuteWith(ex, memo, obs, ExecOptions{})
+}
+
+// ExecuteWith is Execute with scheduling options. Ready nodes are
+// dispatched in descending critical-path length — each node weighted by
+// opt.Costs (unit weight without it) plus its heaviest dependent chain —
+// so when more nodes are ready than the executor has slots, the slots go
+// to the work the batch's wall clock is actually waiting on, not to
+// whatever happened to become ready first.
+func (g *Graph) ExecuteWith(ex Executor, memo Memo, obs Observer, opt ExecOptions) error {
+	prio := g.criticalPaths(opt.Costs)
+	pe := newPrioExecutor(ex)
+	for i, n := range g.nodes {
+		go n.exec(prioSlot{p: pe, priority: prio[i]}, memo, obs)
 	}
 	for _, n := range g.nodes {
 		<-n.done
 	}
+	pe.stop()
 	for _, n := range g.nodes {
 		if n.err != nil {
 			return n.err

@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// CostModel supplies per-stage cost estimates for critical-path
+// scheduling — typically the serving plane's measured stage-timing
+// history. StageCost returns the expected wall time of one execution of
+// the stage; zero (or negative) means unknown, which schedules the stage
+// at unit weight.
+type CostModel interface {
+	StageCost(stage string) time.Duration
+}
+
+// ExecOptions tune one graph execution.
+type ExecOptions struct {
+	// Costs weights nodes for critical-path dispatch. Nil falls back to
+	// unit weights, making a node's priority its dependent-chain depth —
+	// still a better dispatch order than FIFO for diamond-shaped graphs.
+	Costs CostModel
+}
+
+// criticalPaths computes each node's critical-path length: its own cost
+// plus the heaviest cost chain among its dependents, in integer
+// microseconds (floored at 1 so unknown-cost stages still rank by chain
+// depth). Insertion order is topological — Graph.Node requires deps to
+// exist first — so one reverse sweep suffices.
+func (g *Graph) criticalPaths(costs CostModel) []int64 {
+	// Nodes share few distinct stages, and a cost model may do real work
+	// per query (percentile summaries), so ask it once per stage.
+	byStage := map[string]int64{}
+	cost := func(n *Node) int64 {
+		if costs == nil {
+			return 1
+		}
+		c, ok := byStage[n.stage]
+		if !ok {
+			c = 1
+			if d := costs.StageCost(n.stage); d > 0 {
+				c = int64(d/time.Microsecond) + 1
+			}
+			byStage[n.stage] = c
+		}
+		return c
+	}
+	idx := make(map[*Node]int, len(g.nodes))
+	for i, n := range g.nodes {
+		idx[n] = i
+	}
+	cp := make([]int64, len(g.nodes))
+	// best[i] accumulates the max critical path among node i's dependents,
+	// filled as those dependents are processed (they come later in
+	// insertion order, i.e. earlier in this reverse sweep).
+	best := make([]int64, len(g.nodes))
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		cp[i] = cost(n) + best[i]
+		for _, d := range n.deps {
+			if j := idx[d]; cp[i] > best[j] {
+				best[j] = cp[i]
+			}
+		}
+	}
+	return cp
+}
+
+// schedWaiter is one node blocked on slot admission.
+type schedWaiter struct {
+	priority int64
+	seq      int64 // FIFO tie-break, keeps equal-priority dispatch stable
+	ready    chan struct{}
+}
+
+type waiterHeap []*schedWaiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*schedWaiter)) }
+func (h *waiterHeap) Pop() any     { old := *h; n := len(old); w := old[n-1]; *h = old[:n-1]; return w }
+
+// prioExecutor turns a plain Executor's FIFO admission into priority
+// admission: blocked nodes wait in a critical-path-ordered heap, and a
+// broker goroutine acquires underlying slots one at a time, granting each
+// to the heaviest waiter at that moment. Releases go straight to the
+// underlying executor, so memo tiers that yield their slot during network
+// waits keep working unchanged.
+type prioExecutor struct {
+	ex   Executor
+	mu   sync.Mutex
+	wait waiterHeap
+	seq  int64
+	kick chan struct{}
+	quit chan struct{}
+}
+
+func newPrioExecutor(ex Executor) *prioExecutor {
+	p := &prioExecutor{ex: ex, kick: make(chan struct{}, 1), quit: make(chan struct{})}
+	go p.broker()
+	return p
+}
+
+// broker admits waiters in priority order. It only ever holds an
+// underlying slot for the instant between Acquire and grant, and it only
+// calls Acquire while a waiter exists — so at shutdown (every node done,
+// heap empty) it is parked on the select and exits cleanly.
+func (p *prioExecutor) broker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.kick:
+		}
+		for {
+			p.mu.Lock()
+			empty := len(p.wait) == 0
+			p.mu.Unlock()
+			if empty {
+				break
+			}
+			p.ex.Acquire()
+			p.mu.Lock()
+			w := heap.Pop(&p.wait).(*schedWaiter)
+			p.mu.Unlock()
+			close(w.ready)
+		}
+	}
+}
+
+// acquire blocks until the broker grants this node a slot, competing by
+// critical-path priority.
+func (p *prioExecutor) acquire(priority int64) {
+	w := &schedWaiter{priority: priority, ready: make(chan struct{})}
+	p.mu.Lock()
+	w.seq = p.seq
+	p.seq++
+	heap.Push(&p.wait, w)
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	<-w.ready
+}
+
+// stop shuts the broker down. Call only after every node has finished —
+// the heap is empty by then, so the broker is never stranded inside an
+// underlying Acquire.
+func (p *prioExecutor) stop() { close(p.quit) }
+
+// prioSlot adapts one node's view of the shared prioExecutor to the
+// Executor interface Node.exec expects: Acquire joins the priority queue
+// at the node's critical-path weight, Release frees the underlying slot
+// directly.
+type prioSlot struct {
+	p        *prioExecutor
+	priority int64
+}
+
+func (s prioSlot) Acquire() { s.p.acquire(s.priority) }
+func (s prioSlot) Release() { s.p.ex.Release() }

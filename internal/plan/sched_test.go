@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// mapCosts is a CostModel over a fixed stage→cost table.
+type mapCosts map[string]time.Duration
+
+func (m mapCosts) StageCost(stage string) time.Duration { return m[stage] }
+
+// TestCriticalPaths checks the weighting sweep on a diamond: the heavy
+// branch's members carry the heavy chain, and the shared root carries the
+// heaviest path through it.
+func TestCriticalPaths(t *testing.T) {
+	g := New()
+	run := func([]any) (any, error) { return nil, nil }
+	root := g.Node("root", nil, nil, run)
+	light := g.Node("light", []*Node{root}, nil, run)
+	heavy := g.Node("heavy", []*Node{root}, nil, run)
+	sink := g.Node("sink", []*Node{light, heavy}, nil, run)
+	_ = sink
+
+	costs := mapCosts{
+		"root":  1 * time.Millisecond,
+		"light": 1 * time.Millisecond,
+		"heavy": 50 * time.Millisecond,
+		"sink":  1 * time.Millisecond,
+	}
+	cp := g.criticalPaths(costs)
+	// Expected critical-path lengths in microseconds (+1 per node):
+	// sink=1001, light=1001+1001, heavy=50001+1001, root=1001+51002.
+	if cp[3] != 1001 {
+		t.Fatalf("sink cp = %d", cp[3])
+	}
+	if cp[2] != 50001+1001 {
+		t.Fatalf("heavy cp = %d", cp[2])
+	}
+	if cp[1] != 1001+1001 {
+		t.Fatalf("light cp = %d", cp[1])
+	}
+	if cp[0] != 1001+50001+1001 {
+		t.Fatalf("root cp = %d", cp[0])
+	}
+	if cp[2] <= cp[1] {
+		t.Fatal("heavy branch must outweigh light branch")
+	}
+
+	// Without a cost model every node weighs 1: priority is chain depth.
+	unit := g.criticalPaths(nil)
+	if unit[0] != 3 || unit[1] != 2 || unit[2] != 2 || unit[3] != 1 {
+		t.Fatalf("unit weights = %v", unit)
+	}
+}
+
+// gatedExecutor blocks every Acquire until the test hands out a permit,
+// so grant order is fully under test control.
+type gatedExecutor struct {
+	permits chan struct{}
+}
+
+func (g *gatedExecutor) Acquire() { <-g.permits }
+func (g *gatedExecutor) Release() {}
+
+// TestPrioExecutorGrantsByPriority enqueues waiters of known priorities
+// while the underlying executor is out of slots, then releases permits one
+// at a time: grants must come out heaviest-first, FIFO within ties.
+func TestPrioExecutorGrantsByPriority(t *testing.T) {
+	ex := &gatedExecutor{permits: make(chan struct{})}
+	p := newPrioExecutor(ex)
+	defer p.stop()
+
+	prios := []int64{10, 999, 5, 999, 40}
+	order := make(chan int, len(prios))
+	var wg sync.WaitGroup
+	for i, pr := range prios {
+		// Enqueue strictly one at a time so seq (the FIFO tie-break)
+		// matches slice order.
+		entered := make(chan struct{})
+		wg.Add(1)
+		go func(i int, pr int64) {
+			defer wg.Done()
+			close(entered)
+			p.acquire(pr)
+			order <- i
+		}(i, pr)
+		<-entered
+		waitWaiters(t, p, i+1)
+	}
+
+	// Release permits one at a time; each grant is the heaviest waiter.
+	want := []int{1, 3, 4, 0, 2} // 999 (seq first), 999, 40, 10, 5
+	for k, w := range want {
+		ex.permits <- struct{}{}
+		got := <-order
+		if got != w {
+			t.Fatalf("grant %d went to waiter %d (prio %d), want waiter %d (prio %d)",
+				k, got, prios[got], w, prios[w])
+		}
+	}
+	wg.Wait()
+}
+
+// waitWaiters blocks until the priority heap holds n waiters.
+func waitWaiters(t *testing.T, p *prioExecutor, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		got := len(p.wait)
+		p.mu.Unlock()
+		if got == n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("heap never reached %d waiters", n)
+}
+
+// TestExecuteWithCostsRunsGraph: the priority path changes dispatch order
+// only — results, memo interaction, and error handling stay intact.
+func TestExecuteWithCostsRunsGraph(t *testing.T) {
+	g := New()
+	a := g.Node("a", nil, nil, func([]any) (any, error) { return 1, nil })
+	b := g.Node("b", []*Node{a}, nil, func(deps []any) (any, error) { return deps[0].(int) + 1, nil })
+	c := g.Node("c", []*Node{a, b}, nil, func(deps []any) (any, error) {
+		return deps[0].(int) + deps[1].(int), nil
+	})
+	err := g.ExecuteWith(NewPool(2), nil, nil, ExecOptions{Costs: mapCosts{"a": time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value().(int) != 3 {
+		t.Fatalf("c = %v", c.Value())
+	}
+}
