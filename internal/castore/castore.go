@@ -111,10 +111,12 @@ type Store struct {
 	// paying two blocking fsyncs per object. Guarded by mu.
 	dirtyFiles map[string]struct{}
 	dirtyDirs  map[string]struct{}
-	// syncMu serializes the actual fsync sweeps: a background sweep
-	// (maybeBackgroundSync) may be mid-flight when a commit point calls
-	// SyncDirs, and the barrier must not return until that sweep's files
-	// are durable too — a manifest may reference them.
+	// syncMu serializes the fsync sweeps, held across the dirty-set
+	// snapshot and the flushes: a background sweep (maybeBackgroundSync)
+	// may be mid-flight when a commit point calls SyncDirs, and the
+	// barrier must not return until that sweep's files are durable too —
+	// a manifest may reference them. Ordered before mu; never acquire it
+	// while holding mu.
 	syncMu sync.Mutex
 	// bgSyncing gates at most one background sweep at a time.
 	bgSyncing atomic.Bool
@@ -472,9 +474,10 @@ const backgroundSyncThreshold = 24
 
 // maybeBackgroundSync starts one asynchronous group-commit sweep unless
 // one is already running. Strictly an advance of work SyncDirs would do:
-// the dirty snapshot is taken under mu and synced under syncMu, so a
-// concurrent commit-point SyncDirs still returns only after every
-// already-snapshotted file is durable.
+// syncMu is held from before the dirty snapshot until the sweep finishes,
+// so a concurrent commit-point SyncDirs either waits out the background
+// sweep or snapshots the files itself — it never returns while a
+// snapshotted file's fsync is outstanding.
 func (s *Store) maybeBackgroundSync() {
 	if !s.bgSyncing.CompareAndSwap(false, true) {
 		return
@@ -493,6 +496,16 @@ func (s *Store) maybeBackgroundSync() {
 // rename pointing at undurable bytes. Failures are ignored for the same
 // reason syncAll's are.
 func (s *Store) SyncDirs() {
+	// syncMu is held across snapshot AND sweep, acquired before mu. If the
+	// snapshot were taken first, a background sweep could empty the dirty
+	// sets, get descheduled before reaching syncMu, and let a concurrent
+	// commit-point SyncDirs snapshot nothing, win syncMu, and return while
+	// the sweep's fsyncs had not even started — a caller would publish a
+	// manifest referencing undurable objects. Taken in this order, a commit
+	// barrier either blocks behind the in-flight sweep or still sees the
+	// files in its own snapshot; both are safe.
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
 	s.mu.Lock()
 	files := make([]string, 0, len(s.dirtyFiles))
 	for f := range s.dirtyFiles {
@@ -505,11 +518,6 @@ func (s *Store) SyncDirs() {
 	}
 	clear(s.dirtyDirs)
 	s.mu.Unlock()
-	// Serialize the sweep itself: returning while a background sweep still
-	// holds unsynced files would let a caller publish a manifest referencing
-	// objects whose fsyncs are in flight.
-	s.syncMu.Lock()
-	defer s.syncMu.Unlock()
 	if len(files)+len(dirs) == 0 {
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"negativaml/internal/metrics"
 )
@@ -441,5 +442,50 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if rep := s.Verify(); rep.Removed != 0 {
 		t.Fatalf("verify after concurrent load: %+v", rep)
+	}
+}
+
+// TestSyncDirsSnapshotsUnderSweepLock pins the group-commit barrier's
+// lock ordering: the dirty-set snapshot happens only while syncMu is
+// held. If a sweep (the background one, say) could snapshot-and-clear
+// before taking the sweep lock, a concurrent commit-point SyncDirs would
+// see an empty dirty set, win the lock, and return while that sweep's
+// fsyncs had not started — publishing a manifest over undurable objects.
+func TestSyncDirsSnapshotsUnderSweepLock(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "lib", []byte("durable before the manifest"))
+
+	s.syncMu.Lock() // stand in for an in-flight sweep owning the barrier
+	done := make(chan struct{})
+	go func() {
+		s.SyncDirs()
+		close(done)
+	}()
+	for i := 0; i < 20; i++ {
+		time.Sleep(time.Millisecond)
+		s.mu.Lock()
+		n := len(s.dirtyFiles)
+		s.mu.Unlock()
+		if n == 0 {
+			s.syncMu.Unlock()
+			t.Fatal("SyncDirs snapshotted the dirty set before holding the sweep lock")
+		}
+		select {
+		case <-done:
+			s.syncMu.Unlock()
+			t.Fatal("SyncDirs returned while the sweep lock was held")
+		default:
+		}
+	}
+	s.syncMu.Unlock()
+	<-done
+	s.mu.Lock()
+	left := len(s.dirtyFiles) + len(s.dirtyDirs)
+	s.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("dirty entries left after SyncDirs: %d", left)
 	}
 }

@@ -75,17 +75,18 @@ func (m *StageMemo) endFlight(k plan.Key) {
 // awaitFlight blocks until the key's current flight (if any) ends,
 // yielding the caller's executor slot for the duration — a waiter is pure
 // wait, and holding a worker slot across it could deadlock a Workers=1
-// pool against the leader re-acquiring its own slot.
-func (m *StageMemo) awaitFlight(k plan.Key) {
+// pool against the leader re-acquiring its own slot. slot, when non-nil,
+// is the calling node's own executor (see slotOf).
+func (m *StageMemo) awaitFlight(slot plan.Executor, k plan.Key) {
 	m.flightMu.Lock()
 	ch := m.flights[k]
 	m.flightMu.Unlock()
 	if ch == nil {
 		return
 	}
-	if m.exec != nil {
-		m.exec.Release()
-		defer m.exec.Acquire()
+	if ex := m.slotOf(slot); ex != nil {
+		ex.Release()
+		defer ex.Acquire()
 	}
 	<-ch
 }
@@ -144,6 +145,22 @@ func (m *StageMemo) consumeMiss(k plan.Key) bool {
 	return false
 }
 
+// clearMarks drops whatever prefetch outcome marks remain for the given
+// keys. Stage nodes consume their marks on the normal path, but a batch
+// that aborts between prefetch and consumption (a key-fn or upstream node
+// error) would otherwise leave entries behind forever — and a stale miss
+// mark would make a later batch for the same key skip its lookup probe
+// even though a replica may hold the value by then. DebloatBatch calls it
+// on every exit, scoping the marks to the batch that planted them.
+func (m *StageMemo) clearMarks(keys []plan.Key) {
+	m.hotMu.Lock()
+	for _, k := range keys {
+		delete(m.prefetched, k)
+		delete(m.missed, k)
+	}
+	m.hotMu.Unlock()
+}
+
 // markNoBatch remembers a peer that answered 404 to the lookup-batch
 // route — a node predating it. The mark is per-process: batches skip the
 // peer from then on and its keys degrade to per-key lookups.
@@ -176,14 +193,15 @@ func (m *StageMemo) countRoundTrip() { m.count("peer.round_trips") }
 // the primary target's p95), the rest are tried sequentially only if both
 // miss or fail. Returns the found response and the peer that served it.
 // The caller's executor slot is yielded for the whole exchange — it is
-// pure network wait.
-func (m *StageMemo) hedgedLookup(remotes []string, req peerLookupRequest) (*peerLookupResponse, string, bool) {
+// pure network wait; slot, when non-nil, is the calling node's own
+// executor (see slotOf).
+func (m *StageMemo) hedgedLookup(slot plan.Executor, remotes []string, req peerLookupRequest) (*peerLookupResponse, string, bool) {
 	if len(remotes) == 0 {
 		return nil, "", false
 	}
-	if m.exec != nil {
-		m.exec.Release()
-		defer m.exec.Acquire()
+	if ex := m.slotOf(slot); ex != nil {
+		ex.Release()
+		defer ex.Acquire()
 	}
 	var mu sync.Mutex
 	done := map[string]bool{} // peers whose attempt completed un-cancelled
@@ -288,7 +306,11 @@ func (m *StageMemo) PrefetchLookups(items []prefetchItem) {
 	}
 	// Fan the groups out concurrently with the caller's worker slot
 	// yielded: this is network wait, and the stage nodes whose keys are
-	// not in any group should run meanwhile.
+	// not in any group should run meanwhile. The prefetch glue node's
+	// runFn has no per-node slot to hand down, so this yield goes through
+	// the attached executor; the node roots the whole batch's dependent
+	// chain, so its re-acquisition is never the low-priority queue-jump
+	// the slot threading elsewhere prevents.
 	if m.exec != nil {
 		m.exec.Release()
 		defer m.exec.Acquire()

@@ -124,7 +124,7 @@ func TestHedgedLookupSlowReplica(t *testing.T) {
 	m.AttachCluster(c)
 
 	start := time.Now()
-	lr, peer, ok := m.hedgedLookup([]string{"slow", "fast"}, peerLookupRequest{Stage: negativa.StageDetect, Hash: "fp\x00w"})
+	lr, peer, ok := m.hedgedLookup(nil, []string{"slow", "fast"}, peerLookupRequest{Stage: negativa.StageDetect, Hash: "fp\x00w"})
 	wall := time.Since(start)
 	if !ok || peer != "fast" || lr == nil || lr.Profile == nil {
 		t.Fatalf("hedged lookup = %v from %q, ok=%v", lr, peer, ok)

@@ -91,7 +91,8 @@ type StageMemo struct {
 	cluster *cluster.Cluster
 	// exec, when non-nil, is the same executor the plan scheduler runs
 	// stages under; peer round trips yield their slot through it (see
-	// postJSON).
+	// postJSON) when the scheduler did not hand down the calling node's
+	// own slot (slotOf).
 	exec plan.Executor
 	// replicate, when non-nil, pushes a freshly produced compact result's
 	// objects to the named replica peers in the background (the service's
@@ -149,6 +150,17 @@ func (m *StageMemo) AttachExecutor(ex plan.Executor) { m.exec = ex }
 // serving side. Call before serving.
 func (m *StageMemo) DisableBatching() { m.disableBatch = true }
 
+// slotOf picks the executor a network wait yields through: the calling
+// node's own slot when the scheduler handed one down (re-acquisition then
+// re-joins priority admission at the node's critical-path weight), else
+// the service-wide attached executor.
+func (m *StageMemo) slotOf(slot plan.Executor) plan.Executor {
+	if slot != nil {
+		return slot
+	}
+	return m.exec
+}
+
 // postJSON runs one peer round trip with the caller's executor slot
 // yielded. Plan nodes hold a worker slot while resolving their memo, but
 // a peer lookup is pure network wait — holding a CPU-sized slot across it
@@ -157,11 +169,11 @@ func (m *StageMemo) DisableBatching() { m.disableBatch = true }
 // round trip at a time). The slot is re-Acquired before returning, so
 // compute after the wire — decode, verify, local compute on fallback —
 // still runs under the pool's bound.
-func (m *StageMemo) postJSON(owner, path string, req, resp any) error {
+func (m *StageMemo) postJSON(slot plan.Executor, owner, path string, req, resp any) error {
 	m.countRoundTrip()
-	if m.exec != nil {
-		m.exec.Release()
-		defer m.exec.Acquire()
+	if ex := m.slotOf(slot); ex != nil {
+		ex.Release()
+		defer ex.Acquire()
 	}
 	return m.cluster.PostJSON(owner, path, req, resp)
 }
@@ -219,6 +231,14 @@ func (m *StageMemo) GetOrCompute(key plan.Key, hint any, compute func() (any, er
 // planted) or becomes the key's flight leader, so one key never has two
 // remote reads or two local computes in flight at once.
 func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (any, error)) (any, plan.Source, error) {
+	return m.GetOrComputeSourcedSlot(nil, key, hint, compute)
+}
+
+// GetOrComputeSourcedSlot implements plan.SlotSourcedMemo: the scheduler
+// hands down the calling node's executor slot, so every network wait on
+// this consultation yields and re-acquires through the node's own
+// priority admission rather than the raw pool.
+func (m *StageMemo) GetOrComputeSourcedSlot(slot plan.Executor, key plan.Key, hint any, compute func() (any, error)) (any, plan.Source, error) {
 	switch key.Stage {
 	case negativa.StageDetect:
 		fp, wid, ok := negativa.SplitDetectHash(key.Hash)
@@ -234,10 +254,10 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 			if m.beginFlight(key) {
 				break
 			}
-			m.awaitFlight(key)
+			m.awaitFlight(slot, key)
 		}
 		defer m.endFlight(key)
-		return m.detectLeader(key, pk, hint, compute)
+		return m.detectLeader(slot, key, pk, hint, compute)
 	case negativa.StageCompact:
 		lib, ch := compactHintOf(hint)
 		for {
@@ -250,10 +270,10 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 			if m.beginFlight(key) {
 				break
 			}
-			m.awaitFlight(key)
+			m.awaitFlight(slot, key)
 		}
 		defer m.endFlight(key)
-		return m.compactLeader(key, lib, ch, compute)
+		return m.compactLeader(slot, key, lib, ch, compute)
 	}
 	v, hit, err := m.mem.GetOrCompute(key, hint, compute)
 	src := plan.SourceComputed
@@ -267,7 +287,7 @@ func (m *StageMemo) GetOrComputeSourced(key plan.Key, hint any, compute func() (
 // hedged replica lookup (skipped when a batch lookup already saw the
 // replica set clean-miss), hinted remote execution on the primary shard,
 // then local compute.
-func (m *StageMemo) detectLeader(key plan.Key, pk ProfileKey, hint any, compute func() (any, error)) (any, plan.Source, error) {
+func (m *StageMemo) detectLeader(slot plan.Executor, key plan.Key, pk ProfileKey, hint any, compute func() (any, error)) (any, plan.Source, error) {
 	if owners, self := m.replicaOwners(key); len(owners) > 0 {
 		dh, _ := hint.(*detectHint)
 		remotes := remotesOf(owners, self)
@@ -285,7 +305,7 @@ func (m *StageMemo) detectLeader(key plan.Key, pk ProfileKey, hint any, compute 
 				// add a round trip.
 				targets = without(remotes, primary)
 			}
-			if lr, peer, ok := m.hedgedLookup(targets, peerLookupRequest{Stage: negativa.StageDetect, Hash: key.Hash}); ok {
+			if lr, peer, ok := m.hedgedLookup(slot, targets, peerLookupRequest{Stage: negativa.StageDetect, Hash: key.Hash}); ok {
 				if lr.Profile != nil && lr.Profile.RunResult != nil {
 					if peer != primary {
 						m.count("peer.replica_reads")
@@ -300,7 +320,7 @@ func (m *StageMemo) detectLeader(key plan.Key, pk ProfileKey, hint any, compute 
 		// One round trip: the execute route starts with the owner's
 		// registry probe, and the owner memoizes what it executes.
 		if dh != nil && primary != self {
-			if p, ok := m.peerDetect(primary, key.Hash, dh); ok {
+			if p, ok := m.peerDetect(slot, primary, key.Hash, dh); ok {
 				m.registry.Put(pk, p)
 				return p, plan.SourcePeer, nil
 			}
@@ -318,14 +338,14 @@ func (m *StageMemo) detectLeader(key plan.Key, pk ProfileKey, hint any, compute 
 // compactLeader is the flight leader's read-through for one compact key:
 // hedged replica lookup, remote execution on the primary shard, local
 // compute — each step writing back so the replica set converges.
-func (m *StageMemo) compactLeader(key plan.Key, lib *elfx.Library, ch *compactHint, compute func() (any, error)) (any, plan.Source, error) {
+func (m *StageMemo) compactLeader(slot plan.Executor, key plan.Key, lib *elfx.Library, ch *compactHint, compute func() (any, error)) (any, plan.Source, error) {
 	owners, self := m.replicaOwners(key)
 	remotes := remotesOf(owners, self)
 	if lib != nil && len(remotes) > 0 {
 		primary := owners[0]
 		if !m.consumeMiss(key) {
 			m.cluster.SortByLatency(remotes)
-			if lr, peer, ok := m.hedgedLookup(remotes, peerLookupRequest{Stage: negativa.StageCompact, Hash: key.Hash}); ok {
+			if lr, peer, ok := m.hedgedLookup(slot, remotes, peerLookupRequest{Stage: negativa.StageCompact, Hash: key.Hash}); ok {
 				if ld, decOK := decodePeerResult(lib, lr.Result, lr.Sparse); decOK {
 					// Replicate toward demand: the local Put spills the
 					// result into this node's castore, so the next miss
@@ -344,7 +364,7 @@ func (m *StageMemo) compactLeader(key plan.Key, lib *elfx.Library, ch *compactHi
 		// the memoization), then write the result back to the other
 		// live owners so the whole replica set converges immediately.
 		if ch != nil && primary != self {
-			if ld, ok := m.peerCompactExec(primary, key.Hash, lib, ch); ok {
+			if ld, ok := m.peerCompactExec(slot, primary, key.Hash, lib, ch); ok {
 				m.cache.Put(key.Hash, ld)
 				m.replicateTo(key.Hash, ld, without(remotes, primary))
 				return ld, plan.SourcePeer, nil

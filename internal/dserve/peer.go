@@ -16,6 +16,7 @@ import (
 	"negativaml/internal/elfx"
 	"negativaml/internal/gpuarch"
 	"negativaml/internal/negativa"
+	"negativaml/internal/plan"
 )
 
 // The peer wire protocol. Every route lives under /v1/peer/ and is spoken
@@ -682,10 +683,10 @@ func compactHintOf(hint any) (*elfx.Library, *compactHint) {
 // latency. Without a hint there is nothing to execute remotely, so a
 // lookup probe is all that happens. ok=false means the caller should
 // compute locally; the failure has already been counted.
-func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.Profile, bool) {
+func (m *StageMemo) peerDetect(slot plan.Executor, owner, hash string, hint *detectHint) (*negativa.Profile, bool) {
 	if hint == nil {
 		var lr peerLookupResponse
-		if err := m.postJSON(owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: hash}, &lr); err != nil {
+		if err := m.postJSON(slot, owner, "/v1/peer/lookup", peerLookupRequest{Stage: negativa.StageDetect, Hash: hash}, &lr); err != nil {
 			m.count("peer.fallbacks")
 			return nil, false
 		}
@@ -706,7 +707,7 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 		MaxSteps: hint.maxSteps, Spec: hint.spec,
 	}
 	var dr peerDetectResponse
-	if err := m.postJSON(owner, "/v1/peer/detect", req, &dr); err != nil || dr.Profile == nil || dr.Profile.RunResult == nil {
+	if err := m.postJSON(slot, owner, "/v1/peer/detect", req, &dr); err != nil || dr.Profile == nil || dr.Profile.RunResult == nil {
 		m.count("peer.fallbacks")
 		return nil, false
 	}
@@ -721,7 +722,7 @@ func (m *StageMemo) peerDetect(owner, hash string, hint *detectHint) (*negativa.
 
 // peerCompactExec executes a compact stage on its owning shard, shipping
 // the library image inline (the owner may have never seen it).
-func (m *StageMemo) peerCompactExec(owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
+func (m *StageMemo) peerCompactExec(slot plan.Executor, owner, hash string, lib *elfx.Library, hint *compactHint) (*negativa.LibDebloat, bool) {
 	if base64.StdEncoding.EncodedLen(len(lib.Data)) > peerBodyLimit-(64<<10) {
 		// The owner's body cap would bounce the request after we shipped
 		// the whole image; don't marshal it just to be rejected — compute
@@ -737,7 +738,7 @@ func (m *StageMemo) peerCompactExec(owner, hash string, lib *elfx.Library, hint 
 		req.Archs = append(req.Archs, uint32(a))
 	}
 	var cr peerCompactResponse
-	if err := m.postJSON(owner, "/v1/peer/compact", req, &cr); err != nil {
+	if err := m.postJSON(slot, owner, "/v1/peer/compact", req, &cr); err != nil {
 		m.count("peer.fallbacks")
 		return nil, false
 	}

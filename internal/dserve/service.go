@@ -546,11 +546,21 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 	// per-key lookups into a handful of scatter-gather calls. The node is
 	// glue, not a stage: found profiles land in the registry, clean misses
 	// are marked so detect nodes skip their own probe.
+	// markKeys scopes the prefetch outcome marks (prefetched / missed) to
+	// this batch: stage nodes consume their marks on the happy path, but a
+	// batch aborting between prefetch and consumption must not leave stale
+	// entries in the service-wide memo. The compact prefetch node appends
+	// its keys during execution; ExecuteWith waits for every node before
+	// returning, so the deferred clear observes the final slice.
+	var markKeys []plan.Key
+	defer func() { s.stages.clearMarks(markKeys) }()
+
 	var detectDeps []*plan.Node
 	if s.cluster != nil {
 		items := make([]prefetchItem, len(workloads))
 		for i := range workloads {
 			items[i] = prefetchItem{key: negativa.DetectKey(fp, ids[i])}
+			markKeys = append(markKeys, items[i].key)
 		}
 		pf := g.Node("prefetch", nil, nil, func([]any) (any, error) {
 			s.stages.PrefetchLookups(items)
@@ -623,6 +633,7 @@ func (s *Service) DebloatBatch(in *mlframework.Install, workloads []mlruntime.Wo
 					key:  negativa.CompactKey(negativa.LocateKey(lib, u.UsedFuncs[name], u.UsedKernels[name], archs)),
 					hint: lib,
 				})
+				markKeys = append(markKeys, items[len(items)-1].key)
 			}
 			s.stages.PrefetchLookups(items)
 			return nil, nil

@@ -189,7 +189,9 @@ func (n *Node) exec(ex Executor, memo Memo, obs Observer) {
 	var v any
 	var err error
 	src := SourceComputed
-	if sm, ok := memo.(SourcedMemo); ok {
+	if sm, ok := memo.(SlotSourcedMemo); ok {
+		v, src, err = sm.GetOrComputeSourcedSlot(ex, n.key, n.hint, func() (any, error) { return n.runFn(vals) })
+	} else if sm, ok := memo.(SourcedMemo); ok {
 		v, src, err = sm.GetOrComputeSourced(n.key, n.hint, func() (any, error) { return n.runFn(vals) })
 	} else {
 		var hit bool

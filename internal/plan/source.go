@@ -49,6 +49,19 @@ type SourcedMemo interface {
 	GetOrComputeSourced(key Key, hint any, compute func() (any, error)) (v any, src Source, err error)
 }
 
+// SlotSourcedMemo is an optional SourcedMemo refinement: the scheduler
+// additionally hands each consultation the calling node's own executor
+// slot. Memo tiers that yield the slot around network waits re-acquire
+// through it, so under priority admission (ExecuteWith) a node returning
+// from a peer round trip re-joins the queue at its critical-path weight
+// instead of racing the raw pool ahead of heavier waiters. slot is only
+// valid for the duration of the call; implementations fall back to their
+// attached executor when it is nil.
+type SlotSourcedMemo interface {
+	SourcedMemo
+	GetOrComputeSourcedSlot(slot Executor, key Key, hint any, compute func() (any, error)) (v any, src Source, err error)
+}
+
 // SourceObserver is an optional Observer extension: implementations also
 // receive each finished node's value source (SourceComputed for unmemoized
 // glue nodes and plain misses). It fires in addition to StageDone, never
