@@ -7,6 +7,11 @@
 //	negativa-ml -install ./pytorch-install -model MobileNetV2 -train \
 //	            -batch 16 -epochs 3 -device T4 -out ./debloated
 //
+// -ingest replaces -install for trees this tool did not write (an unpacked
+// wheel, a site-packages directory): files are classified by content, each
+// shared object's DT_NEEDED edges are resolved into a dependency closure,
+// and the closure debloats through the identical pipeline.
+//
 // The tool profiles the workload (kernel detector + CPU-function profiler),
 // locates used code in every library, compacts, verifies the debloated
 // install by re-running the workload, and prints a per-library report.
@@ -21,10 +26,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"negativaml/internal/castore"
 	"negativaml/internal/dserve"
+	"negativaml/internal/ingest"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
 	"negativaml/internal/negativa"
@@ -32,6 +39,7 @@ import (
 
 func main() {
 	installDir := flag.String("install", "", "framework install directory (from mlbloat-gen)")
+	ingestDir := flag.String("ingest", "", "ingest an arbitrary on-disk tree (unpacked wheel / site-packages): classify files, resolve the DT_NEEDED closure, and debloat it")
 	model := flag.String("model", "MobileNetV2", "model: MobileNetV2, Transformer, Llama2")
 	train := flag.Bool("train", false, "train instead of inference")
 	batch := flag.Int("batch", 1, "batch size")
@@ -45,13 +53,47 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persistent analysis store; repeat runs against the same install reuse profiles and locate/compact results instead of recomputing")
 	diskMB := flag.Int64("disk-mb", 512, "persistent store byte budget in MiB (with -data-dir)")
 	flag.Parse()
-	if *installDir == "" {
-		log.Fatal("negativa-ml: -install is required")
+	if (*installDir == "") == (*ingestDir == "") {
+		log.Fatal("negativa-ml: exactly one of -install or -ingest is required")
 	}
 
-	install, err := mlframework.ReadFrom(*installDir)
-	if err != nil {
-		log.Fatalf("negativa-ml: %v", err)
+	var install *mlframework.Install
+	if *ingestDir != "" {
+		res, err := ingest.Tree(*ingestDir, ingest.Options{})
+		if err != nil {
+			log.Fatalf("negativa-ml: ingest: %v", err)
+		}
+		classes := map[ingest.Class]int{}
+		for _, fr := range res.Files {
+			classes[fr.Class]++
+		}
+		fmt.Printf("ingested %s: %d files (", *ingestDir, len(res.Files))
+		for i, c := range []ingest.Class{ingest.ClassSharedObject, ingest.ClassManifest, ingest.ClassScript, ingest.ClassData} {
+			if i > 0 {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s %d", c, classes[c])
+		}
+		fmt.Printf(")\n")
+		fmt.Printf("closure: %d of %d shared objects from roots %v\n", len(res.Closure), res.SharedObjects(), res.Roots)
+		unresolved := make([]string, 0, len(res.Unresolved))
+		for name := range res.Unresolved {
+			unresolved = append(unresolved, name)
+		}
+		sort.Strings(unresolved)
+		for _, name := range unresolved {
+			fmt.Printf("unresolved (system-provided?): %s wanted by %v\n", name, res.Unresolved[name])
+		}
+		install, err = res.Install()
+		if err != nil {
+			log.Fatalf("negativa-ml: ingest: %v", err)
+		}
+	} else {
+		var err error
+		install, err = mlframework.ReadFrom(*installDir)
+		if err != nil {
+			log.Fatalf("negativa-ml: %v", err)
+		}
 	}
 
 	// Model/dataset/device materialization is the batch service's

@@ -97,6 +97,14 @@
 //	  ]
 //	}
 //
+// With -ingest-root the service also accepts ingestion-mode jobs: the body
+// names an on-disk tree ("ingest_dir", resolved under and confined to the
+// root) instead of a framework, the node classifies the tree's files,
+// resolves the DT_NEEDED dependency closure, and debloats the ingested
+// install through the same stage DAG, memo tiers, and cluster ring:
+//
+//	{"ingest_dir": "pytorch-tree", "workloads": [{"model": "MobileNetV2"}]}
+//
 // On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
 // requests, and waits for running jobs before exiting.
 package main
@@ -135,6 +143,7 @@ func main() {
 	replicas := flag.Int("replicas", 2, "replica owners per stage key, R (with -peers)")
 	repairEvery := flag.Duration("repair-interval", time.Minute, "anti-entropy repair sweep period; 0 disables (with -peers and -data-dir)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "hedged replica reads: 0 = adaptive (p95 of the target peer's latency, 2ms floor), >0 raises the floor, negative disables hedging (with -peers)")
+	ingestRoot := flag.String("ingest-root", "", "enable ingestion-mode jobs (\"ingest_dir\" in the submit body): requested trees resolve under and are confined to this directory")
 	tenantsPath := flag.String("tenants", "", "tenant config JSON; enables the multi-tenant gateway (API keys, quotas, lanes)")
 	gwDispatch := flag.Int("gw-dispatch", 4, "gateway concurrent dispatch slots (with -tenants)")
 	gwQueue := flag.Int("gw-queue", 64, "gateway per-lane queue depth before load-shedding (with -tenants)")
@@ -210,6 +219,7 @@ func main() {
 		Workers:             *workers,
 		CacheBytes:          *cacheMB << 20,
 		MaxSteps:            *steps,
+		IngestRoot:          *ingestRoot,
 		DisableSparseWireV2: *sparseWire == "v1",
 	}
 	if peerMap != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
@@ -134,7 +135,17 @@ func shapeDiff(path string, doc, live any, subset bool, probs *[]string) {
 // exercise.
 func TestAPIDocExamples(t *testing.T) {
 	blocks := parseAPIDoc(t)
-	nodes := startCluster(t, "a", "b")
+	// The ingest root (shared by both nodes) holds the tree the
+	// submit-ingest example names, written before the nodes boot.
+	ingestRoot := t.TempDir()
+	treeIn, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treeIn.WriteTo(filepath.Join(ingestRoot, "pytorch-tree")); err != nil {
+		t.Fatal(err)
+	}
+	nodes := startClusterCfg(t, func(id string, cfg *Config) { cfg.IngestRoot = ingestRoot }, "a", "b")
 	defer func() {
 		for _, n := range nodes {
 			n.close()
@@ -207,6 +218,25 @@ func TestAPIDocExamples(t *testing.T) {
 		t.Fatalf("doc-example incremental job failed: %s", incDone.Error)
 	}
 	actual["incremental-report response"] = httpJSON(http.MethodGet, "/v1/jobs/"+incSt.ID+"/report", nil, http.StatusOK)
+
+	// ---- ingestion mode ----
+	// The doc example's ingest_dir is relative to the node's ingest root,
+	// so it replays verbatim: the test wrote "pytorch-tree" under the root
+	// every node was booted with.
+	ingReq, ok := blocks["submit-ingest request"]
+	if !ok {
+		t.Fatal("docs/API.md lacks the submit-ingest request example")
+	}
+	actual["submit-ingest request"] = ingReq.json
+	ingSub := httpJSON(http.MethodPost, "/v1/submit", ingReq.json, http.StatusAccepted)
+	actual["submit-ingest response"] = ingSub
+	var ingSt jobStatus
+	if err := json.Unmarshal(ingSub, &ingSt); err != nil {
+		t.Fatal(err)
+	}
+	if ingDone := pollDone(t, a.srv, ingSt.ID); ingDone.State != JobDone {
+		t.Fatalf("doc-example ingest job failed: %s", ingDone.Error)
+	}
 
 	// ---- metrics + store ----
 	actual["metrics response"] = httpJSON(http.MethodGet, "/v1/metrics", nil, http.StatusOK)

@@ -1,0 +1,142 @@
+package dserve
+
+import (
+	"bytes"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"negativaml/internal/mlframework"
+)
+
+// TestIngestClusterE2E is ingestion's serving-plane acceptance test: an
+// on-disk tree (written once, shared by every node as its ingest root)
+// submitted via "ingest_dir" rides the full stage DAG across a 3-node ring,
+// and a re-submit to a different node is pure reuse — the ingested tree's
+// content-derived fingerprint keys the same stages a generated install
+// would, so nothing recomputes.
+func TestIngestClusterE2E(t *testing.T) {
+	in, err := mlframework.Generate(mlframework.Config{Framework: mlframework.PyTorch, TailLibs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := in.WriteTo(filepath.Join(root, "pytorch-tree")); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := startClusterCfg(t, func(id string, cfg *Config) { cfg.IngestRoot = root }, "a", "b", "c")
+	defer func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	}()
+	a, b := nodes["a"], nodes["b"]
+
+	req := JobRequest{
+		IngestDir: "pytorch-tree",
+		Workloads: []WorkloadSpec{
+			{Model: "MobileNetV2", Batch: 1},
+			{Model: "Transformer", Batch: 8, Device: "A100"},
+		},
+		MaxSteps: 2,
+	}
+
+	// ---- Phase 1: node A ingests and computes the batch across the ring ----
+	stA := postJob(t, a.srv, req)
+	if stA.IngestDir != "pytorch-tree" || stA.Framework != "" {
+		t.Fatalf("status should echo the ingestion request: ingest_dir=%q framework=%q", stA.IngestDir, stA.Framework)
+	}
+	doneA := pollDone(t, a.srv, stA.ID)
+	if doneA.State != JobDone {
+		t.Fatalf("node A ingest job failed: %s", doneA.Error)
+	}
+	if doneA.Verified == nil || !*doneA.Verified {
+		t.Fatal("node A ingest batch must verify")
+	}
+	var repA jobReport
+	if code := getJSON(t, a.srv.URL+"/v1/jobs/"+stA.ID+"/report", &repA); code != http.StatusOK {
+		t.Fatalf("node A report status %d", code)
+	}
+	// Stage-key stability across the ingestion boundary: the tree's install
+	// fingerprints identically to the in-memory install it was written from,
+	// so profiles and memos from generated-install jobs carry over verbatim.
+	if repA.InstallFP != InstallFingerprint(in) {
+		t.Fatalf("ingested fingerprint %s differs from the source install's %s", repA.InstallFP, InstallFingerprint(in))
+	}
+
+	// ---- Phase 2: the same tree submitted to node B is pure reuse ----
+	analysisBefore := b.svc.Counters.Get("analysis.computed")
+	stB := postJob(t, b.srv, req)
+	doneB := pollDone(t, b.srv, stB.ID)
+	if doneB.State != JobDone {
+		t.Fatalf("node B ingest job failed: %s", doneB.Error)
+	}
+	if doneB.Verified == nil || !*doneB.Verified {
+		t.Fatal("node B ingest batch must verify")
+	}
+	if delta := b.svc.Counters.Get("analysis.computed") - analysisBefore; delta != 0 {
+		t.Fatalf("node B ran locate/compact %d times locally; the ring should have absorbed all of it", delta)
+	}
+	if hits := b.svc.Counters.Get("peer.hits"); hits == 0 {
+		t.Fatal("node B should have read stages through their owning peers")
+	}
+	var repB jobReport
+	if code := getJSON(t, b.srv.URL+"/v1/jobs/"+stB.ID+"/report", &repB); code != http.StatusOK {
+		t.Fatalf("node B report status %d", code)
+	}
+	if repB.InstallFP != repA.InstallFP {
+		t.Fatalf("re-ingest changed the install fingerprint: %s vs %s", repB.InstallFP, repA.InstallFP)
+	}
+	if len(repB.Libs) != len(repA.Libs) {
+		t.Fatalf("lib count mismatch: A=%d B=%d", len(repA.Libs), len(repB.Libs))
+	}
+	for _, lr := range repA.Libs {
+		la := fetchPeerJobLib(t, a.srv, stA.ID, lr.Name)
+		lb := fetchPeerJobLib(t, b.srv, stB.ID, lr.Name)
+		if !bytes.Equal(la, lb) {
+			t.Fatalf("%s: debloated bytes differ between the two nodes' ingest jobs", lr.Name)
+		}
+	}
+
+	// ---- Confinement: a path that escapes the ingest root fails the job ----
+	esc := postJob(t, a.srv, JobRequest{
+		IngestDir: "../outside",
+		Workloads: []WorkloadSpec{{Model: "MobileNetV2"}},
+	})
+	doneEsc := pollDone(t, a.srv, esc.ID)
+	if doneEsc.State != JobFailed || !strings.Contains(doneEsc.Error, "escapes") {
+		t.Fatalf("escaping ingest_dir should fail the job: state=%s err=%q", doneEsc.State, doneEsc.Error)
+	}
+}
+
+// TestIngestModeRequestValidation pins the ingestion-mode request contract:
+// ingest_dir excludes the install-shaping fields, and a node whose operator
+// never configured an ingest root refuses to read any path at all.
+func TestIngestModeRequestValidation(t *testing.T) {
+	ws := []WorkloadSpec{{Model: "MobileNetV2"}}
+	for _, tc := range []struct {
+		name string
+		req  JobRequest
+		want string
+	}{
+		{"framework excluded", JobRequest{IngestDir: "x", Framework: "pytorch", Workloads: ws}, "mutually exclusive"},
+		{"tail_libs excluded", JobRequest{IngestDir: "x", TailLibs: 3, Workloads: ws}, "mutually exclusive"},
+		{"workloads still required", JobRequest{IngestDir: "x"}, "no workloads"},
+	} {
+		err := tc.req.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (&JobRequest{IngestDir: "x", Workloads: ws}).Validate(); err != nil {
+		t.Errorf("well-formed ingest request rejected: %v", err)
+	}
+
+	svc := NewService(Config{Workers: 2, MaxSteps: 2})
+	defer svc.Close()
+	if _, err := svc.ingestInstall("anything"); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Errorf("node without an ingest root must refuse ingestion: %v", err)
+	}
+}

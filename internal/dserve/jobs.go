@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"negativaml/internal/elfx"
+	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
 	"negativaml/internal/negativa"
 	"negativaml/internal/plan"
@@ -327,10 +328,17 @@ func (s *Service) checkBaseLocked(req JobRequest) error {
 	if base.State != JobDone {
 		return fmt.Errorf("%w: %s is %s", ErrBaseNotReady, req.Base, base.State)
 	}
-	reqFW, _ := ResolveFramework(req.Framework) // req passed Validate already
-	baseFW, err := ResolveFramework(base.Req.Framework)
-	if err != nil || reqFW != baseFW || base.Req.TailLibs != req.TailLibs ||
-		s.effectiveSteps(base.Req.MaxSteps) != s.effectiveSteps(req.MaxSteps) ||
+	if base.Req.IngestDir != req.IngestDir {
+		return fmt.Errorf("dserve: incremental request must match base %s on ingest_dir", req.Base)
+	}
+	if req.IngestDir == "" {
+		reqFW, _ := ResolveFramework(req.Framework) // req passed Validate already
+		baseFW, err := ResolveFramework(base.Req.Framework)
+		if err != nil || reqFW != baseFW || base.Req.TailLibs != req.TailLibs {
+			return fmt.Errorf("dserve: incremental request must match base %s on framework, tail_libs, max_steps, and skip_verify", req.Base)
+		}
+	}
+	if s.effectiveSteps(base.Req.MaxSteps) != s.effectiveSteps(req.MaxSteps) ||
 		base.Req.SkipVerify != req.SkipVerify {
 		return fmt.Errorf("dserve: incremental request must match base %s on framework, tail_libs, max_steps, and skip_verify", req.Base)
 	}
@@ -355,11 +363,17 @@ func (s *Service) effectiveSteps(v int) int {
 // incremental base) and executes the batch. obs and onPlanned carry the
 // job's progress hooks into the batch options.
 func (s *Service) runBatch(req JobRequest, obs plan.Observer, onPlanned func(int)) (*BatchResult, error) {
-	fw, err := ResolveFramework(req.Framework)
-	if err != nil {
-		return nil, err
+	var in *mlframework.Install
+	var err error
+	if req.IngestDir != "" {
+		in, err = s.ingestInstall(req.IngestDir)
+	} else {
+		var fw string
+		if fw, err = ResolveFramework(req.Framework); err != nil {
+			return nil, err
+		}
+		in, err = s.install(fw, req.TailLibs)
 	}
-	in, err := s.install(fw, req.TailLibs)
 	if err != nil {
 		return nil, err
 	}
@@ -372,12 +386,18 @@ func (s *Service) runBatch(req JobRequest, obs plan.Observer, onPlanned func(int
 	opt := BatchOptions{
 		MaxSteps:   req.MaxSteps,
 		SkipVerify: req.SkipVerify,
+		Observer:   obs,
+		OnPlanned:  onPlanned,
+	}
+	if req.IngestDir == "" {
 		// The request's specs ride along so the cluster tier can execute
 		// detect stages on their owning shard (the shard regenerates the
-		// install from framework/tail_libs).
-		Specs:     &BatchSpecs{Framework: req.Framework, TailLibs: req.TailLibs, Workloads: req.Workloads},
-		Observer:  obs,
-		OnPlanned: onPlanned,
+		// install from framework/tail_libs). Ingested installs stay
+		// spec-less: a peer cannot re-read a tree it does not have, so
+		// detect stages compute locally on a cluster read-through miss
+		// while locate/compact/verify artifacts still flow through the
+		// ring by content key.
+		opt.Specs = &BatchSpecs{Framework: req.Framework, TailLibs: req.TailLibs, Workloads: req.Workloads}
 	}
 	if req.Base != "" {
 		// The base has been pinned since Submit accepted the request, so

@@ -235,8 +235,11 @@ type jobStatus struct {
 	State     string    `json:"state"`
 	Error     string    `json:"error,omitempty"`
 	Submitted time.Time `json:"submitted"`
-	Framework string    `json:"framework"`
-	Workloads int       `json:"workloads"`
+	Framework string    `json:"framework,omitempty"`
+	// IngestDir echoes the ingestion-mode request directory; Framework is
+	// empty on such jobs (the tree's manifest names it).
+	IngestDir string `json:"ingest_dir,omitempty"`
+	Workloads int    `json:"workloads"`
 	// Progress is the monotone completed-stage fraction (0..1, exactly 1
 	// once done); StagesDone/StagesTotal are its integer parts. A job
 	// restored after a restart reports 1 with zero counts — its per-stage
@@ -263,6 +266,7 @@ func statusOf(j *Job) jobStatus {
 		Error:       j.Err,
 		Submitted:   j.Submitted,
 		Framework:   j.Req.Framework,
+		IngestDir:   j.Req.IngestDir,
 		Workloads:   len(j.Req.Workloads),
 		Progress:    progressOf(j),
 		StagesDone:  j.StagesDone,

@@ -3,7 +3,9 @@ package dserve
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"negativaml/internal/castore"
 	"negativaml/internal/cluster"
 	"negativaml/internal/gpuarch"
+	"negativaml/internal/ingest"
 	"negativaml/internal/metrics"
 	"negativaml/internal/mlframework"
 	"negativaml/internal/mlruntime"
@@ -94,6 +97,11 @@ type Config struct {
 	// interop test's old-node stand-in) if a mixed-version cluster
 	// misbehaves.
 	DisableSparseWireV2 bool
+	// IngestRoot, when non-empty, enables ingestion-mode submissions
+	// (JobRequest.IngestDir): requested directories resolve relative to
+	// this root and are confined to it. Empty rejects ingestion requests —
+	// a node never reads arbitrary paths unless its operator opted in.
+	IngestRoot string
 	// DisablePeerBatch turns the batched peer-lookup path off on both
 	// sides of the wire: the node stops serving /v1/peer/lookup-batch
 	// (answering the plain 404 an old node would) and stops issuing batch
@@ -908,6 +916,39 @@ func (s *Service) install(framework string, tailLibs int) (*mlframework.Install,
 		}
 	})
 	return slot.in, slot.err
+}
+
+// ingestInstall resolves an ingestion-mode request directory against the
+// configured IngestRoot and materializes the tree as an install. Paths are
+// confined to the root: the join is cleaned and must stay inside it (ingest
+// itself never follows symlinked directories, so a link cannot tunnel out
+// either). Every submit re-reads the tree — on-disk contents may change
+// between submissions, and an unchanged tree re-converges through its
+// content-derived fingerprint and stage keys rather than a path-keyed cache.
+func (s *Service) ingestInstall(rel string) (*mlframework.Install, error) {
+	root := s.cfg.IngestRoot
+	if root == "" {
+		return nil, errors.New("dserve: ingestion is disabled on this node (no ingest root configured)")
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("dserve: ingest root: %w", err)
+	}
+	dir := filepath.Join(absRoot, rel)
+	if dir != absRoot && !strings.HasPrefix(dir, absRoot+string(filepath.Separator)) {
+		return nil, fmt.Errorf("dserve: ingest_dir %q escapes the ingest root", rel)
+	}
+	res, err := ingest.Tree(dir, ingest.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dserve: ingest %s: %w", rel, err)
+	}
+	in, err := res.Install()
+	if err != nil {
+		return nil, fmt.Errorf("dserve: ingest %s: %w", rel, err)
+	}
+	s.Counters.Add("ingests.trees", 1)
+	s.Counters.Add("ingests.libraries", int64(len(in.LibNames)))
+	return in, nil
 }
 
 // fingerprint memoizes InstallFingerprint per install pointer — installs

@@ -17,10 +17,17 @@ import (
 // server-side) and the member workloads to union-debloat against it.
 type JobRequest struct {
 	// Framework is pytorch, tensorflow, vllm, or transformers
-	// (case-insensitive).
-	Framework string `json:"framework"`
-	// TailLibs sizes the install's dependency tail.
-	TailLibs int `json:"tail_libs"`
+	// (case-insensitive). Empty when IngestDir is set — the framework then
+	// comes from the tree's manifest.
+	Framework string `json:"framework,omitempty"`
+	// TailLibs sizes the install's dependency tail. Must be zero when
+	// IngestDir is set — an ingested tree's library set is what it is.
+	TailLibs int `json:"tail_libs,omitempty"`
+	// IngestDir, when set, selects ingestion mode: instead of generating an
+	// install server-side, the service ingests the on-disk tree at this
+	// path — relative to the node's configured IngestRoot — and debloats
+	// that. Mutually exclusive with Framework and TailLibs.
+	IngestDir string `json:"ingest_dir,omitempty"`
 	// Workloads are the batch members (at least one).
 	Workloads []WorkloadSpec `json:"workloads"`
 	// MaxSteps caps detection/verification runs (0 = service default).
@@ -82,7 +89,14 @@ const (
 
 // Validate checks the request without generating anything.
 func (r *JobRequest) Validate() error {
-	if _, err := ResolveFramework(r.Framework); err != nil {
+	if r.IngestDir != "" {
+		if r.Framework != "" {
+			return fmt.Errorf("dserve: ingest_dir and framework are mutually exclusive (the manifest names the framework)")
+		}
+		if r.TailLibs != 0 {
+			return fmt.Errorf("dserve: ingest_dir and tail_libs are mutually exclusive (the tree's library set is fixed)")
+		}
+	} else if _, err := ResolveFramework(r.Framework); err != nil {
 		return err
 	}
 	if r.TailLibs < 0 {

@@ -1,0 +1,51 @@
+package elfx
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ParseDynamic decodes a raw .dynamic section against its string table
+// (.dynstr) and returns the DT_SONAME value and the DT_NEEDED names in table
+// order. Iteration stops at the DT_NULL terminator or the end of the blob,
+// whichever comes first; a trailing partial entry is ignored. Unknown tags
+// are skipped — real dynamic sections carry dozens of tags this analysis
+// does not need. A DT_SONAME or DT_NEEDED string offset outside the string
+// table is an error: those entries name the library's identity and its
+// dependency edges, and guessing either would corrupt the closure.
+func ParseDynamic(dyn, dynstr []byte) (soname string, needed []string, err error) {
+	le := binary.LittleEndian
+	for off := 0; off+dynEntrySize <= len(dyn); off += dynEntrySize {
+		tag := int64(le.Uint64(dyn[off:]))
+		val := le.Uint64(dyn[off+8:])
+		switch tag {
+		case dtNull:
+			return soname, needed, nil
+		case dtNeeded, dtSoname:
+			s, ok := dynStr(dynstr, val)
+			if !ok {
+				return "", nil, fmt.Errorf("elfx: dynamic tag %d: string offset %d outside .dynstr (%d bytes)", tag, val, len(dynstr))
+			}
+			if tag == dtSoname {
+				soname = s
+			} else {
+				needed = append(needed, s)
+			}
+		}
+	}
+	return soname, needed, nil
+}
+
+// dynStr reads the NUL-terminated string at off, reporting false when the
+// offset is outside the table. An unterminated tail reads to the end of the
+// table — the same tolerance readStr in the section parser applies.
+func dynStr(tab []byte, off uint64) (string, bool) {
+	if off >= uint64(len(tab)) {
+		return "", false
+	}
+	end := off
+	for end < uint64(len(tab)) && tab[end] != 0 {
+		end++
+	}
+	return string(tab[off:end]), true
+}

@@ -32,6 +32,13 @@ type Library struct {
 	Sections []Section
 	Funcs    []Function
 
+	// Machine is the ELF header's e_machine (EMX8664, EMAarch64, …).
+	Machine uint16
+	// Soname is the DT_SONAME from the dynamic section, empty when absent.
+	Soname string
+	// Needed lists DT_NEEDED dependencies in dynamic-section order.
+	Needed []string
+
 	// idx caches the lazily built analysis index (see Index).
 	idx atomic.Pointer[LibIndex]
 }
@@ -107,7 +114,7 @@ func Parse(name string, data []byte) (*Library, error) {
 		return string(tab[off:end])
 	}
 
-	lib := &Library{Name: name, Data: data}
+	lib := &Library{Name: name, Data: data, Machine: le.Uint16(data[18:])}
 	for _, s := range raw {
 		lib.Sections = append(lib.Sections, Section{
 			Name:  readStr(shstr, s.nameOff),
@@ -116,6 +123,24 @@ func Parse(name string, data []byte) (*Library, error) {
 			Addr:  int64(s.addr),
 			Range: fatbin.Range{Start: s.off, End: s.off + s.size},
 		})
+	}
+
+	// Decode the dynamic section when present: DT_SONAME names the library,
+	// DT_NEEDED entries are the dependency edges the ingestion closure walks.
+	for i, s := range raw {
+		if s.typ != shtDynamic {
+			continue
+		}
+		if int(s.link) >= shnum {
+			return nil, fmt.Errorf("elfx: %s: dynamic link out of range", name)
+		}
+		str := raw[s.link]
+		soname, needed, err := ParseDynamic(data[s.off:s.off+s.size], data[str.off:str.off+str.size])
+		if err != nil {
+			return nil, fmt.Errorf("elfx: %s: section %d: %w", name, i, err)
+		}
+		lib.Soname, lib.Needed = soname, needed
+		break
 	}
 
 	// Recover functions from .symtab (preferred) or .dynsym.

@@ -14,8 +14,7 @@ const (
 	sectionHeaderSize = 64
 	symEntrySize      = 24
 
-	etDyn    = 3
-	emX86_64 = 62
+	etDyn = 3
 
 	ptLoad = 1
 	pfX    = 1
@@ -26,7 +25,13 @@ const (
 	shtProgbits = 1
 	shtSymtab   = 2
 	shtStrtab   = 3
+	shtDynamic  = 6
 	shtDynsym   = 11
+
+	dynEntrySize = 16
+	dtNull       = 0
+	dtNeeded     = 1
+	dtSoname     = 14
 
 	shfWrite     = 1
 	shfAlloc     = 2
@@ -39,6 +44,12 @@ const (
 // FatbinSection is the name of the GPU-code section in ML shared libraries.
 const FatbinSection = ".nv_fatbin"
 
+// Machine architectures accepted by the builder and reported by the reader.
+const (
+	EMX8664   = 62  // x86-64
+	EMAarch64 = 183 // 64-bit ARM
+)
+
 // FuncSpec describes one CPU function to place in .text.
 type FuncSpec struct {
 	Name string
@@ -47,17 +58,26 @@ type FuncSpec struct {
 
 // Builder assembles an ELF64 shared library.
 type Builder struct {
-	soname string
-	funcs  []FuncSpec
-	fatbin []byte
-	rodata []byte
-	data   []byte
+	soname  string
+	machine uint16
+	needed  []string
+	funcs   []FuncSpec
+	fatbin  []byte
+	rodata  []byte
+	data    []byte
 }
 
 // NewBuilder returns a Builder for a library with the given soname.
 func NewBuilder(soname string) *Builder {
-	return &Builder{soname: soname}
+	return &Builder{soname: soname, machine: EMX8664}
 }
+
+// AddNeeded records a DT_NEEDED dependency on the named library. Order is
+// preserved in the emitted .dynamic section.
+func (b *Builder) AddNeeded(soname string) { b.needed = append(b.needed, soname) }
+
+// SetMachine overrides the ELF header's e_machine (default EMX8664).
+func (b *Builder) SetMachine(m uint16) { b.machine = m }
 
 // AddFunction appends a CPU function of the given code size to .text.
 // Sizes below 16 bytes are rounded up to 16 so every function body is
@@ -121,7 +141,8 @@ func (b *Builder) Build() ([]byte, error) {
 	}
 
 	// ---- String tables ----
-	// .strtab / .dynstr share content layout: \0 then names.
+	// .strtab holds \0 then function names. .dynstr extends that layout with
+	// the soname and DT_NEEDED names, so dynsym name offsets are valid in both.
 	strtab := []byte{0}
 	nameOff := make([]uint32, len(b.funcs))
 	for i, f := range b.funcs {
@@ -129,8 +150,33 @@ func (b *Builder) Build() ([]byte, error) {
 		strtab = append(strtab, f.Name...)
 		strtab = append(strtab, 0)
 	}
+	dynstr := append([]byte(nil), strtab...)
+	sonameOff := uint64(len(dynstr))
+	dynstr = append(dynstr, b.soname...)
+	dynstr = append(dynstr, 0)
+	neededOff := make([]uint64, len(b.needed))
+	for i, n := range b.needed {
+		if n == "" {
+			return nil, fmt.Errorf("elfx: empty DT_NEEDED name")
+		}
+		neededOff[i] = uint64(len(dynstr))
+		dynstr = append(dynstr, n...)
+		dynstr = append(dynstr, 0)
+	}
 
-	shnames := []string{"", ".text", ".rodata", ".data", FatbinSection, ".dynstr", ".dynsym", ".strtab", ".symtab", ".shstrtab"}
+	// ---- .dynamic ----
+	// DT_SONAME, one DT_NEEDED per dependency, DT_NULL terminator.
+	dynamic := make([]byte, (2+len(b.needed))*dynEntrySize)
+	le := binary.LittleEndian
+	le.PutUint64(dynamic[0:], dtSoname)
+	le.PutUint64(dynamic[8:], sonameOff)
+	for i := range b.needed {
+		e := dynamic[(1+i)*dynEntrySize:]
+		le.PutUint64(e[0:], dtNeeded)
+		le.PutUint64(e[8:], neededOff[i])
+	}
+
+	shnames := []string{"", ".text", ".rodata", ".data", FatbinSection, ".dynstr", ".dynsym", ".dynamic", ".strtab", ".symtab", ".shstrtab"}
 	shstrtab := []byte{0}
 	shNameOff := make([]uint32, len(shnames))
 	for i, n := range shnames {
@@ -175,20 +221,20 @@ func (b *Builder) Build() ([]byte, error) {
 	dataOff := align(rodataOff+int64(len(b.rodata)), 16)
 	fatbinOff := align(dataOff+int64(len(b.data)), 16)
 	dynstrOff := align(fatbinOff+int64(len(b.fatbin)), 8)
-	dynsymOff := align(dynstrOff+int64(len(strtab)), 8)
-	strtabOff := dynsymOff + dynsymSize
+	dynsymOff := align(dynstrOff+int64(len(dynstr)), 8)
+	dynamicOff := dynsymOff + dynsymSize
+	strtabOff := dynamicOff + int64(len(dynamic))
 	symtabOff := align(strtabOff+int64(len(strtab)), 8)
 	shstrtabOff := symtabOff + symtabSize
 	shdrOff := align(shstrtabOff+int64(len(shstrtab)), 8)
 	total := shdrOff + int64(len(shnames))*sectionHeaderSize
 
 	buf := make([]byte, total)
-	le := binary.LittleEndian
 
 	// ---- ELF header ----
 	copy(buf[0:], []byte{0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LE*/, 1 /*version*/})
 	le.PutUint16(buf[16:], etDyn)
-	le.PutUint16(buf[18:], emX86_64)
+	le.PutUint16(buf[18:], b.machine)
 	le.PutUint32(buf[20:], 1)
 	le.PutUint64(buf[24:], 0)                      // e_entry
 	le.PutUint64(buf[32:], elfHeaderSize)          // e_phoff
@@ -217,7 +263,8 @@ func (b *Builder) Build() ([]byte, error) {
 	copy(buf[rodataOff:], b.rodata)
 	copy(buf[dataOff:], b.data)
 	copy(buf[fatbinOff:], b.fatbin)
-	copy(buf[dynstrOff:], strtab)
+	copy(buf[dynstrOff:], dynstr)
+	copy(buf[dynamicOff:], dynamic)
 	copy(buf[strtabOff:], strtab)
 	copy(buf[shstrtabOff:], shstrtab)
 
@@ -251,11 +298,12 @@ func (b *Builder) Build() ([]byte, error) {
 		{2, shtProgbits, shfAlloc, rodataOff, int64(len(b.rodata)), 0, 0, 0, 16},
 		{3, shtProgbits, shfAlloc | shfWrite, dataOff, int64(len(b.data)), 0, 0, 0, 16},
 		{4, shtProgbits, shfAlloc, fatbinOff, int64(len(b.fatbin)), 0, 0, 0, 16},
-		{5, shtStrtab, shfAlloc, dynstrOff, int64(len(strtab)), 0, 0, 0, 1},
+		{5, shtStrtab, shfAlloc, dynstrOff, int64(len(dynstr)), 0, 0, 0, 1},
 		{6, shtDynsym, shfAlloc, dynsymOff, dynsymSize, 5, 1, symEntrySize, 8},
-		{7, shtStrtab, 0, strtabOff, int64(len(strtab)), 0, 0, 0, 1},
-		{8, shtSymtab, 0, symtabOff, symtabSize, 7, 1, symEntrySize, 8},
-		{9, shtStrtab, 0, shstrtabOff, int64(len(shstrtab)), 0, 0, 0, 1},
+		{7, shtDynamic, shfAlloc | shfWrite, dynamicOff, int64(len(dynamic)), 5, 0, dynEntrySize, 8},
+		{8, shtStrtab, 0, strtabOff, int64(len(strtab)), 0, 0, 0, 1},
+		{9, shtSymtab, 0, symtabOff, symtabSize, 8, 1, symEntrySize, 8},
+		{10, shtStrtab, 0, shstrtabOff, int64(len(shstrtab)), 0, 0, 0, 1},
 	}
 	for i, s := range sections {
 		hdr := buf[shdrOff+int64(i*sectionHeaderSize):]

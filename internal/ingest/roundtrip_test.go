@@ -1,0 +1,127 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"negativaml/internal/cudasim"
+	"negativaml/internal/dataset"
+	"negativaml/internal/gpuarch"
+	"negativaml/internal/mlframework"
+	"negativaml/internal/mlruntime"
+	"negativaml/internal/models"
+	"negativaml/internal/negativa"
+)
+
+// workloadFor builds a small representative workload against the install:
+// the Llama2 LLM graph for vLLM (its family routing is LLM-specific),
+// MobileNetV2 inference everywhere else.
+func workloadFor(t *testing.T, in *mlframework.Install, lazy bool) mlruntime.Workload {
+	t.Helper()
+	mode := cudasim.EagerLoading
+	if lazy {
+		mode = cudasim.LazyLoading
+	}
+	w := mlruntime.Workload{
+		Name:           in.Framework + "/roundtrip",
+		Install:        in,
+		Devices:        []gpuarch.Device{gpuarch.T4},
+		Mode:           mode,
+		Data:           dataset.CIFAR10,
+		PerItemCompute: 200 * time.Microsecond,
+	}
+	if in.Framework == mlframework.VLLM {
+		w.Graph = models.LLM(models.Llama2(true, 1))
+		w.Data = dataset.ManualInput
+	} else {
+		w.Graph = models.MobileNetV2(false, 1)
+	}
+	return w
+}
+
+// TestRoundTripDebloatIdentity is the ingestion identity property: for every
+// framework, with and without GPU kernel pre-loading, an install written to
+// disk and ingested back debloats to byte-identical per-library reports and
+// sparse images as the in-memory install it came from. This is what lets
+// profiles, stage memos, and peer caches serve ingested trees and generated
+// installs interchangeably.
+func TestRoundTripDebloatIdentity(t *testing.T) {
+	frameworks := []string{
+		mlframework.PyTorch, mlframework.TensorFlow,
+		mlframework.VLLM, mlframework.HFTransformers,
+	}
+	if testing.Short() {
+		frameworks = frameworks[:1]
+	}
+	for _, fw := range frameworks {
+		for _, lazy := range []bool{false, true} {
+			name := fw + "/eager"
+			if lazy {
+				name = fw + "/lazy"
+			}
+			t.Run(name, func(t *testing.T) {
+				mem, err := mlframework.Generate(mlframework.Config{Framework: fw, TailLibs: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := t.TempDir()
+				if err := mem.WriteTo(dir); err != nil {
+					t.Fatal(err)
+				}
+				res, err := Tree(dir, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Unresolved) != 0 {
+					t.Fatalf("written install has unresolved deps: %v", res.Unresolved)
+				}
+				ingested, err := res.Install()
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Identity starts at the fingerprint: same bytes, same key,
+				// so every stage memo and profile carries over.
+				if negativa.InstallFingerprint(mem) != negativa.InstallFingerprint(ingested) {
+					t.Fatal("ingested install fingerprints differently than its in-memory source")
+				}
+
+				opt := negativa.Options{MaxSteps: 2, SkipVerify: true, Workers: 2}
+				want, err := negativa.Debloat(workloadFor(t, mem, lazy), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := negativa.Debloat(workloadFor(t, ingested, lazy), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if len(got.Libs) != len(want.Libs) {
+					t.Fatalf("report count %d, want %d", len(got.Libs), len(want.Libs))
+				}
+				for i, wr := range want.Libs {
+					gr := got.Libs[i]
+					// Reports must match field for field; Sparse is compared
+					// through its zeroed ranges and materialized bytes (the
+					// image struct itself holds unexported library pointers).
+					wj, gj := *wr, *gr
+					wj.Sparse, gj.Sparse = nil, nil
+					wb, _ := json.Marshal(wj)
+					gb, _ := json.Marshal(gj)
+					if !bytes.Equal(wb, gb) {
+						t.Errorf("%s: report differs:\n in-memory: %s\n ingested:  %s", wr.Name, wb, gb)
+					}
+					if !reflect.DeepEqual(wr.Sparse.ZeroedRanges(), gr.Sparse.ZeroedRanges()) {
+						t.Errorf("%s: sparse range sets differ", wr.Name)
+					}
+					if !bytes.Equal(wr.Debloated(), gr.Debloated()) {
+						t.Errorf("%s: debloated images differ", wr.Name)
+					}
+				}
+			})
+		}
+	}
+}

@@ -118,9 +118,29 @@ func generate(framework, version string, bps []Blueprint, universeGraphs []*mode
 		}
 	}
 
+	// DT_NEEDED edges: the main library depends on every other blueprint
+	// library, mirroring how a framework core pulls in its vendor stack. The
+	// edge list is a function of the blueprint set alone — never of tail size
+	// or framework name — so seeded libraries stay byte-identical across the
+	// installs that share them. Tail libraries get no incoming edges: like
+	// Python extension modules, they are roots the loader opens directly, and
+	// ingestion's dependency closure treats them as such.
+	mainNeeded := func(self string) []string {
+		if self != mainLib {
+			return nil
+		}
+		var needed []string
+		for i := range bps {
+			if bps[i].Name != self {
+				needed = append(needed, bps[i].Name)
+			}
+		}
+		return needed
+	}
+
 	for i := range bps {
 		bp := &bps[i]
-		lib, initFuncs, famFuncs, err := buildLibrary(framework, bp, universe, allFamilies)
+		lib, initFuncs, famFuncs, err := buildLibrary(framework, bp, universe, allFamilies, mainNeeded(bp.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +166,7 @@ func generate(framework, version string, bps []Blueprint, universeGraphs []*mode
 	// Long tail of dependency libraries (CPU only).
 	for i := 0; i < tailLibs; i++ {
 		bp := tailBlueprint(framework, i)
-		lib, initFuncs, _, err := buildLibrary(framework, &bp, universe, nil)
+		lib, initFuncs, _, err := buildLibrary(framework, &bp, universe, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +239,7 @@ func familyUsed(bp *Blueprint, fam string) bool {
 
 // buildLibrary generates one ELF shared library plus its runtime metadata:
 // the init function names and per-family dispatch function names.
-func buildLibrary(framework string, bp *Blueprint, universe map[gpuarch.SM]map[string][]string, allFamilies []string) (*elfx.Library, []string, map[string][]string, error) {
+func buildLibrary(framework string, bp *Blueprint, universe map[gpuarch.SM]map[string][]string, allFamilies []string, needed []string) (*elfx.Library, []string, map[string][]string, error) {
 	base := strings.TrimSuffix(strings.TrimPrefix(bp.Name, "lib"), ".so")
 	base = strings.SplitN(base, ".", 2)[0]
 	seed := bp.Seed
@@ -227,6 +247,9 @@ func buildLibrary(framework string, bp *Blueprint, universe map[gpuarch.SM]map[s
 		seed = framework
 	}
 	b := elfx.NewBuilder(bp.Name)
+	for _, n := range needed {
+		b.AddNeeded(n)
+	}
 
 	if bp.SetupFuncsPerFamily == 0 {
 		bp.SetupFuncsPerFamily = 4

@@ -9,12 +9,12 @@ import (
 	"negativaml/internal/elfx"
 )
 
-// manifestName is the metadata file written next to the libraries.
-const manifestName = "install.json"
+// ManifestName is the metadata file written next to the libraries.
+const ManifestName = "install.json"
 
-// manifest is the serializable install metadata (everything except library
+// Manifest is the serializable install metadata (everything except library
 // bytes, which live in the .so files themselves).
-type manifest struct {
+type Manifest struct {
 	Framework       string               `json:"framework"`
 	Version         string               `json:"version"`
 	LibNames        []string             `json:"lib_names"`
@@ -23,6 +23,33 @@ type manifest struct {
 	FamilyLib       map[string]string    `json:"family_lib"`
 	BaseHeapCPU     int64                `json:"base_heap_cpu"`
 	GPUPoolFraction float64              `json:"gpu_pool_fraction"`
+}
+
+// Validate rejects manifests no install could have written: a manifest names
+// the framework and at least one library, exactly once each. Callers feeding
+// untrusted trees (ingestion) rely on this to fail loudly instead of
+// building a half-empty install.
+func (m *Manifest) Validate() error {
+	if m.Framework == "" {
+		return fmt.Errorf("mlframework: manifest missing framework")
+	}
+	if len(m.LibNames) == 0 {
+		return fmt.Errorf("mlframework: manifest lists no libraries")
+	}
+	seen := make(map[string]bool, len(m.LibNames))
+	for _, name := range m.LibNames {
+		if name == "" {
+			return fmt.Errorf("mlframework: manifest has an empty library name")
+		}
+		if name != filepath.Base(name) {
+			return fmt.Errorf("mlframework: manifest library name %q is not a bare file name", name)
+		}
+		if seen[name] {
+			return fmt.Errorf("mlframework: manifest lists %s twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
 }
 
 // WriteTo materializes the install on disk: one file per shared library
@@ -38,7 +65,7 @@ func (in *Install) WriteTo(dir string) error {
 			return fmt.Errorf("mlframework: write %s: %w", name, err)
 		}
 	}
-	m := manifest{
+	m := Manifest{
 		Framework:       in.Framework,
 		Version:         in.Version,
 		LibNames:        in.LibNames,
@@ -52,19 +79,31 @@ func (in *Install) WriteTo(dir string) error {
 	if err != nil {
 		return fmt.Errorf("mlframework: marshal manifest: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644)
+	return os.WriteFile(filepath.Join(dir, ManifestName), blob, 0o644)
 }
 
-// ReadFrom loads an install previously written with WriteTo.
-func ReadFrom(dir string) (*Install, error) {
-	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+// ReadManifest loads and validates the install.json in dir without touching
+// the library files. Ingestion uses it to recover runtime metadata while
+// sourcing the library bytes through its own classified walk.
+func ReadManifest(dir string) (*Manifest, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("mlframework: %w", err)
 	}
-	var m manifest
+	var m Manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("mlframework: parse manifest: %w", err)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Install converts the manifest plus already-parsed libraries into an
+// Install. Every manifest library must be present: a partial tree would
+// profile as a smaller install and silently under-retain.
+func (m *Manifest) Install(libs map[string]*elfx.Library) (*Install, error) {
 	in := &Install{
 		Framework:       m.Framework,
 		Version:         m.Version,
@@ -77,6 +116,26 @@ func ReadFrom(dir string) (*Install, error) {
 		GPUPoolFraction: m.GPUPoolFraction,
 	}
 	for _, name := range m.LibNames {
+		lib, ok := libs[name]
+		if !ok || lib == nil {
+			return nil, fmt.Errorf("mlframework: manifest names %s but the tree has no such library", name)
+		}
+		if lib.Soname != "" && lib.Soname != name {
+			return nil, fmt.Errorf("mlframework: %s carries DT_SONAME %q (mismatched manifest?)", name, lib.Soname)
+		}
+		in.Libs[name] = lib
+	}
+	return in, nil
+}
+
+// ReadFrom loads an install previously written with WriteTo.
+func ReadFrom(dir string) (*Install, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	libs := make(map[string]*elfx.Library, len(m.LibNames))
+	for _, name := range m.LibNames {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("mlframework: %w", err)
@@ -85,7 +144,7 @@ func ReadFrom(dir string) (*Install, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mlframework: %s: %w", name, err)
 		}
-		in.Libs[name] = lib
+		libs[name] = lib
 	}
-	return in, nil
+	return m.Install(libs)
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -45,18 +46,101 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadFromErrors pins the failure mode of every way a written tree can
+// go bad: each case must produce an error mentioning the offending piece,
+// never a partial install.
 func TestReadFromErrors(t *testing.T) {
-	if _, err := ReadFrom(t.TempDir()); err == nil {
-		t.Error("missing manifest should fail")
+	writeTree := func(t *testing.T) (string, *Install) {
+		t.Helper()
+		dir := t.TempDir()
+		in := gen(t, PyTorch, 2)
+		if err := in.WriteTo(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir, in
 	}
-	dir := t.TempDir()
-	os.WriteFile(filepath.Join(dir, manifestName), []byte("{bad"), 0o644)
-	if _, err := ReadFrom(dir); err == nil {
-		t.Error("corrupt manifest should fail")
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string, in *Install)
+		errHint string
+	}{
+		{
+			name:    "missing manifest",
+			corrupt: func(t *testing.T, dir string, in *Install) { os.Remove(filepath.Join(dir, ManifestName)) },
+			errHint: ManifestName,
+		},
+		{
+			name: "corrupt manifest JSON",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.WriteFile(filepath.Join(dir, ManifestName), []byte("{bad"), 0o644)
+			},
+			errHint: "parse manifest",
+		},
+		{
+			name: "manifest missing framework",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"lib_names":["libx.so"]}`), 0o644)
+			},
+			errHint: "missing framework",
+		},
+		{
+			name: "manifest with no libraries",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.WriteFile(filepath.Join(dir, ManifestName), []byte(`{"framework":"PyTorch"}`), 0o644)
+			},
+			errHint: "no libraries",
+		},
+		{
+			name: "manifest with duplicate library",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.WriteFile(filepath.Join(dir, ManifestName),
+					[]byte(`{"framework":"PyTorch","lib_names":["libm.so.6","libm.so.6"]}`), 0o644)
+			},
+			errHint: "twice",
+		},
+		{
+			name: "manifest with path-traversal name",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.WriteFile(filepath.Join(dir, ManifestName),
+					[]byte(`{"framework":"PyTorch","lib_names":["../libm.so.6"]}`), 0o644)
+			},
+			errHint: "bare file name",
+		},
+		{
+			name: "partial tree: a listed library file is gone",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				os.Remove(filepath.Join(dir, in.LibNames[len(in.LibNames)-1]))
+			},
+			errHint: "no such file",
+		},
+		{
+			name: "listed library is not an ELF file",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				script := "#!/bin/sh\n" + strings.Repeat("echo not a shared object\n", 8)
+				os.WriteFile(filepath.Join(dir, in.LibNames[0]), []byte(script), 0o644)
+			},
+			errHint: "ELF magic",
+		},
+		{
+			name: "mismatched manifest: library file swapped for another soname",
+			corrupt: func(t *testing.T, dir string, in *Install) {
+				other := in.Libs["libtorch_cpu.so"]
+				os.WriteFile(filepath.Join(dir, "libtorch_cuda.so"), other.Data, 0o644)
+			},
+			errHint: "DT_SONAME",
+		},
 	}
-	// Manifest referencing a missing library file.
-	os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"lib_names":["libx.so"]}`), 0o644)
-	if _, err := ReadFrom(dir); err == nil {
-		t.Error("missing library should fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, in := writeTree(t)
+			tc.corrupt(t, dir, in)
+			_, err := ReadFrom(dir)
+			if err == nil {
+				t.Fatal("corrupted tree read back without error")
+			}
+			if !strings.Contains(err.Error(), tc.errHint) {
+				t.Errorf("error %q does not mention %q", err, tc.errHint)
+			}
+		})
 	}
 }

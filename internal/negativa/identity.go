@@ -12,11 +12,17 @@ import (
 )
 
 // InstallFingerprint hashes an install's identity: framework, library names
-// in load order, and every library's bytes. Two installs with identical
-// content fingerprint identically, so profiles detected on one serve the
-// other. It anchors the detect stage's content key (detection depends on
-// what code the workload can touch) and the serving plane's profile
-// registry.
+// in load order, and every library's content digest. Two installs with
+// identical content fingerprint identically, so profiles detected on one
+// serve the other. It anchors the detect stage's content key (detection
+// depends on what code the workload can touch) and the serving plane's
+// profile registry.
+//
+// Hashing each library's memoized ContentDigest instead of its raw bytes
+// makes the fingerprint share hash work with the locate/compact stage keys
+// and the analysis-index memo: an install ingested from disk fingerprints
+// in O(names) once its libraries are indexed, instead of re-reading
+// gigabytes of library bytes on every submit.
 func InstallFingerprint(in *mlframework.Install) string {
 	h := sha256.New()
 	sep := []byte{0}
@@ -26,7 +32,8 @@ func InstallFingerprint(in *mlframework.Install) string {
 		io.WriteString(h, name)
 		h.Write(sep)
 		if lib := in.Library(name); lib != nil {
-			h.Write(lib.Data)
+			d := lib.ContentDigest()
+			h.Write(d[:])
 		}
 		h.Write(sep)
 	}
